@@ -1,0 +1,619 @@
+(* Experiment harness: regenerates every table of the paper's evaluation
+   (the paper has no figures).
+
+     dune exec bench/main.exe            -- all tables + ablations
+     dune exec bench/main.exe table3     -- one table
+     dune exec bench/main.exe -- --qp-limit 60 table3
+
+   Tables are printed in the paper's layout so EXPERIMENTS.md can compare
+   row by row.  Absolute costs differ from the paper (our TPC-C widths and
+   statistics assumptions are derived independently, and our MIP solver is
+   in-repo rather than GLPK); the shapes are what must match.
+
+   Defaults follow Section 5 with one deliberate change documented in
+   DESIGN.md: the paper's objective (6) weights cost by lambda yet its
+   narrative and results require the cost term to dominate, so experiments
+   run at lambda = 0.9 (the paper's stated lambda = 0.1 under the swapped
+   reading). *)
+
+open Vpart
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  mutable qp_limit : float;       (* seconds per QP solve *)
+  mutable lambda : float;
+  mutable p : float;
+  mutable max_rows : int;
+  mutable sa_seed : int;
+  mutable unit_ : float;          (* cost display unit *)
+}
+
+let cfg =
+  { qp_limit = 30.; lambda = 0.9; p = 8.; max_rows = 4000; sa_seed = 1;
+    unit_ = 1000. }
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let hr () = print_endline (String.make 78 '-')
+
+(* ------------------------------------------------------------------ *)
+(* Instance cache                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let instance_cache : (string, Instance.t) Hashtbl.t = Hashtbl.create 16
+
+let get_instance name =
+  match Hashtbl.find_opt instance_cache name with
+  | Some i -> i
+  | None ->
+    let i =
+      match name with
+      | "TPC-C v5" -> Lazy.force Tpcc.instance
+      | "TATP" -> Lazy.force Tatp.instance
+      | "SmallBank" -> Lazy.force Smallbank.instance
+      | "Voter" -> Lazy.force Voter.instance
+      | _ -> Instance_gen.generate (Instance_gen.find name)
+    in
+    Hashtbl.add instance_cache name i;
+    i
+
+(* ------------------------------------------------------------------ *)
+(* Solver wrappers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type run = {
+  cost_text : string;  (* paper style: plain, (parenthesised) or t/o *)
+  cost : float option;
+  seconds : float;
+}
+
+let fmt_cost c = Printf.sprintf "%.3f" (c /. cfg.unit_)
+
+let qp_options ?(allow_replication = true) ?(use_grouping = true) ?(p = cfg.p)
+    ?(lambda = cfg.lambda) ?(time_limit = cfg.qp_limit) sites =
+  { Qp_solver.default_options with
+    Qp_solver.num_sites = sites;
+    p;
+    lambda;
+    allow_replication;
+    use_grouping;
+    time_limit;
+    max_rows = Some cfg.max_rows;
+  }
+
+let qp_cost_text (r : Qp_solver.result) =
+  match r.Qp_solver.outcome, r.Qp_solver.cost with
+  | Qp_solver.Proved_optimal, Some c -> fmt_cost c
+  | Qp_solver.Limit_feasible, Some c -> Printf.sprintf "(%s)" (fmt_cost c)
+  | _ -> "t/o"
+
+let run_qp ?allow_replication ?p ?lambda ?time_limit inst sites =
+  let options = qp_options ?allow_replication ?p ?lambda ?time_limit sites in
+  let r = Qp_solver.solve ~options inst in
+  { cost_text = qp_cost_text r; cost = r.Qp_solver.cost;
+    seconds = r.Qp_solver.elapsed }
+
+let run_sa ?(allow_replication = true) ?(p = cfg.p) ?(lambda = cfg.lambda)
+    ?(seed = cfg.sa_seed) inst sites =
+  let options =
+    { Sa_solver.default_options with
+      Sa_solver.num_sites = sites;
+      p;
+      lambda;
+      allow_replication;
+      seed;
+    }
+  in
+  let r = Sa_solver.solve ~options inst in
+  {
+    cost_text = fmt_cost r.Sa_solver.cost;
+    cost = Some r.Sa_solver.cost;
+    seconds = r.Sa_solver.elapsed;
+  }
+
+let single_site_cost ?(p = cfg.p) inst =
+  let stats = Stats.compute inst ~p in
+  Cost_model.cost stats (Partitioning.single_site inst)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: parameter influence on the SA solver                       *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1: effect of generator parameters (SA solver)";
+  Printf.printf
+    "Costs in units of 10^3; defaults A=3 B=10%% C=15 D=5 E=15 F={4,8}\n\
+     (the middle value of each block); one parameter varies at a time.\n";
+  let base size =
+    { Instance_gen.default_params with
+      Instance_gen.num_tables = size;
+      num_transactions = size;
+    }
+  in
+  let variations =
+    [ ("A Max queries/txn",
+       [ "1"; "3"; "5" ],
+       fun prm v -> { prm with Instance_gen.max_queries_per_txn = int_of_string v });
+      ("B Percent updates",
+       [ "0"; "10"; "30" ],
+       fun prm v -> { prm with Instance_gen.update_percent = int_of_string v });
+      ("C Max attrs/table",
+       [ "5"; "15"; "35" ],
+       fun prm v -> { prm with Instance_gen.max_attrs_per_table = int_of_string v });
+      ("D Max tables/query",
+       [ "2"; "5"; "10" ],
+       fun prm v -> { prm with Instance_gen.max_tables_per_query = int_of_string v });
+      ("E Max attrs/query",
+       [ "5"; "15"; "25" ],
+       fun prm v -> { prm with Instance_gen.max_attrs_per_query = int_of_string v });
+      ("F widths",
+       [ "{2,4,8}"; "{4,8}"; "{4,8,16}" ],
+       fun prm v ->
+         let widths =
+           match v with
+           | "{2,4,8}" -> [| 2; 4; 8 |]
+           | "{4,8}" -> [| 4; 8 |]
+           | _ -> [| 4; 8; 16 |]
+         in
+         { prm with Instance_gen.widths });
+    ]
+  in
+  Printf.printf "%-20s %-9s | %8s %8s %8s | %8s %8s %8s\n" "parameter" "value"
+    "20:S=1" "20:S=2" "20:S=3" "100:S=1" "100:S=2" "100:S=3";
+  hr ();
+  List.iter
+    (fun (label, values, apply) ->
+       List.iter
+         (fun v ->
+            Printf.printf "%-20s %-9s |" label v;
+            List.iter
+              (fun size ->
+                 let params =
+                   { (apply (base size) v) with
+                     Instance_gen.name = Printf.sprintf "t1-%s-%s-%d" label v size }
+                 in
+                 let inst = Instance_gen.generate params in
+                 List.iter
+                   (fun sites ->
+                      let cost =
+                        if sites = 1 then single_site_cost inst
+                        else
+                          match (run_sa inst sites).cost with
+                          | Some c -> c
+                          | None -> nan
+                      in
+                      Printf.printf " %8s" (fmt_cost cost))
+                   [ 1; 2; 3 ])
+              [ 20; 100 ];
+            Printf.printf "\n%!")
+         values;
+       hr ())
+    variations
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: the named random instances                                 *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  section "Table 2: named random instance classes";
+  Printf.printf "%-14s %3s %3s %3s %3s %3s %-12s %4s %7s %6s\n" "name" "A" "B"
+    "C" "D" "E" "F" "|T|" "#tables" "|A|";
+  hr ();
+  List.iter
+    (fun (prm : Instance_gen.params) ->
+       let inst = get_instance prm.Instance_gen.name in
+       Printf.printf "%-14s %3d %3d %3d %3d %3d %-12s %4d %7d %6d\n"
+         prm.Instance_gen.name prm.Instance_gen.max_queries_per_txn
+         prm.Instance_gen.update_percent prm.Instance_gen.max_attrs_per_table
+         prm.Instance_gen.max_tables_per_query prm.Instance_gen.max_attrs_per_query
+         (Printf.sprintf "{%s}"
+            (String.concat ","
+               (Array.to_list (Array.map string_of_int prm.Instance_gen.widths))))
+         prm.Instance_gen.num_transactions prm.Instance_gen.num_tables
+         (Instance.num_attrs inst))
+    Instance_gen.catalog
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: QP vs SA                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  section "Table 3: QP vs SA (replication allowed, remote placement)";
+  Printf.printf
+    "QP time limit %.0fs, MIP gap 0.1%%, model row cap %d (over-cap = t/o,\n\
+     like the paper's 30-minute GLPK timeouts).  Costs in units of 10^3.\n"
+    cfg.qp_limit cfg.max_rows;
+  Printf.printf "%-14s %5s %4s %3s | %10s %8s | %10s %8s | %9s\n" "instance"
+    "|A|" "|T|" "|S|" "QP cost" "QP s" "SA cost" "SA s" "|S|=1";
+  hr ();
+  let row inst_name sites =
+    let inst = get_instance inst_name in
+    let qp = run_qp inst sites in
+    let sa = run_sa inst sites in
+    Printf.printf "%-14s %5d %4d %3d | %10s %8.1f | %10s %8.2f | %9s\n%!"
+      inst_name (Instance.num_attrs inst)
+      (Instance.num_transactions inst) sites qp.cost_text qp.seconds sa.cost_text
+      sa.seconds
+      (fmt_cost (single_site_cost inst))
+  in
+  List.iter (fun s -> row "TPC-C v5" s) [ 2; 3; 4 ];
+  hr ();
+  List.iter
+    (fun name -> row name 4)
+    [ "rndAt4x15"; "rndAt8x15"; "rndAt16x15"; "rndAt32x15"; "rndAt64x15";
+      "rndAt4x100"; "rndAt8x100"; "rndAt16x100"; "rndAt32x100"; "rndAt64x100" ];
+  hr ();
+  List.iter
+    (fun name -> row name 4)
+    [ "rndBt4x15"; "rndBt8x15"; "rndBt16x15"; "rndBt32x15"; "rndBt64x15";
+      "rndBt4x100"; "rndBt8x100"; "rndBt16x100"; "rndBt32x100"; "rndBt64x100" ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: a concrete TPC-C partitioning                              *)
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  section "Table 4: TPC-C partitioning for three sites (QP solver)";
+  let inst = get_instance "TPC-C v5" in
+  let options = qp_options ~time_limit:(Float.max cfg.qp_limit 60.) 3 in
+  let r = Qp_solver.solve ~options inst in
+  match r.Qp_solver.partitioning with
+  | None -> print_endline "no solution found"
+  | Some part ->
+    Format.printf "%a@." (Report.pp_partitioning inst) part;
+    (match r.Qp_solver.cost with
+     | Some c -> Printf.printf "cost: %s (x10^3)\n" (fmt_cost c)
+     | None -> ());
+    Format.printf "%a@."
+      (Report.pp_solution_summary inst ~p:cfg.p ~lambda:cfg.lambda) part
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: replication vs disjoint partitioning                       *)
+(* ------------------------------------------------------------------ *)
+
+let table5 () =
+  section "Table 5: with vs without attribute replication (QP solver)";
+  Printf.printf "Costs in units of 10^3.\n";
+  Printf.printf "%-14s %5s %4s %3s | %10s %7s | %10s %7s | %6s\n" "instance"
+    "|A|" "|T|" "|S|" "w.repl" "s" "w/o repl" "s" "ratio";
+  hr ();
+  let row name sites =
+    let inst = get_instance name in
+    let w = run_qp ~allow_replication:true inst sites in
+    let wo = run_qp ~allow_replication:false inst sites in
+    let ratio =
+      match w.cost, wo.cost with
+      | Some a, Some b when b > 0. -> Printf.sprintf "%3.0f%%" (100. *. a /. b)
+      | _ -> "-"
+    in
+    Printf.printf "%-14s %5d %4d %3d | %10s %7.1f | %10s %7.1f | %6s\n%!" name
+      (Instance.num_attrs inst) (Instance.num_transactions inst) sites
+      w.cost_text w.seconds wo.cost_text wo.seconds ratio
+  in
+  List.iter (fun s -> row "TPC-C v5" s) [ 1; 2; 3; 4 ];
+  List.iter (fun n -> row n 2) [ "rndAt4x15"; "rndAt8x15"; "rndBt8x15"; "rndBt16x15" ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 6: local vs remote partition placement                        *)
+(* ------------------------------------------------------------------ *)
+
+let table6 () =
+  section "Table 6: local (p=0) vs remote (p=8) placement, with replication";
+  Printf.printf "Costs in units of 10^3.\n";
+  Printf.printf "%-14s %5s %4s %3s | %10s %10s | %10s %10s\n" "instance" "|A|"
+    "|T|" "|S|" "loc QP" "loc SA" "rem QP" "rem SA";
+  hr ();
+  let row name sites =
+    let inst = get_instance name in
+    let lqp = run_qp ~p:0. inst sites in
+    let lsa = run_sa ~p:0. inst sites in
+    let rqp = run_qp ~p:cfg.p inst sites in
+    let rsa = run_sa ~p:cfg.p inst sites in
+    Printf.printf "%-14s %5d %4d %3d | %10s %10s | %10s %10s\n%!" name
+      (Instance.num_attrs inst) (Instance.num_transactions inst) sites
+      lqp.cost_text lsa.cost_text rqp.cost_text rsa.cost_text
+  in
+  List.iter (fun s -> row "TPC-C v5" s) [ 1; 2; 3 ];
+  List.iter
+    (fun n -> row n 2)
+    [ "rndAt4x15"; "rndAt8x15"; "rndAt8x15u50"; "rndBt8x15"; "rndBt16x15";
+      "rndBt16x15u50" ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (beyond the paper)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  section "Ablation A: lambda sweep on TPC-C (2 sites, QP)";
+  Printf.printf "%6s | %10s %12s %10s\n" "lambda" "cost (4)" "max work" "time";
+  hr ();
+  let inst = get_instance "TPC-C v5" in
+  let stats = Stats.compute inst ~p:cfg.p in
+  List.iter
+    (fun lambda ->
+       let r = Qp_solver.solve ~options:(qp_options ~lambda 2) inst in
+       match r.Qp_solver.partitioning with
+       | Some part ->
+         Printf.printf "%6.2f | %10s %12s %9.2fs\n%!" lambda
+           (fmt_cost (Cost_model.cost stats part))
+           (fmt_cost (Cost_model.max_site_work stats part))
+           r.Qp_solver.elapsed
+       | None -> Printf.printf "%6.2f | no solution\n" lambda)
+    [ 0.0; 0.1; 0.5; 0.9; 1.0 ];
+
+  section "Ablation B: attribute grouping (reasonable cuts, paper sec. 4)";
+  Printf.printf "%-14s | %8s %10s %8s | %8s %10s %8s\n" "instance" "grp rows"
+    "grp cost" "grp s" "raw rows" "raw cost" "raw s";
+  hr ();
+  List.iter
+    (fun name ->
+       let inst = get_instance name in
+       let solve g =
+         Qp_solver.solve ~options:(qp_options ~use_grouping:g 2) inst
+       in
+       let a = solve true and b = solve false in
+       Printf.printf "%-14s | %8d %10s %8.1f | %8d %10s %8.1f\n%!" name
+         a.Qp_solver.model_rows (qp_cost_text a) a.Qp_solver.elapsed
+         b.Qp_solver.model_rows (qp_cost_text b) b.Qp_solver.elapsed)
+    [ "TPC-C v5"; "rndBt8x15" ];
+
+  section "Ablation C: SA neighborhood size (move fraction, paper sec. 3)";
+  Printf.printf "%9s | %10s %10s %10s\n" "fraction" "TPC-C" "rndAt8x15"
+    "rndBt16x15";
+  hr ();
+  List.iter
+    (fun frac ->
+       Printf.printf "%8.0f%% |" (100. *. frac);
+       List.iter
+         (fun name ->
+            let inst = get_instance name in
+            let options =
+              { Sa_solver.default_options with
+                Sa_solver.num_sites = 2; p = cfg.p; lambda = cfg.lambda;
+                move_fraction = frac; seed = cfg.sa_seed }
+            in
+            let r = Sa_solver.solve ~options inst in
+            Printf.printf " %10s" (fmt_cost r.Sa_solver.cost))
+         [ "TPC-C v5"; "rndAt8x15"; "rndBt16x15" ];
+       Printf.printf "\n%!")
+    [ 0.05; 0.10; 0.20; 0.50 ];
+
+  section "Ablation D: cost model vs storage-engine measurement";
+  let inst = get_instance "TPC-C v5" in
+  let options =
+    { Sa_solver.default_options with
+      Sa_solver.num_sites = 3; p = cfg.p; lambda = cfg.lambda; seed = cfg.sa_seed }
+  in
+  let r = Sa_solver.solve ~options inst in
+  let eng =
+    Engine.deploy inst r.Sa_solver.partitioning ~table_rows:Tpcc.cardinalities
+  in
+  let c = Engine.run_workload eng in
+  let b = Cost_model.breakdown inst r.Sa_solver.partitioning in
+  Printf.printf
+    "model:  AR=%.0f AW=%.0f B=%.0f  (cost (4) = %.0f)\n\
+     engine: AR=%.0f AW=%.0f B=%.0f  (measured bytes, one workload pass)\n"
+    b.Cost_model.read_local b.Cost_model.write_local b.Cost_model.transfer
+    (b.Cost_model.read_local +. b.Cost_model.write_local
+     +. (cfg.p *. b.Cost_model.transfer))
+    c.Engine.bytes_read c.Engine.bytes_written c.Engine.bytes_transferred;
+  Printf.printf "agreement: %s\n"
+    (if
+       Float.abs (c.Engine.bytes_read -. b.Cost_model.read_local) < 1e-6
+       && Float.abs (c.Engine.bytes_written -. b.Cost_model.write_local) < 1e-6
+       && Float.abs (c.Engine.bytes_transferred -. b.Cost_model.transfer) < 1e-6
+     then "EXACT"
+     else "MISMATCH");
+
+  section "Ablation E: latency extension (Appendix A) on TPC-C, 3 sites";
+  Printf.printf "%14s | %12s %12s\n" "layout" "cost (4)" "latency (pl=3)";
+  hr ();
+  let stats = Stats.compute inst ~p:cfg.p in
+  let layouts =
+    [ ("single site", Partitioning.single_site inst);
+      ("SA 3 sites", r.Sa_solver.partitioning) ]
+  in
+  List.iter
+    (fun (name, part) ->
+       Printf.printf "%14s | %12s %12.1f\n" name
+         (fmt_cost (Cost_model.cost stats part))
+         (Cost_model.latency inst ~pl:3. part))
+    layouts;
+
+  section "Ablation F: availability under single-site failure (TPC-C, 3 sites)";
+  Printf.printf
+    "Replication is chosen for cost, but also buys fail-over: share of\n\
+     transactions whose full read set survives the loss of one site.\n";
+  Printf.printf "%-12s | %10s | %s\n" "layout" "replicated"
+    "runnable after failure of site 1/2/3";
+  hr ();
+  let disjoint_part =
+    let opts =
+      { Sa_solver.default_options with
+        Sa_solver.num_sites = 3; p = cfg.p; lambda = cfg.lambda;
+        allow_replication = false; seed = cfg.sa_seed }
+    in
+    (Sa_solver.solve ~options:opts inst).Sa_solver.partitioning
+  in
+  List.iter
+    (fun (name, part) ->
+       let eng = Engine.deploy inst part in
+       let replicated =
+         let n = ref 0 in
+         for a = 0 to Instance.num_attrs inst - 1 do
+           if Partitioning.replicas part a > 1 then incr n
+         done;
+         !n
+       in
+       Printf.printf "%-12s | %7d/92 |" name replicated;
+       for failed = 0 to 2 do
+         let rep = Engine.survive_site_failure eng ~failed in
+         Printf.printf "  %d/%d (%.0f%%)" rep.Engine.runnable_txns
+           rep.Engine.total_txns
+           (100. *. rep.Engine.runnable_weight)
+       done;
+       Printf.printf "\n%!")
+    [ ("SA 3 sites", r.Sa_solver.partitioning); ("disjoint", disjoint_part) ]
+
+(* ------------------------------------------------------------------ *)
+(* Extension: H-store workload suite and solver/baseline comparison     *)
+(* ------------------------------------------------------------------ *)
+
+let suite () =
+  section "Workload suite: solvers and baselines on H-store benchmarks";
+  Printf.printf
+    "QP/iterative limit %.0fs; costs in units of 10^3; lambda %.2f, p %.0f.\n"
+    cfg.qp_limit cfg.lambda cfg.p;
+  Printf.printf "%-10s %3s | %9s | %9s %9s %9s %9s %9s\n" "workload" "|S|"
+    "1-site" "QP" "SA" "iter" "greedy" "affinity";
+  hr ();
+  List.iter
+    (fun name ->
+       let inst = get_instance name in
+       List.iter
+         (fun sites ->
+            let qp = run_qp inst sites in
+            let sa = run_sa inst sites in
+            let it =
+              Iterative_solver.solve
+                ~options:{ Iterative_solver.default_options with
+                           Iterative_solver.rounds = 3;
+                           qp = qp_options sites }
+                inst
+            in
+            let it_text =
+              match it.Iterative_solver.cost with
+              | Some c -> fmt_cost c
+              | None -> "t/o"
+            in
+            let g =
+              Greedy.solve
+                ~options:{ Greedy.default_options with Greedy.num_sites = sites;
+                           p = cfg.p; lambda = cfg.lambda }
+                inst
+            in
+            let aff =
+              Affinity.solve
+                ~options:{ Affinity.num_sites = sites; p = cfg.p;
+                           lambda = cfg.lambda }
+                inst
+            in
+            Printf.printf "%-10s %3d | %9s | %9s %9s %9s %9s %9s\n%!" name sites
+              (fmt_cost (single_site_cost inst))
+              qp.cost_text sa.cost_text it_text (fmt_cost g.Greedy.cost)
+              (fmt_cost aff.Affinity.cost))
+         [ 2; 3 ];
+       hr ())
+    [ "TPC-C v5"; "TATP"; "SmallBank"; "Voter"; "rndAt8x15"; "rndBt16x15" ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one kernel per paper table                *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel () =
+  section "Bechamel micro-benchmarks (one kernel per table)";
+  let open Bechamel in
+  let tpcc = get_instance "TPC-C v5" in
+  let rnd20 =
+    Instance_gen.generate
+      { Instance_gen.default_params with Instance_gen.name = "bench20" }
+  in
+  let stats = Stats.compute tpcc ~p:cfg.p in
+  let part = Partitioning.single_site tpcc in
+  let sa_opts sites =
+    { Sa_solver.default_options with
+      Sa_solver.num_sites = sites; lambda = cfg.lambda; max_outer = 20 }
+  in
+  let qp_opts sites =
+    { (qp_options ~time_limit:10. sites) with Qp_solver.gap = 0.01 }
+  in
+  let tests =
+    [ Test.make ~name:"table1-kernel: SA on rnd 20x20"
+        (Staged.stage (fun () ->
+             ignore (Sa_solver.solve ~options:(sa_opts 2) rnd20)));
+      Test.make ~name:"table3-kernel: QP on TPC-C S=2"
+        (Staged.stage (fun () ->
+             ignore (Qp_solver.solve ~options:(qp_opts 2) tpcc)));
+      Test.make ~name:"table5-kernel: disjoint QP on TPC-C S=2"
+        (Staged.stage (fun () ->
+             ignore
+               (Qp_solver.solve
+                  ~options:{ (qp_opts 2) with Qp_solver.allow_replication = false }
+                  tpcc)));
+      Test.make ~name:"table6-kernel: SA on TPC-C p=0"
+        (Staged.stage (fun () ->
+             ignore
+               (Sa_solver.solve ~options:{ (sa_opts 2) with Sa_solver.p = 0. } tpcc)));
+      Test.make ~name:"stats: derive c1..c4 for TPC-C"
+        (Staged.stage (fun () -> ignore (Stats.compute tpcc ~p:cfg.p)));
+      Test.make ~name:"cost: evaluate objective (4) on TPC-C"
+        (Staged.stage (fun () -> ignore (Cost_model.cost stats part)));
+      Test.make ~name:"grouping: reasonable cuts on TPC-C"
+        (Staged.stage (fun () -> ignore (Grouping.compute tpcc)));
+    ]
+  in
+  List.iter
+    (fun test ->
+       let cfg_b =
+         Benchmark.cfg ~limit:20 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+       in
+       let raw = Benchmark.all cfg_b Toolkit.Instance.[ monotonic_clock ] test in
+       let ols =
+         Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+       in
+       let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+       Hashtbl.iter
+         (fun name result ->
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> Printf.printf "%-45s %12.0f ns/run\n%!" name est
+            | _ -> Printf.printf "%-45s (no estimate)\n%!" name)
+         results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [--qp-limit SECONDS] [--lambda L] [--max-rows N] [--seed N]\n\
+    \                [table1|table2|table3|table4|table5|table6|ablation|suite|bechamel|all]...";
+  exit 1
+
+let () =
+  let jobs = ref [] in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse = function
+    | [] -> ()
+    | "--qp-limit" :: v :: rest -> cfg.qp_limit <- float_of_string v; parse rest
+    | "--lambda" :: v :: rest -> cfg.lambda <- float_of_string v; parse rest
+    | "--max-rows" :: v :: rest -> cfg.max_rows <- int_of_string v; parse rest
+    | "--seed" :: v :: rest -> cfg.sa_seed <- int_of_string v; parse rest
+    | "--help" :: _ -> usage ()
+    | job :: rest -> jobs := job :: !jobs; parse rest
+  in
+  parse args;
+  let jobs = if !jobs = [] then [ "all" ] else List.rev !jobs in
+  let dispatch = function
+    | "table1" -> table1 ()
+    | "table2" -> table2 ()
+    | "table3" -> table3 ()
+    | "table4" -> table4 ()
+    | "table5" -> table5 ()
+    | "table6" -> table6 ()
+    | "ablation" -> ablation ()
+    | "suite" -> suite ()
+    | "bechamel" -> bechamel ()
+    | "all" ->
+      Printf.printf
+        "vpart experiment harness (p=%.0f, lambda=%.2f, QP limit %.0fs)\n"
+        cfg.p cfg.lambda cfg.qp_limit;
+      table2 (); table1 (); table3 (); table4 (); table5 (); table6 ();
+      ablation (); suite (); bechamel ()
+    | j -> Printf.printf "unknown job %S\n" j; usage ()
+  in
+  List.iter dispatch jobs

@@ -1,0 +1,426 @@
+(* vpart: command-line front end for the vertical partitioning library.
+
+     vpart info     --tpcc | --instance FILE | --random NAME
+     vpart solve    [--solver sa|qp] [--sites N] ... (--tpcc | ...)
+     vpart gen      --random NAME [-o FILE]
+     vpart export   --tpcc [-o FILE]         (instance as JSON)
+     vpart mps      --tpcc --sites N [-o FILE]  (MIP (7) in MPS format)
+*)
+
+open Cmdliner
+open Vpart
+
+(* ------------------------------------------------------------------ *)
+(* Instance sources                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let instance_term =
+  let tpcc =
+    Arg.(value & flag & info [ "tpcc" ] ~doc:"Use the built-in TPC-C v5 instance.")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "i"; "instance" ] ~docv:"FILE"
+          ~doc:"Load an instance from a JSON file (see Codec).")
+  in
+  let random =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "random" ] ~docv:"NAME"
+          ~doc:
+            "Generate a named random instance from the paper's Table 2 \
+             catalog (e.g. rndAt8x15).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "gen-seed" ] ~docv:"N" ~doc:"Seed for --random generation.")
+  in
+  let builtin =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "builtin" ] ~docv:"NAME"
+          ~doc:
+            "Use a built-in instance: $(b,tpcc), $(b,tatp), $(b,smallbank) \
+             or $(b,voter).")
+  in
+  let combine tpcc file random builtin seed =
+    match (tpcc, file, random, builtin) with
+    | true, None, None, None -> Ok (Lazy.force Tpcc.instance)
+    | false, None, None, Some name -> (
+      match String.lowercase_ascii name with
+      | "tpcc" | "tpc-c" -> Ok (Lazy.force Tpcc.instance)
+      | "tatp" -> Ok (Lazy.force Tatp.instance)
+      | "smallbank" -> Ok (Lazy.force Smallbank.instance)
+      | "voter" -> Ok (Lazy.force Voter.instance)
+      | other ->
+        Error (`Msg (Printf.sprintf "unknown built-in %S (tpcc|tatp|smallbank|voter)" other)))
+    | false, Some f, None, None -> (
+      try Ok (Codec.load_instance f) with
+      | Sys_error e -> Error (`Msg e)
+      | Json.Parse_error e -> Error (`Msg ("parse error: " ^ e))
+      | Invalid_argument e -> Error (`Msg e))
+    | false, None, Some name, None -> (
+      match Instance_gen.find name with
+      | params -> Ok (Instance_gen.generate ~seed params)
+      | exception Not_found ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown instance %S; known: %s" name
+                (String.concat ", "
+                   (List.map
+                      (fun p -> p.Instance_gen.name)
+                      Instance_gen.catalog)))))
+    | _ ->
+      Error
+        (`Msg
+           "choose exactly one of --tpcc, --builtin NAME, --instance FILE, \
+            --random NAME")
+  in
+  Term.(term_result (const combine $ tpcc $ file $ random $ builtin $ seed))
+
+let output_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write output to $(docv).")
+
+let write_output output content =
+  match output with
+  | None -> print_string content
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc content;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Common solver options                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sites_term =
+  Arg.(value & opt int 2 & info [ "s"; "sites" ] ~docv:"N" ~doc:"Number of sites.")
+
+let p_term =
+  Arg.(
+    value & opt float 8.
+    & info [ "p" ] ~docv:"P"
+        ~doc:"Network penalty factor (0 = local placement; paper default 8).")
+
+let lambda_term =
+  Arg.(
+    value & opt float 0.9
+    & info [ "lambda" ] ~docv:"L"
+        ~doc:
+          "Weight of total cost vs. load balancing in objective (6); 1.0 = \
+           pure cost minimization.")
+
+let disjoint_term =
+  Arg.(
+    value & flag
+    & info [ "disjoint" ] ~doc:"Forbid attribute replication (disjoint mode).")
+
+let no_grouping_term =
+  Arg.(
+    value & flag
+    & info [ "no-grouping" ]
+        ~doc:"Disable the reasonable-cuts attribute grouping reduction.")
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let run inst =
+    Format.printf "%a@.@.%a@.%a@." Instance.pp_summary inst Schema.pp
+      inst.Instance.schema Workload.pp inst.Instance.workload;
+    let stats = Stats.compute inst ~p:8. in
+    let single = Partitioning.single_site inst in
+    Format.printf "single-site cost (objective 4, p=8): %.4g@."
+      (Cost_model.cost stats single);
+    let g = Grouping.compute inst in
+    Format.printf "reasonable-cuts groups: %d (of %d attributes)@."
+      (Grouping.num_groups g) (Instance.num_attrs inst)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Describe an instance.")
+    Term.(const run $ instance_term)
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let solve_cmd =
+  let solver_term =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("sa", `Sa); ("qp", `Qp); ("iter", `Iter); ("greedy", `Greedy);
+               ("affinity", `Affinity) ])
+          `Sa
+      & info [ "solver" ] ~docv:"SOLVER"
+          ~doc:
+            "$(b,sa) = simulated annealing; $(b,qp) = exact MIP; $(b,iter) = \
+             iterative 20/80 QP; $(b,greedy) = local-search baseline; \
+             $(b,affinity) = Navathe-style affinity baseline.")
+  in
+  let time_limit_term =
+    Arg.(
+      value & opt float 60.
+      & info [ "time-limit" ] ~docv:"S" ~doc:"QP solver time limit (seconds).")
+  in
+  let seed_term =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"SA solver seed.")
+  in
+  let json_term =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the partitioning as JSON instead of text.")
+  in
+  let run inst solver sites p lambda disjoint no_grouping time_limit seed json
+      output =
+    let finish part cost =
+      (match Partitioning.validate (Stats.compute inst ~p:(Float.max p 1e-9)) part with
+       | Ok () -> ()
+       | Error e -> Printf.eprintf "warning: %s\n" e);
+      if json then
+        write_output output
+          (Json.to_string (Codec.partitioning_to_json inst part) ^ "\n")
+      else begin
+        let buf = Buffer.create 4096 in
+        let ppf = Format.formatter_of_buffer buf in
+        Format.fprintf ppf "%a@." (Report.pp_partitioning inst) part;
+        Format.fprintf ppf "%a@." (Report.pp_solution_summary inst ~p ~lambda) part;
+        Format.fprintf ppf "cost (objective 4): %.6g@." cost;
+        Format.pp_print_flush ppf ();
+        write_output output (Buffer.contents buf)
+      end
+    in
+    match solver with
+    | `Sa ->
+      let options =
+        { Sa_solver.default_options with
+          Sa_solver.num_sites = sites;
+          p;
+          lambda;
+          allow_replication = not disjoint;
+          use_grouping = not no_grouping;
+          seed;
+        }
+      in
+      let r = Sa_solver.solve ~options inst in
+      Printf.printf "SA: %d iterations, %d accepted, %.2fs\n"
+        r.Sa_solver.iterations r.Sa_solver.accepted r.Sa_solver.elapsed;
+      finish r.Sa_solver.partitioning r.Sa_solver.cost;
+      Ok ()
+    | `Qp ->
+      let options =
+        { Qp_solver.default_options with
+          Qp_solver.num_sites = sites;
+          p;
+          lambda;
+          allow_replication = not disjoint;
+          use_grouping = not no_grouping;
+          time_limit;
+        }
+      in
+      let r = Qp_solver.solve ~options inst in
+      Printf.printf "QP: %s, %d nodes, %d rows, %.2fs\n"
+        (match r.Qp_solver.outcome with
+         | Qp_solver.Proved_optimal -> "optimal (within MIP gap)"
+         | Qp_solver.Limit_feasible -> "feasible (limit hit)"
+         | Qp_solver.Limit_no_solution -> "no solution within limit"
+         | Qp_solver.Too_large -> "model too large")
+        r.Qp_solver.nodes r.Qp_solver.model_rows r.Qp_solver.elapsed;
+      (match (r.Qp_solver.partitioning, r.Qp_solver.cost) with
+       | Some part, Some cost ->
+         finish part cost;
+         Ok ()
+       | _ -> Error (`Msg "no solution found (increase --time-limit?)"))
+    | `Iter ->
+      let options =
+        { Iterative_solver.default_options with
+          Iterative_solver.qp =
+            { Qp_solver.default_options with
+              Qp_solver.num_sites = sites;
+              p;
+              lambda;
+              allow_replication = not disjoint;
+              use_grouping = not no_grouping;
+              time_limit;
+            };
+        }
+      in
+      let r = Iterative_solver.solve ~options inst in
+      Printf.printf "iterative: %d rounds, %.2fs\n"
+        (List.length r.Iterative_solver.rounds)
+        r.Iterative_solver.elapsed;
+      (match (r.Iterative_solver.partitioning, r.Iterative_solver.cost) with
+       | Some part, Some cost ->
+         finish part cost;
+         Ok ()
+       | _ -> Error (`Msg "no solution found (increase --time-limit?)"))
+    | `Greedy ->
+      let options =
+        { Greedy.default_options with
+          Greedy.num_sites = sites;
+          p;
+          lambda;
+          use_grouping = not no_grouping;
+        }
+      in
+      let r = Greedy.solve ~options inst in
+      Printf.printf "greedy: %d moves, %.2fs\n" r.Greedy.moves r.Greedy.elapsed;
+      finish r.Greedy.partitioning r.Greedy.cost;
+      Ok ()
+    | `Affinity ->
+      let r =
+        Affinity.solve ~options:{ Affinity.num_sites = sites; p; lambda } inst
+      in
+      finish r.Affinity.partitioning r.Affinity.cost;
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Compute a vertical partitioning for an instance.")
+    Term.(
+      term_result
+        (const run $ instance_term $ solver_term $ sites_term $ p_term
+         $ lambda_term $ disjoint_term $ no_grouping_term $ time_limit_term
+         $ seed_term $ json_term $ output_term))
+
+(* ------------------------------------------------------------------ *)
+(* gen / export                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let export_cmd =
+  let run inst output =
+    write_output output (Json.to_string (Codec.instance_to_json inst) ^ "\n")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Write an instance (TPC-C, generated, or loaded) as JSON.")
+    Term.(const run $ instance_term $ output_term)
+
+(* ------------------------------------------------------------------ *)
+(* mps                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mps_cmd =
+  let run inst sites p lambda disjoint no_grouping output =
+    let grouping =
+      if no_grouping then Grouping.identity inst else Grouping.compute inst
+    in
+    let stats = Stats.compute grouping.Grouping.reduced ~p in
+    let options =
+      { Qp_solver.default_options with
+        Qp_solver.num_sites = sites;
+        p;
+        lambda;
+        allow_replication = not disjoint;
+      }
+    in
+    let model, _ = Qp_solver.build_model stats options in
+    write_output output (Lp.to_mps model)
+  in
+  Cmd.v
+    (Cmd.info "mps"
+       ~doc:
+         "Export the linearized program (7) in MPS format (for external \
+          solvers / debugging).")
+    Term.(
+      const run $ instance_term $ sites_term $ p_term $ lambda_term
+      $ disjoint_term $ no_grouping_term $ output_term)
+
+(* ------------------------------------------------------------------ *)
+(* eval                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let eval_cmd =
+  let part_term =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "partitioning" ] ~docv:"FILE"
+          ~doc:"Partitioning JSON (as written by solve --json).")
+  in
+  let run inst part_file p lambda =
+    match Codec.load_partitioning inst part_file with
+    | exception Invalid_argument e -> Error (`Msg e)
+    | exception Json.Parse_error e -> Error (`Msg ("parse error: " ^ e))
+    | part ->
+      let stats = Stats.compute inst ~p in
+      (match Partitioning.validate stats part with
+       | Error e -> Error (`Msg ("invalid partitioning: " ^ e))
+       | Ok () ->
+         Format.printf "%a@."
+           (Report.pp_solution_summary inst ~p ~lambda) part;
+         let eng = Engine.deploy inst part in
+         Format.printf "@.storage-engine check (one workload pass):@.%a@."
+           Engine.pp_counters (Engine.run_workload eng);
+         Format.printf "@.latency estimate (Appendix A, pl = 1): %.2f@."
+           (Cost_model.latency inst ~pl:1. part);
+         Ok ())
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Evaluate a stored partitioning against an instance (cost model \
+             + storage-engine cross-check).")
+    Term.(
+      term_result (const run $ instance_term $ part_term $ p_term $ lambda_term))
+
+(* ------------------------------------------------------------------ *)
+(* advise                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let advise_cmd =
+  let part_term =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "partitioning" ] ~docv:"FILE"
+          ~doc:"Partitioning JSON (as written by solve --json).")
+  in
+  let limit_term =
+    Arg.(
+      value & opt int 10
+      & info [ "limit" ] ~docv:"N" ~doc:"Moves of each kind to display.")
+  in
+  let run inst part_file p limit =
+    match Codec.load_partitioning inst part_file with
+    | exception Invalid_argument e -> Error (`Msg e)
+    | exception Json.Parse_error e -> Error (`Msg ("parse error: " ^ e))
+    | part ->
+      (match Advisor.analyze inst ~p part with
+       | exception Invalid_argument e -> Error (`Msg e)
+       | report ->
+         Format.printf "%a@." (Advisor.pp inst ~limit) report;
+         let best = Advisor.best_improvement report in
+         if best < 0. then
+           Format.printf
+             "@.best single move improves cost by %.4g — not locally optimal@."
+             (-.best)
+         else Format.printf "@.locally optimal under single moves@.";
+         Ok ())
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"What-if analysis: marginal cost of every single transaction \
+             move and replica change.")
+    Term.(term_result (const run $ instance_term $ part_term $ p_term $ limit_term))
+
+(* ------------------------------------------------------------------ *)
+(* main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "vertical partitioning of relational OLTP databases" in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "vpart" ~version:"1.0.0" ~doc)
+          [ info_cmd; solve_cmd; eval_cmd; advise_cmd; export_cmd; mps_cmd ]))

@@ -1,0 +1,97 @@
+(* Capacity planning: how many sites are worth paying for, and how should
+   cost minimization be traded against load balance?
+
+   Sweeps the number of sites and the lambda knob of objective (6) on a
+   mid-size generated OLTP workload, reporting cost, per-site work skew and
+   simulated storage, so an operator can pick the knee of the curve.
+
+     dune exec examples/capacity_planning.exe
+*)
+
+open Vpart
+
+let () =
+  let params =
+    { Instance_gen.default_params with
+      Instance_gen.name = "erp-like";
+      num_tables = 12;
+      num_transactions = 24;
+      max_attrs_per_table = 20;
+      max_queries_per_txn = 4;
+      update_percent = 15;
+    }
+  in
+  let inst = Instance_gen.generate ~seed:2024 params in
+  let p = 8. in
+  let stats = Stats.compute inst ~p in
+  Format.printf "%a@.@." Instance.pp_summary inst;
+
+  (* 1. Site sweep at fixed lambda. *)
+  Format.printf "site sweep (SA solver, lambda = 0.9):@.";
+  Format.printf "%5s | %10s %9s | %10s %10s | %9s@." "sites" "cost" "vs 1"
+    "max work" "min work" "replicas";
+  Format.printf "------+----------------------+-----------------------+----------@.";
+  let base = Cost_model.cost stats (Partitioning.single_site inst) in
+  List.iter
+    (fun sites ->
+       let r =
+         Sa_solver.solve
+           ~options:{ Sa_solver.default_options with
+                      Sa_solver.num_sites = sites; p; lambda = 0.9 }
+           inst
+       in
+       let work = Cost_model.site_work stats r.Sa_solver.partitioning in
+       let replicas =
+         let n = ref 0 in
+         for a = 0 to Instance.num_attrs inst - 1 do
+           if Partitioning.replicas r.Sa_solver.partitioning a > 1 then incr n
+         done;
+         !n
+       in
+       Format.printf "%5d | %10.0f %8.0f%% | %10.0f %10.0f | %9d@." sites
+         r.Sa_solver.cost
+         (100. *. r.Sa_solver.cost /. base)
+         (Array.fold_left Float.max 0. work)
+         (Array.fold_left Float.min infinity work)
+         replicas)
+    [ 1; 2; 3; 4; 6; 8 ];
+
+  (* 2. Lambda sweep at fixed sites: the cost / balance trade-off. *)
+  Format.printf "@.lambda sweep (QP solver, 3 sites):@.";
+  Format.printf "%6s | %10s | %10s %10s | %s@." "lambda" "cost" "max work"
+    "min work" "site loads";
+  Format.printf "-------+------------+------------------------+-------------@.";
+  List.iter
+    (fun lambda ->
+       let r =
+         Qp_solver.solve
+           ~options:{ Qp_solver.default_options with
+                      Qp_solver.num_sites = 3; p; lambda; time_limit = 30. }
+           inst
+       in
+       match r.Qp_solver.partitioning with
+       | Some part ->
+         let work = Cost_model.site_work stats part in
+         Format.printf "%6.2f | %10.0f | %10.0f %10.0f | %s@." lambda
+           (Cost_model.cost stats part)
+           (Array.fold_left Float.max 0. work)
+           (Array.fold_left Float.min infinity work)
+           (String.concat " "
+              (Array.to_list (Array.map (fun w -> Printf.sprintf "%.0f" w) work)))
+       | None -> Format.printf "%6.2f | (no solution within limit)@." lambda)
+    [ 0.0; 0.25; 0.5; 0.75; 0.9; 1.0 ];
+
+  (* 3. What does the chosen deployment look like on disk? *)
+  let r =
+    Sa_solver.solve
+      ~options:{ Sa_solver.default_options with
+                 Sa_solver.num_sites = 3; p; lambda = 0.9 }
+      inst
+  in
+  let eng = Engine.deploy inst r.Sa_solver.partitioning in
+  Format.printf "@.simulated deployment (3 sites, 1000 rows per table):@.";
+  Array.iteri
+    (fun s bytes -> Format.printf "  site %d stores %8.1f KB@." (s + 1) (bytes /. 1e3))
+    (Engine.storage_bytes_per_site eng);
+  let counters = Engine.run_workload eng in
+  Format.printf "@.workload pass:@.%a@." Engine.pp_counters counters

@@ -1,0 +1,84 @@
+(* TPC-C walk-through: partition the benchmark across 1..4 sites with both
+   solvers, deploy the best layout on the storage-engine simulator and
+   report what a DBA would want to know.
+
+     dune exec examples/tpcc_partition.exe
+*)
+
+open Vpart
+
+let () =
+  let inst = Lazy.force Tpcc.instance in
+  let p = 8. and lambda = 0.9 in
+  let stats = Stats.compute inst ~p in
+  let single = Partitioning.single_site inst in
+  let base_cost = Cost_model.cost stats single in
+  Format.printf "%a@." Instance.pp_summary inst;
+  Format.printf "baseline (1 site): cost %.0f bytes per workload execution@.@."
+    base_cost;
+
+  (* Sweep the number of sites with both solvers. *)
+  Format.printf "%4s | %12s %8s | %12s %8s@." "|S|" "QP cost" "time" "SA cost"
+    "time";
+  Format.printf "-----+-----------------------+----------------------@.";
+  let best = ref (1, single, base_cost) in
+  List.iter
+    (fun sites ->
+       let qp =
+         Qp_solver.solve
+           ~options:{ Qp_solver.default_options with
+                      Qp_solver.num_sites = sites; p; lambda; time_limit = 60. }
+           inst
+       in
+       let sa =
+         Sa_solver.solve
+           ~options:{ Sa_solver.default_options with
+                      Sa_solver.num_sites = sites; p; lambda }
+           inst
+       in
+       (match qp.Qp_solver.partitioning, qp.Qp_solver.cost with
+        | Some part, Some cost ->
+          let _, _, best_cost = !best in
+          if cost < best_cost then best := (sites, part, cost)
+        | _ -> ());
+       Format.printf "%4d | %12s %7.2fs | %12.0f %7.2fs@." sites
+         (match qp.Qp_solver.cost with
+          | Some c -> Printf.sprintf "%.0f" c
+          | None -> "t/o")
+         qp.Qp_solver.elapsed sa.Sa_solver.cost sa.Sa_solver.elapsed)
+    [ 2; 3; 4 ];
+
+  let sites, part, cost = !best in
+  Format.printf "@.best layout: %d sites, cost %.0f (%.0f%% below baseline)@."
+    sites cost
+    (100. *. (1. -. (cost /. base_cost)));
+
+  (* Deploy on the storage simulator with the spec's cardinalities. *)
+  let eng = Engine.deploy inst part ~table_rows:Tpcc.cardinalities in
+  Format.printf "@.fractions (table rows from the TPC-C spec, 1 warehouse):@.";
+  List.iter
+    (fun f ->
+       Format.printf "  site %d  %-10s %4d bytes/row x %6d rows (%d attrs)@."
+         (f.Engine.f_site + 1)
+         (Schema.table_name inst.Instance.schema f.Engine.f_table)
+         f.Engine.f_width f.Engine.f_rows
+         (List.length f.Engine.f_attrs))
+    (Engine.fractions eng);
+  let storage = Engine.storage_bytes_per_site eng in
+  Format.printf "@.storage per site:@.";
+  Array.iteri
+    (fun s bytes -> Format.printf "  site %d: %10.1f MB@." (s + 1) (bytes /. 1e6))
+    storage;
+
+  (* Execute the workload and a sampled trace. *)
+  let counters = Engine.run_workload eng in
+  Format.printf "@.one statistical workload pass:@.%a@." Engine.pp_counters
+    counters;
+  let trace = Engine.run_trace eng ~seed:7 ~length:10_000 in
+  Format.printf "@.10,000 sampled transactions:@.%a@." Engine.pp_counters trace;
+
+  (* Latency estimate from Appendix A. *)
+  Format.printf "@.latency estimate (Appendix A, pl = 3): %.0f@."
+    (Cost_model.latency inst ~pl:3. part);
+
+  Format.printf "@.full layout:@.%a@." (Report.pp_partitioning inst) part

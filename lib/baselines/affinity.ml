@@ -1,0 +1,182 @@
+open Vpart
+
+type options = { num_sites : int; p : float; lambda : float }
+
+let default_options = { num_sites = 2; p = 8.; lambda = 0.9 }
+
+type result = {
+  partitioning : Partitioning.t;
+  cost : float;
+  objective6 : float;
+  elapsed : float;
+}
+
+let affinity_matrix (inst : Instance.t) ~table =
+  let schema = inst.Instance.schema and wl = inst.Instance.workload in
+  let attrs = Array.of_list (Schema.attrs_of_table schema table) in
+  let pos = Hashtbl.create 16 in
+  Array.iteri (fun i a -> Hashtbl.replace pos a i) attrs;
+  let n = Array.length attrs in
+  let aff = Array.init n (fun _ -> Array.make n 0.) in
+  for qid = 0 to Workload.num_queries wl - 1 do
+    let q = Workload.query wl qid in
+    match Workload.rows_for_table q table with
+    | None -> ()
+    | Some rows ->
+      let here =
+        List.filter_map (fun a -> Hashtbl.find_opt pos a) q.Workload.attrs
+      in
+      let weight = q.Workload.freq *. rows in
+      List.iter
+        (fun i ->
+           List.iter
+             (fun j ->
+                if i <> j then aff.(i).(j) <- aff.(i).(j) +. weight)
+             here)
+        here
+  done;
+  aff
+
+(* Greedy BEA-style ordering: repeatedly insert the unplaced index whose
+   best insertion position adds the largest adjacent-bond contribution. *)
+let bea_order aff =
+  let n = Array.length aff in
+  if n = 0 then []
+  else begin
+    let placed = ref [ 0 ] in
+    let remaining = ref (List.init (n - 1) (fun i -> i + 1)) in
+    while !remaining <> [] do
+      (* for each candidate, find its best insertion gain *)
+      let best = ref None in
+      List.iter
+        (fun cand ->
+           (* try every insertion slot in the current order *)
+           let order = Array.of_list !placed in
+           let k = Array.length order in
+           for slot = 0 to k do
+             let left = if slot = 0 then None else Some order.(slot - 1) in
+             let right = if slot = k then None else Some order.(slot) in
+             let bond x = aff.(cand).(x) in
+             let gain =
+               (match left with Some l -> bond l | None -> 0.)
+               +. (match right with Some r -> bond r | None -> 0.)
+               -. (match (left, right) with
+                   | Some l, Some r -> aff.(l).(r)
+                   | _ -> 0.)
+             in
+             match !best with
+             | Some (_, _, g) when g >= gain -> ()
+             | _ -> best := Some (cand, slot, gain)
+           done)
+        !remaining;
+      match !best with
+      | None -> remaining := []
+      | Some (cand, slot, _) ->
+        let order = Array.of_list !placed in
+        let before = Array.to_list (Array.sub order 0 slot) in
+        let after =
+          Array.to_list (Array.sub order slot (Array.length order - slot))
+        in
+        placed := before @ (cand :: after);
+        remaining := List.filter (fun x -> x <> cand) !remaining
+    done;
+    !placed
+  end
+
+(* Split an ordering into at most [k] fragments by cutting the weakest
+   adjacent bonds. *)
+let fragments_of_order aff order k =
+  let arr = Array.of_list order in
+  let n = Array.length arr in
+  if n = 0 then []
+  else if k <= 1 || n = 1 then [ Array.to_list arr ]
+  else begin
+    let bonds =
+      List.init (n - 1) (fun i -> (aff.(arr.(i)).(arr.(i + 1)), i))
+    in
+    let cuts =
+      bonds
+      |> List.sort compare
+      |> (fun l -> List.filteri (fun i _ -> i < k - 1) l)
+      |> List.map snd
+      |> List.sort compare
+    in
+    let out = ref [] and current = ref [] in
+    Array.iteri
+      (fun i a ->
+         current := a :: !current;
+         if List.mem i cuts then begin
+           out := List.rev !current :: !out;
+           current := []
+         end)
+      arr;
+    if !current <> [] then out := List.rev !current :: !out;
+    List.rev !out
+  end
+
+let solve ?(options = default_options) (inst : Instance.t) =
+  let start = Unix.gettimeofday () in
+  let schema = inst.Instance.schema in
+  let stats = Stats.compute inst ~p:options.p in
+  let nt = Instance.num_transactions inst in
+  let na = Instance.num_attrs inst in
+  let ns = options.num_sites in
+  (* 1-3. fragments per table *)
+  let fragments = ref [] in
+  for table = 0 to Schema.num_tables schema - 1 do
+    let attrs = Array.of_list (Schema.attrs_of_table schema table) in
+    let aff = affinity_matrix inst ~table in
+    let order = bea_order aff in
+    List.iter
+      (fun frag -> fragments := List.map (fun i -> attrs.(i)) frag :: !fragments)
+      (fragments_of_order aff order ns)
+  done;
+  let fragments = List.rev !fragments in
+  (* 4. greedy assignment.  Transactions: spread by descending read work
+     round-robin (the classical algorithms have no transaction model; this
+     mimics an administrator's manual spread).  Fragments: cheapest site
+     given x.  Finally repair single-sitedness. *)
+  let part = Partitioning.create ~num_sites:ns ~num_txns:nt ~num_attrs:na in
+  let weights =
+    Array.init nt (fun t ->
+        Array.fold_left ( +. ) 0. stats.Stats.c3.(t))
+  in
+  let by_weight =
+    List.sort
+      (fun a b -> compare (weights.(b), a) (weights.(a), b))
+      (List.init nt Fun.id)
+  in
+  List.iteri
+    (fun i t -> part.Partitioning.txn_site.(t) <- i mod ns)
+    by_weight;
+  List.iter
+    (fun frag ->
+       (* cost of hosting the fragment on site s *)
+       let best = ref 0 and best_c = ref infinity in
+       for s = 0 to ns - 1 do
+         let c = ref 0. in
+         List.iter
+           (fun a ->
+              c := !c +. stats.Stats.c2.(a);
+              for t = 0 to nt - 1 do
+                if part.Partitioning.txn_site.(t) = s then
+                  c := !c +. stats.Stats.c1.(t).(a)
+              done)
+           frag;
+         if !c < !best_c then begin
+           best := s;
+           best_c := !c
+         end
+       done;
+       List.iter (fun a -> part.Partitioning.placed.(a).(!best) <- true) frag)
+    fragments;
+  Partitioning.repair_single_sitedness stats part;
+  (match Partitioning.validate stats part with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Affinity: internal invariant broken: " ^ e));
+  {
+    partitioning = part;
+    cost = Cost_model.cost stats part;
+    objective6 = Cost_model.objective stats ~lambda:options.lambda part;
+    elapsed = Unix.gettimeofday () -. start;
+  }

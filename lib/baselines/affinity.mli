@@ -1,0 +1,50 @@
+(** Attribute-affinity baseline (Navathe et al. style).
+
+    The paper's related-work section (§1.3) surveys a family of classical
+    vertical-partitioning algorithms built on an {e attribute affinity
+    matrix} clustered with the {e bond energy algorithm} (BEA) and split
+    into fragments.  This module implements that family's canonical recipe,
+    adapted to the paper's site model, as a comparison baseline:
+
+    + per table, compute the affinity [aff(a,b) = Σ_q f_q·n_q·α_{a,q}·α_{b,q}]
+      (how often two attributes are accessed together, weighted by traffic);
+    + order each table's attributes with a BEA-style greedy insertion that
+      maximizes the sum of adjacent bonds;
+    + cut the ordering at its weakest bonds into at most [num_sites]
+      fragments per table;
+    + place each fragment on the site that minimizes its cost given a
+      greedy transaction assignment, then repair single-sitedness by
+      replication (the classical algorithms do not model transactions, so
+      the assignment/repair step is the adaptation — documented in
+      DESIGN.md).
+
+    Unlike the paper's algorithms this never {e chooses} to replicate for
+    profit and cannot co-optimize transactions and attributes, which is
+    precisely the gap the paper's contribution targets; the bench's
+    baseline comparison quantifies it. *)
+
+type options = {
+  num_sites : int;
+  p : float;
+  lambda : float;   (** only used for reporting objective (6) *)
+}
+
+val default_options : options
+(** 2 sites, p = 8, λ = 0.9. *)
+
+type result = {
+  partitioning : Vpart.Partitioning.t;  (** validated *)
+  cost : float;                         (** objective (4) *)
+  objective6 : float;
+  elapsed : float;
+}
+
+val solve : ?options:options -> Vpart.Instance.t -> result
+
+val affinity_matrix : Vpart.Instance.t -> table:int -> float array array
+(** The per-table affinity matrix (indexed by position within the table's
+    attribute list), exposed for tests and inspection. *)
+
+val bea_order : float array array -> int list
+(** BEA-style greedy ordering of indices [0..n-1] maximizing adjacent
+    bonds; exposed for tests. *)

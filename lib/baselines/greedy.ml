@@ -1,0 +1,156 @@
+open Vpart
+
+type options = {
+  num_sites : int;
+  p : float;
+  lambda : float;
+  use_grouping : bool;
+  max_passes : int;
+}
+
+let default_options =
+  { num_sites = 2; p = 8.; lambda = 0.9; use_grouping = true; max_passes = 1000 }
+
+type result = {
+  partitioning : Partitioning.t;
+  cost : float;
+  objective6 : float;
+  moves : int;
+  elapsed : float;
+}
+
+(* Mutable search state over the (grouped) instance.  Invariants:
+   - colsum.(a).(s) = Σ_{t homed at s} c1(t,a)
+   - forced.(a).(s) = #{t homed at s with φ(t,a)}
+   - replicas.(a)   = #{s with placed} >= 1 *)
+type state = {
+  stats : Stats.t;
+  ns : int;
+  part : Partitioning.t;
+  colsum : float array array;
+  forced : int array array;
+  replicas : int array;
+}
+
+let make_state (stats : Stats.t) ns =
+  let nt = stats.Stats.num_txns and na = stats.Stats.num_attrs in
+  let part = Partitioning.create ~num_sites:ns ~num_txns:nt ~num_attrs:na in
+  (* collapsed start: everything on site 0, y optimized there *)
+  Partitioning.repair_single_sitedness stats part;
+  let colsum = Array.init na (fun _ -> Array.make ns 0.) in
+  let forced = Array.init na (fun _ -> Array.make ns 0) in
+  for t = 0 to nt - 1 do
+    for a = 0 to na - 1 do
+      colsum.(a).(0) <- colsum.(a).(0) +. stats.Stats.c1.(t).(a);
+      if stats.Stats.phi.(t).(a) then forced.(a).(0) <- forced.(a).(0) + 1
+    done
+  done;
+  let replicas = Array.init na (fun a -> Partitioning.replicas part a) in
+  { stats; ns; part; colsum; forced; replicas }
+
+let placed st a s = st.part.Partitioning.placed.(a).(s)
+
+let replica_delta st a s = st.stats.Stats.c2.(a) +. st.colsum.(a).(s)
+
+(* Moving transaction t to site s': cost delta including forced replicas. *)
+let move_delta st t s' =
+  let s = st.part.Partitioning.txn_site.(t) in
+  if s = s' then infinity
+  else begin
+    let acc = ref 0. in
+    for a = 0 to st.stats.Stats.num_attrs - 1 do
+      let c1 = st.stats.Stats.c1.(t).(a) in
+      let newly_forced = st.stats.Stats.phi.(t).(a) && not (placed st a s') in
+      if newly_forced then acc := !acc +. replica_delta st a s';
+      let y_after_s' = placed st a s' || newly_forced in
+      if y_after_s' then acc := !acc +. c1;
+      if placed st a s then acc := !acc -. c1
+    done;
+    !acc
+  end
+
+let apply_move st t s' =
+  let s = st.part.Partitioning.txn_site.(t) in
+  for a = 0 to st.stats.Stats.num_attrs - 1 do
+    let c1 = st.stats.Stats.c1.(t).(a) in
+    st.colsum.(a).(s) <- st.colsum.(a).(s) -. c1;
+    st.colsum.(a).(s') <- st.colsum.(a).(s') +. c1;
+    if st.stats.Stats.phi.(t).(a) then begin
+      st.forced.(a).(s) <- st.forced.(a).(s) - 1;
+      st.forced.(a).(s') <- st.forced.(a).(s') + 1;
+      if not (placed st a s') then begin
+        st.part.Partitioning.placed.(a).(s') <- true;
+        st.replicas.(a) <- st.replicas.(a) + 1
+      end
+    end
+  done;
+  st.part.Partitioning.txn_site.(t) <- s'
+
+let apply_add st a s =
+  st.part.Partitioning.placed.(a).(s) <- true;
+  st.replicas.(a) <- st.replicas.(a) + 1
+
+let apply_drop st a s =
+  st.part.Partitioning.placed.(a).(s) <- false;
+  st.replicas.(a) <- st.replicas.(a) - 1
+
+type move = Move_txn of int * int | Add of int * int | Drop of int * int
+
+let best_move st =
+  let nt = st.stats.Stats.num_txns and na = st.stats.Stats.num_attrs in
+  let best = ref None in
+  let consider delta move =
+    match !best with
+    | Some (d, _) when d <= delta -> ()
+    | _ -> best := Some (delta, move)
+  in
+  for t = 0 to nt - 1 do
+    for s' = 0 to st.ns - 1 do
+      if s' <> st.part.Partitioning.txn_site.(t) then
+        consider (move_delta st t s') (Move_txn (t, s'))
+    done
+  done;
+  for a = 0 to na - 1 do
+    for s = 0 to st.ns - 1 do
+      if placed st a s then begin
+        if st.forced.(a).(s) = 0 && st.replicas.(a) > 1 then
+          consider (-.replica_delta st a s) (Drop (a, s))
+      end
+      else consider (replica_delta st a s) (Add (a, s))
+    done
+  done;
+  !best
+
+let solve ?(options = default_options) (inst : Instance.t) =
+  let start = Unix.gettimeofday () in
+  let grouping =
+    if options.use_grouping then Grouping.compute inst else Grouping.identity inst
+  in
+  let reduced = grouping.Grouping.reduced in
+  let stats = Stats.compute reduced ~p:options.p in
+  let full_stats = Stats.compute inst ~p:options.p in
+  let st = make_state stats options.num_sites in
+  let moves = ref 0 and passes = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !passes < options.max_passes do
+    incr passes;
+    match best_move st with
+    | Some (delta, move) when delta < -1e-9 ->
+      incr moves;
+      (match move with
+       | Move_txn (t, s') -> apply_move st t s'
+       | Add (a, s) -> apply_add st a s
+       | Drop (a, s) -> apply_drop st a s)
+    | _ -> continue_ := false
+  done;
+  (match Partitioning.validate stats st.part with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Greedy: internal invariant broken: " ^ e));
+  let partitioning = Grouping.expand grouping st.part in
+  {
+    partitioning;
+    cost = Cost_model.cost full_stats partitioning;
+    objective6 = Cost_model.objective full_stats ~lambda:options.lambda partitioning;
+    moves = !moves;
+    elapsed = Unix.gettimeofday () -. start;
+  }

@@ -1,0 +1,38 @@
+(** Greedy best-improvement local search baseline.
+
+    A natural point of comparison for the paper's simulated-annealing
+    heuristic: start from the best collapsed layout (all transactions on
+    one site), then repeatedly apply the single most cost-improving move
+    until none exists.  Moves:
+
+    - relocate one transaction (together with the replicas single-sitedness
+      then forces);
+    - add one attribute replica;
+    - drop one attribute replica (if neither forced nor the last copy).
+
+    The search minimizes objective (4) — pure cost, no load-balance term —
+    with exact incremental deltas, so each pass is
+    O((|T|·|S| + |A|·|S|) · |A|).  Being monotone it terminates at a local
+    optimum; the annealer's whole point is escaping exactly these optima,
+    which the bench's baseline comparison quantifies. *)
+
+type options = {
+  num_sites : int;
+  p : float;
+  lambda : float;     (** reporting only; the search minimizes cost (4) *)
+  use_grouping : bool;
+  max_passes : int;   (** safety cap on improvement sweeps *)
+}
+
+val default_options : options
+(** 2 sites, p = 8, λ = 0.9, grouping on, 1000 passes. *)
+
+type result = {
+  partitioning : Vpart.Partitioning.t;  (** validated, original space *)
+  cost : float;                         (** objective (4) *)
+  objective6 : float;
+  moves : int;                          (** improving moves applied *)
+  elapsed : float;
+}
+
+val solve : ?options:options -> Vpart.Instance.t -> result

@@ -1,0 +1,130 @@
+type txn_move = {
+  txn : int;
+  to_site : int;
+  delta : float;
+  forced_replicas : int list;
+}
+
+type replica_change = {
+  attr : int;
+  site : int;
+  action : [ `Add | `Drop ];
+  delta : float;
+}
+
+type report = {
+  base_cost : float;
+  txn_moves : txn_move list;
+  replica_changes : replica_change list;
+}
+
+let analyze (inst : Instance.t) ~p (part : Partitioning.t) =
+  let stats = Stats.compute inst ~p in
+  (match Partitioning.validate stats part with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Advisor.analyze: " ^ e));
+  let nt = stats.Stats.num_txns
+  and na = stats.Stats.num_attrs
+  and ns = part.Partitioning.num_sites in
+  (* colsum.(a).(s) = sum of c1(t,a) over transactions homed at s;
+     forced.(a).(s) = #transactions homed at s reading a. *)
+  let colsum = Array.init na (fun _ -> Array.make ns 0.) in
+  let forced = Array.init na (fun _ -> Array.make ns 0) in
+  for t = 0 to nt - 1 do
+    let home = part.Partitioning.txn_site.(t) in
+    for a = 0 to na - 1 do
+      colsum.(a).(home) <- colsum.(a).(home) +. stats.Stats.c1.(t).(a);
+      if stats.Stats.phi.(t).(a) then forced.(a).(home) <- forced.(a).(home) + 1
+    done
+  done;
+  let replica_cost a s = stats.Stats.c2.(a) +. colsum.(a).(s) in
+  (* transaction moves *)
+  let txn_moves = ref [] in
+  for t = 0 to nt - 1 do
+    let s = part.Partitioning.txn_site.(t) in
+    for s' = 0 to ns - 1 do
+      if s' <> s then begin
+        let delta = ref 0. and new_replicas = ref [] in
+        for a = 0 to na - 1 do
+          let c1 = stats.Stats.c1.(t).(a) in
+          let newly_forced =
+            stats.Stats.phi.(t).(a) && not part.Partitioning.placed.(a).(s')
+          in
+          if newly_forced then begin
+            delta := !delta +. replica_cost a s';
+            new_replicas := a :: !new_replicas
+          end;
+          if part.Partitioning.placed.(a).(s') || newly_forced then
+            delta := !delta +. c1;
+          if part.Partitioning.placed.(a).(s) then delta := !delta -. c1
+        done;
+        txn_moves :=
+          { txn = t; to_site = s'; delta = !delta;
+            forced_replicas = List.rev !new_replicas }
+          :: !txn_moves
+      end
+    done
+  done;
+  (* replica additions and drops *)
+  let replica_changes = ref [] in
+  for a = 0 to na - 1 do
+    for s = 0 to ns - 1 do
+      if part.Partitioning.placed.(a).(s) then begin
+        if forced.(a).(s) = 0 && Partitioning.replicas part a > 1 then
+          replica_changes :=
+            { attr = a; site = s; action = `Drop; delta = -.(replica_cost a s) }
+            :: !replica_changes
+      end
+      else
+        replica_changes :=
+          { attr = a; site = s; action = `Add; delta = replica_cost a s }
+          :: !replica_changes
+    done
+  done;
+  {
+    base_cost = Cost_model.cost stats part;
+    txn_moves =
+      List.sort
+        (fun (x : txn_move) y -> compare (x.delta, x.txn) (y.delta, y.txn))
+        !txn_moves;
+    replica_changes =
+      List.sort
+        (fun (x : replica_change) y -> compare (x.delta, x.attr) (y.delta, y.attr))
+        !replica_changes;
+  }
+
+let best_improvement r =
+  let best = ref 0. in
+  List.iter
+    (fun (m : txn_move) -> if m.delta < !best then best := m.delta)
+    r.txn_moves;
+  List.iter
+    (fun (c : replica_change) -> if c.delta < !best then best := c.delta)
+    r.replica_changes;
+  !best
+
+let pp (inst : Instance.t) ?(limit = 10) ppf r =
+  let schema = inst.Instance.schema and wl = inst.Instance.workload in
+  Format.fprintf ppf "@[<v>base cost (objective 4): %.4g@," r.base_cost;
+  Format.fprintf ppf "transaction moves (best %d):@," limit;
+  List.iteri
+    (fun i (m : txn_move) ->
+       if i < limit then
+         Format.fprintf ppf "  %+10.1f  move %s -> site %d%s@," m.delta
+           (Workload.transaction wl m.txn).Workload.t_name (m.to_site + 1)
+           (match m.forced_replicas with
+            | [] -> ""
+            | reps ->
+              Printf.sprintf " (replicating %d attrs)" (List.length reps)))
+    r.txn_moves;
+  Format.fprintf ppf "replica changes (best %d):@," limit;
+  List.iteri
+    (fun i (c : replica_change) ->
+       if i < limit then
+         Format.fprintf ppf "  %+10.1f  %s %s %s site %d@," c.delta
+           (match c.action with `Add -> "add" | `Drop -> "drop")
+           (Schema.attr_name schema c.attr)
+           (match c.action with `Add -> "to" | `Drop -> "from")
+           (c.site + 1))
+    r.replica_changes;
+  Format.fprintf ppf "@]"

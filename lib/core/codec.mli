@@ -1,0 +1,38 @@
+(** JSON (de)serialization of instances and partitionings.
+
+    Since the paper laments the lack of "an official OLTP testbed — a
+    library containing realistic OLTP workloads, schemas and statistics"
+    (§6), the library defines a small interchange format so instances can
+    be saved, shared and re-loaded:
+
+    {v
+    { "name": "...",
+      "schema": [ { "table": "T", "attrs": [ {"name": "A", "width": 4} ] } ],
+      "queries": [ { "name": "q0", "kind": "read" | "write", "freq": 1.0,
+                     "tables": [ {"table": "T", "rows": 1.0} ],
+                     "attrs": [ "T.A", ... ] } ],
+      "transactions": [ { "name": "t0", "queries": ["q0", ...] } ] }
+    v} *)
+
+val instance_to_json : Instance.t -> Json.t
+
+val instance_of_json : Json.t -> Instance.t
+(** @raise Invalid_argument on malformed documents (with the offending
+    field in the message). *)
+
+val load_instance : string -> Instance.t
+(** Read and parse an instance file.  @raise Sys_error, Json.Parse_error or
+    Invalid_argument. *)
+
+val save_instance : string -> Instance.t -> unit
+
+val partitioning_to_json : Instance.t -> Partitioning.t -> Json.t
+(** Self-describing rendering: per site, transaction names and qualified
+    attribute names. *)
+
+val partitioning_of_json : Instance.t -> Json.t -> Partitioning.t
+(** Parse the {!partitioning_to_json} format back against an instance.
+    @raise Invalid_argument on unknown names or missing transactions. *)
+
+val load_partitioning : Instance.t -> string -> Partitioning.t
+(** Read a partitioning file (as written by the CLI's [solve --json]). *)

@@ -1,0 +1,40 @@
+(** Attribute grouping — the paper's "reasonable cuts" reduction (§4).
+
+    Attributes of the same table whose access pattern is identical across
+    {e all} queries (the same α_{a,q} bit for every query [q]) receive the
+    same coefficients per byte of width in every model term, so they can be
+    fused into one pseudo-attribute whose width is the sum of the members'
+    widths.  Distributing groups instead of attributes shrinks the integer
+    program without changing the optimum of objective (4): the members of a
+    group never interact and share a common optimal placement (exchange
+    argument).
+
+    Under load balancing (λ < 1) the reduction is no longer exact in
+    general — splitting identical attributes across sites could balance
+    work at a finer granularity — but it only coarsens the balance, never
+    the cost term.  Both solvers use it by default and can be told not to. *)
+
+type t = private {
+  original : Instance.t;
+  reduced : Instance.t;          (** pseudo-attribute instance *)
+  group_of_attr : int array;     (** original attribute id -> group id *)
+  members : int array array;     (** group id -> original attribute ids *)
+}
+
+val compute : Instance.t -> t
+(** Group the instance.  The reduced instance has the same tables,
+    transactions and queries; only attributes are fused. *)
+
+val num_groups : t -> int
+
+val identity : Instance.t -> t
+(** The trivial grouping (one group per attribute), used when grouping is
+    disabled. *)
+
+val expand : t -> Partitioning.t -> Partitioning.t
+(** Map a partitioning of the reduced instance back to the original
+    attribute space (every member inherits its group's placement row). *)
+
+val restrict : t -> Partitioning.t -> Partitioning.t
+(** Map an original-space partitioning to the reduced space.  A group is
+    placed on a site iff {e all} members are (used for cross-checks). *)

@@ -1,0 +1,56 @@
+type t = { name : string; schema : Schema.t; workload : Workload.t }
+
+let make ?(name = "instance") schema workload =
+  (match Workload.validate schema workload with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Instance.make: " ^ e));
+  { name; schema; workload }
+
+let num_attrs t = Schema.num_attrs t.schema
+
+let num_transactions t = Workload.num_transactions t.workload
+
+let num_queries t = Workload.num_queries t.workload
+
+let restrict_transactions t ids =
+  let wl = t.workload in
+  let nt = Workload.num_transactions wl in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+       if i < 0 || i >= nt then
+         invalid_arg "Instance.restrict_transactions: id out of range";
+       if Hashtbl.mem seen i then
+         invalid_arg "Instance.restrict_transactions: duplicate id";
+       Hashtbl.add seen i ())
+    ids;
+  let queries = ref [] and next = ref 0 in
+  let transactions =
+    List.map
+      (fun i ->
+         let txn = Workload.transaction wl i in
+         let qids =
+           List.map
+             (fun q ->
+                queries := Workload.query wl q :: !queries;
+                incr next;
+                !next - 1)
+             txn.Workload.queries
+         in
+         { txn with Workload.queries = qids })
+      ids
+  in
+  {
+    t with
+    name = t.name ^ "/restricted";
+    workload = Workload.make ~queries:(List.rev !queries) ~transactions;
+  }
+
+let pp_summary ppf t =
+  let writes = ref 0 in
+  let w = t.workload in
+  for q = 0 to Workload.num_queries w - 1 do
+    if Workload.is_write (Workload.query w q) then incr writes
+  done;
+  Format.fprintf ppf "%s: |A|=%d |T|=%d queries=%d (%d writes)" t.name
+    (num_attrs t) (num_transactions t) (num_queries t) !writes

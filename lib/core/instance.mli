@@ -1,0 +1,27 @@
+(** A problem instance: schema plus workload.
+
+    This is the input to both solvers — the paper's (schema, workload,
+    statistics) triple. *)
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  workload : Workload.t;
+}
+
+val make : ?name:string -> Schema.t -> Workload.t -> t
+(** Build an instance.  @raise Invalid_argument if the workload does not
+    validate against the schema (see {!Workload.validate}). *)
+
+val num_attrs : t -> int
+val num_transactions : t -> int
+val num_queries : t -> int
+
+val restrict_transactions : t -> int list -> t
+(** Sub-instance containing only the listed transactions (in the given
+    order) and their queries; the schema is unchanged.  Used by the
+    iterative 20/80 solver (§4) to grow the workload batch by batch.
+    @raise Invalid_argument on out-of-range or duplicate ids. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One line: name, |A|, |T|, queries, write share. *)

@@ -1,0 +1,138 @@
+type options = {
+  qp : Qp_solver.options;
+  rounds : int;
+  first_fraction : float;
+}
+
+let default_options =
+  { qp = Qp_solver.default_options; rounds = 4; first_fraction = 0.2 }
+
+type round_info = {
+  txns_considered : int;
+  outcome : Qp_solver.outcome;
+  elapsed : float;
+}
+
+type result = {
+  outcome : Qp_solver.outcome;
+  partitioning : Partitioning.t option;
+  cost : float option;
+  objective6 : float option;
+  elapsed : float;
+  rounds : round_info list;
+}
+
+let transaction_weights (inst : Instance.t) =
+  let schema = inst.Instance.schema and wl = inst.Instance.workload in
+  Array.init (Workload.num_transactions wl) (fun t ->
+      List.fold_left
+        (fun acc qid ->
+           let q = Workload.query wl qid in
+           acc
+           +. (q.Workload.freq
+               *. List.fold_left
+                    (fun a (tbl, rows) ->
+                       a +. (float_of_int (Schema.row_width schema tbl) *. rows))
+                    0. q.Workload.tables))
+        0.
+        (Workload.transaction wl t).Workload.queries)
+
+(* Cumulative batch sizes: first ~first_fraction of the transactions, the
+   rest split evenly over the remaining rounds.  Always ends at nt. *)
+let batch_sizes ~nt ~rounds ~first_fraction =
+  let rounds = max 1 rounds in
+  if rounds = 1 || nt <= 1 then [ nt ]
+  else begin
+    let first = max 1 (int_of_float (Float.round (first_fraction *. float_of_int nt))) in
+    let first = min first nt in
+    let remaining = nt - first in
+    let steps = rounds - 1 in
+    let sizes = ref [ first ] and acc = ref first in
+    for k = 1 to steps do
+      let target = first + (remaining * k / steps) in
+      if target > !acc then begin
+        sizes := target :: !sizes;
+        acc := target
+      end
+    done;
+    List.rev !sizes
+  end
+
+let solve ?(options = default_options) (inst : Instance.t) =
+  let start = Unix.gettimeofday () in
+  let nt = Instance.num_transactions inst in
+  let weights = transaction_weights inst in
+  let order =
+    List.sort
+      (fun a b -> compare (weights.(b), a) (weights.(a), b))
+      (List.init nt Fun.id)
+  in
+  let order = Array.of_list order in
+  let sizes = batch_sizes ~nt ~rounds:options.rounds
+      ~first_fraction:options.first_fraction
+  in
+  let per_round_limit =
+    options.qp.Qp_solver.time_limit /. float_of_int (List.length sizes)
+  in
+  let rounds_info = ref [] in
+  (* previous round's assignments, indexed by position in [order] *)
+  let fixed = ref [] in
+  let final : Qp_solver.result option ref = ref None in
+  let failed = ref false in
+  List.iter
+    (fun size ->
+       if not !failed then begin
+         let ids = List.init size (fun i -> order.(i)) in
+         let sub = Instance.restrict_transactions inst ids in
+         let qp_opts =
+           { options.qp with
+             Qp_solver.fixed_txns = !fixed;
+             time_limit = per_round_limit;
+           }
+         in
+         let r = Qp_solver.solve ~options:qp_opts sub in
+         rounds_info :=
+           { txns_considered = size;
+             outcome = r.Qp_solver.outcome;
+             elapsed = r.Qp_solver.elapsed }
+           :: !rounds_info;
+         (match r.Qp_solver.partitioning with
+          | Some part ->
+            fixed :=
+              List.init size (fun i -> (i, part.Partitioning.txn_site.(i)));
+            final := Some r
+          | None -> failed := true)
+       end)
+    sizes;
+  let elapsed = Unix.gettimeofday () -. start in
+  match !final with
+  | Some r when not !failed ->
+    (* Map the final partitioning's transaction order back to the original
+       indices (attributes are untouched by the restriction). *)
+    let mapped =
+      Option.map
+        (fun (part : Partitioning.t) ->
+           let out = Partitioning.copy part in
+           Array.iteri
+             (fun pos site -> out.Partitioning.txn_site.(order.(pos)) <- site)
+             part.Partitioning.txn_site;
+           out)
+        r.Qp_solver.partitioning
+    in
+    {
+      outcome = r.Qp_solver.outcome;
+      partitioning = mapped;
+      cost = r.Qp_solver.cost;
+      objective6 = r.Qp_solver.objective6;
+      elapsed;
+      rounds = List.rev !rounds_info;
+    }
+  | _ ->
+    {
+      outcome = Qp_solver.Limit_no_solution;
+      partitioning = None;
+      cost = None;
+      objective6 = None;
+      elapsed;
+      rounds = List.rev !rounds_info;
+    }

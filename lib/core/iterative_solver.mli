@@ -1,0 +1,52 @@
+(** Iterative 20/80 solver (second improvement of the paper's §4).
+
+    "Assuming that transactions follow the 20/80 rule (20% of the
+    transactions generate 80% of the load), the problem can be solved
+    iteratively over T starting with a small set of the most heavy
+    transactions."
+
+    The solver sorts transactions by their byte-traffic weight, solves the
+    QP for the heaviest ~20 % first, then repeatedly adds the next batch of
+    transactions with the previous batches' site assignments {e pinned}
+    (via {!Qp_solver.options.fixed_txns}) and re-solves — so each round's
+    integer program only branches on the new transactions' [x] variables
+    while every [y] stays free.  The last round covers the full workload
+    and yields the returned partitioning.
+
+    This trades optimality for scaling: each round's search space is
+    exponentially smaller than the monolithic program's, while attribute
+    placement is still globally re-optimized every round. *)
+
+type options = {
+  qp : Qp_solver.options;   (** per-round solver setup; [qp.time_limit] is
+                                the budget for the {e whole} run, split
+                                across rounds *)
+  rounds : int;             (** number of batches (>= 1; 1 = plain QP) *)
+  first_fraction : float;   (** share of transactions in the first batch
+                                (the "20" of 20/80) *)
+}
+
+val default_options : options
+(** {!Qp_solver.default_options}, 4 rounds, first batch 20 %. *)
+
+type round_info = {
+  txns_considered : int;
+  outcome : Qp_solver.outcome;
+  elapsed : float;
+}
+
+type result = {
+  outcome : Qp_solver.outcome;          (** of the final (full) round *)
+  partitioning : Partitioning.t option; (** original attribute space *)
+  cost : float option;                  (** objective (4) *)
+  objective6 : float option;
+  elapsed : float;
+  rounds : round_info list;             (** in execution order *)
+}
+
+val transaction_weights : Instance.t -> float array
+(** Byte-traffic weight per transaction:
+    [Σ_{q∈t} f_q · Σ_{tables r of q} row_width(r) · n_r] — the quantity the
+    20/80 ordering sorts by. *)
+
+val solve : ?options:options -> Instance.t -> result

@@ -1,0 +1,108 @@
+type t = {
+  num_sites : int;
+  txn_site : int array;
+  placed : bool array array;
+}
+
+let create ~num_sites ~num_txns ~num_attrs =
+  if num_sites <= 0 then invalid_arg "Partitioning.create: num_sites";
+  {
+    num_sites;
+    txn_site = Array.make num_txns 0;
+    placed = Array.init num_attrs (fun _ -> Array.make num_sites false);
+  }
+
+let single_site (inst : Instance.t) =
+  let p =
+    create ~num_sites:1
+      ~num_txns:(Instance.num_transactions inst)
+      ~num_attrs:(Instance.num_attrs inst)
+  in
+  Array.iter (fun row -> row.(0) <- true) p.placed;
+  p
+
+let copy t =
+  {
+    num_sites = t.num_sites;
+    txn_site = Array.copy t.txn_site;
+    placed = Array.map Array.copy t.placed;
+  }
+
+let equal a b =
+  a.num_sites = b.num_sites && a.txn_site = b.txn_site && a.placed = b.placed
+
+let replicas t a =
+  Array.fold_left (fun acc placed -> if placed then acc + 1 else acc) 0 t.placed.(a)
+
+let is_disjoint t =
+  let ok = ref true in
+  Array.iteri (fun a _ -> if replicas t a > 1 then ok := false) t.placed;
+  !ok
+
+let attrs_on_site t s =
+  let out = ref [] in
+  for a = Array.length t.placed - 1 downto 0 do
+    if t.placed.(a).(s) then out := a :: !out
+  done;
+  !out
+
+let txns_on_site t s =
+  let out = ref [] in
+  for tx = Array.length t.txn_site - 1 downto 0 do
+    if t.txn_site.(tx) = s then out := tx :: !out
+  done;
+  !out
+
+let repair_single_sitedness (stats : Stats.t) t =
+  for tx = 0 to stats.Stats.num_txns - 1 do
+    let home = t.txn_site.(tx) in
+    let phi_t = stats.Stats.phi.(tx) in
+    for a = 0 to stats.Stats.num_attrs - 1 do
+      if phi_t.(a) then t.placed.(a).(home) <- true
+    done
+  done;
+  Array.iter
+    (fun row -> if not (Array.exists Fun.id row) then row.(0) <- true)
+    t.placed
+
+let validate (stats : Stats.t) t =
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  if Array.length t.txn_site <> stats.Stats.num_txns then
+    fail "transaction count mismatch";
+  if Array.length t.placed <> stats.Stats.num_attrs then
+    fail "attribute count mismatch";
+  Array.iteri
+    (fun tx s ->
+       if s < 0 || s >= t.num_sites then fail "transaction %d: site %d out of range" tx s)
+    t.txn_site;
+  Array.iteri
+    (fun a row ->
+       if Array.length row <> t.num_sites then fail "attribute %d: bad row" a
+       else if not (Array.exists Fun.id row) then
+         fail "attribute %d: placed on no site (coverage violated)" a)
+    t.placed;
+  if !err = None then
+    for tx = 0 to stats.Stats.num_txns - 1 do
+      let home = t.txn_site.(tx) in
+      for a = 0 to stats.Stats.num_attrs - 1 do
+        if stats.Stats.phi.(tx).(a) && not (t.placed.(a).(home)) then
+          fail "single-sitedness violated: txn %d reads attr %d not on site %d" tx
+            a home
+      done
+    done;
+  match !err with None -> Ok () | Some e -> Error e
+
+let pp_compact schema workload ppf t =
+  Format.fprintf ppf "@[<v>";
+  for s = 0 to t.num_sites - 1 do
+    let txns = txns_on_site t s and attrs = attrs_on_site t s in
+    Format.fprintf ppf "site %d: %d attrs; txns:" s (List.length attrs);
+    List.iter
+      (fun tx ->
+         Format.fprintf ppf " %s" (Workload.transaction workload tx).Workload.t_name)
+      txns;
+    Format.fprintf ppf "@,"
+  done;
+  ignore schema;
+  Format.fprintf ppf "@]"

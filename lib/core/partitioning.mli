@@ -1,0 +1,46 @@
+(** A vertical partitioning: transactions and attributes assigned to sites.
+
+    Mirrors the paper's decision variables: [txn_site.(t)] is the unique
+    site with [x_{t,s} = 1]; [placed.(a).(s)] is [y_{a,s}].  Attributes may
+    be replicated (non-disjoint partitioning); transactions may not. *)
+
+type t = {
+  num_sites : int;
+  txn_site : int array;          (** length |T|; values in [0, num_sites) *)
+  placed : bool array array;     (** [a].(s): attribute a stored on site s *)
+}
+
+val create : num_sites:int -> num_txns:int -> num_attrs:int -> t
+(** All transactions on site 0, no attribute placed anywhere (invalid until
+    placements are added — see {!repair_single_sitedness}). *)
+
+val single_site : Instance.t -> t
+(** The trivial 1-site partitioning: everything co-located.  This is the
+    paper's [|S| = 1] baseline column. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val replicas : t -> int -> int
+(** Number of sites holding the attribute. *)
+
+val is_disjoint : t -> bool
+(** True when no attribute is replicated. *)
+
+val attrs_on_site : t -> int -> int list
+val txns_on_site : t -> int -> int list
+
+val repair_single_sitedness : Stats.t -> t -> unit
+(** Force [placed.(a).(txn_site.(t)) = true] wherever [φ_{a,t}] holds, and
+    place any still-uncovered attribute on site 0.  After this the
+    partitioning always satisfies {!validate}. *)
+
+val validate : Stats.t -> t -> (unit, string) result
+(** Check: site indices in range, every attribute on at least one site
+    (coverage), and single-sitedness of reads
+    ([φ_{a,t} ⇒ y_{a, site(t)}]). *)
+
+val pp_compact : Schema.t -> Workload.t -> Format.formatter -> t -> unit
+(** Short textual rendering: per site, transaction names and attribute
+    count. *)

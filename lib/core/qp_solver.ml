@@ -1,0 +1,387 @@
+type options = {
+  num_sites : int;
+  p : float;
+  lambda : float;
+  allow_replication : bool;
+  use_grouping : bool;
+  time_limit : float;
+  gap : float;
+  max_rows : int option;
+  use_heuristic : bool;
+  latency : float option;
+  fixed_txns : (int * int) list;
+  seed_solution : Partitioning.t option;
+}
+
+let default_options =
+  {
+    num_sites = 2;
+    p = 8.;
+    lambda = 0.1;
+    allow_replication = true;
+    use_grouping = true;
+    time_limit = 60.;
+    gap = 1e-3;
+    max_rows = Some 4000;
+    use_heuristic = true;
+    latency = None;
+    fixed_txns = [];
+    seed_solution = None;
+  }
+
+type outcome = Proved_optimal | Limit_feasible | Limit_no_solution | Too_large
+
+type result = {
+  outcome : outcome;
+  partitioning : Partitioning.t option;
+  cost : float option;
+  objective6 : float option;
+  bound : float option;
+  elapsed : float;
+  nodes : int;
+  simplex_iters : int;
+  model_rows : int;
+  model_cols : int;
+}
+
+(* Layout bookkeeping shared by the builder, the rounding heuristic and the
+   solution extractor. *)
+type layout = {
+  xv : Lp.var array array;               (* [t].(s) *)
+  yv : Lp.var array array;               (* [a].(s) *)
+  uv : (int * int * int, Lp.var) Hashtbl.t;  (* (t, a, s) -> var *)
+  mv : Lp.var option;
+  (* Appendix A latency indicators: one per write query, with the txn and
+     the accessed attributes needed to recompute its value in heuristics. *)
+  psiv : (Lp.var * int * int list) list;
+}
+
+let build_layout_model ?instance (stats : Stats.t) opts =
+  let nt = stats.Stats.num_txns
+  and na = stats.Stats.num_attrs
+  and ns = opts.num_sites in
+  let lambda = opts.lambda in
+  let m = Lp.create ~name:"vpart-qp" () in
+  let xv =
+    Array.init nt (fun t ->
+        Array.init ns (fun s ->
+            Lp.binary m ~name:(Printf.sprintf "x_%d_%d" t s) ()))
+  in
+  let yv =
+    Array.init na (fun a ->
+        Array.init ns (fun s ->
+            Lp.binary m ~name:(Printf.sprintf "y_%d_%d" a s) ()))
+  in
+  let uv = Hashtbl.create 256 in
+  (* Objective accumulators. *)
+  let obj_terms = ref [] and obj_const = ref 0. in
+  let push c v = if c <> 0. then obj_terms := (c, v) :: !obj_terms in
+  (* Load-constraint accumulators: one term list per site. *)
+  let balancing = lambda < 1. in
+  let load_terms = Array.make ns [] in
+  let push_load s c v = if c <> 0. then load_terms.(s) <- (c, v) :: load_terms.(s) in
+  (* x assignment and y coverage. *)
+  for t = 0 to nt - 1 do
+    Lp.add_constr m (List.init ns (fun s -> (1., xv.(t).(s)))) Lp.Eq 1.
+  done;
+  (* Pre-assigned transactions (iterative 20/80 solver, paper sec. 4). *)
+  List.iter
+    (fun (t, site) ->
+       if t < 0 || t >= nt || site < 0 || site >= ns then
+         invalid_arg "Qp_solver: fixed_txns out of range";
+       Lp.add_constr m [ (1., xv.(t).(site)) ] Lp.Eq 1.)
+    opts.fixed_txns;
+  for a = 0 to na - 1 do
+    let cmp = if opts.allow_replication then Lp.Ge else Lp.Eq in
+    Lp.add_constr m (List.init ns (fun s -> (1., yv.(a).(s)))) cmp 1.
+  done;
+  (* Single-sitedness and the quadratic terms. *)
+  for t = 0 to nt - 1 do
+    for a = 0 to na - 1 do
+      let c1 = stats.Stats.c1.(t).(a) and c3 = stats.Stats.c3.(t).(a) in
+      if stats.Stats.phi.(t).(a) then begin
+        (* y >= x at every site; x·y == x, summed over sites == 1. *)
+        for s = 0 to ns - 1 do
+          Lp.add_constr m [ (1., yv.(a).(s)); (-1., xv.(t).(s)) ] Lp.Ge 0.
+        done;
+        obj_const := !obj_const +. (lambda *. c1);
+        if balancing then
+          for s = 0 to ns - 1 do
+            push_load s c3 xv.(t).(s)
+          done
+      end
+      else begin
+        let needs_obj = c1 <> 0. in
+        let needs_load = balancing && c3 > 0. in
+        if needs_obj || needs_load then begin
+          let push_lower = (lambda *. c1 > 0.) || needs_load in
+          let push_upper = lambda *. c1 < 0. in
+          for s = 0 to ns - 1 do
+            let u =
+              Lp.add_var m
+                ~name:(Printf.sprintf "u_%d_%d_%d" t a s)
+                ~lb:0. ~ub:1. ()
+            in
+            Hashtbl.replace uv (t, a, s) u;
+            push (lambda *. c1) u;
+            if needs_load then push_load s c3 u;
+            if push_lower then
+              (* u >= x + y - 1 *)
+              Lp.add_constr m
+                [ (1., u); (-1., xv.(t).(s)); (-1., yv.(a).(s)) ]
+                Lp.Ge (-1.);
+            if push_upper then begin
+              Lp.add_constr m [ (1., u); (-1., xv.(t).(s)) ] Lp.Le 0.;
+              Lp.add_constr m [ (1., u); (-1., yv.(a).(s)) ] Lp.Le 0.
+            end
+          done
+        end
+      end
+    done
+  done;
+  (* y objective and load contributions. *)
+  for a = 0 to na - 1 do
+    let c2 = stats.Stats.c2.(a) and c4 = stats.Stats.c4.(a) in
+    for s = 0 to ns - 1 do
+      push (lambda *. c2) yv.(a).(s);
+      if balancing then push_load s c4 yv.(a).(s)
+    done
+  done;
+  (* Load balancing: work(s) <= m_var. *)
+  let mv =
+    if balancing then begin
+      let work_ub =
+        Array.fold_left
+          (fun acc row -> acc +. Array.fold_left ( +. ) 0. row)
+          0. stats.Stats.c3
+        +. Array.fold_left ( +. ) 0. stats.Stats.c4
+      in
+      let v = Lp.add_var m ~name:"maxload" ~lb:0. ~ub:(Float.max 1. work_ub) () in
+      for s = 0 to ns - 1 do
+        if load_terms.(s) <> [] then
+          Lp.add_constr m ((-1., v) :: load_terms.(s)) Lp.Le 0.
+      done;
+      push (1. -. lambda) v;
+      Some v
+    end
+    else None
+  in
+  (* Appendix A: network-latency indicators for write queries.  ψ_q is
+     forced to 1 when query q updates an attribute replicated away from its
+     transaction's home site: ψ_q >= y_{a,s} - x_{t,s}.  At integral points
+     this is exactly the appendix's quadratic condition, linearized tightly
+     without extra integer variables (minimization keeps ψ at the bound). *)
+  let psiv =
+    match opts.latency, instance with
+    | Some pl, Some (inst : Instance.t) ->
+      let wl = inst.Instance.workload in
+      let out = ref [] in
+      for t = 0 to Workload.num_transactions wl - 1 do
+        List.iter
+          (fun qid ->
+             let q = Workload.query wl qid in
+             if Workload.is_write q then begin
+               let psi =
+                 Lp.add_var m ~name:(Printf.sprintf "psi_%d" qid) ~lb:0. ~ub:1. ()
+               in
+               List.iter
+                 (fun a ->
+                    for s = 0 to ns - 1 do
+                      Lp.add_constr m
+                        [ (1., psi); (-1., yv.(a).(s)); (1., xv.(t).(s)) ]
+                        Lp.Ge 0.
+                    done)
+                 q.Workload.attrs;
+               push (lambda *. pl *. q.Workload.freq) psi;
+               out := (psi, t, q.Workload.attrs) :: !out
+             end)
+          (Workload.transaction wl t).Workload.queries
+      done;
+      !out
+    | _ -> []
+  in
+  Lp.set_objective m Lp.Minimize ~constant:!obj_const !obj_terms;
+  (m, { xv; yv; uv; mv; psiv })
+
+let build_model stats opts =
+  let m, layout = build_layout_model stats opts in
+  (m, (layout.xv, layout.yv))
+
+(* Extract a Partitioning.t (reduced space) from a structural assignment. *)
+let partitioning_of_point (stats : Stats.t) opts layout point =
+  let nt = stats.Stats.num_txns and na = stats.Stats.num_attrs in
+  let part =
+    Partitioning.create ~num_sites:opts.num_sites ~num_txns:nt ~num_attrs:na
+  in
+  for t = 0 to nt - 1 do
+    let best = ref 0 and best_v = ref neg_infinity in
+    for s = 0 to opts.num_sites - 1 do
+      let v = point.(layout.xv.(t).(s)) in
+      if v > !best_v then begin
+        best := s;
+        best_v := v
+      end
+    done;
+    part.Partitioning.txn_site.(t) <- !best
+  done;
+  for a = 0 to na - 1 do
+    for s = 0 to opts.num_sites - 1 do
+      part.Partitioning.placed.(a).(s) <- point.(layout.yv.(a).(s)) > 0.5
+    done
+  done;
+  part
+
+(* Rounding-repair primal heuristic: derive a feasible partitioning from a
+   fractional relaxation point, then encode it back as a full variable
+   assignment for the MIP to vet. *)
+let rec rounding_heuristic (stats : Stats.t) opts layout ncols point =
+  let part = partitioning_of_point stats opts layout point in
+  if opts.allow_replication then
+    Partitioning.repair_single_sitedness stats part
+  else begin
+    (* Disjoint mode: exactly one site per attribute.  Prefer the home of a
+       reading transaction (required for feasibility), else the best y. *)
+    let nt = stats.Stats.num_txns in
+    for a = 0 to stats.Stats.num_attrs - 1 do
+      let forced = ref None in
+      for t = 0 to nt - 1 do
+        if stats.Stats.phi.(t).(a) && !forced = None then
+          forced := Some part.Partitioning.txn_site.(t)
+      done;
+      let chosen =
+        match !forced with
+        | Some s -> s
+        | None ->
+          let best = ref 0 and best_v = ref neg_infinity in
+          for s = 0 to opts.num_sites - 1 do
+            let v = point.(layout.yv.(a).(s)) in
+            if v > !best_v then begin
+              best := s;
+              best_v := v
+            end
+          done;
+          !best
+      in
+      Array.fill part.Partitioning.placed.(a) 0 opts.num_sites false;
+      part.Partitioning.placed.(a).(chosen) <- true
+    done
+  end;
+  Some (encode_assignment stats opts layout ncols part)
+
+(* Encode a (reduced-space) partitioning as a full MIP variable vector. *)
+and encode_assignment (stats : Stats.t) opts layout ncols
+    (part : Partitioning.t) =
+  let out = Array.make ncols 0. in
+  for t = 0 to stats.Stats.num_txns - 1 do
+    for s = 0 to opts.num_sites - 1 do
+      out.(layout.xv.(t).(s)) <-
+        (if part.Partitioning.txn_site.(t) = s then 1. else 0.)
+    done
+  done;
+  for a = 0 to stats.Stats.num_attrs - 1 do
+    for s = 0 to opts.num_sites - 1 do
+      out.(layout.yv.(a).(s)) <-
+        (if part.Partitioning.placed.(a).(s) then 1. else 0.)
+    done
+  done;
+  Hashtbl.iter
+    (fun (t, a, s) u ->
+       out.(u) <-
+         (if part.Partitioning.txn_site.(t) = s
+             && part.Partitioning.placed.(a).(s)
+          then 1.
+          else 0.))
+    layout.uv;
+  (match layout.mv with
+   | Some v -> out.(v) <- Cost_model.max_site_work stats part
+   | None -> ());
+  List.iter
+    (fun (psi, t, attrs) ->
+       let home = part.Partitioning.txn_site.(t) in
+       let remote =
+         List.exists
+           (fun a ->
+              let row = part.Partitioning.placed.(a) in
+              let hit = ref false in
+              Array.iteri (fun s v -> if v && s <> home then hit := true) row;
+              !hit)
+           attrs
+       in
+       out.(psi) <- (if remote then 1. else 0.))
+    layout.psiv;
+  out
+
+let solve ?(options = default_options) (inst : Instance.t) =
+  let start = Unix.gettimeofday () in
+  let grouping =
+    if options.use_grouping then Grouping.compute inst else Grouping.identity inst
+  in
+  let reduced = grouping.Grouping.reduced in
+  let stats = Stats.compute reduced ~p:options.p in
+  let full_stats = Stats.compute inst ~p:options.p in
+  let model, layout = build_layout_model ~instance:reduced stats options in
+  let ncols = Lp.num_vars model in
+  let priority v =
+    (* branch on x before y before (continuous) u/m *)
+    let nt = stats.Stats.num_txns and ns = options.num_sites in
+    if v < nt * ns then 2
+    else if v < (nt * ns) + (stats.Stats.num_attrs * ns) then 1
+    else 0
+  in
+  let heuristic =
+    if options.use_heuristic then
+      Some (fun point -> rounding_heuristic stats options layout ncols point)
+    else None
+  in
+  let limits =
+    {
+      Mip.time_limit = Some options.time_limit;
+      node_limit = None;
+      gap = options.gap;
+      max_rows = options.max_rows;
+    }
+  in
+  let incumbent =
+    Option.map
+      (fun part ->
+         let reduced_part = Grouping.restrict grouping part in
+         Partitioning.repair_single_sitedness stats reduced_part;
+         encode_assignment stats options layout ncols reduced_part)
+      options.seed_solution
+  in
+  let mip_outcome, mip_stats =
+    Mip.solve ~limits ~priority ?heuristic ?incumbent model
+  in
+  let elapsed = Unix.gettimeofday () -. start in
+  let finish outcome partitioning_reduced bound =
+    let partitioning = Option.map (Grouping.expand grouping) partitioning_reduced in
+    let cost = Option.map (Cost_model.cost full_stats) partitioning in
+    let objective6 =
+      Option.map (Cost_model.objective full_stats ~lambda:options.lambda) partitioning
+    in
+    {
+      outcome;
+      partitioning;
+      cost;
+      objective6;
+      bound;
+      elapsed;
+      nodes = mip_stats.Mip.nodes;
+      simplex_iters = mip_stats.Mip.simplex_iterations;
+      model_rows = Lp.num_constrs model;
+      model_cols = ncols;
+    }
+  in
+  match mip_outcome with
+  | Mip.Optimal sol ->
+    let part = partitioning_of_point stats options layout sol.Mip.x in
+    finish Proved_optimal (Some part) (Some sol.Mip.obj)
+  | Mip.Feasible (sol, bound) ->
+    let part = partitioning_of_point stats options layout sol.Mip.x in
+    finish Limit_feasible (Some part) (Some bound)
+  | Mip.No_incumbent bound -> finish Limit_no_solution None bound
+  | Mip.Too_large _ -> finish Too_large None None
+  | Mip.Infeasible | Mip.Unbounded ->
+    (* The model is always feasible and bounded; reaching here indicates a
+       numerical failure inside the LP solver.  Report as no-solution. *)
+    finish Limit_no_solution None None

@@ -1,0 +1,74 @@
+(** The paper's first algorithm: the linearized quadratic program (§2).
+
+    Builds the mixed-integer program (7) — objective (6) with the
+    linearization of §2.3 — and solves it with the in-repo branch-and-bound
+    solver ({!Vpart_mip.Mip}), mirroring the paper's GLPK setup (time
+    limit, 0.1 % MIP gap).
+
+    Model-size reductions applied (documented in DESIGN.md):
+
+    - attribute grouping (§4) unless [use_grouping = false];
+    - when [φ_{a,t} = 1], feasibility forces [y_{a,s} ≥ x_{t,s}], hence
+      [x_{t,s}·y_{a,s} = x_{t,s}] in every feasible point and, summed over
+      sites, the pair's objective contribution is the constant [c1(a,t)] —
+      no [u] variable is created;
+    - remaining [u_{t,a,s}] variables receive only the linearization
+      constraints their coefficient signs require ([u ≥ x + y - 1] when the
+      model pushes [u] down, [u ≤ x] and [u ≤ y] when it pushes up). *)
+
+type options = {
+  num_sites : int;
+  p : float;                   (** network penalty factor (§5: default 8) *)
+  lambda : float;              (** cost vs. load-balance weight (§5: 0.1) *)
+  allow_replication : bool;    (** [false] forces a disjoint partitioning *)
+  use_grouping : bool;
+  time_limit : float;          (** seconds (the paper used 1800) *)
+  gap : float;                 (** relative MIP gap (the paper used 0.001) *)
+  max_rows : int option;       (** give up ("t/o") on larger models *)
+  use_heuristic : bool;        (** rounding-repair incumbents inside B&B *)
+  latency : float option;
+      (** Appendix A: when [Some pl], adds a latency indicator ψ_q per
+          write query (forced to 1 by [ψ_q ≥ y_{a,s} - x_{t,s}] whenever an
+          updated attribute is replicated away from the home site — a tight
+          linearization of the appendix's quadratic constraints) and the
+          term [λ·pl·Σ_q f_q·ψ_q] to the objective. *)
+  fixed_txns : (int * int) list;
+      (** Pre-assigned transactions [(t, site)] whose [x] variables are
+          pinned — the hook the iterative 20/80 solver
+          ({!Iterative_solver}) uses to grow a solution batch by batch. *)
+  seed_solution : Partitioning.t option;
+      (** Warm-start incumbent (original attribute space), e.g. an
+          {!Sa_solver} result: vetted and used for pruning from the first
+          node.  Off for paper-comparison runs. *)
+}
+
+val default_options : options
+(** 2 sites, p = 8, λ = 0.1, replication and grouping on, 60 s, 0.1 % gap,
+    4000-row cap, heuristic on, no latency term. *)
+
+type outcome =
+  | Proved_optimal       (** optimal within the MIP gap *)
+  | Limit_feasible       (** limit hit; best incumbent returned
+                             (the paper's parenthesised costs) *)
+  | Limit_no_solution    (** limit hit with no incumbent (the paper's t/o) *)
+  | Too_large            (** model exceeded [max_rows]; also rendered t/o *)
+
+type result = {
+  outcome : outcome;
+  partitioning : Partitioning.t option;  (** in the original attribute space *)
+  cost : float option;        (** objective (4) of the returned partitioning *)
+  objective6 : float option;  (** objective (6), what the MIP minimized *)
+  bound : float option;       (** best proven lower bound on objective (6) *)
+  elapsed : float;
+  nodes : int;
+  simplex_iters : int;
+  model_rows : int;
+  model_cols : int;
+}
+
+val solve : ?options:options -> Instance.t -> result
+
+val build_model :
+  Stats.t -> options -> Lp.model * (Lp.var array array * Lp.var array array)
+(** Exposed for white-box tests: the MIP plus the (x, y) variable layout
+    ([fst] indexed [t].(s), [snd] indexed [a].(s)). *)

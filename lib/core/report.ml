@@ -1,0 +1,70 @@
+let pp_partitioning (inst : Instance.t) ppf (part : Partitioning.t) =
+  let schema = inst.Instance.schema and wl = inst.Instance.workload in
+  Format.fprintf ppf "@[<v>";
+  for s = 0 to part.Partitioning.num_sites - 1 do
+    Format.fprintf ppf "=== Site %d ===@," (s + 1);
+    List.iter
+      (fun t ->
+         Format.fprintf ppf "Transaction %s@,"
+           (Workload.transaction wl t).Workload.t_name)
+      (Partitioning.txns_on_site part s);
+    let names =
+      List.sort compare
+        (List.map (fun a -> Schema.attr_name schema a)
+           (Partitioning.attrs_on_site part s))
+    in
+    List.iter (fun n -> Format.fprintf ppf "%s@," n) names;
+    Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"
+
+let row_width_reduction (inst : Instance.t) (part : Partitioning.t) =
+  let schema = inst.Instance.schema in
+  List.init (Schema.num_tables schema) (fun tid ->
+      let attrs = Schema.attrs_of_table schema tid in
+      let full = Schema.row_width schema tid in
+      (* average fraction width over the sites that hold any of the table *)
+      let widths = ref [] in
+      for s = 0 to part.Partitioning.num_sites - 1 do
+        let w =
+          List.fold_left
+            (fun acc a ->
+               if part.Partitioning.placed.(a).(s) then
+                 acc + Schema.attr_width schema a
+               else acc)
+            0 attrs
+        in
+        if w > 0 then widths := float_of_int w :: !widths
+      done;
+      let avg =
+        match !widths with
+        | [] -> 0.
+        | ws -> List.fold_left ( +. ) 0. ws /. float_of_int (List.length ws)
+      in
+      (Schema.table_name schema tid, full, avg))
+
+let pp_solution_summary (inst : Instance.t) ~p ~lambda ppf part =
+  let stats = Stats.compute inst ~p in
+  let cost = Cost_model.cost stats part in
+  let b = Cost_model.breakdown inst part in
+  let work = Cost_model.site_work stats part in
+  let replicated =
+    let n = ref 0 in
+    for a = 0 to Instance.num_attrs inst - 1 do
+      if Partitioning.replicas part a > 1 then incr n
+    done;
+    !n
+  in
+  Format.fprintf ppf
+    "@[<v>cost (objective 4)   : %.4g@,objective (6), l=%.2f: %.4g@,%a@,\
+     replicated attrs     : %d / %d@,row width avg        :@,"
+    cost lambda
+    (Cost_model.objective stats ~lambda part)
+    Cost_model.pp_breakdown b replicated (Instance.num_attrs inst);
+  List.iter
+    (fun (name, full, avg) ->
+       if avg > 0. then
+         Format.fprintf ppf "  %-12s %4d -> %7.1f bytes@," name full avg)
+    (row_width_reduction inst part);
+  ignore work;
+  Format.fprintf ppf "@]"

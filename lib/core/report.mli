@@ -1,0 +1,16 @@
+(** Human-readable reports for partitionings and solver runs. *)
+
+val pp_partitioning :
+  Instance.t -> Format.formatter -> Partitioning.t -> unit
+(** Table-4-style layout: one block per site with the transactions homed
+    there followed by the attributes stored there (qualified, sorted). *)
+
+val pp_solution_summary :
+  Instance.t -> p:float -> lambda:float -> Format.formatter -> Partitioning.t -> unit
+(** Cost summary: objective (4), read/write/transfer breakdown, per-site
+    work, replication statistics, average row-width reduction per table. *)
+
+val row_width_reduction : Instance.t -> Partitioning.t -> (string * int * float) list
+(** Per table: name, original row width, and the average width of its
+    fractions across sites holding any of it (smaller = narrower rows,
+    the effect the paper's introduction motivates). *)

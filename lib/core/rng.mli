@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Both the simulated-annealing solver and the random instance generator
+    need reproducible randomness that does not depend on the OCaml runtime's
+    [Random] implementation details, so experiment tables are bit-stable
+    across OCaml versions.  SplitMix64 is small, fast and well distributed
+    (Steele, Lea & Flood, OOPSLA 2014). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed. *)
+
+val copy : t -> t
+(** Independent copy: the original and the copy produce the same stream. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val bool : t -> float -> bool
+(** [bool t prob] is [true] with probability [prob]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample_distinct : t -> int -> int -> int list
+(** [sample_distinct t k n] draws [k] distinct integers from [\[0, n)]
+    (all of them if [k >= n]), in random order. *)

@@ -1,0 +1,417 @@
+type options = {
+  num_sites : int;
+  p : float;
+  lambda : float;
+  allow_replication : bool;
+  use_grouping : bool;
+  seed : int;
+  move_fraction : float;
+  inner_loops : int;
+  cooling : float;
+  accept_gap : float;
+  freeze_ratio : float;
+  max_outer : int;
+  time_limit : float option;
+  latency : float option;
+}
+
+let default_options =
+  {
+    num_sites = 2;
+    p = 8.;
+    lambda = 0.1;
+    allow_replication = true;
+    use_grouping = true;
+    seed = 1;
+    move_fraction = 0.10;
+    inner_loops = 40;
+    cooling = 0.85;
+    accept_gap = 0.05;
+    freeze_ratio = 1e-3;
+    max_outer = 400;
+    time_limit = None;
+    latency = None;
+  }
+
+type result = {
+  partitioning : Partitioning.t;
+  cost : float;
+  objective6 : float;
+  elapsed : float;
+  iterations : int;
+  accepted : int;
+  outer_rounds : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Exact subproblem solvers (replication mode)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Optimal y given x: separable per attribute. *)
+let optimize_y_given_x (stats : Stats.t) opts (part : Partitioning.t) =
+  let nt = stats.Stats.num_txns
+  and na = stats.Stats.num_attrs
+  and ns = opts.num_sites in
+  (* coefficient of y_{a,s}: sum of c1 over transactions homed at s, + c2 *)
+  let coef = Array.init na (fun a -> Array.make ns stats.Stats.c2.(a)) in
+  let forced = Array.init na (fun _ -> Array.make ns false) in
+  for t = 0 to nt - 1 do
+    let home = part.Partitioning.txn_site.(t) in
+    let c1t = stats.Stats.c1.(t) and phi_t = stats.Stats.phi.(t) in
+    for a = 0 to na - 1 do
+      coef.(a).(home) <- coef.(a).(home) +. c1t.(a);
+      if phi_t.(a) then forced.(a).(home) <- true
+    done
+  done;
+  for a = 0 to na - 1 do
+    let row = part.Partitioning.placed.(a) in
+    Array.fill row 0 ns false;
+    let any = ref false in
+    for s = 0 to ns - 1 do
+      if forced.(a).(s) || coef.(a).(s) < 0. then begin
+        row.(s) <- true;
+        any := true
+      end
+    done;
+    if not !any then begin
+      let best = ref 0 and best_c = ref coef.(a).(0) in
+      for s = 1 to ns - 1 do
+        if coef.(a).(s) < !best_c then begin
+          best := s;
+          best_c := coef.(a).(s)
+        end
+      done;
+      row.(!best) <- true
+    end
+  done
+
+(* Optimal x given y: separable per transaction over feasible sites. *)
+let optimize_x_given_y (stats : Stats.t) opts (part : Partitioning.t) =
+  let nt = stats.Stats.num_txns
+  and na = stats.Stats.num_attrs
+  and ns = opts.num_sites in
+  for t = 0 to nt - 1 do
+    let c1t = stats.Stats.c1.(t) and phi_t = stats.Stats.phi.(t) in
+    let best = ref (-1) and best_c = ref infinity in
+    for s = 0 to ns - 1 do
+      let feasible = ref true in
+      for a = 0 to na - 1 do
+        if phi_t.(a) && not part.Partitioning.placed.(a).(s) then feasible := false
+      done;
+      if !feasible then begin
+        let c = ref 0. in
+        for a = 0 to na - 1 do
+          if part.Partitioning.placed.(a).(s) then c := !c +. c1t.(a)
+        done;
+        if !c < !best_c then begin
+          best := s;
+          best_c := !c
+        end
+      end
+    done;
+    if !best >= 0 then part.Partitioning.txn_site.(t) <- !best
+    (* else: no site hosts the whole read set; keep the current assignment
+       and let the repair below restore feasibility *)
+  done;
+  Partitioning.repair_single_sitedness stats part
+
+(* ------------------------------------------------------------------ *)
+(* Neighborhoods (§3)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let count_moves frac n = max 1 (int_of_float (Float.round (frac *. float_of_int n)))
+
+let perturb_x rng opts frac (part : Partitioning.t) =
+  let nt = Array.length part.Partitioning.txn_site in
+  if nt > 0 && opts.num_sites > 1 then begin
+    let k = count_moves frac nt in
+    List.iter
+      (fun t ->
+         let cur = part.Partitioning.txn_site.(t) in
+         let s = Rng.int rng (opts.num_sites - 1) in
+         part.Partitioning.txn_site.(t) <- (if s >= cur then s + 1 else s))
+      (Rng.sample_distinct rng k nt)
+  end
+
+(* Extend replication: each selected attribute gains one replica site. *)
+let perturb_y rng opts frac (part : Partitioning.t) =
+  let na = Array.length part.Partitioning.placed in
+  if na > 0 && opts.num_sites > 1 then begin
+    let k = count_moves frac na in
+    List.iter
+      (fun a ->
+         let row = part.Partitioning.placed.(a) in
+         let absent = ref [] in
+         for s = opts.num_sites - 1 downto 0 do
+           if not row.(s) then absent := s :: !absent
+         done;
+         match !absent with
+         | [] -> ()
+         | sites -> row.(List.nth sites (Rng.int rng (List.length sites))) <- true)
+      (Rng.sample_distinct rng k na)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Annealing loop shared by both modes                                 *)
+(* ------------------------------------------------------------------ *)
+
+type anneal_callbacks = {
+  propose : [ `Fix_x | `Fix_y ] -> unit;
+      (** perturb the state and re-optimize the non-fixed vector *)
+  snapshot : unit -> Partitioning.t;
+  restore : Partitioning.t -> unit;
+  current : unit -> Partitioning.t;
+}
+
+let anneal ?(extra = fun _ -> 0.) (stats : Stats.t) opts rng callbacks =
+  let lambda = opts.lambda in
+  let eval part = Cost_model.objective stats ~lambda part +. extra part in
+  let start = Unix.gettimeofday () in
+  let deadline = Option.map (fun tl -> start +. tl) opts.time_limit in
+  let out_of_time () =
+    match deadline with None -> false | Some d -> Unix.gettimeofday () > d
+  in
+  let current_obj = ref (eval (callbacks.current ())) in
+  let best = ref (callbacks.snapshot ()) in
+  let best_obj = ref !current_obj in
+  (* §5.1: accept a accept_gap-worse solution with probability 1/2 in the
+     first iterations. *)
+  let tau0 =
+    let c = Float.max !best_obj 1e-9 in
+    -.(opts.accept_gap *. c) /. Float.log 0.5
+  in
+  let tau = ref tau0 in
+  let iterations = ref 0 and accepted = ref 0 and outer = ref 0 in
+  let fix = ref `Fix_x in
+  (try
+     while
+       !tau > opts.freeze_ratio *. tau0
+       && !outer < opts.max_outer
+       && not (out_of_time ())
+     do
+       incr outer;
+       for _ = 1 to opts.inner_loops do
+         if out_of_time () then raise Exit;
+         incr iterations;
+         let saved = callbacks.snapshot () in
+         callbacks.propose !fix;
+         let cand_obj = eval (callbacks.current ()) in
+         let delta = cand_obj -. !current_obj in
+         if delta <= 0. || Rng.float rng < Float.exp (-.delta /. !tau) then begin
+           incr accepted;
+           current_obj := cand_obj;
+           if cand_obj < !best_obj then begin
+             best_obj := cand_obj;
+             best := callbacks.snapshot ()
+           end
+         end
+         else callbacks.restore saved;
+         fix := (match !fix with `Fix_x -> `Fix_y | `Fix_y -> `Fix_x)
+       done;
+       tau := opts.cooling *. !tau
+     done
+   with Exit -> ());
+  (!best, !best_obj, !iterations, !accepted, !outer, Unix.gettimeofday () -. start)
+
+(* ------------------------------------------------------------------ *)
+(* Replication mode                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let solve_replicated ?extra (stats : Stats.t) opts rng =
+  let nt = stats.Stats.num_txns and na = stats.Stats.num_attrs in
+  let part = Partitioning.create ~num_sites:opts.num_sites ~num_txns:nt ~num_attrs:na in
+  (* random initial x satisfying (2) *)
+  for t = 0 to nt - 1 do
+    part.Partitioning.txn_site.(t) <- Rng.int rng opts.num_sites
+  done;
+  optimize_y_given_x stats opts part;
+  let state = ref part in
+  let callbacks =
+    {
+      propose =
+        (fun fix ->
+           let p = !state in
+           perturb_x rng opts opts.move_fraction p;
+           perturb_y rng opts opts.move_fraction p;
+           (match fix with
+            | `Fix_x -> optimize_y_given_x stats opts p
+            | `Fix_y -> optimize_x_given_y stats opts p);
+           Partitioning.repair_single_sitedness stats p);
+      snapshot = (fun () -> Partitioning.copy !state);
+      restore = (fun saved -> state := saved);
+      current = (fun () -> !state);
+    }
+  in
+  anneal ?extra stats opts rng callbacks
+
+(* ------------------------------------------------------------------ *)
+(* Disjoint mode                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Connected components of the transaction / read-attribute graph: in a
+   disjoint partitioning, single-sitedness forces each component onto one
+   site. *)
+let components (stats : Stats.t) =
+  let nt = stats.Stats.num_txns and na = stats.Stats.num_attrs in
+  let parent = Array.init (nt + na) (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else begin
+      parent.(i) <- find parent.(i);
+      parent.(i)
+    end
+  in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for t = 0 to nt - 1 do
+    for a = 0 to na - 1 do
+      if stats.Stats.phi.(t).(a) then union t (nt + a)
+    done
+  done;
+  let comp_ids = Hashtbl.create 16 in
+  let comp_of = Array.make (nt + na) (-1) in
+  let n = ref 0 in
+  for i = 0 to nt + na - 1 do
+    let r = find i in
+    let c =
+      match Hashtbl.find_opt comp_ids r with
+      | Some c -> c
+      | None ->
+        let c = !n in
+        incr n;
+        Hashtbl.add comp_ids r c;
+        c
+    in
+    comp_of.(i) <- c
+  done;
+  (!n, comp_of)
+
+let solve_disjoint ?extra (stats : Stats.t) opts rng =
+  let nt = stats.Stats.num_txns and na = stats.Stats.num_attrs in
+  let ncomp, comp_of = components stats in
+  let comp_site = Array.init ncomp (fun _ -> Rng.int rng opts.num_sites) in
+  let part = Partitioning.create ~num_sites:opts.num_sites ~num_txns:nt ~num_attrs:na in
+  (* Attributes read by someone follow their component; never-read
+     attributes are placed greedily given x. *)
+  let apply () =
+    for t = 0 to nt - 1 do
+      part.Partitioning.txn_site.(t) <- comp_site.(comp_of.(t))
+    done;
+    let read = Array.make na false in
+    for t = 0 to nt - 1 do
+      for a = 0 to na - 1 do
+        if stats.Stats.phi.(t).(a) then read.(a) <- true
+      done
+    done;
+    (* greedy single placement for every attribute *)
+    let coef = Array.init na (fun a -> Array.make opts.num_sites stats.Stats.c2.(a)) in
+    for t = 0 to nt - 1 do
+      let home = part.Partitioning.txn_site.(t) in
+      let c1t = stats.Stats.c1.(t) in
+      for a = 0 to na - 1 do
+        coef.(a).(home) <- coef.(a).(home) +. c1t.(a)
+      done
+    done;
+    for a = 0 to na - 1 do
+      let row = part.Partitioning.placed.(a) in
+      Array.fill row 0 opts.num_sites false;
+      if read.(a) then row.(comp_site.(comp_of.(nt + a))) <- true
+      else begin
+        let best = ref 0 and best_c = ref coef.(a).(0) in
+        for s = 1 to opts.num_sites - 1 do
+          if coef.(a).(s) < !best_c then begin
+            best := s;
+            best_c := coef.(a).(s)
+          end
+        done;
+        row.(!best) <- true
+      end
+    done
+  in
+  apply ();
+  let saved_sites = ref (Array.copy comp_site) in
+  let callbacks =
+    {
+      propose =
+        (fun _fix ->
+           saved_sites := Array.copy comp_site;
+           if opts.num_sites > 1 then begin
+             let k = count_moves opts.move_fraction ncomp in
+             List.iter
+               (fun c ->
+                  let cur = comp_site.(c) in
+                  let s = Rng.int rng (opts.num_sites - 1) in
+                  comp_site.(c) <- (if s >= cur then s + 1 else s))
+               (Rng.sample_distinct rng k ncomp)
+           end;
+           apply ());
+      snapshot =
+        (fun () ->
+           (* component sites fully determine the state *)
+           apply ();
+           Partitioning.copy part);
+      restore =
+        (fun _saved ->
+           Array.blit !saved_sites 0 comp_site 0 ncomp;
+           apply ());
+      current = (fun () -> part);
+    }
+  in
+  anneal ?extra stats opts rng callbacks
+
+(* The trivial "everything co-located on one site" candidate: all
+   transactions on site s with y optimized.  The annealer's random start
+   plus small moves can miss this basin entirely on instances where
+   partitioning does not pay (the paper's rndB...x100 rows equal the
+   |S| = 1 column exactly), so the returned solution is never worse than
+   the best collapsed layout. *)
+let collapsed_candidate (stats : Stats.t) opts site =
+  let part =
+    Partitioning.create ~num_sites:opts.num_sites ~num_txns:stats.Stats.num_txns
+      ~num_attrs:stats.Stats.num_attrs
+  in
+  Array.fill part.Partitioning.txn_site 0 stats.Stats.num_txns site;
+  optimize_y_given_x stats opts part;
+  part
+
+let solve ?(options = default_options) (inst : Instance.t) =
+  let grouping =
+    if options.use_grouping then Grouping.compute inst else Grouping.identity inst
+  in
+  let reduced = grouping.Grouping.reduced in
+  let stats = Stats.compute reduced ~p:options.p in
+  let full_stats = Stats.compute inst ~p:options.p in
+  let rng = Rng.create options.seed in
+  (* Appendix A: fold the latency estimate into the annealed objective,
+     scaled by lambda like every other cost term (matching the QP). *)
+  let extra =
+    match options.latency with
+    | None -> fun _ -> 0.
+    | Some pl ->
+      fun part -> options.lambda *. Cost_model.latency reduced ~pl part
+  in
+  let best, best_obj6, iterations, accepted, outer, elapsed =
+    if options.allow_replication then solve_replicated ~extra stats options rng
+    else solve_disjoint ~extra stats options rng
+  in
+  let best, _obj6 =
+    let collapsed = collapsed_candidate stats options 0 in
+    let cobj =
+      Cost_model.objective stats ~lambda:options.lambda collapsed
+      +. extra collapsed
+    in
+    if cobj < best_obj6 then (collapsed, cobj) else (best, best_obj6)
+  in
+  (match Partitioning.validate stats best with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Sa_solver: internal invariant broken: " ^ e));
+  let partitioning = Grouping.expand grouping best in
+  {
+    partitioning;
+    cost = Cost_model.cost full_stats partitioning;
+    objective6 = Cost_model.objective full_stats ~lambda:options.lambda partitioning;
+    elapsed;
+    iterations;
+    accepted;
+    outer_rounds = outer;
+  }

@@ -1,0 +1,67 @@
+(** The paper's second algorithm: the simulated-annealing heuristic (§3).
+
+    Algorithm 1 alternately fixes the transaction-assignment vector [x] and
+    the attribute-placement vector [y] and re-optimizes the other exactly —
+    both subproblems separate:
+
+    - [y] given [x]: per (attribute, site), place where single-sitedness
+      forces it ([φ]), replicate wherever the net coefficient
+      [Σ_{t at s} c1(a,t) + c2(a)] is negative, otherwise use the cheapest
+      single site;
+    - [x] given [y]: per transaction, the cheapest site hosting the
+      transaction's whole read set.
+
+    Neighborhoods follow §3: a constant fraction (default 10 %) of the
+    transactions change site and the same fraction of the attributes gain
+    one extra replica.  Acceptance is Metropolis on objective (6); the
+    initial temperature follows §5.1
+    ([τ = -0.05·C*/ln 0.5], i.e. a 5 %-worse solution is accepted with
+    probability 1/2 at the start).
+
+    Disjoint mode ([allow_replication = false]) uses an equivalent
+    formulation: single-sitedness without replication forces each connected
+    component of the transaction–read-attribute graph to co-locate, so the
+    annealer moves whole components between sites and greedily places
+    never-read attributes. *)
+
+type options = {
+  num_sites : int;
+  p : float;
+  lambda : float;
+  allow_replication : bool;
+  use_grouping : bool;
+  seed : int;               (** PRNG seed; results are deterministic per seed *)
+  move_fraction : float;    (** §3: fraction of txns/attrs perturbed (0.10) *)
+  inner_loops : int;        (** L in Algorithm 1 *)
+  cooling : float;          (** ρ in Algorithm 1 *)
+  accept_gap : float;       (** §5.1 initial-temperature gap (0.05) *)
+  freeze_ratio : float;     (** frozen when τ < freeze_ratio·τ₀ *)
+  max_outer : int;
+  time_limit : float option;
+  latency : float option;
+      (** Appendix A: when [Some pl], adds [λ·pl·Σ_q f_q·ψ_q] to the
+          annealed objective (ψ_q = 1 when write query q updates an
+          attribute replicated away from its home site). *)
+}
+
+val default_options : options
+(** 2 sites, p = 8, λ = 0.1, replication and grouping on, seed 1,
+    10 % moves, L = 40, ρ = 0.85, 5 % gap, freeze at τ₀/1000,
+    at most 400 outer rounds, no time limit, no latency term.
+
+    The returned solution is additionally never worse (in objective (6))
+    than the best {e collapsed} layout — all transactions on one site with
+    optimally placed attributes — which the random-start annealer cannot
+    always reach on instances where partitioning does not pay. *)
+
+type result = {
+  partitioning : Partitioning.t;  (** original attribute space; validated *)
+  cost : float;                   (** objective (4) *)
+  objective6 : float;             (** objective (6), the annealed quantity *)
+  elapsed : float;
+  iterations : int;               (** inner iterations executed *)
+  accepted : int;                 (** accepted moves *)
+  outer_rounds : int;
+}
+
+val solve : ?options:options -> Instance.t -> result

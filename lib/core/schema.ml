@@ -1,0 +1,90 @@
+type attribute = { attr_table : int; attr_name : string; width : int }
+
+type table = { table_name : string; first_attr : int; attr_count : int }
+
+type t = { tables : table array; attributes : attribute array }
+
+let make spec =
+  let seen_tables = Hashtbl.create 16 in
+  let tables = ref [] and attrs = ref [] in
+  let next_attr = ref 0 in
+  List.iteri
+    (fun tid (tname, cols) ->
+       if Hashtbl.mem seen_tables tname then
+         invalid_arg (Printf.sprintf "Schema.make: duplicate table %S" tname);
+       Hashtbl.add seen_tables tname ();
+       if cols = [] then
+         invalid_arg (Printf.sprintf "Schema.make: table %S has no attributes" tname);
+       let seen_attrs = Hashtbl.create 16 in
+       let first = !next_attr in
+       List.iter
+         (fun (aname, width) ->
+            if Hashtbl.mem seen_attrs aname then
+              invalid_arg
+                (Printf.sprintf "Schema.make: duplicate attribute %s.%s" tname aname);
+            Hashtbl.add seen_attrs aname ();
+            if width <= 0 then
+              invalid_arg
+                (Printf.sprintf "Schema.make: non-positive width for %s.%s" tname
+                   aname);
+            attrs := { attr_table = tid; attr_name = aname; width } :: !attrs;
+            incr next_attr)
+         cols;
+       tables :=
+         { table_name = tname; first_attr = first; attr_count = List.length cols }
+         :: !tables)
+    spec;
+  {
+    tables = Array.of_list (List.rev !tables);
+    attributes = Array.of_list (List.rev !attrs);
+  }
+
+let num_tables s = Array.length s.tables
+
+let num_attrs s = Array.length s.attributes
+
+let table_of_attr s a = s.attributes.(a).attr_table
+
+let attr_name s a =
+  let attr = s.attributes.(a) in
+  s.tables.(attr.attr_table).table_name ^ "." ^ attr.attr_name
+
+let attr_width s a = s.attributes.(a).width
+
+let table_name s tid = s.tables.(tid).table_name
+
+let attrs_of_table s tid =
+  let tbl = s.tables.(tid) in
+  List.init tbl.attr_count (fun i -> tbl.first_attr + i)
+
+let find_table s name =
+  let rec go i =
+    if i >= Array.length s.tables then raise Not_found
+    else if s.tables.(i).table_name = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let find_attr s tname aname =
+  let tid = find_table s tname in
+  let tbl = s.tables.(tid) in
+  let rec go i =
+    if i >= tbl.attr_count then raise Not_found
+    else if s.attributes.(tbl.first_attr + i).attr_name = aname then
+      tbl.first_attr + i
+    else go (i + 1)
+  in
+  go 0
+
+let row_width s tid =
+  List.fold_left (fun acc a -> acc + attr_width s a) 0 (attrs_of_table s tid)
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>schema: %d tables, %d attributes@," (num_tables s)
+    (num_attrs s);
+  Array.iteri
+    (fun tid tbl ->
+       Format.fprintf ppf "  %-12s %3d attrs, row width %4d bytes@,"
+         tbl.table_name tbl.attr_count (row_width s tid))
+    s.tables;
+  Format.fprintf ppf "@]"

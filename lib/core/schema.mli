@@ -1,0 +1,57 @@
+(** Relational schema: tables and their attributes.
+
+    Attributes are the unit of vertical partitioning (Section 1 of the
+    paper): each attribute [a] has an average width [w_a] in bytes, and the
+    goal is to distribute attributes to sites.  Attributes are identified by
+    a dense integer id that is global across the schema (the paper's set
+    [A]); tables are identified by a dense table id. *)
+
+type attribute = {
+  attr_table : int;   (** owning table id *)
+  attr_name : string;
+  width : int;        (** average width w_a in bytes; positive *)
+}
+
+type table = {
+  table_name : string;
+  first_attr : int;   (** id of the table's first attribute *)
+  attr_count : int;
+}
+
+type t = private {
+  tables : table array;
+  attributes : attribute array;
+}
+
+val make : (string * (string * int) list) list -> t
+(** [make [table_name, [(attr_name, width); ...]; ...]] builds a schema.
+    @raise Invalid_argument on duplicate table/attribute names, empty
+    tables, or non-positive widths. *)
+
+val num_tables : t -> int
+val num_attrs : t -> int
+
+val table_of_attr : t -> int -> int
+(** Owning table of an attribute id. *)
+
+val attr_name : t -> int -> string
+(** Qualified name, ["Table.ATTR"]. *)
+
+val attr_width : t -> int -> int
+
+val table_name : t -> int -> string
+
+val attrs_of_table : t -> int -> int list
+(** Attribute ids of a table, in declaration order. *)
+
+val find_table : t -> string -> int
+(** @raise Not_found if no such table. *)
+
+val find_attr : t -> string -> string -> int
+(** [find_attr s table attr] — @raise Not_found if absent. *)
+
+val row_width : t -> int -> int
+(** Total width of a table's row (sum of attribute widths). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line summary listing tables with attribute counts and row widths. *)

@@ -1,0 +1,102 @@
+type kind = Read | Write
+
+type query = {
+  q_name : string;
+  kind : kind;
+  freq : float;
+  tables : (int * float) list;
+  attrs : int list;
+}
+
+type transaction = { t_name : string; queries : int list }
+
+type t = { queries : query array; transactions : transaction array }
+
+let make ~queries ~transactions =
+  let queries = Array.of_list queries in
+  let transactions = Array.of_list transactions in
+  let owner = Array.make (Array.length queries) (-1) in
+  Array.iteri
+    (fun tid txn ->
+       List.iter
+         (fun q ->
+            if q < 0 || q >= Array.length queries then
+              invalid_arg
+                (Printf.sprintf "Workload.make: transaction %S references query %d"
+                   txn.t_name q);
+            if owner.(q) >= 0 then
+              invalid_arg
+                (Printf.sprintf
+                   "Workload.make: query %S used by two transactions"
+                   queries.(q).q_name);
+            owner.(q) <- tid)
+         txn.queries)
+    transactions;
+  Array.iteri
+    (fun q o ->
+       if o < 0 then
+         invalid_arg
+           (Printf.sprintf "Workload.make: query %S belongs to no transaction"
+              queries.(q).q_name))
+    owner;
+  { queries; transactions }
+
+let num_queries w = Array.length w.queries
+
+let num_transactions w = Array.length w.transactions
+
+let query w q = w.queries.(q)
+
+let transaction w t = w.transactions.(t)
+
+let txn_of_query w q =
+  (* recomputed on demand; workloads are small and static *)
+  let found = ref (-1) in
+  Array.iteri
+    (fun tid (txn : transaction) -> if List.mem q txn.queries then found := tid)
+    w.transactions;
+  if !found < 0 then raise Not_found else !found
+
+let is_write q = q.kind = Write
+
+let rows_for_table q tid = List.assoc_opt tid q.tables
+
+let validate schema w =
+  let nt = Schema.num_tables schema and na = Schema.num_attrs schema in
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  Array.iter
+    (fun q ->
+       if q.freq <= 0. then fail "query %S: non-positive frequency" q.q_name;
+       if q.tables = [] then fail "query %S: touches no table" q.q_name;
+       List.iter
+         (fun (tid, rows) ->
+            if tid < 0 || tid >= nt then
+              fail "query %S: table id %d out of range" q.q_name tid;
+            if rows <= 0. then
+              fail "query %S: non-positive row count for table %d" q.q_name tid)
+         q.tables;
+       let tids = List.map fst q.tables in
+       if List.length (List.sort_uniq compare tids) <> List.length tids then
+         fail "query %S: duplicate table entry" q.q_name;
+       List.iter
+         (fun a ->
+            if a < 0 || a >= na then
+              fail "query %S: attribute id %d out of range" q.q_name a
+            else if not (List.mem (Schema.table_of_attr schema a) tids) then
+              fail "query %S: accesses %s outside its touched tables" q.q_name
+                (Schema.attr_name schema a))
+         q.attrs;
+       if q.attrs = [] then fail "query %S: accesses no attribute" q.q_name)
+    w.queries;
+  match !err with None -> Ok () | Some e -> Error e
+
+let pp ppf w =
+  Format.fprintf ppf "@[<v>workload: %d transactions, %d queries@,"
+    (num_transactions w) (num_queries w);
+  Array.iter
+    (fun txn ->
+       Format.fprintf ppf "  %-14s %d queries@," txn.t_name
+         (List.length txn.queries))
+    w.transactions;
+  Format.fprintf ppf "@]"

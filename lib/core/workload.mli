@@ -1,0 +1,67 @@
+(** Workload: queries grouped into transactions, with statistics.
+
+    This captures the paper's input exactly (Section 1.1 and 2.1):
+
+    - each query [q] has a kind (read or write — the paper's δ_q), a
+      frequency [f_q], the set of tables it touches with the average number
+      of rows [n_{r}] retrieved/written per table, and the set of attributes
+      it accesses (the paper's α);
+    - each transaction is an ordered group of queries (γ) and is assigned to
+      exactly one primary executing site by the optimizer.
+
+    The paper's remaining schema constants are derived:
+    β_{a,q} = "a belongs to a table q touches", and
+    φ_{a,t} = "some {e read} query of t accesses a"
+    (see {!Stats}).
+
+    UPDATE statements should be modeled per Section 5.2: a read query over
+    the attributes the statement {e uses} plus a write query over the
+    attributes it {e writes} (helpers in {!Tpcc} follow this convention). *)
+
+type kind = Read | Write
+
+type query = {
+  q_name : string;
+  kind : kind;
+  freq : float;                 (** f_q > 0 *)
+  tables : (int * float) list;  (** (table id, rows n_r per execution) *)
+  attrs : int list;             (** α: attribute ids accessed *)
+}
+
+type transaction = {
+  t_name : string;
+  queries : int list;  (** query ids, in program order *)
+}
+
+type t = private {
+  queries : query array;
+  transactions : transaction array;
+}
+
+val make : queries:query list -> transactions:transaction list -> t
+(** Build a workload.  Query ids referenced by transactions are indices
+    into [queries].  @raise Invalid_argument on dangling query ids, queries
+    used by several transactions, or queries used by none (every query must
+    belong to exactly one transaction, which defines γ). *)
+
+val num_queries : t -> int
+val num_transactions : t -> int
+
+val query : t -> int -> query
+val transaction : t -> int -> transaction
+
+val txn_of_query : t -> int -> int
+(** The unique transaction containing a query (γ inverted). *)
+
+val is_write : query -> bool
+(** δ_q *)
+
+val rows_for_table : query -> int -> float option
+(** [n_{a,q}] lookup: rows the query touches in the given table, if any. *)
+
+val validate : Schema.t -> t -> (unit, string) result
+(** Check referential integrity against a schema: table ids in range,
+    attribute ids in range, every accessed attribute belongs to a touched
+    table, frequencies and row counts positive. *)
+
+val pp : Format.formatter -> t -> unit

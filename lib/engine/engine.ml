@@ -1,0 +1,291 @@
+open Vpart
+
+type fraction = {
+  f_table : int;
+  f_site : int;
+  f_attrs : int list;
+  f_width : int;
+  f_rows : int;
+}
+
+type t = {
+  instance : Instance.t;
+  part : Partitioning.t;
+  (* width.(table).(site): bytes per fraction row, 0 when absent *)
+  width : int array array;
+  rows : int array;  (* per table *)
+}
+
+type counters = {
+  bytes_read : float;
+  bytes_written : float;
+  bytes_transferred : float;
+  remote_write_queries : int;
+  queries_executed : int;
+}
+
+let zero =
+  {
+    bytes_read = 0.;
+    bytes_written = 0.;
+    bytes_transferred = 0.;
+    remote_write_queries = 0;
+    queries_executed = 0;
+  }
+
+let add a b =
+  {
+    bytes_read = a.bytes_read +. b.bytes_read;
+    bytes_written = a.bytes_written +. b.bytes_written;
+    bytes_transferred = a.bytes_transferred +. b.bytes_transferred;
+    remote_write_queries = a.remote_write_queries + b.remote_write_queries;
+    queries_executed = a.queries_executed + b.queries_executed;
+  }
+
+let scale k c =
+  {
+    c with
+    bytes_read = k *. c.bytes_read;
+    bytes_written = k *. c.bytes_written;
+    bytes_transferred = k *. c.bytes_transferred;
+  }
+
+let deploy ?(table_rows = []) (inst : Instance.t) (part : Partitioning.t) =
+  let schema = inst.Instance.schema in
+  let stats = Stats.compute inst ~p:1. in
+  (match Partitioning.validate stats part with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Engine.deploy: invalid partitioning: " ^ e));
+  let nt = Schema.num_tables schema and ns = part.Partitioning.num_sites in
+  let width = Array.init nt (fun _ -> Array.make ns 0) in
+  for tid = 0 to nt - 1 do
+    List.iter
+      (fun a ->
+         for s = 0 to ns - 1 do
+           if part.Partitioning.placed.(a).(s) then
+             width.(tid).(s) <- width.(tid).(s) + Schema.attr_width schema a
+         done)
+      (Schema.attrs_of_table schema tid)
+  done;
+  let rows =
+    Array.init nt (fun tid ->
+        match List.assoc_opt (Schema.table_name schema tid) table_rows with
+        | Some n -> n
+        | None -> 1000)
+  in
+  { instance = inst; part; width; rows }
+
+let fractions t =
+  let schema = t.instance.Instance.schema in
+  let out = ref [] in
+  for tid = Schema.num_tables schema - 1 downto 0 do
+    for s = t.part.Partitioning.num_sites - 1 downto 0 do
+      let attrs =
+        List.filter
+          (fun a -> t.part.Partitioning.placed.(a).(s))
+          (Schema.attrs_of_table schema tid)
+      in
+      if attrs <> [] then
+        out :=
+          {
+            f_table = tid;
+            f_site = s;
+            f_attrs = attrs;
+            f_width = t.width.(tid).(s);
+            f_rows = t.rows.(tid);
+          }
+          :: !out
+    done
+  done;
+  !out
+
+let fraction_width t ~table ~site = t.width.(table).(site)
+
+let storage_bytes_per_site t =
+  let ns = t.part.Partitioning.num_sites in
+  let out = Array.make ns 0. in
+  Array.iteri
+    (fun tid per_site ->
+       Array.iteri
+         (fun s w -> out.(s) <- out.(s) +. (float_of_int w *. float_of_int t.rows.(tid)))
+         per_site;
+       ignore tid)
+    t.width;
+  out
+
+(* Execute one query at the given home site; [weight] multiplies the byte
+   counts (1 for a single execution, [freq] for workload totals). *)
+let execute_query t ~home ~weight qid =
+  let inst = t.instance in
+  let schema = inst.Instance.schema in
+  let q = Workload.query inst.Instance.workload qid in
+  let ns = t.part.Partitioning.num_sites in
+  if Workload.is_write q then begin
+    (* full fraction rows written on every hosting site *)
+    let written = ref 0. in
+    List.iter
+      (fun (tid, rows) ->
+         for s = 0 to ns - 1 do
+           written := !written +. (float_of_int t.width.(tid).(s) *. rows)
+         done)
+      q.Workload.tables;
+    (* updated attributes shipped to non-home replicas *)
+    let shipped = ref 0. and remote = ref false in
+    List.iter
+      (fun a ->
+         let tid = Schema.table_of_attr schema a in
+         let rows =
+           match Workload.rows_for_table q tid with Some r -> r | None -> 0.
+         in
+         for s = 0 to ns - 1 do
+           if s <> home && t.part.Partitioning.placed.(a).(s) then begin
+             shipped :=
+               !shipped +. (float_of_int (Schema.attr_width schema a) *. rows);
+             remote := true
+           end
+         done)
+      q.Workload.attrs;
+    {
+      zero with
+      bytes_written = weight *. !written;
+      bytes_transferred = weight *. !shipped;
+      remote_write_queries = (if !remote then 1 else 0);
+      queries_executed = 1;
+    }
+  end
+  else begin
+    (* scan local fractions of the touched tables at the home site *)
+    let read = ref 0. in
+    List.iter
+      (fun (tid, rows) ->
+         read := !read +. (float_of_int t.width.(tid).(home) *. rows))
+      q.Workload.tables;
+    { zero with bytes_read = weight *. !read; queries_executed = 1 }
+  end
+
+let execute_transaction t tx =
+  let wl = t.instance.Instance.workload in
+  let home = t.part.Partitioning.txn_site.(tx) in
+  List.fold_left
+    (fun acc qid -> add acc (execute_query t ~home ~weight:1. qid))
+    zero
+    (Workload.transaction wl tx).Workload.queries
+
+let run_workload ?(repetitions = 1) t =
+  let wl = t.instance.Instance.workload in
+  let total = ref zero in
+  for tx = 0 to Workload.num_transactions wl - 1 do
+    let home = t.part.Partitioning.txn_site.(tx) in
+    List.iter
+      (fun qid ->
+         let q = Workload.query wl qid in
+         total := add !total (execute_query t ~home ~weight:q.Workload.freq qid))
+      (Workload.transaction wl tx).Workload.queries
+  done;
+  scale (float_of_int repetitions)
+    { !total with
+      queries_executed = repetitions * !total.queries_executed;
+      remote_write_queries = repetitions * !total.remote_write_queries;
+    }
+
+let run_trace ?(weighted = false) t ~seed ~length =
+  let wl = t.instance.Instance.workload in
+  let ntx = Workload.num_transactions wl in
+  let rng = Rng.create seed in
+  let weights =
+    Array.init ntx (fun tx ->
+        if weighted then
+          List.fold_left
+            (fun acc qid -> acc +. (Workload.query wl qid).Workload.freq)
+            0.
+            (Workload.transaction wl tx).Workload.queries
+        else 1.)
+  in
+  let total_weight = Array.fold_left ( +. ) 0. weights in
+  let sample () =
+    let r = Rng.float rng *. total_weight in
+    let acc = ref 0. and chosen = ref (ntx - 1) in
+    (try
+       Array.iteri
+         (fun tx w ->
+            acc := !acc +. w;
+            if r < !acc then begin
+              chosen := tx;
+              raise Exit
+            end)
+         weights
+     with Exit -> ());
+    !chosen
+  in
+  let total = ref zero in
+  for _ = 1 to length do
+    total := add !total (execute_transaction t (sample ()))
+  done;
+  !total
+
+type failure_report = {
+  failed_site : int;
+  runnable_txns : int;
+  total_txns : int;
+  lost_attrs : int;
+  runnable_weight : float;
+}
+
+let survive_site_failure t ~failed =
+  let ns = t.part.Partitioning.num_sites in
+  if ns < 2 then invalid_arg "Engine.survive_site_failure: single-site deployment";
+  if failed < 0 || failed >= ns then
+    invalid_arg "Engine.survive_site_failure: site out of range";
+  let inst = t.instance in
+  let wl = inst.Instance.workload in
+  let stats = Stats.compute inst ~p:1. in
+  let ntx = Workload.num_transactions wl in
+  let na = Instance.num_attrs inst in
+  let runnable = ref 0 and runnable_weight = ref 0. and total_weight = ref 0. in
+  for tx = 0 to ntx - 1 do
+    let weight =
+      List.fold_left
+        (fun acc qid -> acc +. (Workload.query wl qid).Workload.freq)
+        0.
+        (Workload.transaction wl tx).Workload.queries
+    in
+    total_weight := !total_weight +. weight;
+    (* can the whole read set be served from one surviving site? *)
+    let ok = ref false in
+    for s = 0 to ns - 1 do
+      if s <> failed && not !ok then begin
+        let covered = ref true in
+        for a = 0 to na - 1 do
+          if stats.Stats.phi.(tx).(a) && not t.part.Partitioning.placed.(a).(s)
+          then covered := false
+        done;
+        if !covered then ok := true
+      end
+    done;
+    if !ok then begin
+      incr runnable;
+      runnable_weight := !runnable_weight +. weight
+    end
+  done;
+  let lost = ref 0 in
+  for a = 0 to na - 1 do
+    if
+      t.part.Partitioning.placed.(a).(failed)
+      && Partitioning.replicas t.part a = 1
+    then incr lost
+  done;
+  {
+    failed_site = failed;
+    runnable_txns = !runnable;
+    total_txns = ntx;
+    lost_attrs = !lost;
+    runnable_weight =
+      (if !total_weight > 0. then !runnable_weight /. !total_weight else 0.);
+  }
+
+let pp_counters ppf c =
+  Format.fprintf ppf
+    "@[<v>bytes read        : %14.0f@,bytes written     : %14.0f@,\
+     bytes transferred : %14.0f@,remote write ops  : %d / %d queries@]"
+    c.bytes_read c.bytes_written c.bytes_transferred c.remote_write_queries
+    c.queries_executed

@@ -1,0 +1,135 @@
+open Vpart
+
+type params = {
+  name : string;
+  num_tables : int;
+  num_transactions : int;
+  max_queries_per_txn : int;
+  update_percent : int;
+  max_attrs_per_table : int;
+  max_tables_per_query : int;
+  max_attrs_per_query : int;
+  widths : int array;
+}
+
+let default_params =
+  {
+    name = "rnd-default";
+    num_tables = 20;
+    num_transactions = 20;
+    max_queries_per_txn = 3;
+    update_percent = 10;
+    max_attrs_per_table = 15;
+    max_tables_per_query = 5;
+    max_attrs_per_query = 15;
+    widths = [| 4; 8 |];
+  }
+
+let generate ?(seed = 42) p =
+  if p.num_tables <= 0 || p.num_transactions <= 0 then
+    invalid_arg "Instance_gen.generate: empty instance";
+  let rng = Rng.create (seed lxor (Hashtbl.hash p.name * 65599)) in
+  (* schema *)
+  let spec =
+    List.init p.num_tables (fun tid ->
+        let nattrs = Rng.int_in rng 1 p.max_attrs_per_table in
+        ( Printf.sprintf "T%d" tid,
+          List.init nattrs (fun k ->
+              (Printf.sprintf "a%d_%d" tid k, Rng.pick rng p.widths)) ))
+  in
+  let schema = Schema.make spec in
+  (* workload *)
+  let queries = ref [] and nq = ref 0 in
+  let transactions =
+    List.init p.num_transactions (fun txn_id ->
+        let count = Rng.int_in rng 1 p.max_queries_per_txn in
+        let qids =
+          List.init count (fun k ->
+              let is_update = Rng.int rng 100 < p.update_percent in
+              let ntab =
+                Rng.int_in rng 1 (min p.max_tables_per_query p.num_tables)
+              in
+              let tables = Rng.sample_distinct rng ntab p.num_tables in
+              let pool =
+                Array.of_list
+                  (List.concat_map (fun t -> Schema.attrs_of_table schema t) tables)
+              in
+              let navail = Array.length pool in
+              let nattr = min navail (Rng.int_in rng 1 p.max_attrs_per_query) in
+              let attrs =
+                List.map (fun i -> pool.(i)) (Rng.sample_distinct rng nattr navail)
+              in
+              let q =
+                {
+                  Workload.q_name =
+                    Printf.sprintf "q%d_%d%s" txn_id k (if is_update then "w" else "");
+                  kind = (if is_update then Workload.Write else Workload.Read);
+                  freq = 1.0;
+                  tables = List.map (fun t -> (t, 1.0)) tables;
+                  attrs;
+                }
+              in
+              queries := q :: !queries;
+              incr nq;
+              !nq - 1)
+        in
+        { Workload.t_name = Printf.sprintf "txn%d" txn_id; queries = qids })
+  in
+  let workload = Workload.make ~queries:(List.rev !queries) ~transactions in
+  Instance.make ~name:p.name schema workload
+
+(* Table 2: the rndA... instances have many attributes per table and few
+   attribute references per query (high cost-reduction potential); the
+   rndB... instances are the opposite. *)
+let rnd_a name ~tables ~txns ~update_percent =
+  {
+    name;
+    num_tables = tables;
+    num_transactions = txns;
+    max_queries_per_txn = 3;
+    update_percent;
+    max_attrs_per_table = 30;
+    max_tables_per_query = 3;
+    max_attrs_per_query = 8;
+    widths = [| 2; 4; 8; 16 |];
+  }
+
+let rnd_b name ~tables ~txns ~update_percent =
+  {
+    name;
+    num_tables = tables;
+    num_transactions = txns;
+    max_queries_per_txn = 3;
+    update_percent;
+    max_attrs_per_table = 5;
+    max_tables_per_query = 6;
+    max_attrs_per_query = 28;
+    widths = [| 2; 4; 8; 16 |];
+  }
+
+let catalog =
+  [ rnd_a "rndAt4x15" ~tables:4 ~txns:15 ~update_percent:10;
+    rnd_a "rndAt8x15" ~tables:8 ~txns:15 ~update_percent:10;
+    rnd_a "rndAt8x15u50" ~tables:8 ~txns:15 ~update_percent:50;
+    rnd_a "rndAt16x15" ~tables:16 ~txns:15 ~update_percent:10;
+    rnd_a "rndAt32x15" ~tables:32 ~txns:15 ~update_percent:10;
+    rnd_a "rndAt64x15" ~tables:64 ~txns:15 ~update_percent:10;
+    rnd_a "rndAt4x100" ~tables:4 ~txns:100 ~update_percent:10;
+    rnd_a "rndAt8x100" ~tables:8 ~txns:100 ~update_percent:10;
+    rnd_a "rndAt16x100" ~tables:16 ~txns:100 ~update_percent:10;
+    rnd_a "rndAt32x100" ~tables:32 ~txns:100 ~update_percent:10;
+    rnd_a "rndAt64x100" ~tables:64 ~txns:100 ~update_percent:10;
+    rnd_b "rndBt4x15" ~tables:4 ~txns:15 ~update_percent:10;
+    rnd_b "rndBt8x15" ~tables:8 ~txns:15 ~update_percent:10;
+    rnd_b "rndBt16x15" ~tables:16 ~txns:15 ~update_percent:10;
+    rnd_b "rndBt16x15u50" ~tables:16 ~txns:15 ~update_percent:50;
+    rnd_b "rndBt32x15" ~tables:32 ~txns:15 ~update_percent:10;
+    rnd_b "rndBt64x15" ~tables:64 ~txns:15 ~update_percent:10;
+    rnd_b "rndBt4x100" ~tables:4 ~txns:100 ~update_percent:10;
+    rnd_b "rndBt8x100" ~tables:8 ~txns:100 ~update_percent:10;
+    rnd_b "rndBt16x100" ~tables:16 ~txns:100 ~update_percent:10;
+    rnd_b "rndBt32x100" ~tables:32 ~txns:100 ~update_percent:10;
+    rnd_b "rndBt64x100" ~tables:64 ~txns:100 ~update_percent:10;
+  ]
+
+let find name = List.find (fun p -> p.name = name) catalog

@@ -1,0 +1,45 @@
+(** Random OLTP instance generator (§5.3 of the paper).
+
+    Instance classes are defined by upper bounds on eight parameters; each
+    individual value is drawn uniformly between 1 and its bound (so a class
+    with [max_attrs_per_table = k] has tables with [U\[1, k\]] attributes,
+    mean k/2).  The parameter letters match the paper's Table 1:
+
+    - A — maximum queries per transaction
+    - B — percentage of queries that are updates
+    - C — maximum attributes per table
+    - D — maximum table references per query
+    - E — maximum attribute references per query
+    - F — the set of allowed attribute widths
+
+    Queries run with frequency 1 and touch 1 row per referenced table (the
+    paper specifies no row statistics for random instances).  Write
+    queries' accessed attributes are the attributes they update.
+
+    {!catalog} reproduces the named instances of Table 2 (plus the
+    [...t64x...] instances that appear in Table 3 only). *)
+
+type params = {
+  name : string;
+  num_tables : int;
+  num_transactions : int;          (** the paper's |T| *)
+  max_queries_per_txn : int;       (** A *)
+  update_percent : int;            (** B *)
+  max_attrs_per_table : int;       (** C *)
+  max_tables_per_query : int;      (** D *)
+  max_attrs_per_query : int;       (** E *)
+  widths : int array;              (** F *)
+}
+
+val default_params : params
+(** Table 1's defaults (bold): A = 3, B = 10, C = 15, D = 5, E = 15,
+    F = \{4, 8\}, with 20 tables and 20 transactions. *)
+
+val generate : ?seed:int -> params -> Vpart.Instance.t
+(** Deterministic for a given [(seed, params)] pair (default seed 42). *)
+
+val catalog : params list
+(** The named rndA/rndB instances of Table 2 (extended with t64). *)
+
+val find : string -> params
+(** Look up a catalog instance by name.  @raise Not_found. *)

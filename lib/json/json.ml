@@ -1,0 +1,356 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg =
+  (* Report a 1-based line/column for the current position. *)
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min st.pos (String.length st.src) - 1 do
+    if st.src.[i] = '\n' then begin incr line; col := 1 end else incr col
+  done;
+  raise (Parse_error (Printf.sprintf "line %d, column %d: %s" !line !col msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let n = String.length st.src in
+  while
+    st.pos < n
+    && (match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    advance st
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail st (Printf.sprintf "expected %C, found %C" c c')
+  | None -> fail st (Printf.sprintf "expected %C, found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "invalid literal (expected %s)" word)
+
+(* Encode a Unicode scalar value as UTF-8 into [buf]. *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let hex4 st =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek st with
+     | Some c ->
+       let d =
+         match c with
+         | '0' .. '9' -> Char.code c - Char.code '0'
+         | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+         | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+         | _ -> fail st "invalid hex digit in \\u escape"
+       in
+       v := (!v lsl 4) lor d;
+       advance st
+     | None -> fail st "truncated \\u escape")
+  done;
+  !v
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st; Buffer.contents buf
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+       | None -> fail st "truncated escape"
+       | Some c ->
+         advance st;
+         (match c with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+            let u = hex4 st in
+            if u >= 0xD800 && u <= 0xDBFF then begin
+              (* high surrogate: must be followed by \uDC00-\uDFFF *)
+              expect st '\\';
+              expect st 'u';
+              let lo = hex4 st in
+              if lo < 0xDC00 || lo > 0xDFFF then fail st "invalid low surrogate";
+              add_utf8 buf (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+            end
+            else add_utf8 buf u
+          | c -> fail st (Printf.sprintf "invalid escape \\%c" c)));
+      loop ()
+    | Some c when Char.code c < 0x20 -> fail st "raw control character in string"
+    | Some c -> advance st; Buffer.add_char buf c; loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> is_num_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  let integral =
+    not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text)
+  in
+  if integral then
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None ->
+      (match float_of_string_opt text with
+       | Some f -> Float f
+       | None -> fail st (Printf.sprintf "invalid number %S" text))
+  else
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail st (Printf.sprintf "invalid number %S" text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' -> parse_obj st
+  | Some '[' -> parse_list st
+  | Some '"' -> String (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin advance st; Obj [] end
+  else begin
+    let fields = ref [] in
+    let rec loop () =
+      skip_ws st;
+      let key = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      fields := (key, v) :: !fields;
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st; loop ()
+      | Some '}' -> advance st
+      | _ -> fail st "expected ',' or '}' in object"
+    in
+    loop ();
+    Obj (List.rev !fields)
+  end
+
+and parse_list st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin advance st; List [] end
+  else begin
+    let items = ref [] in
+    let rec loop () =
+      let v = parse_value st in
+      items := v :: !items;
+      skip_ws st;
+      match peek st with
+      | Some ',' -> advance st; loop ()
+      | Some ']' -> advance st
+      | _ -> fail st "expected ',' or ']' in array"
+    in
+    loop ();
+    List (List.rev !items)
+  end
+
+let of_string src =
+  let st = { src; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  (match peek st with
+   | None -> ()
+   | Some c -> fail st (Printf.sprintf "trailing garbage starting with %C" c));
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\b' -> Buffer.add_string buf "\\b"
+       | '\012' -> Buffer.add_string buf "\\f"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_json f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let to_string ?(minify = false) json =
+  let buf = Buffer.create 256 in
+  let indent n = Buffer.add_string buf (String.make (2 * n) ' ') in
+  let rec go depth json =
+    match json with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_to_json f)
+    | String s -> escape_string buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      if minify then begin
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i v ->
+             if i > 0 then Buffer.add_char buf ',';
+             go depth v)
+          items;
+        Buffer.add_char buf ']'
+      end
+      else begin
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i v ->
+             if i > 0 then Buffer.add_string buf ",\n";
+             indent (depth + 1);
+             go (depth + 1) v)
+          items;
+        Buffer.add_char buf '\n';
+        indent depth;
+        Buffer.add_char buf ']'
+      end
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      if minify then begin
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+             if i > 0 then Buffer.add_char buf ',';
+             escape_string buf k;
+             Buffer.add_char buf ':';
+             go depth v)
+          fields;
+        Buffer.add_char buf '}'
+      end
+      else begin
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+             if i > 0 then Buffer.add_string buf ",\n";
+             indent (depth + 1);
+             escape_string buf k;
+             Buffer.add_string buf ": ";
+             go (depth + 1) v)
+          fields;
+        Buffer.add_char buf '\n';
+        indent depth;
+        Buffer.add_char buf '}'
+      end
+  in
+  go 0 json;
+  Buffer.contents buf
+
+let pp ppf json = Format.pp_print_string ppf (to_string json)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+  | List _ -> "array"
+  | Obj _ -> "object"
+
+let shape_error expected json =
+  invalid_arg (Printf.sprintf "Json: expected %s, found %s" expected (type_name json))
+
+let member key = function
+  | Obj fields -> (try List.assoc key fields with Not_found -> Null)
+  | json -> shape_error (Printf.sprintf "object with field %S" key) json
+
+let member_opt key = function
+  | Obj fields -> List.assoc_opt key fields
+  | json -> shape_error (Printf.sprintf "object with field %S" key) json
+
+let to_list = function
+  | List items -> items
+  | json -> shape_error "array" json
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | json -> shape_error "number" json
+
+let to_int = function
+  | Int i -> i
+  | Float f when Float.is_integer f -> int_of_float f
+  | json -> shape_error "integer" json
+
+let to_bool = function
+  | Bool b -> b
+  | json -> shape_error "bool" json
+
+let to_str = function
+  | String s -> s
+  | json -> shape_error "string" json

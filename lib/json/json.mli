@@ -1,0 +1,55 @@
+(** Minimal JSON codec.
+
+    The sealed build environment ships no JSON library, so instance files and
+    experiment reports use this small, self-contained implementation.  It
+    supports the full JSON grammar (RFC 8259) minus the more exotic corners
+    of string escaping (\uXXXX escapes outside the BMP are decoded to UTF-8;
+    surrogate pairs are combined). *)
+
+(** A JSON document. Object fields keep their source order. *)
+type t =
+  | Null
+  | Bool of bool
+  | Int of int          (** numbers without fraction/exponent that fit [int] *)
+  | Float of float      (** every other number *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a human-readable position message. *)
+
+val of_string : string -> t
+(** Parse a complete JSON document. Trailing whitespace is allowed, trailing
+    garbage is not. @raise Parse_error on malformed input. *)
+
+val to_string : ?minify:bool -> t -> string
+(** Render a document. By default pretty-prints with two-space indentation;
+    [~minify:true] produces the compact single-line form. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print (same layout as {!to_string} without [minify]). *)
+
+(** {1 Accessors}
+
+    All accessors raise [Invalid_argument] with the offending path when the
+    shape does not match, which keeps instance-file error messages usable. *)
+
+val member : string -> t -> t
+(** [member key json] is the value of field [key]; [Null] if absent.
+    @raise Invalid_argument if [json] is not an object. *)
+
+val member_opt : string -> t -> t option
+(** Like {!member} but [None] when the field is absent. *)
+
+val to_list : t -> t list
+
+val to_float : t -> float
+(** Accepts both [Int] and [Float]. *)
+
+val to_int : t -> int
+(** Accepts integral [Float]s. *)
+
+val to_bool : t -> bool
+
+val to_str : t -> string

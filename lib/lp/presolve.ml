@@ -1,0 +1,244 @@
+type verdict = Reduced of Lp.std | Infeasible
+
+type t = {
+  verdict : verdict;
+  kept_cols : int array;
+  fixed : (int * float) array;
+  rows_removed : int;
+}
+
+let tol = 1e-9
+
+exception Infeasible_exn
+
+(* Mutable working copy of the problem. *)
+type work = {
+  ncols : int;
+  lb : float array;
+  ub : float array;
+  integer : bool array;
+  obj : float array;
+  mutable obj_const : float;
+  (* rows as mutable assoc lists; None entries are eliminated columns *)
+  rows : (int * float) list array;
+  rhs : float array;
+  cmp : Lp.cmp array;
+  alive : bool array;          (* rows *)
+  active : bool array;         (* columns *)
+  fixed_at : float option array;
+}
+
+let of_std (std : Lp.std) =
+  {
+    ncols = std.Lp.ncols;
+    lb = Array.copy std.Lp.lb;
+    ub = Array.copy std.Lp.ub;
+    integer = Array.copy std.Lp.integer;
+    obj = Array.copy std.Lp.obj;
+    obj_const = std.Lp.obj_const;
+    rows =
+      Array.init std.Lp.nrows (fun r ->
+          List.init
+            (Array.length std.Lp.row_idx.(r))
+            (fun k -> (std.Lp.row_idx.(r).(k), std.Lp.row_val.(r).(k))));
+    rhs = Array.copy std.Lp.rhs;
+    cmp = Array.copy std.Lp.row_cmp;
+    alive = Array.make std.Lp.nrows true;
+    active = Array.make std.Lp.ncols true;
+    fixed_at = Array.make std.Lp.ncols None;
+  }
+
+(* Tighten a variable bound, rounding inward for integer variables. *)
+let tighten_lb w j v =
+  let v = if w.integer.(j) then Float.ceil (v -. 1e-6) else v in
+  if v > w.lb.(j) +. tol then begin
+    w.lb.(j) <- v;
+    if w.lb.(j) > w.ub.(j) +. 1e-7 then raise Infeasible_exn;
+    true
+  end
+  else false
+
+let tighten_ub w j v =
+  let v = if w.integer.(j) then Float.floor (v +. 1e-6) else v in
+  if v < w.ub.(j) -. tol then begin
+    w.ub.(j) <- v;
+    if w.lb.(j) > w.ub.(j) +. 1e-7 then raise Infeasible_exn;
+    true
+  end
+  else false
+
+let fix_variable w j v =
+  w.fixed_at.(j) <- Some v;
+  w.active.(j) <- false;
+  w.obj_const <- w.obj_const +. (w.obj.(j) *. v);
+  Array.iteri
+    (fun r entries ->
+       if w.alive.(r) then begin
+         match List.assoc_opt j entries with
+         | None -> ()
+         | Some a ->
+           w.rhs.(r) <- w.rhs.(r) -. (a *. v);
+           w.rows.(r) <- List.filter (fun (j', _) -> j' <> j) entries
+       end)
+    w.rows
+
+let pass w =
+  let changed = ref false in
+  (* fixed variables *)
+  for j = 0 to w.ncols - 1 do
+    if w.active.(j) && w.ub.(j) -. w.lb.(j) <= tol then begin
+      fix_variable w j ((w.lb.(j) +. w.ub.(j)) /. 2.);
+      changed := true
+    end
+  done;
+  (* row reductions *)
+  Array.iteri
+    (fun r entries ->
+       if w.alive.(r) then
+         match entries with
+         | [] ->
+           let ok =
+             match w.cmp.(r) with
+             | Lp.Le -> w.rhs.(r) >= -1e-7
+             | Lp.Ge -> w.rhs.(r) <= 1e-7
+             | Lp.Eq -> Float.abs w.rhs.(r) <= 1e-7
+           in
+           if not ok then raise Infeasible_exn;
+           w.alive.(r) <- false;
+           changed := true
+         | [ (j, a) ] when Float.abs a > tol ->
+           let bound = w.rhs.(r) /. a in
+           (match w.cmp.(r), a > 0. with
+            | Lp.Le, true | Lp.Ge, false -> ignore (tighten_ub w j bound)
+            | Lp.Le, false | Lp.Ge, true -> ignore (tighten_lb w j bound)
+            | Lp.Eq, _ ->
+              ignore (tighten_lb w j bound);
+              ignore (tighten_ub w j bound));
+           w.alive.(r) <- false;
+           changed := true
+         | entries ->
+           (* activity bounds *)
+           let minact = ref 0. and maxact = ref 0. in
+           List.iter
+             (fun (j, a) ->
+                let lo = w.lb.(j) and hi = w.ub.(j) in
+                if a > 0. then begin
+                  minact := !minact +. (a *. lo);
+                  maxact := !maxact +. (a *. hi)
+                end
+                else begin
+                  minact := !minact +. (a *. hi);
+                  maxact := !maxact +. (a *. lo)
+                end)
+             entries;
+           let feas_tol = 1e-7 *. (1. +. Float.abs w.rhs.(r)) in
+           (match w.cmp.(r) with
+            | Lp.Le ->
+              if !minact > w.rhs.(r) +. feas_tol then raise Infeasible_exn;
+              if !maxact <= w.rhs.(r) +. (feas_tol /. 10.) then begin
+                w.alive.(r) <- false;
+                changed := true
+              end
+            | Lp.Ge ->
+              if !maxact < w.rhs.(r) -. feas_tol then raise Infeasible_exn;
+              if !minact >= w.rhs.(r) -. (feas_tol /. 10.) then begin
+                w.alive.(r) <- false;
+                changed := true
+              end
+            | Lp.Eq ->
+              if
+                !minact > w.rhs.(r) +. feas_tol
+                || !maxact < w.rhs.(r) -. feas_tol
+              then raise Infeasible_exn))
+    w.rows;
+  !changed
+
+let rebuild (std : Lp.std) w =
+  let kept = ref [] in
+  for j = w.ncols - 1 downto 0 do
+    if w.active.(j) then kept := j :: !kept
+  done;
+  let kept_cols = Array.of_list !kept in
+  let new_index = Array.make w.ncols (-1) in
+  Array.iteri (fun i j -> new_index.(j) <- i) kept_cols;
+  let rows = ref [] in
+  for r = Array.length w.rows - 1 downto 0 do
+    if w.alive.(r) then begin
+      let entries =
+        List.filter_map
+          (fun (j, a) ->
+             if Float.abs a <= tol then None else Some (new_index.(j), a))
+          w.rows.(r)
+      in
+      rows := (entries, w.cmp.(r), w.rhs.(r)) :: !rows
+    end
+  done;
+  let rows = Array.of_list !rows in
+  let nkept = Array.length kept_cols in
+  let reduced : Lp.std =
+    {
+      Lp.std_name = std.Lp.std_name ^ "/presolved";
+      ncols = nkept;
+      nrows = Array.length rows;
+      obj = Array.map (fun j -> w.obj.(j)) kept_cols;
+      obj_const = w.obj_const;
+      lb = Array.map (fun j -> w.lb.(j)) kept_cols;
+      ub = Array.map (fun j -> w.ub.(j)) kept_cols;
+      integer = Array.map (fun j -> w.integer.(j)) kept_cols;
+      row_idx =
+        Array.map (fun (entries, _, _) -> Array.of_list (List.map fst entries)) rows;
+      row_val =
+        Array.map (fun (entries, _, _) -> Array.of_list (List.map snd entries)) rows;
+      rhs = Array.map (fun (_, _, rhs) -> rhs) rows;
+      row_cmp = Array.map (fun (_, cmp, _) -> cmp) rows;
+      maximize = std.Lp.maximize;
+    }
+  in
+  let fixed = ref [] in
+  Array.iteri
+    (fun j v -> match v with Some value -> fixed := (j, value) :: !fixed | None -> ())
+    w.fixed_at;
+  {
+    verdict = Reduced reduced;
+    kept_cols;
+    fixed = Array.of_list (List.rev !fixed);
+    rows_removed = std.Lp.nrows - Array.length rows;
+  }
+
+let reduce (std : Lp.std) =
+  let w = of_std std in
+  match
+    let continue_ = ref true in
+    while !continue_ do
+      continue_ := pass w
+    done
+  with
+  | () -> rebuild std w
+  | exception Infeasible_exn ->
+    {
+      verdict = Infeasible;
+      kept_cols = [||];
+      fixed = [||];
+      rows_removed = 0;
+    }
+
+let restore t reduced_solution =
+  match t.verdict with
+  | Infeasible -> invalid_arg "Presolve.restore: infeasible problem"
+  | Reduced reduced ->
+    if Array.length reduced_solution <> reduced.Lp.ncols then
+      invalid_arg "Presolve.restore: solution length mismatch";
+    let n =
+      Array.length t.kept_cols + Array.length t.fixed
+    in
+    let out = Array.make n 0. in
+    Array.iteri (fun i j -> out.(j) <- reduced_solution.(i)) t.kept_cols;
+    Array.iter (fun (j, v) -> out.(j) <- v) t.fixed;
+    out
+
+let pp_summary ppf t =
+  match t.verdict with
+  | Infeasible -> Format.fprintf ppf "presolve: infeasible"
+  | Reduced reduced ->
+    Format.fprintf ppf "presolve: %d cols fixed, %d rows removed (now %dx%d)"
+      (Array.length t.fixed) t.rows_removed reduced.Lp.nrows reduced.Lp.ncols

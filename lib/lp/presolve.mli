@@ -1,0 +1,41 @@
+(** LP/MIP presolve: standard reductions applied before the simplex.
+
+    Implemented reductions (repeated to a fixed point):
+
+    - {b empty rows}: [0 cmp rhs] — removed, or the whole problem declared
+      infeasible;
+    - {b singleton rows}: [a·x cmp rhs] — converted into a bound on [x]
+      (rounded inward for integer variables) and removed;
+    - {b fixed variables} ([lb = ub]): substituted into every row and the
+      objective, column removed;
+    - {b forcing/redundant rows}: rows whose minimum/maximum activity over
+      the variable bounds already implies (or contradicts) the row.
+
+    The result keeps a mapping back to the original variable space, so a
+    solution of the reduced problem can be {!restore}d.  Reductions are
+    sound for both continuous and integer variables (bounds on integer
+    variables are rounded inward). *)
+
+type verdict =
+  | Reduced of Lp.std   (** possibly smaller problem *)
+  | Infeasible          (** detected before any simplex work *)
+
+type t = {
+  verdict : verdict;
+  kept_cols : int array;
+      (** reduced column index -> original column index *)
+  fixed : (int * float) array;
+      (** original columns eliminated as fixed, with their values *)
+  rows_removed : int;
+}
+
+val reduce : Lp.std -> t
+(** Apply all reductions to a fixed point. *)
+
+val restore : t -> float array -> float array
+(** Map a reduced-space structural solution back to the original space
+    (fixed variables get their fixed values).
+    @raise Invalid_argument on a length mismatch. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One line: columns/rows removed. *)

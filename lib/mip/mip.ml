@@ -1,0 +1,305 @@
+type limits = {
+  time_limit : float option;
+  node_limit : int option;
+  gap : float;
+  max_rows : int option;
+}
+
+let default_limits =
+  { time_limit = Some 60.; node_limit = None; gap = 1e-3; max_rows = Some 4000 }
+
+type solution = { x : float array; obj : float }
+
+type outcome =
+  | Optimal of solution
+  | Feasible of solution * float
+  | No_incumbent of float option
+  | Infeasible
+  | Unbounded
+  | Too_large of int
+
+type stats = {
+  nodes : int;
+  simplex_iterations : int;
+  elapsed : float;
+  gap_achieved : float;
+}
+
+let int_tol = 1e-6
+
+type search = {
+  std : Lp.std;
+  sx : Simplex.t;
+  limits : limits;
+  priority : int -> int;
+  heuristic : (float array -> float array option) option;
+  start : float;
+  deadline : float option;
+  int_vars : int array;
+  mutable incumbent : float array option;   (* minimization-sense best point *)
+  mutable incumbent_obj : float;
+  (* Bounds of nodes pushed on the DFS path but not yet fully explored;
+     the global lower bound is the minimum over this table (plus the node
+     currently being expanded, which always registers before recursing). *)
+  open_bounds : (int, float) Hashtbl.t;
+  mutable next_node_id : int;
+  mutable nodes : int;
+  mutable numerical_prunes : int;
+}
+
+exception Hit_limit
+
+exception Gap_reached of float
+(* carries the global lower bound proven at the moment the MIP gap
+   criterion was satisfied *)
+
+let out_of_time s =
+  match s.deadline with None -> false | Some d -> Unix.gettimeofday () > d
+
+let global_lower_bound s current =
+  Hashtbl.fold (fun _ b acc -> Float.min b acc) s.open_bounds current
+
+let rel_gap inc lb =
+  if inc = infinity then infinity
+  else (inc -. lb) /. Float.max 1. (Float.abs inc)
+
+let check_gap s current_lb =
+  match s.incumbent with
+  | None -> ()
+  | Some _ ->
+    let glb = global_lower_bound s current_lb in
+    if rel_gap s.incumbent_obj glb <= s.limits.gap then raise (Gap_reached glb)
+
+(* Round integer coordinates of [x]; returns a fresh array. *)
+let round_integers std x =
+  let y = Array.copy x in
+  Array.iteri
+    (fun j is_int -> if is_int then y.(j) <- Float.round y.(j))
+    std.Lp.integer;
+  y
+
+(* Try to install [cand] as the new incumbent.  The candidate is vetted
+   against the original model (bounds, rows, integrality). *)
+let offer s cand =
+  let cand = round_integers s.std cand in
+  if Lp.check_feasible ~tol:1e-5 s.std cand then begin
+    let obj = Lp.eval_objective s.std cand in
+    if obj < s.incumbent_obj -. 1e-9 then begin
+      s.incumbent <- Some cand;
+      s.incumbent_obj <- obj;
+      true
+    end
+    else false
+  end
+  else false
+
+let most_fractional s x =
+  let best = ref (-1) and best_frac = ref int_tol and best_prio = ref min_int in
+  Array.iter
+    (fun j ->
+       let f = Float.abs (x.(j) -. Float.round x.(j)) in
+       if f > int_tol then begin
+         let p = s.priority j in
+         if p > !best_prio || (p = !best_prio && f > !best_frac) then begin
+           best := j;
+           best_frac := f;
+           best_prio := p
+         end
+       end)
+    s.int_vars;
+  if !best < 0 then None else Some !best
+
+let rec branch s depth =
+  if out_of_time s then raise Hit_limit;
+  (match s.limits.node_limit with
+   | Some n when s.nodes >= n -> raise Hit_limit
+   | _ -> ());
+  s.nodes <- s.nodes + 1;
+  match Simplex.reoptimize ?deadline:s.deadline s.sx with
+  | Simplex.Infeasible -> ()
+  | Simplex.Time_limit -> raise Hit_limit
+  | Simplex.Iter_limit | Simplex.Numerical ->
+    (* Cannot trust this subtree's relaxation; abandoning it loses the
+       optimality proof, which the caller reports via the gap. *)
+    s.numerical_prunes <- s.numerical_prunes + 1
+  | Simplex.Unbounded -> ()  (* cannot happen from reoptimize *)
+  | Simplex.Optimal ->
+    let bound = Simplex.objective s.sx +. s.std.Lp.obj_const in
+    if bound >= s.incumbent_obj -. 1e-9 *. Float.max 1. (Float.abs s.incumbent_obj)
+    then ()
+    else begin
+      let x = Simplex.primal s.sx in
+      match most_fractional s x with
+      | None ->
+        if not (offer s x) then
+          (* Rounding failed the vet (tolerance artifact): accept the raw
+             relaxation point, which is integral within int_tol. *)
+          if bound < s.incumbent_obj -. 1e-9 then begin
+            s.incumbent <- Some (round_integers s.std x);
+            s.incumbent_obj <- bound
+          end
+      | Some j ->
+        (match s.heuristic with
+         | Some h when s.nodes land 31 = 1 ->
+           (match h x with Some cand -> ignore (offer s cand) | None -> ())
+         | _ -> ());
+        check_gap s bound;
+        let lo, hi = Simplex.bounds s.sx j in
+        let fl = Float.of_int (int_of_float (Float.floor x.(j)))
+        and ce = Float.of_int (int_of_float (Float.ceil x.(j))) in
+        let explore side =
+          (match side with
+           | `Down -> Simplex.set_bounds s.sx j ~lb:lo ~ub:fl
+           | `Up -> Simplex.set_bounds s.sx j ~lb:ce ~ub:hi);
+          branch s (depth + 1);
+          Simplex.set_bounds s.sx j ~lb:lo ~ub:hi
+        in
+        let first, second =
+          if x.(j) -. fl >= 0.5 then (`Up, `Down) else (`Down, `Up)
+        in
+        (* Register this node's bound for the sibling subtree so the global
+           lower bound stays valid while we are inside the first child. *)
+        let id = s.next_node_id in
+        s.next_node_id <- id + 1;
+        Hashtbl.replace s.open_bounds id bound;
+        (try explore first
+         with e ->
+           Hashtbl.remove s.open_bounds id;
+           raise e);
+        Hashtbl.remove s.open_bounds id;
+        explore second
+    end
+
+let pp_outcome ppf = function
+  | Optimal { obj; _ } -> Format.fprintf ppf "optimal %g" obj
+  | Feasible ({ obj; _ }, bound) ->
+    Format.fprintf ppf "feasible %g (bound %g)" obj bound
+  | No_incumbent (Some b) -> Format.fprintf ppf "no incumbent (bound %g)" b
+  | No_incumbent None -> Format.fprintf ppf "no incumbent"
+  | Infeasible -> Format.fprintf ppf "infeasible"
+  | Unbounded -> Format.fprintf ppf "unbounded"
+  | Too_large n -> Format.fprintf ppf "too large (%d rows)" n
+
+let solve ?(limits = default_limits) ?(presolve = false)
+    ?(priority = fun _ -> 0) ?heuristic ?incumbent model =
+  let original_std = Lp.standardize model in
+  (* Optional presolve: solve the reduced problem and map every solution
+     (and the callbacks' variable spaces) back to the original. *)
+  let std, restore, project, priority, heuristic, incumbent =
+    if not presolve then
+      (original_std, Fun.id, Fun.id, priority, heuristic, incumbent)
+    else
+      match Presolve.reduce original_std with
+      | { Presolve.verdict = Presolve.Infeasible; _ } ->
+        (* signalled via an empty, contradictory problem *)
+        let m = Lp.create ~name:"infeasible" () in
+        let x = Lp.add_var m ~lb:0. ~ub:0. () in
+        Lp.add_constr m [ (1., x) ] Lp.Ge 1.;
+        (Lp.standardize m, Fun.id, Fun.id, priority, None, None)
+      | { Presolve.verdict = Presolve.Reduced red; kept_cols; _ } as r ->
+        let restore x = Presolve.restore r x in
+        let project full = Array.map (fun j -> full.(j)) kept_cols in
+        let priority j = priority kept_cols.(j) in
+        let heuristic =
+          Option.map
+            (fun h x_red -> Option.map project (h (restore x_red)))
+            heuristic
+        in
+        let incumbent = Option.map project incumbent in
+        (red, restore, project, priority, heuristic, incumbent)
+  in
+  ignore project;
+  let start = Unix.gettimeofday () in
+  let finish outcome ~nodes ~iters ~gap_achieved =
+    let outcome =
+      match outcome with
+      | Optimal s -> Optimal { s with x = restore s.x }
+      | Feasible (s, b) -> Feasible ({ s with x = restore s.x }, b)
+      | o -> o
+    in
+    (outcome,
+     { nodes;
+       simplex_iterations = iters;
+       elapsed = Unix.gettimeofday () -. start;
+       gap_achieved })
+  in
+  match limits.max_rows with
+  | Some r when std.Lp.nrows > r ->
+    finish (Too_large std.Lp.nrows) ~nodes:0 ~iters:0 ~gap_achieved:infinity
+  | _ ->
+    let sx = Simplex.create std in
+    let deadline = Option.map (fun tl -> start +. tl) limits.time_limit in
+    let int_vars =
+      Array.of_list
+        (List.filter
+           (fun j -> std.Lp.integer.(j))
+           (List.init std.Lp.ncols (fun j -> j)))
+    in
+    let s =
+      {
+        std; sx; limits; priority; heuristic; start; deadline; int_vars;
+        incumbent = None;
+        incumbent_obj = infinity;
+        open_bounds = Hashtbl.create 64;
+        next_node_id = 0;
+        nodes = 0;
+        numerical_prunes = 0;
+      }
+    in
+    (match incumbent with Some c -> ignore (offer s c) | None -> ());
+    let root_status = Simplex.reoptimize ?deadline s.sx in
+    (match root_status with
+     | Simplex.Infeasible ->
+       finish Infeasible ~nodes:1 ~iters:(Simplex.iterations sx)
+         ~gap_achieved:infinity
+     | Simplex.Time_limit | Simplex.Iter_limit | Simplex.Numerical ->
+       let out =
+         match s.incumbent with
+         | Some x -> Feasible ({ x; obj = Lp.restore_objective std s.incumbent_obj },
+                               Lp.restore_objective std neg_infinity)
+         | None -> No_incumbent None
+       in
+       finish out ~nodes:1 ~iters:(Simplex.iterations sx) ~gap_achieved:infinity
+     | Simplex.Optimal | Simplex.Unbounded ->
+       (* The incremental interface cannot return Unbounded; detect patched
+          bounds explicitly via the solution magnitude. *)
+       let root_x = Simplex.primal sx in
+       if Array.exists (fun v -> Float.abs v > 1e9) root_x then
+         finish Unbounded ~nodes:1 ~iters:(Simplex.iterations sx)
+           ~gap_achieved:infinity
+       else begin
+         let root_bound = Simplex.objective sx +. std.Lp.obj_const in
+         (* Root heuristic. *)
+         (match heuristic with
+          | Some h ->
+            (match h root_x with Some cand -> ignore (offer s cand) | None -> ())
+          | None -> ());
+         let interrupted, proven_lb =
+           try
+             branch s 0;
+             (* Search exhausted: the proof is complete up to numerical
+                prunes. *)
+             if s.numerical_prunes = 0 then (false, s.incumbent_obj)
+             else (false, root_bound)
+           with
+           | Hit_limit -> (true, global_lower_bound s root_bound)
+           | Gap_reached glb -> (true, glb)
+         in
+         let iters = Simplex.iterations sx in
+         let lb_min = proven_lb in
+         match s.incumbent with
+         | None ->
+           if interrupted then
+             finish (No_incumbent (Some (Lp.restore_objective std lb_min)))
+               ~nodes:s.nodes ~iters ~gap_achieved:infinity
+           else
+             finish Infeasible ~nodes:s.nodes ~iters ~gap_achieved:infinity
+         | Some x ->
+           let sol = { x; obj = Lp.restore_objective std s.incumbent_obj } in
+           let g = rel_gap s.incumbent_obj lb_min in
+           if (not interrupted) || g <= limits.gap then
+             finish (Optimal sol) ~nodes:s.nodes ~iters ~gap_achieved:(Float.max g 0.)
+           else
+             finish (Feasible (sol, Lp.restore_objective std lb_min))
+               ~nodes:s.nodes ~iters ~gap_achieved:g
+       end)

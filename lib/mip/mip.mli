@@ -1,0 +1,70 @@
+(** Branch-and-bound mixed-integer programming solver.
+
+    Together with {!Vpart_lp.Lp} and {!Vpart_simplex.Simplex} this replaces
+    the GLPK MIP solver the paper used: the linearized program (7) is handed
+    to {!solve} with a time limit and a relative MIP gap, mirroring the
+    paper's 30-minute / 0.1 %-gap setup.
+
+    The search is depth-first with a single warm-started dual-simplex
+    instance: branching only changes variable bounds, and any basis stays
+    dual feasible under bound changes, so each node costs one warm
+    {!Vpart_simplex.Simplex.reoptimize}.  Branching picks the most
+    fractional integer variable, preferring higher [priority] values;
+    the child closer to the fractional value is explored first.  An
+    optional domain [heuristic] is consulted at the root and periodically
+    to produce early incumbents (the vertical-partitioning solver plugs in
+    a rounding/repair procedure there). *)
+
+type limits = {
+  time_limit : float option;  (** wall-clock seconds for the whole solve *)
+  node_limit : int option;
+  gap : float;                (** relative MIP gap at which to stop, e.g. 0.001 *)
+  max_rows : int option;      (** refuse models with more rows (dense basis inverse) *)
+}
+
+val default_limits : limits
+(** 60 s, unlimited nodes, gap 0.001, 4000 rows. *)
+
+type solution = {
+  x : float array;  (** structural values; integer variables are integral *)
+  obj : float;      (** objective in the model's original sense *)
+}
+
+type outcome =
+  | Optimal of solution        (** proven optimal within [gap] *)
+  | Feasible of solution * float
+      (** a limit was hit; the float is the best proven bound
+          (lower bound for minimization, in the original sense) *)
+  | No_incumbent of float option
+      (** a limit was hit before any integer solution was found *)
+  | Infeasible
+  | Unbounded
+  | Too_large of int           (** the model has this many rows, above [max_rows] *)
+
+type stats = {
+  nodes : int;
+  simplex_iterations : int;
+  elapsed : float;          (** seconds *)
+  gap_achieved : float;     (** relative gap at termination; [infinity] if unknown *)
+}
+
+val solve :
+  ?limits:limits ->
+  ?presolve:bool ->
+  ?priority:(Lp.var -> int) ->
+  ?heuristic:(float array -> float array option) ->
+  ?incumbent:float array ->
+  Lp.model ->
+  outcome * stats
+(** Solve the model.  [priority v] orders branching candidates (higher
+    first; default 0).  [heuristic lp_point] may propose a full structural
+    assignment built from the current LP relaxation point; proposals are
+    vetted against the model before acceptance.  [incumbent] seeds the
+    search with a known feasible point (vetted likewise).
+
+    With [~presolve:true] (default false) the model is reduced with
+    {!Presolve} first; returned solutions are mapped back to the original
+    variable space, and the [priority]/[heuristic]/[incumbent] callbacks
+    continue to see original-space indices/points. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,180 @@
+open Vpart
+
+(* A fraction: the slice of a table stored on one site, as a heap of
+   fixed-width rows plus the byte layout of each stored attribute. *)
+type frag = {
+  heap : Heap.t;
+  layout : (int * (int * int)) list;  (* attr id -> (offset, width) *)
+}
+
+type t = {
+  instance : Instance.t;
+  part : Partitioning.t;
+  frags : frag option array array;    (* [site].(table) *)
+  mutable network : float;
+}
+
+type counters = {
+  bytes_read : float;
+  bytes_written : float;
+  bytes_transferred : float;
+}
+
+let synthetic_row width seed =
+  Bytes.init width (fun i -> Char.chr ((seed + (i * 31)) land 0xff))
+
+let deploy ?(table_rows = []) (inst : Instance.t) (part : Partitioning.t) =
+  let schema = inst.Instance.schema and wl = inst.Instance.workload in
+  let stats = Stats.compute inst ~p:1. in
+  (match Partitioning.validate stats part with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Cluster.deploy: invalid partitioning: " ^ e));
+  let ns = part.Partitioning.num_sites in
+  let ntab = Schema.num_tables schema in
+  (* minimum rows any query scans, per table *)
+  let min_rows = Array.make ntab 0 in
+  for qid = 0 to Workload.num_queries wl - 1 do
+    List.iter
+      (fun (tid, rows) ->
+         min_rows.(tid) <- max min_rows.(tid) (int_of_float (Float.ceil rows)))
+      (Workload.query wl qid).Workload.tables
+  done;
+  let frags =
+    Array.init ns (fun s ->
+        Array.init ntab (fun tid ->
+            let attrs =
+              List.filter
+                (fun a -> part.Partitioning.placed.(a).(s))
+                (Schema.attrs_of_table schema tid)
+            in
+            if attrs = [] then None
+            else begin
+              let layout = ref [] and off = ref 0 in
+              List.iter
+                (fun a ->
+                   let w = Schema.attr_width schema a in
+                   layout := (a, (!off, w)) :: !layout;
+                   off := !off + w)
+                attrs;
+              let heap = Heap.create ~width:!off () in
+              let rows =
+                let named =
+                  List.assoc_opt (Schema.table_name schema tid) table_rows
+                in
+                max (Option.value named ~default:64) min_rows.(tid)
+              in
+              for r = 0 to rows - 1 do
+                ignore (Heap.append heap (synthetic_row !off (r + (17 * tid))))
+              done;
+              Heap.reset_counters heap;
+              Some { heap; layout = List.rev !layout }
+            end))
+  in
+  { instance = inst; part; frags; network = 0. }
+
+let execute_query t ~txn qid =
+  let inst = t.instance in
+  let schema = inst.Instance.schema in
+  let q = Workload.query inst.Instance.workload qid in
+  let home = t.part.Partitioning.txn_site.(txn) in
+  let ns = t.part.Partitioning.num_sites in
+  if Workload.is_write q then begin
+    (* write the full fraction row on every hosting site *)
+    List.iter
+      (fun (tid, rows) ->
+         let n = int_of_float (Float.round rows) in
+         for s = 0 to ns - 1 do
+           match t.frags.(s).(tid) with
+           | None -> ()
+           | Some frag ->
+             let width = Heap.width frag.heap in
+             let payload = synthetic_row width qid in
+             for r = 0 to n - 1 do
+               Heap.write_row frag.heap (r mod Heap.count frag.heap) payload
+             done
+         done)
+      q.Workload.tables;
+    (* ship the updated attributes to non-home replicas *)
+    List.iter
+      (fun a ->
+         let tid = Schema.table_of_attr schema a in
+         let rows =
+           match Workload.rows_for_table q tid with Some r -> r | None -> 0.
+         in
+         let w = float_of_int (Schema.attr_width schema a) in
+         for s = 0 to ns - 1 do
+           if s <> home && t.part.Partitioning.placed.(a).(s) then
+             t.network <- t.network +. (w *. rows)
+         done)
+      q.Workload.attrs
+  end
+  else
+    (* scan the local fraction of every touched table at the home site *)
+    List.iter
+      (fun (tid, rows) ->
+         match t.frags.(home).(tid) with
+         | None -> ()
+         | Some frag ->
+           let n = int_of_float (Float.round rows) in
+           Heap.scan frag.heap ~limit:n (fun _ _ -> ()))
+      q.Workload.tables
+
+let execute_transaction t txn =
+  List.iter
+    (fun qid -> execute_query t ~txn qid)
+    (Workload.transaction t.instance.Instance.workload txn).Workload.queries
+
+let run_workload t =
+  let wl = t.instance.Instance.workload in
+  for txn = 0 to Workload.num_transactions wl - 1 do
+    List.iter
+      (fun qid ->
+         let q = Workload.query wl qid in
+         let reps = int_of_float (Float.round q.Workload.freq) in
+         for _ = 1 to reps do
+           execute_query t ~txn qid
+         done)
+      (Workload.transaction wl txn).Workload.queries
+  done
+
+let counters t =
+  let reads = ref 0. and writes = ref 0. in
+  Array.iter
+    (Array.iter (function
+       | None -> ()
+       | Some frag ->
+         reads := !reads +. Heap.bytes_read frag.heap;
+         writes := !writes +. Heap.bytes_written frag.heap))
+    t.frags;
+  { bytes_read = !reads; bytes_written = !writes; bytes_transferred = t.network }
+
+let storage_bytes_per_site t =
+  Array.map
+    (fun site ->
+       Array.fold_left
+         (fun acc f ->
+            match f with
+            | None -> acc
+            | Some frag -> acc +. float_of_int (Heap.storage_bytes frag.heap))
+         0. site)
+    t.frags
+
+let fraction_row t ~site ~table rid =
+  match t.frags.(site).(table) with
+  | None -> None
+  | Some frag -> Some (Heap.read_row frag.heap rid)
+
+let attribute_value t ~site ~attr rid =
+  let table = Schema.table_of_attr t.instance.Instance.schema attr in
+  match t.frags.(site).(table) with
+  | None -> None
+  | Some frag ->
+    (match List.assoc_opt attr frag.layout with
+     | None -> None
+     | Some (off, len) -> Some (Heap.read_field frag.heap rid ~off ~len))
+
+let reset t =
+  t.network <- 0.;
+  Array.iter
+    (Array.iter (function None -> () | Some frag -> Heap.reset_counters frag.heap))
+    t.frags

@@ -1,0 +1,65 @@
+(** Byte-level deployment of a vertical partitioning.
+
+    Where {!Vpart_engine.Engine} {e counts} what the execution rules would
+    move, this module actually {e moves} the bytes: it materializes every
+    (table, site) fraction as a {!Heap} of fixed-width rows filled with
+    synthetic tuples and executes workload queries as physical scans and
+    row writes.  The heaps' I/O counters plus the cluster's network counter
+    then {e measure} the quantities the paper's cost model estimates.
+
+    Execution rules (the model's §2.1 semantics):
+
+    - a read query scans, at its transaction's home site, [n_r] rows of the
+      local fraction of every table it touches (row stores read whole
+      fraction rows);
+    - a write query writes [n_r] full fraction rows on {e every} site
+      holding a fraction of a touched table, and ships each updated
+      attribute's bytes to every non-home site holding it.
+
+    [run_workload] executes each query [round f_q] times, so when all
+    frequencies and row counts are integral (true for every built-in
+    instance) the measured byte counts equal
+    {!Vpart.Cost_model.breakdown} exactly — asserted by the test suite. *)
+
+type t
+
+type counters = {
+  bytes_read : float;
+  bytes_written : float;
+  bytes_transferred : float;
+}
+
+val deploy :
+  ?table_rows:(string * int) list ->
+  Vpart.Instance.t -> Vpart.Partitioning.t -> t
+(** Materialize fraction heaps and fill them with synthetic rows
+    ([table_rows] by table name; default 64, and never fewer than the
+    largest per-query row count so scans are never short).
+    @raise Invalid_argument if the partitioning does not validate. *)
+
+val execute_query : t -> txn:int -> int -> unit
+(** Execute one occurrence of a query of the given transaction (physical
+    scans/writes at its statistical row count). *)
+
+val execute_transaction : t -> int -> unit
+
+val run_workload : t -> unit
+(** Execute every query [round f_q] times. *)
+
+val counters : t -> counters
+(** Cumulative measured I/O since deployment or the last {!reset}. *)
+
+val storage_bytes_per_site : t -> float array
+(** Physically reserved heap bytes per site. *)
+
+val fraction_row : t -> site:int -> table:int -> int -> bytes option
+(** Copy a raw fraction row (for inspection/tests); [None] if the site
+    holds no fraction of the table.  Counted as a read. *)
+
+val attribute_value : t -> site:int -> attr:int -> int -> bytes option
+(** Copy one attribute's bytes out of a fraction row using the fraction's
+    layout; [None] when the site does not store the attribute.  Counted as
+    a read of the attribute's width. *)
+
+val reset : t -> unit
+(** Zero all I/O counters (storage is kept). *)

@@ -1,0 +1,91 @@
+type t = {
+  row_width : int;
+  mutable data : Bytes.t;
+  mutable rows : int;
+  mutable reads : float;
+  mutable writes : float;
+}
+
+let create ?(initial_capacity = 64) ~width () =
+  if width <= 0 then invalid_arg "Heap.create: width must be positive";
+  let cap = max 1 initial_capacity in
+  {
+    row_width = width;
+    data = Bytes.create (cap * width);
+    rows = 0;
+    reads = 0.;
+    writes = 0.;
+  }
+
+let width t = t.row_width
+
+let count t = t.rows
+
+let storage_bytes t = Bytes.length t.data
+
+let ensure_capacity t =
+  let needed = (t.rows + 1) * t.row_width in
+  if needed > Bytes.length t.data then begin
+    let grown = Bytes.create (max needed (2 * Bytes.length t.data)) in
+    Bytes.blit t.data 0 grown 0 (t.rows * t.row_width);
+    t.data <- grown
+  end
+
+let check_rid t rid fn =
+  if rid < 0 || rid >= t.rows then
+    invalid_arg (Printf.sprintf "Heap.%s: row %d out of %d" fn rid t.rows)
+
+let append t row =
+  if Bytes.length row <> t.row_width then
+    invalid_arg "Heap.append: row width mismatch";
+  ensure_capacity t;
+  Bytes.blit row 0 t.data (t.rows * t.row_width) t.row_width;
+  t.rows <- t.rows + 1;
+  t.writes <- t.writes +. float_of_int t.row_width;
+  t.rows - 1
+
+let read_row t rid =
+  check_rid t rid "read_row";
+  let out = Bytes.create t.row_width in
+  Bytes.blit t.data (rid * t.row_width) out 0 t.row_width;
+  t.reads <- t.reads +. float_of_int t.row_width;
+  out
+
+let write_row t rid row =
+  check_rid t rid "write_row";
+  if Bytes.length row <> t.row_width then
+    invalid_arg "Heap.write_row: row width mismatch";
+  Bytes.blit row 0 t.data (rid * t.row_width) t.row_width;
+  t.writes <- t.writes +. float_of_int t.row_width
+
+let read_field t rid ~off ~len =
+  check_rid t rid "read_field";
+  if off < 0 || len < 0 || off + len > t.row_width then
+    invalid_arg "Heap.read_field: out of row bounds";
+  let out = Bytes.create len in
+  Bytes.blit t.data ((rid * t.row_width) + off) out 0 len;
+  t.reads <- t.reads +. float_of_int len;
+  out
+
+let write_field t rid ~off ~len value =
+  check_rid t rid "write_field";
+  if off < 0 || len < 0 || off + len > t.row_width then
+    invalid_arg "Heap.write_field: out of row bounds";
+  if Bytes.length value <> len then
+    invalid_arg "Heap.write_field: value length mismatch";
+  Bytes.blit value 0 t.data ((rid * t.row_width) + off) len;
+  t.writes <- t.writes +. float_of_int len
+
+let scan t ?limit f =
+  let n = match limit with Some l -> min l t.rows | None -> t.rows in
+  for rid = 0 to n - 1 do
+    f rid (read_row t rid)
+  done
+
+let bytes_read t = t.reads
+
+let bytes_written t = t.writes
+
+let reset_counters t =
+  t.reads <- 0.;
+  t.writes <- 0.

@@ -1,0 +1,52 @@
+(** Fixed-width in-memory heap file with byte-level I/O accounting.
+
+    The lowest layer of the row-store substrate: a growable array of
+    fixed-width rows stored contiguously in [Bytes.t] segments, as an
+    H-store-like memory-resident row store would lay them out.  Every
+    access goes through {!read_row}/{!write_row}/{!scan}, which physically
+    copy bytes and charge them to the heap's counters — the quantity the
+    paper's cost model estimates.
+
+    Rows are addressed by dense row ids ([0 .. count-1]); deletion is
+    logical (a free list would add nothing to the experiments). *)
+
+type t
+
+val create : ?initial_capacity:int -> width:int -> unit -> t
+(** A heap of [width]-byte rows.  @raise Invalid_argument if
+    [width <= 0]. *)
+
+val width : t -> int
+val count : t -> int
+(** Number of rows appended so far. *)
+
+val storage_bytes : t -> int
+(** Bytes currently reserved ([capacity × width]). *)
+
+val append : t -> bytes -> int
+(** Copy a row in (must be exactly [width] bytes) and return its row id.
+    Counted as [width] bytes written. *)
+
+val read_row : t -> int -> bytes
+(** Copy a row out.  Counted as [width] bytes read.
+    @raise Invalid_argument on a bad row id. *)
+
+val write_row : t -> int -> bytes -> unit
+(** Overwrite a row in place.  Counted as [width] bytes written. *)
+
+val read_field : t -> int -> off:int -> len:int -> bytes
+(** Copy [len] bytes at offset [off] of a row (a single attribute).
+    Counted as [len] bytes read. *)
+
+val write_field : t -> int -> off:int -> len:int -> bytes -> unit
+(** Overwrite part of a row.  Counted as [len] bytes written. *)
+
+val scan : t -> ?limit:int -> (int -> bytes -> unit) -> unit
+(** Full scan in row-id order (up to [limit] rows): each visited row is
+    copied out and counted as read. *)
+
+val bytes_read : t -> float
+val bytes_written : t -> float
+(** Cumulative I/O counters. *)
+
+val reset_counters : t -> unit

@@ -1,0 +1,684 @@
+(* Bounded-variable revised simplex with an explicit dense basis inverse.
+
+   Variable indexing: 0..n-1 are the structural variables of the Lp.std
+   model, n..n+m-1 are slacks (one per row, turning every row into an
+   equality: a_i x + s_i = b_i with s_i >= 0 for Le, <= 0 for Ge, = 0 for
+   Eq).  Infinite bounds are patched to +-big so that every variable is
+   boxed; a structural variable resting on a patched bound at optimality is
+   reported as Unbounded.
+
+   Invariant maintained by the dual method: the current basis is dual
+   feasible (every nonbasic at lower has reduced cost >= -tol, at upper
+   <= +tol).  Reduced costs are independent of bounds, so bound changes
+   between reoptimize calls preserve the invariant -- the warm-start
+   property branch-and-bound relies on. *)
+
+type status = Optimal | Infeasible | Unbounded | Iter_limit | Time_limit | Numerical
+
+let string_of_status = function
+  | Optimal -> "optimal"
+  | Infeasible -> "infeasible"
+  | Unbounded -> "unbounded"
+  | Iter_limit -> "iteration limit"
+  | Time_limit -> "time limit"
+  | Numerical -> "numerical failure"
+
+let big = 1e10
+let unbounded_threshold = 1e9
+let pivot_tol = 1e-8
+let feas_tol = 1e-7
+let dual_tol = 1e-7
+let degen_limit = 60
+
+type t = {
+  n : int;                        (* structural variables *)
+  m : int;                        (* rows = basis size *)
+  nn : int;                       (* n + m *)
+  cost : float array;             (* nn; slacks cost 0 *)
+  lb : float array;               (* nn, patched *)
+  ub : float array;
+  lb_patched : bool array;
+  ub_patched : bool array;
+  col_idx : int array array;      (* structural columns only *)
+  col_val : float array array;
+  b : float array;
+  basis : int array;              (* m: variable basic at each position *)
+  loc : int array;                (* nn: -1 at lower, -2 at upper, pos >= 0 basic *)
+  binv : float array array;       (* m x m rows of B^-1 *)
+  xb : float array;               (* m basic values *)
+  d : float array;                (* nn reduced costs (valid for nonbasic) *)
+  alpha : float array;            (* nn scratch: pivot row in nonbasic space *)
+  wscratch : float array;         (* m scratch: ftran result *)
+  mutable total_iters : int;
+  mutable bland : bool;
+  mutable degen_count : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let patch_lb v = if v = neg_infinity then -.big else v
+let patch_ub v = if v = infinity then big else v
+
+(* Build column-major copies of the constraint matrix. *)
+let col_major (std : Lp.std) =
+  let n = std.Lp.ncols and m = std.Lp.nrows in
+  let counts = Array.make n 0 in
+  for r = 0 to m - 1 do
+    Array.iter (fun j -> counts.(j) <- counts.(j) + 1) std.Lp.row_idx.(r)
+  done;
+  let idx = Array.init n (fun j -> Array.make counts.(j) 0) in
+  let value = Array.init n (fun j -> Array.make counts.(j) 0.) in
+  let fill = Array.make n 0 in
+  for r = 0 to m - 1 do
+    let ri = std.Lp.row_idx.(r) and rv = std.Lp.row_val.(r) in
+    for k = 0 to Array.length ri - 1 do
+      let j = ri.(k) in
+      idx.(j).(fill.(j)) <- r;
+      value.(j).(fill.(j)) <- rv.(k);
+      fill.(j) <- fill.(j) + 1
+    done
+  done;
+  (idx, value)
+
+let create (std : Lp.std) =
+  let n = std.Lp.ncols and m = std.Lp.nrows in
+  let nn = n + m in
+  let cost = Array.make nn 0. in
+  Array.blit std.Lp.obj 0 cost 0 n;
+  let lb = Array.make nn 0. and ub = Array.make nn 0. in
+  let lb_patched = Array.make nn false and ub_patched = Array.make nn false in
+  for j = 0 to n - 1 do
+    lb_patched.(j) <- std.Lp.lb.(j) = neg_infinity;
+    ub_patched.(j) <- std.Lp.ub.(j) = infinity;
+    lb.(j) <- patch_lb std.Lp.lb.(j);
+    ub.(j) <- patch_ub std.Lp.ub.(j)
+  done;
+  for i = 0 to m - 1 do
+    let j = n + i in
+    (match std.Lp.row_cmp.(i) with
+     | Lp.Le -> lb.(j) <- 0.; ub.(j) <- big; ub_patched.(j) <- true
+     | Lp.Ge -> lb.(j) <- -.big; ub.(j) <- 0.; lb_patched.(j) <- true
+     | Lp.Eq -> lb.(j) <- 0.; ub.(j) <- 0.)
+  done;
+  (* Dual-feasible nonbasic placement for structurals. *)
+  let loc = Array.make nn (-1) in
+  for j = 0 to n - 1 do
+    if cost.(j) > 0. then loc.(j) <- -1
+    else if cost.(j) < 0. then loc.(j) <- -2
+    else if not lb_patched.(j) then loc.(j) <- -1
+    else if not ub_patched.(j) then loc.(j) <- -2
+    else loc.(j) <- -1
+  done;
+  let basis = Array.init m (fun i -> n + i) in
+  for i = 0 to m - 1 do
+    loc.(n + i) <- i
+  done;
+  let binv = Array.init m (fun i ->
+      let row = Array.make m 0. in
+      row.(i) <- 1.;
+      row)
+  in
+  let d = Array.make nn 0. in
+  Array.blit cost 0 d 0 nn;
+  let col_idx, col_val = col_major std in
+  {
+    n; m; nn; cost; lb; ub; lb_patched; ub_patched;
+    col_idx;
+    col_val;
+    b = Array.copy std.Lp.rhs;
+    basis; loc; binv;
+    xb = Array.make m 0.;
+    d;
+    alpha = Array.make nn 0.;
+    wscratch = Array.make m 0.;
+    total_iters = 0;
+    bland = false;
+    degen_count = 0;
+  }
+
+let nrows t = t.m
+let ncols t = t.n
+let iterations t = t.total_iters
+
+let set_bounds t j ~lb ~ub =
+  if j < 0 || j >= t.n then invalid_arg "Simplex.set_bounds: out of range";
+  if lb > ub then invalid_arg "Simplex.set_bounds: lb > ub";
+  t.lb_patched.(j) <- lb = neg_infinity;
+  t.ub_patched.(j) <- ub = infinity;
+  t.lb.(j) <- patch_lb lb;
+  t.ub.(j) <- patch_ub ub
+
+let bounds t j =
+  if j < 0 || j >= t.n then invalid_arg "Simplex.bounds: out of range";
+  (t.lb.(j), t.ub.(j))
+
+(* ------------------------------------------------------------------ *)
+(* Core linear algebra                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Value of a nonbasic variable. *)
+let nb_value t j = if t.loc.(j) = -1 then t.lb.(j) else t.ub.(j)
+
+let var_value t j =
+  let k = t.loc.(j) in
+  if k >= 0 then t.xb.(k) else nb_value t j
+
+(* xb := B^-1 (b - N x_N). *)
+let compute_xb t =
+  let z = Array.copy t.b in
+  for j = 0 to t.nn - 1 do
+    if t.loc.(j) < 0 then begin
+      let v = nb_value t j in
+      if v <> 0. then
+        if j < t.n then begin
+          let ci = t.col_idx.(j) and cv = t.col_val.(j) in
+          for k = 0 to Array.length ci - 1 do
+            z.(ci.(k)) <- z.(ci.(k)) -. (cv.(k) *. v)
+          done
+        end
+        else z.(j - t.n) <- z.(j - t.n) -. v
+    end
+  done;
+  for i = 0 to t.m - 1 do
+    let row = t.binv.(i) in
+    let acc = ref 0. in
+    for k = 0 to t.m - 1 do
+      acc := !acc +. (row.(k) *. z.(k))
+    done;
+    t.xb.(i) <- !acc
+  done
+
+(* w := B^-1 A_j (ftran of column j) into t.wscratch. *)
+let ftran t j =
+  let w = t.wscratch in
+  if j < t.n then begin
+    let ci = t.col_idx.(j) and cv = t.col_val.(j) in
+    for i = 0 to t.m - 1 do
+      let row = t.binv.(i) in
+      let acc = ref 0. in
+      for k = 0 to Array.length ci - 1 do
+        acc := !acc +. (row.(ci.(k)) *. cv.(k))
+      done;
+      w.(i) <- !acc
+    done
+  end
+  else begin
+    let r = j - t.n in
+    for i = 0 to t.m - 1 do
+      t.wscratch.(i) <- t.binv.(i).(r)
+    done
+  end;
+  w
+
+(* Fresh reduced costs: d_j = c_j - y . A_j with y = c_B B^-1. *)
+let recompute_d t =
+  let y = Array.make t.m 0. in
+  for k = 0 to t.m - 1 do
+    let cb = t.cost.(t.basis.(k)) in
+    if cb <> 0. then begin
+      let row = t.binv.(k) in
+      for i = 0 to t.m - 1 do
+        y.(i) <- y.(i) +. (cb *. row.(i))
+      done
+    end
+  done;
+  for j = 0 to t.nn - 1 do
+    if t.loc.(j) >= 0 then t.d.(j) <- 0.
+    else if j < t.n then begin
+      let ci = t.col_idx.(j) and cv = t.col_val.(j) in
+      let acc = ref t.cost.(j) in
+      for k = 0 to Array.length ci - 1 do
+        acc := !acc -. (y.(ci.(k)) *. cv.(k))
+      done;
+      t.d.(j) <- !acc
+    end
+    else t.d.(j) <- -.y.(j - t.n)
+  done
+
+(* Fresh duals y = c_B B^-1. *)
+let compute_duals t =
+  let y = Array.make t.m 0. in
+  for k = 0 to t.m - 1 do
+    let cb = t.cost.(t.basis.(k)) in
+    if cb <> 0. then begin
+      let row = t.binv.(k) in
+      for i = 0 to t.m - 1 do
+        y.(i) <- y.(i) +. (cb *. row.(i))
+      done
+    end
+  done;
+  y
+
+let duals t = compute_duals t
+
+let reduced_costs t =
+  let y = compute_duals t in
+  Array.init t.n (fun j ->
+      let ci = t.col_idx.(j) and cv = t.col_val.(j) in
+      let acc = ref t.cost.(j) in
+      for k = 0 to Array.length ci - 1 do
+        acc := !acc -. (y.(ci.(k)) *. cv.(k))
+      done;
+      !acc)
+
+(* Rebuild binv from the basis by Gauss-Jordan with partial pivoting.
+   Returns false if the basis matrix is (numerically) singular. *)
+let refactor t =
+  let m = t.m in
+  let a = Array.init m (fun _ -> Array.make m 0.) in
+  for k = 0 to m - 1 do
+    let j = t.basis.(k) in
+    if j < t.n then begin
+      let ci = t.col_idx.(j) and cv = t.col_val.(j) in
+      for e = 0 to Array.length ci - 1 do
+        a.(ci.(e)).(k) <- cv.(e)
+      done
+    end
+    else a.(j - t.n).(k) <- 1.
+  done;
+  let inv = Array.init m (fun i ->
+      let row = Array.make m 0. in
+      row.(i) <- 1.;
+      row)
+  in
+  let ok = ref true in
+  (try
+     for col = 0 to m - 1 do
+       (* partial pivot *)
+       let best = ref col and best_mag = ref (Float.abs a.(col).(col)) in
+       for i = col + 1 to m - 1 do
+         let mag = Float.abs a.(i).(col) in
+         if mag > !best_mag then begin best := i; best_mag := mag end
+       done;
+       if !best_mag < 1e-12 then begin ok := false; raise Exit end;
+       if !best <> col then begin
+         let tmp = a.(col) in a.(col) <- a.(!best); a.(!best) <- tmp;
+         let tmp = inv.(col) in inv.(col) <- inv.(!best); inv.(!best) <- tmp
+       end;
+       let piv = a.(col).(col) in
+       let arow = a.(col) and irow = inv.(col) in
+       let scale = 1. /. piv in
+       for k = 0 to m - 1 do
+         arow.(k) <- arow.(k) *. scale;
+         irow.(k) <- irow.(k) *. scale
+       done;
+       for i = 0 to m - 1 do
+         if i <> col then begin
+           let f = a.(i).(col) in
+           if f <> 0. then begin
+             let ai = a.(i) and ii = inv.(i) in
+             for k = 0 to m - 1 do
+               ai.(k) <- ai.(k) -. (f *. arow.(k));
+               ii.(k) <- ii.(k) -. (f *. irow.(k))
+             done
+           end
+         end
+       done
+     done
+   with Exit -> ());
+  if !ok then
+    for i = 0 to m - 1 do
+      Array.blit inv.(i) 0 t.binv.(i) 0 m
+    done;
+  !ok
+
+(* Gauss-Jordan update of binv for entering column w at basis position r. *)
+let update_binv t r w =
+  let piv = w.(r) in
+  let brow = t.binv.(r) in
+  let scale = 1. /. piv in
+  for k = 0 to t.m - 1 do
+    brow.(k) <- brow.(k) *. scale
+  done;
+  for i = 0 to t.m - 1 do
+    if i <> r then begin
+      let f = w.(i) in
+      if f <> 0. then begin
+        let row = t.binv.(i) in
+        for k = 0 to t.m - 1 do
+          row.(k) <- row.(k) -. (f *. brow.(k))
+        done
+      end
+    end
+  done
+
+let objective t =
+  let acc = ref 0. in
+  for j = 0 to t.n - 1 do
+    if t.cost.(j) <> 0. then acc := !acc +. (t.cost.(j) *. var_value t j)
+  done;
+  !acc
+
+let primal_value t j =
+  if j < 0 || j >= t.n then invalid_arg "Simplex.primal_value: out of range";
+  var_value t j
+
+let primal t = Array.init t.n (fun j -> var_value t j)
+
+(* ------------------------------------------------------------------ *)
+(* Dual simplex                                                        *)
+(* ------------------------------------------------------------------ *)
+
+exception Stop of status
+
+let check_deadline deadline iters =
+  match deadline with
+  | Some d when iters land 15 = 0 && Unix.gettimeofday () > d ->
+    raise (Stop Time_limit)
+  | _ -> ()
+
+(* Select the leaving row: most-violated basic variable (or the smallest
+   variable index under Bland's rule).  Returns None when primal feasible. *)
+let select_leaving t =
+  let best = ref (-1) and best_viol = ref feas_tol and best_var = ref max_int in
+  for i = 0 to t.m - 1 do
+    let p = t.basis.(i) in
+    let v = t.xb.(i) in
+    let tol_lo = feas_tol *. (1. +. Float.abs t.lb.(p))
+    and tol_hi = feas_tol *. (1. +. Float.abs t.ub.(p)) in
+    let viol =
+      if v < t.lb.(p) -. tol_lo then t.lb.(p) -. v
+      else if v > t.ub.(p) +. tol_hi then v -. t.ub.(p)
+      else 0.
+    in
+    if viol > 0. then
+      if t.bland then begin
+        if p < !best_var then begin best := i; best_var := p; best_viol := viol end
+      end
+      else if viol > !best_viol then begin
+        best := i;
+        best_viol := viol
+      end
+  done;
+  if !best < 0 then None else Some !best
+
+(* One dual pivot.  Returns `Progress, `Feasible (primal feasible reached)
+   or `Infeasible. *)
+let dual_step t =
+  match select_leaving t with
+  | None -> `Feasible
+  | Some r ->
+    let p = t.basis.(r) in
+    let above = t.xb.(r) > t.ub.(p) in
+    let s = if above then 1. else -1. in
+    (* Pivot row in nonbasic space: alpha_j = (e_r B^-1) A_j. *)
+    let rho = t.binv.(r) in
+    let movable = ref [] in
+    for j = t.nn - 1 downto 0 do
+      if t.loc.(j) < 0 && t.ub.(j) -. t.lb.(j) > 1e-12 then begin
+        let a =
+          if j < t.n then begin
+            let ci = t.col_idx.(j) and cv = t.col_val.(j) in
+            let acc = ref 0. in
+            for k = 0 to Array.length ci - 1 do
+              acc := !acc +. (rho.(ci.(k)) *. cv.(k))
+            done;
+            !acc
+          end
+          else rho.(j - t.n)
+        in
+        t.alpha.(j) <- a;
+        if Float.abs a > pivot_tol then movable := j :: !movable
+      end
+    done;
+    (* Dual ratio test: keep reduced costs sign-feasible. *)
+    let q = ref (-1) and best_ratio = ref infinity and best_mag = ref 0. in
+    List.iter
+      (fun j ->
+         let a = s *. t.alpha.(j) in
+         let eligible =
+           (t.loc.(j) = -1 && a > pivot_tol) || (t.loc.(j) = -2 && a < -.pivot_tol)
+         in
+         if eligible then begin
+           let dj =
+             if t.loc.(j) = -1 then Float.max t.d.(j) 0. else Float.min t.d.(j) 0.
+           in
+           let ratio = dj /. a in
+           let mag = Float.abs t.alpha.(j) in
+           let better =
+             if t.bland then
+               ratio < !best_ratio -. 1e-9
+               || (ratio < !best_ratio +. 1e-9 && (!q < 0 || j < !q))
+             else
+               ratio < !best_ratio -. 1e-9
+               || (ratio < !best_ratio +. 1e-9 && mag > !best_mag)
+           in
+           if better then begin
+             q := j;
+             best_ratio := ratio;
+             best_mag := mag
+           end
+         end)
+      !movable;
+    if !q < 0 then `Infeasible
+    else begin
+      let q = !q in
+      let w = ftran t q in
+      if Float.abs w.(r) < pivot_tol then `Numerical_pivot
+      else begin
+        let target = if above then t.ub.(p) else t.lb.(p) in
+        let delta = (t.xb.(r) -. target) /. w.(r) in
+        let new_q_value = nb_value t q +. delta in
+        (* Reduced-cost update (before the basis mutates). *)
+        let theta = t.d.(q) /. w.(r) in
+        List.iter
+          (fun j -> if j <> q then t.d.(j) <- t.d.(j) -. (theta *. t.alpha.(j)))
+          !movable;
+        t.d.(p) <- -.theta;
+        t.d.(q) <- 0.;
+        (* Basic value update. *)
+        for i = 0 to t.m - 1 do
+          if i <> r then t.xb.(i) <- t.xb.(i) -. (w.(i) *. delta)
+        done;
+        t.xb.(r) <- new_q_value;
+        (* Swap. *)
+        t.loc.(p) <- (if above then -2 else -1);
+        t.loc.(q) <- r;
+        t.basis.(r) <- q;
+        update_binv t r w;
+        if Float.abs delta <= 1e-9 then t.degen_count <- t.degen_count + 1
+        else begin
+          t.degen_count <- 0;
+          t.bland <- false
+        end;
+        if t.degen_count > degen_limit then t.bland <- true;
+        `Progress
+      end
+    end
+
+let dual_loop t ~max_iter ~deadline =
+  let numerical_retries = ref 0 in
+  let iter = ref 0 in
+  let result = ref None in
+  (try
+     while !result = None do
+       if !iter >= max_iter then raise (Stop Iter_limit);
+       check_deadline deadline !iter;
+       incr iter;
+       t.total_iters <- t.total_iters + 1;
+       (* periodic resync against drift *)
+       if !iter mod 256 = 0 then compute_xb t;
+       if !iter mod 1024 = 0 then begin
+         if not (refactor t) then raise (Stop Numerical);
+         compute_xb t;
+         recompute_d t
+       end;
+       match dual_step t with
+       | `Progress -> ()
+       | `Feasible -> result := Some Optimal
+       | `Infeasible -> result := Some Infeasible
+       | `Numerical_pivot ->
+         incr numerical_retries;
+         if !numerical_retries > 3 then raise (Stop Numerical);
+         if not (refactor t) then raise (Stop Numerical);
+         compute_xb t;
+         recompute_d t
+     done
+   with Stop s -> result := Some s);
+  match !result with Some s -> s | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Primal simplex                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let primal_step t =
+  recompute_d t;
+  (* Entering: most improving reduced cost (Bland: smallest index). *)
+  let q = ref (-1) and best = ref 0. in
+  for j = 0 to t.nn - 1 do
+    if t.loc.(j) < 0 && t.ub.(j) -. t.lb.(j) > 1e-12 then begin
+      let tol = dual_tol *. (1. +. Float.abs t.cost.(j)) in
+      let improve =
+        if t.loc.(j) = -1 then -.t.d.(j) else t.d.(j)
+      in
+      if improve > tol then
+        if t.bland then begin
+          if !q < 0 then begin q := j; best := improve end
+        end
+        else if improve > !best then begin
+          q := j;
+          best := improve
+        end
+    end
+  done;
+  if !q < 0 then `Optimal
+  else begin
+    let q = !q in
+    let dir = if t.loc.(q) = -1 then 1. else -1. in
+    let w = ftran t q in
+    let limit = ref (t.ub.(q) -. t.lb.(q)) and leaving = ref (-1) in
+    for i = 0 to t.m - 1 do
+      let coef = -.dir *. w.(i) in
+      let p = t.basis.(i) in
+      if coef > pivot_tol then begin
+        let room = Float.max 0. (t.ub.(p) -. t.xb.(i)) in
+        let step = room /. coef in
+        if step < !limit -. 1e-12 then begin limit := step; leaving := i end
+      end
+      else if coef < -.pivot_tol then begin
+        let room = Float.max 0. (t.xb.(i) -. t.lb.(p)) in
+        let step = room /. -.coef in
+        if step < !limit -. 1e-12 then begin limit := step; leaving := i end
+      end
+    done;
+    if !limit >= unbounded_threshold then `Unbounded
+    else if !leaving < 0 then begin
+      (* bound flip: q runs to its opposite bound *)
+      let delta = !limit in
+      for i = 0 to t.m - 1 do
+        t.xb.(i) <- t.xb.(i) -. (dir *. w.(i) *. delta)
+      done;
+      t.loc.(q) <- (if t.loc.(q) = -1 then -2 else -1);
+      `Progress
+    end
+    else begin
+      let r = !leaving in
+      let p = t.basis.(r) in
+      let coef = -.dir *. w.(r) in
+      let delta = !limit in
+      let new_q_value = nb_value t q +. (dir *. delta) in
+      for i = 0 to t.m - 1 do
+        if i <> r then t.xb.(i) <- t.xb.(i) -. (dir *. w.(i) *. delta)
+      done;
+      t.xb.(r) <- new_q_value;
+      t.loc.(p) <- (if coef > 0. then -2 else -1);
+      t.loc.(q) <- r;
+      t.basis.(r) <- q;
+      update_binv t r w;
+      if delta <= 1e-9 then t.degen_count <- t.degen_count + 1
+      else begin
+        t.degen_count <- 0;
+        t.bland <- false
+      end;
+      if t.degen_count > degen_limit then t.bland <- true;
+      `Progress
+    end
+  end
+
+let primal_simplex ?(max_iter = 200_000) ?deadline t =
+  let iter = ref 0 in
+  let result = ref None in
+  (try
+     while !result = None do
+       if !iter >= max_iter then raise (Stop Iter_limit);
+       check_deadline deadline !iter;
+       incr iter;
+       t.total_iters <- t.total_iters + 1;
+       if !iter mod 256 = 0 then compute_xb t;
+       match primal_step t with
+       | `Progress -> ()
+       | `Optimal -> result := Some Optimal
+       | `Unbounded -> result := Some Unbounded
+     done
+   with Stop s -> result := Some s);
+  match !result with Some s -> s | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Reoptimize and top-level solve                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Verify dual feasibility with freshly computed reduced costs; the dual
+   loop maintains them incrementally and drift is possible. *)
+let dual_feasible t =
+  recompute_d t;
+  let ok = ref true in
+  for j = 0 to t.nn - 1 do
+    if t.loc.(j) < 0 && t.ub.(j) -. t.lb.(j) > 1e-12 then begin
+      let tol = 1e-5 *. (1. +. Float.abs t.cost.(j)) in
+      if t.loc.(j) = -1 && t.d.(j) < -.tol then ok := false;
+      if t.loc.(j) = -2 && t.d.(j) > tol then ok := false
+    end
+  done;
+  !ok
+
+let reoptimize ?(max_iter = 200_000) ?deadline t =
+  compute_xb t;
+  recompute_d t;
+  t.bland <- false;
+  t.degen_count <- 0;
+  let status = dual_loop t ~max_iter ~deadline in
+  match status with
+  | Optimal ->
+    (* Guard against reduced-cost drift: verify with fresh values, finish
+       with primal pivots if needed (the point is primal feasible here). *)
+    if dual_feasible t then Optimal
+    else primal_simplex ?deadline ~max_iter t
+  | s -> s
+
+let structural_on_patched_bound t =
+  let hit = ref false in
+  for j = 0 to t.n - 1 do
+    let v = var_value t j in
+    if (t.ub_patched.(j) && v > unbounded_threshold)
+       || (t.lb_patched.(j) && v < -.unbounded_threshold)
+    then hit := true
+  done;
+  !hit
+
+type result = {
+  status : status;
+  x : float array;
+  obj : float;
+  iterations : int;
+}
+
+let solve ?(max_iter = 200_000) ?time_limit (std : Lp.std) =
+  let t = create std in
+  let deadline =
+    match time_limit with
+    | Some s -> Some (Unix.gettimeofday () +. s)
+    | None -> None
+  in
+  let status = reoptimize ~max_iter ?deadline t in
+  let status =
+    if status = Optimal && structural_on_patched_bound t then Unbounded
+    else status
+  in
+  {
+    status;
+    x = primal t;
+    obj = objective t +. std.Lp.obj_const;
+    iterations = t.total_iters;
+  }

@@ -1,0 +1,105 @@
+(** Bounded-variable simplex solver over {!Vpart_lp.Lp.std} models.
+
+    The implementation is a revised simplex with an explicit dense basis
+    inverse, supporting both the {e dual} and {e primal} methods on variables
+    with general (boxed) bounds.
+
+    The dual method is the workhorse: starting from the all-slack basis, the
+    solver first places every nonbasic variable on the bound that makes its
+    reduced cost sign-feasible (infinite bounds are patched to a large
+    constant, so this placement always exists), which makes the start dual
+    feasible; dual pivots then restore primal feasibility.  Because reduced
+    costs do not depend on variable bounds, any basis stays dual feasible
+    under arbitrary bound changes — which is exactly what branch-and-bound
+    needs for warm starts ({!Vpart_mip.Mip}).
+
+    Anti-cycling: Bland's rule is engaged after a run of degenerate pivots.
+    Numerical safety: candidate pivots below a pivot tolerance are rejected,
+    the basis inverse is refactorized (Gauss-Jordan with partial pivoting)
+    on demand, and basic values / reduced costs are recomputed from scratch
+    periodically. *)
+
+type status =
+  | Optimal        (** primal and dual feasible within tolerances *)
+  | Infeasible     (** primal infeasible (dual unbounded) *)
+  | Unbounded      (** a structural variable rests on a patched infinite bound *)
+  | Iter_limit
+  | Time_limit
+  | Numerical      (** pivoting stalled; result untrustworthy *)
+
+val string_of_status : status -> string
+
+type result = {
+  status : status;
+  x : float array;     (** structural variable values (length [ncols]) *)
+  obj : float;         (** minimization objective incl. constant *)
+  iterations : int;
+}
+
+val solve : ?max_iter:int -> ?time_limit:float -> Lp.std -> result
+(** Solve the continuous relaxation of [std] (integrality is ignored).
+    [time_limit] is wall-clock seconds. *)
+
+(** {1 Incremental interface (for branch-and-bound)} *)
+
+type t
+(** A live solver instance: a model plus current basis, bounds, and basic
+    values.  Bounds may be tightened/relaxed between calls to {!reoptimize};
+    the basis is reused (warm start). *)
+
+val create : Lp.std -> t
+(** Build an instance positioned at the dual-feasible all-slack basis.
+    Integrality markers in [std] are ignored here. *)
+
+val nrows : t -> int
+val ncols : t -> int
+
+val set_bounds : t -> int -> lb:float -> ub:float -> unit
+(** Change the bounds of structural variable [j].  Infinite values are
+    patched as in {!create}.  Takes effect at the next {!reoptimize}. *)
+
+val bounds : t -> int -> float * float
+(** Current (possibly patched) bounds of structural variable [j]. *)
+
+val reoptimize : ?max_iter:int -> ?deadline:float -> t -> status
+(** Recompute basic values under the current bounds and run the dual
+    simplex to optimality.  [deadline] is an absolute
+    [Unix.gettimeofday]-style timestamp. *)
+
+val objective : t -> float
+(** Objective value of the current (last reoptimized) point. *)
+
+val primal_value : t -> int -> float
+(** Current value of structural variable [j]. *)
+
+val primal : t -> float array
+(** All structural values, freshly allocated. *)
+
+val iterations : t -> int
+(** Total simplex iterations performed by this instance so far. *)
+
+(** {1 Dual information}
+
+    Available after a successful {!reoptimize}; both are freshly computed
+    (O(rows²)). *)
+
+val duals : t -> float array
+(** Dual values [y = c_B·B⁻¹], one per row: the shadow price of each
+    constraint at the current basis. *)
+
+val reduced_costs : t -> float array
+(** Reduced costs [d_j = c_j - y·A_j] of the structural variables.  At an
+    optimum, complementary slackness holds: a variable strictly between its
+    bounds has (numerically) zero reduced cost, one at its lower bound has
+    [d_j >= 0], one at its upper bound has [d_j <= 0]. *)
+
+(** {1 Primal method}
+
+    Exposed mainly for testing and for completeness of the library; the
+    vertical-partitioning pipeline only exercises the dual method. *)
+
+val primal_simplex : ?max_iter:int -> ?deadline:float -> t -> status
+(** Run primal pivots from the current point, which must be primal feasible
+    (e.g. after a successful {!reoptimize}).  Useful after objective-free
+    modifications; returns [Unbounded] when the improving ray is limited
+    only by a patched infinite bound. *)

@@ -1,0 +1,215 @@
+open Vpart
+
+(* ------------------------------------------------------------------ *)
+(* Schema: TPC-C v5, widths from the spec's datatypes                  *)
+(* ------------------------------------------------------------------ *)
+
+let schema_spec =
+  [ ( "Warehouse",
+      [ ("W_ID", 4); ("W_NAME", 10); ("W_STREET_1", 20); ("W_STREET_2", 20);
+        ("W_CITY", 20); ("W_STATE", 2); ("W_ZIP", 9); ("W_TAX", 4); ("W_YTD", 8);
+      ] );
+    ( "District",
+      [ ("D_ID", 4); ("D_W_ID", 4); ("D_NAME", 10); ("D_STREET_1", 20);
+        ("D_STREET_2", 20); ("D_CITY", 20); ("D_STATE", 2); ("D_ZIP", 9);
+        ("D_TAX", 4); ("D_YTD", 8); ("D_NEXT_O_ID", 4);
+      ] );
+    ( "Customer",
+      [ ("C_ID", 4); ("C_D_ID", 4); ("C_W_ID", 4); ("C_FIRST", 16);
+        ("C_MIDDLE", 2); ("C_LAST", 16); ("C_STREET_1", 20); ("C_STREET_2", 20);
+        ("C_CITY", 20); ("C_STATE", 2); ("C_ZIP", 9); ("C_PHONE", 16);
+        ("C_SINCE", 8); ("C_CREDIT", 2); ("C_CREDIT_LIM", 8); ("C_DISCOUNT", 4);
+        ("C_BALANCE", 8); ("C_YTD_PAYMENT", 8); ("C_PAYMENT_CNT", 4);
+        ("C_DELIVERY_CNT", 4); ("C_DATA", 500);
+      ] );
+    ( "History",
+      [ ("H_C_ID", 4); ("H_C_D_ID", 4); ("H_C_W_ID", 4); ("H_D_ID", 4);
+        ("H_W_ID", 4); ("H_DATE", 8); ("H_AMOUNT", 4); ("H_DATA", 24);
+      ] );
+    ("NewOrder", [ ("NO_O_ID", 4); ("NO_D_ID", 4); ("NO_W_ID", 4) ]);
+    ( "Order",
+      [ ("O_ID", 4); ("O_D_ID", 4); ("O_W_ID", 4); ("O_C_ID", 4);
+        ("O_ENTRY_D", 8); ("O_CARRIER_ID", 4); ("O_OL_CNT", 4); ("O_ALL_LOCAL", 4);
+      ] );
+    ( "OrderLine",
+      [ ("OL_O_ID", 4); ("OL_D_ID", 4); ("OL_W_ID", 4); ("OL_NUMBER", 4);
+        ("OL_I_ID", 4); ("OL_SUPPLY_W_ID", 4); ("OL_DELIVERY_D", 8);
+        ("OL_QUANTITY", 4); ("OL_AMOUNT", 4); ("OL_DIST_INFO", 24);
+      ] );
+    ( "Item",
+      [ ("I_ID", 4); ("I_IM_ID", 4); ("I_NAME", 24); ("I_PRICE", 4);
+        ("I_DATA", 50);
+      ] );
+    ( "Stock",
+      [ ("S_I_ID", 4); ("S_W_ID", 4); ("S_QUANTITY", 4); ("S_DIST_01", 24);
+        ("S_DIST_02", 24); ("S_DIST_03", 24); ("S_DIST_04", 24);
+        ("S_DIST_05", 24); ("S_DIST_06", 24); ("S_DIST_07", 24);
+        ("S_DIST_08", 24); ("S_DIST_09", 24); ("S_DIST_10", 24); ("S_YTD", 8);
+        ("S_ORDER_CNT", 4); ("S_REMOTE_CNT", 4); ("S_DATA", 50);
+      ] );
+  ]
+
+let schema = lazy (Schema.make schema_spec)
+
+let attr table name = Schema.find_attr (Lazy.force schema) table name
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cardinalities =
+  [ ("Warehouse", 1); ("District", 10); ("Customer", 30_000);
+    ("History", 30_000); ("NewOrder", 9_000); ("Order", 30_000);
+    ("OrderLine", 300_000); ("Item", 100_000); ("Stock", 100_000);
+  ]
+
+let transaction_names =
+  [ "NewOrder"; "Payment"; "OrderStatus"; "Delivery"; "StockLevel" ]
+
+(* Query builder helpers.  [table] names are resolved lazily against the
+   schema; [rows] follows the paper: 1 unless the query iterates or
+   aggregates, in which case 10. *)
+let build_workload () =
+  let s = Lazy.force schema in
+  let tid name = Schema.find_table s name in
+  let a table name = Schema.find_attr s table name in
+  let queries = ref [] and count = ref 0 in
+  let add_query name kind tables attrs =
+    let tables = List.map (fun (t, rows) -> (tid t, rows)) tables in
+    queries := { Workload.q_name = name; kind; freq = 1.0; tables; attrs } :: !queries;
+    incr count;
+    !count - 1
+  in
+  let read name ~rows table attrs =
+    add_query name Workload.Read [ (table, rows) ]
+      (List.map (fun n -> a table n) attrs)
+  in
+  (* UPDATE/DELETE split (§5.2): a read sub-query over what the statement
+     reads and a write sub-query over what it writes. *)
+  let update name ~rows table ~reads ~writes =
+    let r =
+      add_query (name ^ ":r") Workload.Read [ (table, rows) ]
+        (List.map (fun n -> a table n) reads)
+    in
+    let w =
+      add_query (name ^ ":w") Workload.Write [ (table, rows) ]
+        (List.map (fun n -> a table n) writes)
+    in
+    [ r; w ]
+  in
+  let insert name ~rows table =
+    [ add_query name Workload.Write [ (table, rows) ]
+        (List.map (fun ai -> ai) (Schema.attrs_of_table s (tid table)))
+    ]
+  in
+  (* ---------------- New-Order (spec 2.4.2) ---------------- *)
+  let new_order =
+    List.concat
+      [ [ read "no_get_warehouse" ~rows:1. "Warehouse" [ "W_ID"; "W_TAX" ] ];
+        [ read "no_get_district" ~rows:1. "District"
+            [ "D_W_ID"; "D_ID"; "D_TAX"; "D_NEXT_O_ID" ] ];
+        update "no_inc_next_o_id" ~rows:1. "District"
+          ~reads:[ "D_W_ID"; "D_ID"; "D_NEXT_O_ID" ]
+          ~writes:[ "D_NEXT_O_ID" ];
+        [ read "no_get_customer" ~rows:1. "Customer"
+            [ "C_W_ID"; "C_D_ID"; "C_ID"; "C_DISCOUNT"; "C_LAST"; "C_CREDIT" ] ];
+        insert "no_insert_order" ~rows:1. "Order";
+        insert "no_insert_neworder" ~rows:1. "NewOrder";
+        [ read "no_get_items" ~rows:10. "Item"
+            [ "I_ID"; "I_PRICE"; "I_NAME"; "I_DATA" ] ];
+        [ read "no_get_stock" ~rows:10. "Stock"
+            [ "S_I_ID"; "S_W_ID"; "S_QUANTITY"; "S_DIST_01"; "S_DIST_02";
+              "S_DIST_03"; "S_DIST_04"; "S_DIST_05"; "S_DIST_06"; "S_DIST_07";
+              "S_DIST_08"; "S_DIST_09"; "S_DIST_10"; "S_DATA" ] ];
+        update "no_update_stock" ~rows:10. "Stock"
+          ~reads:[ "S_I_ID"; "S_W_ID" ]
+          ~writes:[ "S_QUANTITY"; "S_YTD"; "S_ORDER_CNT"; "S_REMOTE_CNT" ];
+        insert "no_insert_orderlines" ~rows:10. "OrderLine";
+      ]
+  in
+  (* ---------------- Payment (spec 2.5.2) ---------------- *)
+  let payment =
+    List.concat
+      [ [ read "pay_get_warehouse" ~rows:1. "Warehouse"
+            [ "W_ID"; "W_NAME"; "W_STREET_1"; "W_STREET_2"; "W_CITY"; "W_STATE";
+              "W_ZIP" ] ];
+        update "pay_inc_w_ytd" ~rows:1. "Warehouse" ~reads:[ "W_ID" ]
+          ~writes:[ "W_YTD" ];
+        [ read "pay_get_district" ~rows:1. "District"
+            [ "D_W_ID"; "D_ID"; "D_NAME"; "D_STREET_1"; "D_STREET_2"; "D_CITY";
+              "D_STATE"; "D_ZIP" ] ];
+        update "pay_inc_d_ytd" ~rows:1. "District" ~reads:[ "D_W_ID"; "D_ID" ]
+          ~writes:[ "D_YTD" ];
+        [ read "pay_get_customer" ~rows:1. "Customer"
+            [ "C_W_ID"; "C_D_ID"; "C_ID"; "C_FIRST"; "C_MIDDLE"; "C_LAST";
+              "C_STREET_1"; "C_STREET_2"; "C_CITY"; "C_STATE"; "C_ZIP";
+              "C_PHONE"; "C_SINCE"; "C_CREDIT"; "C_CREDIT_LIM"; "C_DISCOUNT";
+              "C_BALANCE" ] ];
+        (* C_DATA is read back and rewritten for bad-credit customers;
+           balance/counters are blind increments. *)
+        update "pay_update_customer" ~rows:1. "Customer"
+          ~reads:[ "C_W_ID"; "C_D_ID"; "C_ID"; "C_DATA" ]
+          ~writes:[ "C_BALANCE"; "C_YTD_PAYMENT"; "C_PAYMENT_CNT"; "C_DATA" ];
+        insert "pay_insert_history" ~rows:1. "History";
+      ]
+  in
+  (* ---------------- Order-Status (spec 2.6.2) ---------------- *)
+  let order_status =
+    List.concat
+      [ [ read "os_get_customer" ~rows:1. "Customer"
+            [ "C_W_ID"; "C_D_ID"; "C_ID"; "C_FIRST"; "C_MIDDLE"; "C_LAST";
+              "C_BALANCE" ] ];
+        [ read "os_get_order" ~rows:1. "Order"
+            [ "O_W_ID"; "O_D_ID"; "O_ID"; "O_C_ID"; "O_ENTRY_D"; "O_CARRIER_ID" ] ];
+        [ read "os_get_orderlines" ~rows:10. "OrderLine"
+            [ "OL_W_ID"; "OL_D_ID"; "OL_O_ID"; "OL_I_ID"; "OL_SUPPLY_W_ID";
+              "OL_QUANTITY"; "OL_AMOUNT"; "OL_DELIVERY_D" ] ];
+      ]
+  in
+  (* ---------------- Delivery (spec 2.7.4; one row per district, 10
+     districts -> 10 rows per query) ---------------- *)
+  let delivery =
+    List.concat
+      [ [ read "dl_get_neworder" ~rows:10. "NewOrder"
+            [ "NO_W_ID"; "NO_D_ID"; "NO_O_ID" ] ];
+        update "dl_delete_neworder" ~rows:10. "NewOrder"
+          ~reads:[ "NO_W_ID"; "NO_D_ID"; "NO_O_ID" ]
+          ~writes:[ "NO_O_ID"; "NO_D_ID"; "NO_W_ID" ];
+        [ read "dl_get_order" ~rows:10. "Order"
+            [ "O_W_ID"; "O_D_ID"; "O_ID"; "O_C_ID" ] ];
+        update "dl_update_order" ~rows:10. "Order"
+          ~reads:[ "O_W_ID"; "O_D_ID"; "O_ID" ]
+          ~writes:[ "O_CARRIER_ID" ];
+        [ read "dl_sum_orderlines" ~rows:10. "OrderLine"
+            [ "OL_W_ID"; "OL_D_ID"; "OL_O_ID"; "OL_AMOUNT" ] ];
+        update "dl_update_orderlines" ~rows:10. "OrderLine"
+          ~reads:[ "OL_W_ID"; "OL_D_ID"; "OL_O_ID" ]
+          ~writes:[ "OL_DELIVERY_D" ];
+        update "dl_update_customer" ~rows:10. "Customer"
+          ~reads:[ "C_W_ID"; "C_D_ID"; "C_ID" ]
+          ~writes:[ "C_BALANCE"; "C_DELIVERY_CNT" ];
+      ]
+  in
+  (* ---------------- Stock-Level (spec 2.8.2) ---------------- *)
+  let stock_level =
+    List.concat
+      [ [ read "sl_get_district" ~rows:1. "District"
+            [ "D_W_ID"; "D_ID"; "D_NEXT_O_ID" ] ];
+        [ read "sl_get_orderlines" ~rows:10. "OrderLine"
+            [ "OL_W_ID"; "OL_D_ID"; "OL_O_ID"; "OL_I_ID" ] ];
+        [ read "sl_count_stock" ~rows:10. "Stock"
+            [ "S_W_ID"; "S_I_ID"; "S_QUANTITY" ] ];
+      ]
+  in
+  let transactions =
+    [ { Workload.t_name = "NewOrder"; queries = new_order };
+      { Workload.t_name = "Payment"; queries = payment };
+      { Workload.t_name = "OrderStatus"; queries = order_status };
+      { Workload.t_name = "Delivery"; queries = delivery };
+      { Workload.t_name = "StockLevel"; queries = stock_level };
+    ]
+  in
+  Workload.make ~queries:(List.rev !queries) ~transactions
+
+let instance =
+  lazy (Instance.make ~name:"TPC-C v5" (Lazy.force schema) (build_workload ()))

@@ -1,0 +1,37 @@
+(** The TPC-C v5 problem instance (§5.2 of the paper).
+
+    The schema is the nine TPC-C tables with all 92 attributes; widths are
+    derived from the spec's datatypes (4-byte ids/numerics, 8-byte
+    dates/money accumulators, declared maxima for variable-width text, so
+    e.g. [C_DATA] is 500 bytes).  The workload is the five standard
+    transactions (New-Order, Payment, Order-Status, Delivery, Stock-Level)
+    with the paper's statistical assumptions:
+
+    - every query runs with frequency 1;
+    - a query touches 1 row, or 10 rows when it iterates over a result or
+      aggregates (so e.g. the Item lookups of New-Order touch 10 rows);
+    - every UPDATE/DELETE is split into a read sub-query over the
+      attributes the statement {e reads} (WHERE keys plus values returned
+      or combined) and a write sub-query over the attributes it writes.
+      Blind increments ([S_YTD = S_YTD + ?]) count as write-only: they can
+      be applied at each replica without an application-level read.  This
+      matches the placement in the paper's Table 4, where [S_YTD],
+      [S_ORDER_CNT] and [S_REMOTE_CNT] land away from New-Order's site. *)
+
+val schema : Vpart.Schema.t Lazy.t
+
+val instance : Vpart.Instance.t Lazy.t
+(** The full instance; [|A| = 92], five transactions. *)
+
+val attr : string -> string -> int
+(** [attr "Stock" "S_YTD"] — attribute id in {!schema}.
+    @raise Not_found on unknown names. *)
+
+val transaction_names : string list
+(** In declaration order: NewOrder, Payment, OrderStatus, Delivery,
+    StockLevel. *)
+
+val cardinalities : (string * int) list
+(** Rows per table for one warehouse (spec §1.2.1, e.g. 100k Stock, 30k
+    Customer); used by the storage-engine examples to size simulated
+    tables. *)

@@ -1,0 +1,89 @@
+open Vpart
+
+let schema_spec =
+  [ ("Account", [ ("custid", 8); ("name", 64); ("profile", 200) ]);
+    ("Saving", [ ("custid", 8); ("bal", 8); ("flags", 4) ]);
+    ("Checking", [ ("custid", 8); ("bal", 8); ("overdrafts", 4); ("flags", 4) ]);
+  ]
+
+let schema = lazy (Schema.make schema_spec)
+
+let attr table name = Schema.find_attr (Lazy.force schema) table name
+
+let build_workload () =
+  let s = Lazy.force schema in
+  let tid name = Schema.find_table s name in
+  let a table name = Schema.find_attr s table name in
+  let queries = ref [] and count = ref 0 in
+  let add name kind freq tables attrs =
+    queries := { Workload.q_name = name; kind; freq; tables; attrs } :: !queries;
+    incr count;
+    !count - 1
+  in
+  let read name table attrs = add name Workload.Read 1. [ (tid table, 1.) ] attrs in
+  let write name table attrs =
+    add name Workload.Write 1. [ (tid table, 1.) ] attrs
+  in
+  let lookup prefix =
+    (* every transaction starts by resolving the customer by name *)
+    read (prefix ^ "_lookup") "Account" [ a "Account" "custid"; a "Account" "name" ]
+  in
+  (* Balance: read both balances *)
+  let balance =
+    [ lookup "bal";
+      read "bal_sav" "Saving" [ a "Saving" "custid"; a "Saving" "bal" ];
+      read "bal_chk" "Checking" [ a "Checking" "custid"; a "Checking" "bal" ];
+    ]
+  in
+  (* DepositChecking: blind increment of the checking balance *)
+  let deposit_checking =
+    [ lookup "dep";
+      read "dep_chk:r" "Checking" [ a "Checking" "custid" ];
+      write "dep_chk:w" "Checking" [ a "Checking" "bal" ];
+    ]
+  in
+  (* TransactSavings: read savings balance (overdraft check), then update *)
+  let transact_savings =
+    [ lookup "ts";
+      read "ts_sav:r" "Saving" [ a "Saving" "custid"; a "Saving" "bal" ];
+      write "ts_sav:w" "Saving" [ a "Saving" "bal" ];
+    ]
+  in
+  (* Amalgamate: zero the savings/checking of one customer, credit another *)
+  let amalgamate =
+    [ lookup "am";
+      read "am_sav:r" "Saving" [ a "Saving" "custid"; a "Saving" "bal" ];
+      read "am_chk:r" "Checking" [ a "Checking" "custid"; a "Checking" "bal" ];
+      write "am_sav:w" "Saving" [ a "Saving" "bal" ];
+      write "am_chk:w" "Checking" [ a "Checking" "bal" ];
+    ]
+  in
+  (* WriteCheck: read both balances, conditionally penalize, update checking *)
+  let write_check =
+    [ lookup "wc";
+      read "wc_sav" "Saving" [ a "Saving" "custid"; a "Saving" "bal" ];
+      read "wc_chk:r" "Checking" [ a "Checking" "custid"; a "Checking" "bal" ];
+      write "wc_chk:w" "Checking"
+        [ a "Checking" "bal"; a "Checking" "overdrafts" ];
+    ]
+  in
+  (* SendPayment: move money between two checking accounts *)
+  let send_payment =
+    [ lookup "sp";
+      read "sp_chk:r" "Checking" [ a "Checking" "custid"; a "Checking" "bal" ];
+      write "sp_chk:w" "Checking" [ a "Checking" "bal" ];
+    ]
+  in
+  let transactions =
+    [ { Workload.t_name = "Balance"; queries = balance };
+      { Workload.t_name = "DepositChecking"; queries = deposit_checking };
+      { Workload.t_name = "TransactSavings"; queries = transact_savings };
+      { Workload.t_name = "Amalgamate"; queries = amalgamate };
+      { Workload.t_name = "WriteCheck"; queries = write_check };
+      { Workload.t_name = "SendPayment"; queries = send_payment };
+    ]
+  in
+  Workload.make ~queries:(List.rev !queries) ~transactions
+
+let instance =
+  lazy (Instance.make ~name:"SmallBank" (Lazy.force schema) (build_workload ()))

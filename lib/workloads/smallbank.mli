@@ -1,0 +1,18 @@
+(** The SmallBank instance.
+
+    SmallBank (Alomari et al., ICDE 2008) is a minimal banking OLTP
+    benchmark commonly used with H-store-class systems: three tables
+    (Account, Saving, Checking) and six short transactions.  The Account
+    table carries a wide, rarely-read [name]/[profile] payload next to hot
+    numeric columns, so even this tiny schema benefits from vertical
+    partitioning.
+
+    Conventions as in {!Tpcc}: UPDATEs split into read/write sub-queries,
+    blind balance increments count as write-only, uniform per-transaction
+    frequencies matching the standard mix (all six at equal weight). *)
+
+val instance : Vpart.Instance.t Lazy.t
+(** 10 attributes, 6 transactions. *)
+
+val attr : string -> string -> int
+(** Attribute id lookup. @raise Not_found. *)

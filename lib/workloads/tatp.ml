@@ -1,0 +1,117 @@
+open Vpart
+
+let bits = List.init 10 (fun i -> (Printf.sprintf "bit_%d" (i + 1), 1))
+let hexes = List.init 10 (fun i -> (Printf.sprintf "hex_%d" (i + 1), 1))
+let byte2s = List.init 10 (fun i -> (Printf.sprintf "byte2_%d" (i + 1), 2))
+
+let schema_spec =
+  [ ( "Subscriber",
+      [ ("s_id", 4); ("sub_nbr", 15) ]
+      @ bits @ hexes @ byte2s
+      @ [ ("msc_location", 4); ("vlr_location", 4) ] );
+    ( "Access_Info",
+      [ ("s_id", 4); ("ai_type", 1); ("data1", 1); ("data2", 1); ("data3", 3);
+        ("data4", 5) ] );
+    ( "Special_Facility",
+      [ ("s_id", 4); ("sf_type", 1); ("is_active", 1); ("error_cntrl", 1);
+        ("data_a", 1); ("data_b", 5) ] );
+    ( "Call_Forwarding",
+      [ ("s_id", 4); ("sf_type", 1); ("start_time", 1); ("end_time", 1);
+        ("numberx", 15) ] );
+  ]
+
+let schema = lazy (Schema.make schema_spec)
+
+let attr table name = Schema.find_attr (Lazy.force schema) table name
+
+let build_workload () =
+  let s = Lazy.force schema in
+  let tid name = Schema.find_table s name in
+  let a table name = Schema.find_attr s table name in
+  let all table = Schema.attrs_of_table s (tid table) in
+  let queries = ref [] and count = ref 0 in
+  let add name kind freq tables attrs =
+    queries := { Workload.q_name = name; kind; freq; tables; attrs } :: !queries;
+    incr count;
+    !count - 1
+  in
+  let read name freq table ~rows attrs =
+    add name Workload.Read freq [ (tid table, rows) ] attrs
+  in
+  let write name freq table ~rows attrs =
+    add name Workload.Write freq [ (tid table, rows) ] attrs
+  in
+  (* GET_SUBSCRIBER_DATA: SELECT * FROM Subscriber WHERE s_id = ? *)
+  let get_subscriber =
+    [ read "get_subscriber" 35. "Subscriber" ~rows:1. (all "Subscriber") ]
+  in
+  (* GET_NEW_DESTINATION: join Special_Facility and Call_Forwarding *)
+  let get_new_destination =
+    [ read "gnd_sf" 10. "Special_Facility" ~rows:1.
+        [ a "Special_Facility" "s_id"; a "Special_Facility" "sf_type";
+          a "Special_Facility" "is_active" ];
+      read "gnd_cf" 10. "Call_Forwarding" ~rows:2.
+        [ a "Call_Forwarding" "s_id"; a "Call_Forwarding" "sf_type";
+          a "Call_Forwarding" "start_time"; a "Call_Forwarding" "end_time";
+          a "Call_Forwarding" "numberx" ];
+    ]
+  in
+  (* GET_ACCESS_DATA *)
+  let get_access_data =
+    [ read "get_access" 35. "Access_Info" ~rows:1.
+        [ a "Access_Info" "s_id"; a "Access_Info" "ai_type";
+          a "Access_Info" "data1"; a "Access_Info" "data2";
+          a "Access_Info" "data3"; a "Access_Info" "data4" ];
+    ]
+  in
+  (* UPDATE_SUBSCRIBER_DATA: UPDATE Subscriber SET bit_1 = ?;
+     UPDATE Special_Facility SET data_a = ? *)
+  let update_subscriber_data =
+    [ read "usd_sub:r" 2. "Subscriber" ~rows:1. [ a "Subscriber" "s_id" ];
+      write "usd_sub:w" 2. "Subscriber" ~rows:1. [ a "Subscriber" "bit_1" ];
+      read "usd_sf:r" 2. "Special_Facility" ~rows:1.
+        [ a "Special_Facility" "s_id"; a "Special_Facility" "sf_type" ];
+      write "usd_sf:w" 2. "Special_Facility" ~rows:1.
+        [ a "Special_Facility" "data_a" ];
+    ]
+  in
+  (* UPDATE_LOCATION: lookup by sub_nbr, set vlr_location *)
+  let update_location =
+    [ read "ul:r" 14. "Subscriber" ~rows:1.
+        [ a "Subscriber" "sub_nbr"; a "Subscriber" "s_id" ];
+      write "ul:w" 14. "Subscriber" ~rows:1. [ a "Subscriber" "vlr_location" ];
+    ]
+  in
+  (* INSERT_CALL_FORWARDING: read Subscriber + Special_Facility, insert CF *)
+  let insert_call_forwarding =
+    [ read "icf_sub" 2. "Subscriber" ~rows:1.
+        [ a "Subscriber" "sub_nbr"; a "Subscriber" "s_id" ];
+      read "icf_sf" 2. "Special_Facility" ~rows:1.
+        [ a "Special_Facility" "s_id"; a "Special_Facility" "sf_type" ];
+      write "icf_ins" 2. "Call_Forwarding" ~rows:1. (all "Call_Forwarding");
+    ]
+  in
+  (* DELETE_CALL_FORWARDING *)
+  let delete_call_forwarding =
+    [ read "dcf_sub" 2. "Subscriber" ~rows:1.
+        [ a "Subscriber" "sub_nbr"; a "Subscriber" "s_id" ];
+      read "dcf_cf:r" 2. "Call_Forwarding" ~rows:1.
+        [ a "Call_Forwarding" "s_id"; a "Call_Forwarding" "sf_type";
+          a "Call_Forwarding" "start_time" ];
+      write "dcf_cf:w" 2. "Call_Forwarding" ~rows:1. (all "Call_Forwarding");
+    ]
+  in
+  let transactions =
+    [ { Workload.t_name = "GetSubscriberData"; queries = get_subscriber };
+      { Workload.t_name = "GetNewDestination"; queries = get_new_destination };
+      { Workload.t_name = "GetAccessData"; queries = get_access_data };
+      { Workload.t_name = "UpdateSubscriberData"; queries = update_subscriber_data };
+      { Workload.t_name = "UpdateLocation"; queries = update_location };
+      { Workload.t_name = "InsertCallForwarding"; queries = insert_call_forwarding };
+      { Workload.t_name = "DeleteCallForwarding"; queries = delete_call_forwarding };
+    ]
+  in
+  Workload.make ~queries:(List.rev !queries) ~transactions
+
+let instance =
+  lazy (Instance.make ~name:"TATP" (Lazy.force schema) (build_workload ()))

@@ -1,0 +1,20 @@
+(** The TATP (Telecom Application Transaction Processing) instance.
+
+    TATP is the classic telecom OLTP benchmark used by the H-store/VoltDB
+    line of systems the paper targets: seven short transactions over four
+    tables, 80 % reads, and a very wide Subscriber table (35 attributes,
+    most of them rarely read together) — which makes it an interesting
+    vertical-partitioning subject beyond TPC-C.
+
+    Modeling follows the same conventions as {!Tpcc}: frequencies are the
+    standard TATP mix percentages (GET_SUBSCRIBER_DATA 35, GET_NEW_DESTINATION
+    10, GET_ACCESS_DATA 35, UPDATE_SUBSCRIBER_DATA 2, UPDATE_LOCATION 14,
+    INSERT_CALL_FORWARDING 2, DELETE_CALL_FORWARDING 2); UPDATEs are split
+    into read and write sub-queries; single-row lookups touch 1 row and
+    short scans 2 rows. *)
+
+val instance : Vpart.Instance.t Lazy.t
+(** 51 attributes, 7 transactions. *)
+
+val attr : string -> string -> int
+(** Attribute id lookup. @raise Not_found. *)

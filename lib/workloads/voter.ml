@@ -1,0 +1,67 @@
+open Vpart
+
+let schema_spec =
+  [ ("Contestants", [ ("number", 4); ("name", 50) ]);
+    ("AreaCodeState", [ ("area_code", 2); ("state", 2) ]);
+    ( "Votes",
+      [ ("vote_id", 8); ("phone_number", 8); ("state", 2);
+        ("contestant_number", 4); ("created", 8) ] );
+    ( "Leaderboard",
+      [ ("contestant_number", 4); ("num_votes", 8); ("updated", 8) ] );
+  ]
+
+let schema = lazy (Schema.make schema_spec)
+
+let attr table name = Schema.find_attr (Lazy.force schema) table name
+
+let build_workload () =
+  let s = Lazy.force schema in
+  let tid name = Schema.find_table s name in
+  let a table name = Schema.find_attr s table name in
+  let queries = ref [] and count = ref 0 in
+  let add name kind freq rows table attrs =
+    queries := { Workload.q_name = name; kind; freq; tables = [ (tid table, rows) ]; attrs }
+               :: !queries;
+    incr count;
+    !count - 1
+  in
+  (* Vote: validate contestant + area code, append a vote, bump the
+     leaderboard counter (blind increment). *)
+  let vote =
+    [ add "v_contestant" Workload.Read 100. 1. "Contestants"
+        [ a "Contestants" "number" ];
+      add "v_area" Workload.Read 100. 1. "AreaCodeState"
+        [ a "AreaCodeState" "area_code"; a "AreaCodeState" "state" ];
+      add "v_insert" Workload.Write 100. 1. "Votes"
+        (Schema.attrs_of_table s (tid "Votes"));
+      add "v_board:r" Workload.Read 100. 1. "Leaderboard"
+        [ a "Leaderboard" "contestant_number" ];
+      add "v_board:w" Workload.Write 100. 1. "Leaderboard"
+        [ a "Leaderboard" "num_votes"; a "Leaderboard" "updated" ];
+    ]
+  in
+  (* Leaderboard display: top contestants with names. *)
+  let leaderboard =
+    [ add "lb_board" Workload.Read 2. 10. "Leaderboard"
+        [ a "Leaderboard" "contestant_number"; a "Leaderboard" "num_votes" ];
+      add "lb_names" Workload.Read 2. 10. "Contestants"
+        [ a "Contestants" "number"; a "Contestants" "name" ];
+    ]
+  in
+  (* Audit: recent votes by state. *)
+  let audit =
+    [ add "audit_votes" Workload.Read 1. 10. "Votes"
+        [ a "Votes" "vote_id"; a "Votes" "state"; a "Votes" "contestant_number";
+          a "Votes" "created" ];
+    ]
+  in
+  let transactions =
+    [ { Workload.t_name = "Vote"; queries = vote };
+      { Workload.t_name = "Leaderboard"; queries = leaderboard };
+      { Workload.t_name = "Audit"; queries = audit };
+    ]
+  in
+  Workload.make ~queries:(List.rev !queries) ~transactions
+
+let instance =
+  lazy (Instance.make ~name:"Voter" (Lazy.force schema) (build_workload ()))

@@ -1,0 +1,15 @@
+(** The Voter instance.
+
+    Voter is the VoltDB telephone-voting demo workload (the canonical
+    H-store showcase): a write-dominated stream of [Vote] transactions over
+    a contestants catalog, an area-code lookup table and an append-only
+    votes table, plus two periodic read transactions for the leaderboard.
+    The vote path reads narrow lookup columns and appends full vote rows,
+    so the optimizer should keep the lookup columns co-located with [Vote]
+    and can park the display-only columns elsewhere. *)
+
+val instance : Vpart.Instance.t Lazy.t
+(** 12 attributes, 3 transactions. *)
+
+val attr : string -> string -> int
+(** Attribute id lookup. @raise Not_found. *)

@@ -1,0 +1,215 @@
+(* Tests for the comparison baselines (affinity clustering, greedy local
+   search). *)
+
+open Vpart
+
+let small_instance seed =
+  let params =
+    { Instance_gen.default_params with
+      Instance_gen.name = Printf.sprintf "base%d" seed;
+      num_tables = 3;
+      num_transactions = 6;
+      max_attrs_per_table = 5;
+      update_percent = 30;
+    }
+  in
+  Instance_gen.generate ~seed params
+
+(* ------------------------------------------------------------------ *)
+(* Affinity                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_affinity_matrix () =
+  (* two attributes read together have positive affinity; separated ones 0 *)
+  let schema = Schema.make [ ("T", [ ("a", 4); ("b", 4); ("c", 4) ]) ] in
+  let q1 =
+    { Workload.q_name = "ab"; kind = Workload.Read; freq = 3.;
+      tables = [ (0, 2.) ]; attrs = [ 0; 1 ] }
+  in
+  let q2 =
+    { Workload.q_name = "c"; kind = Workload.Read; freq = 5.;
+      tables = [ (0, 1.) ]; attrs = [ 2 ] }
+  in
+  let inst =
+    Instance.make schema
+      (Workload.make ~queries:[ q1; q2 ]
+         ~transactions:[ { Workload.t_name = "t"; queries = [ 0; 1 ] } ])
+  in
+  let aff = Affinity.affinity_matrix inst ~table:0 in
+  Alcotest.(check (float 1e-9)) "aff(a,b) = freq*rows" 6. aff.(0).(1);
+  Alcotest.(check (float 1e-9)) "symmetric" aff.(0).(1) aff.(1).(0);
+  Alcotest.(check (float 1e-9)) "aff(a,c) = 0" 0. aff.(0).(2);
+  Alcotest.(check (float 1e-9)) "diagonal empty" 0. aff.(0).(0)
+
+let test_bea_order_is_permutation () =
+  let aff =
+    [| [| 0.; 5.; 0.; 1. |];
+       [| 5.; 0.; 0.; 0. |];
+       [| 0.; 0.; 0.; 9. |];
+       [| 1.; 0.; 9.; 0. |] |]
+  in
+  let order = Affinity.bea_order aff in
+  Alcotest.(check (list int)) "permutation" [ 0; 1; 2; 3 ]
+    (List.sort compare order);
+  (* strongly bonded pairs end up adjacent *)
+  let arr = Array.of_list order in
+  let adjacent x y =
+    let rec go i =
+      i + 1 < Array.length arr
+      && ((arr.(i) = x && arr.(i + 1) = y)
+          || (arr.(i) = y && arr.(i + 1) = x)
+          || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "0-1 adjacent" true (adjacent 0 1);
+  Alcotest.(check bool) "2-3 adjacent" true (adjacent 2 3)
+
+let test_affinity_valid () =
+  List.iter
+    (fun seed ->
+       let inst = small_instance seed in
+       let r =
+         Affinity.solve
+           ~options:{ Affinity.default_options with Affinity.num_sites = 3 }
+           inst
+       in
+       let stats = Stats.compute inst ~p:8. in
+       (match Partitioning.validate stats r.Affinity.partitioning with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "seed %d: %s" seed e);
+       Alcotest.(check (float 1e-9)) "cost recomputes"
+         (Cost_model.cost stats r.Affinity.partitioning)
+         r.Affinity.cost)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_affinity_on_tpcc () =
+  let inst = Lazy.force Tpcc.instance in
+  let r =
+    Affinity.solve
+      ~options:{ Affinity.default_options with Affinity.num_sites = 3 } inst
+  in
+  let stats = Stats.compute inst ~p:8. in
+  (match Partitioning.validate stats r.Affinity.partitioning with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "positive cost" true (r.Affinity.cost > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_greedy_valid_and_monotone () =
+  List.iter
+    (fun seed ->
+       let inst = small_instance seed in
+       let stats = Stats.compute inst ~p:8. in
+       let r =
+         Greedy.solve
+           ~options:{ Greedy.default_options with Greedy.num_sites = 3 } inst
+       in
+       (match Partitioning.validate stats r.Greedy.partitioning with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "seed %d: %s" seed e);
+       (* never worse than the collapsed start *)
+       let collapsed =
+         let part =
+           Partitioning.create ~num_sites:3
+             ~num_txns:(Instance.num_transactions inst)
+             ~num_attrs:(Instance.num_attrs inst)
+         in
+         Partitioning.repair_single_sitedness stats part;
+         Cost_model.cost stats part
+       in
+       if r.Greedy.cost > collapsed +. 1e-6 then
+         Alcotest.failf "seed %d: greedy %.9g worse than start %.9g" seed
+           r.Greedy.cost collapsed)
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_greedy_never_beats_qp () =
+  List.iter
+    (fun seed ->
+       let inst = small_instance seed in
+       let qp =
+         Qp_solver.solve
+           ~options:{ Qp_solver.default_options with Qp_solver.num_sites = 2;
+                      lambda = 1.0; time_limit = 30.; gap = 1e-9 }
+           inst
+       in
+       let g =
+         Greedy.solve
+           ~options:{ Greedy.default_options with Greedy.num_sites = 2;
+                      lambda = 1.0 }
+           inst
+       in
+       match qp.Qp_solver.outcome, qp.Qp_solver.cost with
+       | Qp_solver.Proved_optimal, Some opt ->
+         if g.Greedy.cost +. 1e-6 < opt -. 1e-6 *. Float.abs opt then
+           Alcotest.failf "seed %d: greedy %.9g beats QP optimum %.9g" seed
+             g.Greedy.cost opt
+       | _ -> Alcotest.failf "seed %d: QP not optimal" seed)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_greedy_delta_consistency () =
+  (* the incremental deltas must agree with full recomputation: compare the
+     final incremental cost against Cost_model on the result *)
+  let inst = Lazy.force Tpcc.instance in
+  let r =
+    Greedy.solve ~options:{ Greedy.default_options with Greedy.num_sites = 3 } inst
+  in
+  let stats = Stats.compute inst ~p:8. in
+  Alcotest.(check (float 1e-6)) "cost matches recomputation"
+    (Cost_model.cost stats r.Greedy.partitioning)
+    r.Greedy.cost;
+  Alcotest.(check bool) "applied some moves" true (r.Greedy.moves > 0)
+
+let test_greedy_improves_tpcc () =
+  let inst = Lazy.force Tpcc.instance in
+  let stats = Stats.compute inst ~p:8. in
+  let single = Cost_model.cost stats (Partitioning.single_site inst) in
+  let r =
+    Greedy.solve ~options:{ Greedy.default_options with Greedy.num_sites = 2 } inst
+  in
+  Alcotest.(check bool) "beats single site" true (r.Greedy.cost < single)
+
+(* SA should dominate greedy on average (it can escape local optima);
+   check it never loses by much across seeds. *)
+let test_sa_vs_greedy () =
+  let worse = ref 0 in
+  List.iter
+    (fun seed ->
+       let inst = small_instance seed in
+       let sa =
+         Sa_solver.solve
+           ~options:{ Sa_solver.default_options with Sa_solver.num_sites = 2;
+                      lambda = 1.0 }
+           inst
+       in
+       let g =
+         Greedy.solve
+           ~options:{ Greedy.default_options with Greedy.num_sites = 2;
+                      lambda = 1.0 }
+           inst
+       in
+       if sa.Sa_solver.cost > g.Greedy.cost +. 1e-6 then incr worse)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  if !worse > 4 then
+    Alcotest.failf "SA lost to greedy on %d/8 seeds" !worse
+
+let () =
+  Alcotest.run "baselines"
+    [ ("affinity",
+       [ Alcotest.test_case "matrix" `Quick test_affinity_matrix;
+         Alcotest.test_case "bea order" `Quick test_bea_order_is_permutation;
+         Alcotest.test_case "valid" `Quick test_affinity_valid;
+         Alcotest.test_case "tpcc" `Quick test_affinity_on_tpcc;
+       ]);
+      ("greedy",
+       [ Alcotest.test_case "valid and monotone" `Quick
+           test_greedy_valid_and_monotone;
+         Alcotest.test_case "never beats QP" `Slow test_greedy_never_beats_qp;
+         Alcotest.test_case "delta consistency" `Quick test_greedy_delta_consistency;
+         Alcotest.test_case "improves tpcc" `Quick test_greedy_improves_tpcc;
+         Alcotest.test_case "sa vs greedy" `Quick test_sa_vs_greedy;
+       ]);
+    ]

@@ -1,0 +1,132 @@
+(* Tests for the random instance generator (§5.3). *)
+
+open Vpart
+
+let test_deterministic () =
+  let p = Instance_gen.default_params in
+  let a = Instance_gen.generate ~seed:9 p in
+  let b = Instance_gen.generate ~seed:9 p in
+  Alcotest.(check int) "same |A|" (Instance.num_attrs a) (Instance.num_attrs b);
+  let sa = Stats.compute a ~p:8. and sb = Stats.compute b ~p:8. in
+  Alcotest.(check bool) "identical stats" true (sa.Stats.c1 = sb.Stats.c1);
+  let c = Instance_gen.generate ~seed:10 p in
+  Alcotest.(check bool) "different seed differs" true
+    (Instance.num_attrs a <> Instance.num_attrs c
+     || Stats.compute c ~p:8. <> sa)
+
+let test_bounds_respected () =
+  let p =
+    { Instance_gen.default_params with
+      Instance_gen.num_tables = 7;
+      num_transactions = 9;
+      max_attrs_per_table = 4;
+      max_queries_per_txn = 2;
+      max_tables_per_query = 3;
+      max_attrs_per_query = 5;
+      widths = [| 2; 16 |];
+    }
+  in
+  let inst = Instance_gen.generate ~seed:123 p in
+  let s = inst.Instance.schema and wl = inst.Instance.workload in
+  Alcotest.(check int) "tables" 7 (Schema.num_tables s);
+  Alcotest.(check int) "transactions" 9 (Workload.num_transactions wl);
+  for tid = 0 to Schema.num_tables s - 1 do
+    let n = List.length (Schema.attrs_of_table s tid) in
+    if n < 1 || n > 4 then Alcotest.failf "table %d has %d attrs" tid n
+  done;
+  for a = 0 to Schema.num_attrs s - 1 do
+    let w = Schema.attr_width s a in
+    if w <> 2 && w <> 16 then Alcotest.failf "attr %d width %d not in F" a w
+  done;
+  for t = 0 to Workload.num_transactions wl - 1 do
+    let nq = List.length (Workload.transaction wl t).Workload.queries in
+    if nq < 1 || nq > 2 then Alcotest.failf "txn %d has %d queries" t nq
+  done;
+  for q = 0 to Workload.num_queries wl - 1 do
+    let query = Workload.query wl q in
+    let ntab = List.length query.Workload.tables in
+    if ntab < 1 || ntab > 3 then Alcotest.failf "query %d touches %d tables" q ntab;
+    let nattr = List.length query.Workload.attrs in
+    if nattr < 1 || nattr > 5 then Alcotest.failf "query %d accesses %d attrs" q nattr
+  done
+
+let test_all_catalog_instances_validate () =
+  List.iter
+    (fun p ->
+       let inst = Instance_gen.generate p in
+       match Workload.validate inst.Instance.schema inst.Instance.workload with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "%s: %s" p.Instance_gen.name e)
+    Instance_gen.catalog
+
+let test_catalog_names () =
+  let names = List.map (fun p -> p.Instance_gen.name) Instance_gen.catalog in
+  Alcotest.(check int) "22 named instances" 22 (List.length names);
+  Alcotest.(check int) "unique names" 22
+    (List.length (List.sort_uniq compare names));
+  let p = Instance_gen.find "rndAt8x15u50" in
+  Alcotest.(check int) "u50 update share" 50 p.Instance_gen.update_percent;
+  Alcotest.(check int) "8 tables" 8 p.Instance_gen.num_tables;
+  Alcotest.(check int) "15 txns" 15 p.Instance_gen.num_transactions;
+  (match Instance_gen.find "nope" with
+   | exception Not_found -> ()
+   | _ -> Alcotest.fail "expected Not_found")
+
+let test_update_share_extremes () =
+  let mk pct =
+    let p =
+      { Instance_gen.default_params with
+        Instance_gen.name = Printf.sprintf "u%d" pct;
+        update_percent = pct;
+        num_transactions = 30;
+      }
+    in
+    let inst = Instance_gen.generate ~seed:3 p in
+    let wl = inst.Instance.workload in
+    let w = ref 0 in
+    for q = 0 to Workload.num_queries wl - 1 do
+      if Workload.is_write (Workload.query wl q) then incr w
+    done;
+    (!w, Workload.num_queries wl)
+  in
+  let w0, _ = mk 0 in
+  Alcotest.(check int) "0%% updates -> none" 0 w0;
+  let w100, n100 = mk 100 in
+  Alcotest.(check int) "100%% updates -> all" n100 w100
+
+(* Property: every generated instance validates and class statistics look
+   sane (attribute count within [tables, tables*C]). *)
+let prop_generated_instances_validate =
+  QCheck2.Test.make ~count:100 ~name:"generated instances validate"
+    QCheck2.Gen.(
+      tup4 (int_range 0 100000) (int_range 1 10) (int_range 1 12) (int_range 0 100))
+    (fun (seed, tables, txns, pct) ->
+       let p =
+         { Instance_gen.default_params with
+           Instance_gen.name = Printf.sprintf "p%d" seed;
+           num_tables = tables;
+           num_transactions = txns;
+           update_percent = pct;
+         }
+       in
+       let inst = Instance_gen.generate ~seed p in
+       let na = Instance.num_attrs inst in
+       na >= tables
+       && na <= tables * p.Instance_gen.max_attrs_per_table
+       && (match Workload.validate inst.Instance.schema inst.Instance.workload with
+           | Ok () -> true
+           | Error _ -> false))
+
+let () =
+  Alcotest.run "gen"
+    [ ("generator",
+       [ Alcotest.test_case "deterministic" `Quick test_deterministic;
+         Alcotest.test_case "bounds respected" `Quick test_bounds_respected;
+         Alcotest.test_case "catalog validates" `Quick
+           test_all_catalog_instances_validate;
+         Alcotest.test_case "catalog names" `Quick test_catalog_names;
+         Alcotest.test_case "update share extremes" `Quick test_update_share_extremes;
+       ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_generated_instances_validate ]);
+    ]

@@ -1,0 +1,124 @@
+(* Tests for the vendored JSON codec. *)
+
+let check_roundtrip name j =
+  let s = Json.to_string j in
+  let j' = Json.of_string s in
+  Alcotest.(check bool) (name ^ " pretty roundtrip") true (j = j');
+  let s = Json.to_string ~minify:true j in
+  let j' = Json.of_string s in
+  Alcotest.(check bool) (name ^ " minified roundtrip") true (j = j')
+
+let test_scalars () =
+  Alcotest.(check bool) "null" true (Json.of_string "null" = Json.Null);
+  Alcotest.(check bool) "true" true (Json.of_string "true" = Json.Bool true);
+  Alcotest.(check bool) "false" true (Json.of_string " false " = Json.Bool false);
+  Alcotest.(check bool) "int" true (Json.of_string "42" = Json.Int 42);
+  Alcotest.(check bool) "negative int" true (Json.of_string "-7" = Json.Int (-7));
+  Alcotest.(check bool) "float" true (Json.of_string "2.5" = Json.Float 2.5);
+  Alcotest.(check bool) "exponent" true (Json.of_string "1e3" = Json.Float 1000.);
+  Alcotest.(check bool) "string" true (Json.of_string {|"hi"|} = Json.String "hi")
+
+let test_structures () =
+  let j = Json.of_string {| {"a": [1, 2.5, "x"], "b": {"c": null}} |} in
+  (match j with
+   | Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.String "x" ]);
+                ("b", Json.Obj [ ("c", Json.Null) ]) ] -> ()
+   | _ -> Alcotest.fail "unexpected parse");
+  check_roundtrip "nested" j;
+  check_roundtrip "empty obj" (Json.Obj []);
+  check_roundtrip "empty list" (Json.List [])
+
+let test_escapes () =
+  let j = Json.of_string {|"a\nb\t\"c\"\\dA"|} in
+  Alcotest.(check bool) "escapes" true (j = Json.String "a\nb\t\"c\"\\dA");
+  (* surrogate pair: U+1F600 *)
+  let j = Json.of_string {|"😀"|} in
+  Alcotest.(check bool) "surrogate pair" true
+    (j = Json.String "\xf0\x9f\x98\x80");
+  check_roundtrip "control chars" (Json.String "line1\nline2\x01")
+
+let test_errors () =
+  let fails s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "expected parse error for %S" s)
+  in
+  fails "";
+  fails "{";
+  fails "[1,]";
+  fails "{\"a\" 1}";
+  fails "nul";
+  fails "\"unterminated";
+  fails "1 2";
+  fails "{\"a\":1,}"
+
+let test_accessors () =
+  let j = Json.of_string {| {"n": 3, "f": 2.5, "s": "x", "b": true, "l": [1]} |} in
+  Alcotest.(check int) "member int" 3 Json.(to_int (member "n" j));
+  Alcotest.(check (float 0.)) "member float" 2.5 Json.(to_float (member "f" j));
+  Alcotest.(check (float 0.)) "int as float" 3. Json.(to_float (member "n" j));
+  Alcotest.(check string) "member string" "x" Json.(to_str (member "s" j));
+  Alcotest.(check bool) "member bool" true Json.(to_bool (member "b" j));
+  Alcotest.(check int) "list" 1 (List.length Json.(to_list (member "l" j)));
+  Alcotest.(check bool) "absent is Null" true (Json.member "zz" j = Json.Null);
+  Alcotest.(check bool) "member_opt" true (Json.member_opt "zz" j = None);
+  (match Json.to_int (Json.String "x") with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected Invalid_argument")
+
+(* Property: printing then parsing is the identity on generated documents. *)
+let gen_json =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [ return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) (int_range (-1000000) 1000000);
+        map (fun f -> Json.Float f) (float_range (-1e6) 1e6);
+        map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 12));
+      ]
+  in
+  let key = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+  fix
+    (fun self depth ->
+       if depth <= 0 then scalar
+       else
+         frequency
+           [ (3, scalar);
+             (1, map (fun l -> Json.List l) (list_size (int_range 0 4) (self (depth - 1))));
+             (1,
+              map
+                (fun kvs ->
+                   (* duplicate keys would not roundtrip structurally *)
+                   let seen = Hashtbl.create 8 in
+                   let kvs =
+                     List.filter
+                       (fun (k, _) ->
+                          if Hashtbl.mem seen k then false
+                          else begin Hashtbl.add seen k (); true end)
+                       kvs
+                   in
+                   Json.Obj kvs)
+                (list_size (int_range 0 4) (pair key (self (depth - 1)))));
+           ])
+    2
+
+let prop_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"json print/parse roundtrip" gen_json
+    (fun j ->
+       let via_pretty = Json.of_string (Json.to_string j) in
+       let via_minify = Json.of_string (Json.to_string ~minify:true j) in
+       (* Floats print with enough digits to roundtrip exactly. *)
+       via_pretty = j && via_minify = j)
+
+let () =
+  Alcotest.run "json"
+    [ ("parse",
+       [ Alcotest.test_case "scalars" `Quick test_scalars;
+         Alcotest.test_case "structures" `Quick test_structures;
+         Alcotest.test_case "escapes" `Quick test_escapes;
+         Alcotest.test_case "errors" `Quick test_errors;
+         Alcotest.test_case "accessors" `Quick test_accessors;
+       ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+    ]

@@ -1,0 +1,263 @@
+(* Tests for the LP modeling layer. *)
+
+let build_small () =
+  let m = Lp.create ~name:"small" () in
+  let x = Lp.add_var m ~name:"x" ~lb:0. ~ub:4. () in
+  let y = Lp.add_var m ~name:"y" ~lb:0. () in
+  let z = Lp.binary m ~name:"z" () in
+  Lp.add_constr m [ (1., x); (2., y) ] Lp.Le 10.;
+  Lp.add_constr m [ (1., x); (-1., y); (3., z) ] Lp.Ge 0.;
+  Lp.add_constr m [ (1., x); (1., y); (1., z) ] Lp.Eq 5.;
+  Lp.set_objective m Lp.Minimize ~constant:1. [ (2., x); (1., y); (5., z) ];
+  (m, x, y, z)
+
+let test_build () =
+  let m, x, y, z = build_small () in
+  Alcotest.(check int) "num vars" 3 (Lp.num_vars m);
+  Alcotest.(check int) "num constrs" 3 (Lp.num_constrs m);
+  Alcotest.(check string) "var name" "x" (Lp.var_name m x);
+  Alcotest.(check string) "default name" "y" (Lp.var_name m y);
+  ignore z
+
+let test_standardize () =
+  let m, _, _, _ = build_small () in
+  let std = Lp.standardize m in
+  Alcotest.(check int) "ncols" 3 std.Lp.ncols;
+  Alcotest.(check int) "nrows" 3 std.Lp.nrows;
+  Alcotest.(check bool) "binary integer" true std.Lp.integer.(2);
+  Alcotest.(check (float 0.)) "binary ub" 1. std.Lp.ub.(2);
+  Alcotest.(check (float 0.)) "obj" 2. std.Lp.obj.(0);
+  Alcotest.(check (float 0.)) "obj const" 1. std.Lp.obj_const;
+  Alcotest.(check bool) "minimize" false std.Lp.maximize
+
+let test_duplicate_terms () =
+  let m = Lp.create () in
+  let x = Lp.add_var m () in
+  let y = Lp.add_var m () in
+  Lp.add_constr m [ (1., x); (2., x); (1., y); (-1., y) ] Lp.Le 3.;
+  let std = Lp.standardize m in
+  (* y's net coefficient is 0 and must be dropped *)
+  Alcotest.(check int) "row length" 1 (Array.length std.Lp.row_idx.(0));
+  Alcotest.(check int) "row var" 0 std.Lp.row_idx.(0).(0);
+  Alcotest.(check (float 0.)) "row coef" 3. std.Lp.row_val.(0).(0)
+
+let test_maximize_negation () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:2. () in
+  Lp.set_objective m Lp.Maximize ~constant:10. [ (3., x) ];
+  let std = Lp.standardize m in
+  Alcotest.(check (float 0.)) "negated obj" (-3.) std.Lp.obj.(0);
+  Alcotest.(check (float 0.)) "negated const" (-10.) std.Lp.obj_const;
+  Alcotest.(check (float 0.)) "restore" 7. (Lp.restore_objective std (-7.))
+
+let test_check_feasible () =
+  let m, _, _, _ = build_small () in
+  let std = Lp.standardize m in
+  (* x=4, y=1, z=0: row1 4+2=6<=10 ok; row2 4-1=3>=0 ok; row3 5=5 ok *)
+  Alcotest.(check bool) "feasible point" true
+    (Lp.check_feasible std [| 4.; 1.; 0. |]);
+  (* violates equality *)
+  Alcotest.(check bool) "infeasible row" false
+    (Lp.check_feasible std [| 4.; 2.; 0. |]);
+  (* violates bound *)
+  Alcotest.(check bool) "bound violation" false
+    (Lp.check_feasible std [| 5.; 0.; 0. |]);
+  (* violates integrality of z *)
+  Alcotest.(check bool) "fractional integer" false
+    (Lp.check_feasible std [| 4.; 0.5; 0.5 |]);
+  Alcotest.(check (float 1e-9)) "objective" (2. *. 4. +. 1. +. 1.)
+    (Lp.eval_objective std [| 4.; 1.; 0. |])
+
+let test_out_of_range () =
+  let m = Lp.create () in
+  let _x = Lp.add_var m () in
+  (match Lp.add_constr m [ (1., 5) ] Lp.Le 1. with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected Invalid_argument");
+  (match Lp.add_var m ~lb:2. ~ub:1. () with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected Invalid_argument for crossed bounds")
+
+let test_mps () =
+  let m, _, _, _ = build_small () in
+  let mps = Lp.to_mps m in
+  let has sub =
+    let n = String.length sub and h = String.length mps in
+    let rec go i = i + n <= h && (String.sub mps i n = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun section ->
+       Alcotest.(check bool) (section ^ " present") true (has section))
+    [ "NAME"; "ROWS"; "COLUMNS"; "RHS"; "BOUNDS"; "ENDATA"; "INTORG"; "INTEND" ]
+
+(* ------------------------------------------------------------------ *)
+(* Presolve                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let reduce_model m = Presolve.reduce (Lp.standardize m)
+
+let test_presolve_singleton_row () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:10. () and y = Lp.add_var m ~ub:10. () in
+  Lp.add_constr m [ (2., x) ] Lp.Le 6.;         (* x <= 3 *)
+  Lp.add_constr m [ (1., x); (1., y) ] Lp.Le 8.;
+  Lp.set_objective m Lp.Minimize [ (1., x); (1., y) ];
+  let r = reduce_model m in
+  match r.Presolve.verdict with
+  | Presolve.Reduced red ->
+    Alcotest.(check int) "singleton row removed" 1 red.Lp.nrows;
+    (* x keeps index 0 with tightened bound *)
+    Alcotest.(check (float 1e-9)) "bound tightened" 3. red.Lp.ub.(0)
+  | Presolve.Infeasible -> Alcotest.fail "unexpected infeasible"
+
+let test_presolve_fixed_variable () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~lb:2. ~ub:2. () and y = Lp.add_var m ~ub:10. () in
+  Lp.add_constr m [ (1., x); (1., y) ] Lp.Le 5.;
+  Lp.set_objective m Lp.Minimize [ (3., x); (1., y) ];
+  let r = reduce_model m in
+  (match r.Presolve.verdict with
+   | Presolve.Reduced red ->
+     Alcotest.(check int) "one column left" 1 red.Lp.ncols;
+     Alcotest.(check (float 1e-9)) "objective constant picked up" 6. red.Lp.obj_const;
+     (* the row became y <= 3 (singleton) and was turned into a bound *)
+     Alcotest.(check int) "row absorbed" 0 red.Lp.nrows;
+     Alcotest.(check (float 1e-9)) "bound on y" 3. red.Lp.ub.(0)
+   | Presolve.Infeasible -> Alcotest.fail "unexpected infeasible");
+  ignore (x, y)
+
+let test_presolve_detects_infeasible () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:1. () in
+  Lp.add_constr m [ (1., x) ] Lp.Ge 5.;
+  Lp.set_objective m Lp.Minimize [ (1., x) ];
+  let r = reduce_model m in
+  (match r.Presolve.verdict with
+   | Presolve.Infeasible -> ()
+   | Presolve.Reduced _ -> Alcotest.fail "expected infeasible");
+  (* contradictory empty row after cancellation *)
+  let m = Lp.create () in
+  let x = Lp.add_var m () in
+  Lp.add_constr m [ (1., x); (-1., x) ] Lp.Eq 3.;
+  Lp.set_objective m Lp.Minimize [ (1., x) ];
+  match (reduce_model m).Presolve.verdict with
+  | Presolve.Infeasible -> ()
+  | Presolve.Reduced _ -> Alcotest.fail "expected infeasible empty row"
+
+let test_presolve_redundant_row () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:1. () and y = Lp.add_var m ~ub:1. () in
+  Lp.add_constr m [ (1., x); (1., y) ] Lp.Le 5.;  (* max activity 2 <= 5 *)
+  Lp.add_constr m [ (1., x); (1., y) ] Lp.Ge 1.;
+  Lp.set_objective m Lp.Minimize [ (1., x); (1., y) ];
+  let r = reduce_model m in
+  match r.Presolve.verdict with
+  | Presolve.Reduced red -> Alcotest.(check int) "redundant row dropped" 1 red.Lp.nrows
+  | Presolve.Infeasible -> Alcotest.fail "unexpected infeasible"
+
+let test_presolve_integer_rounding () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~integer:true ~ub:10. () in
+  Lp.add_constr m [ (2., x) ] Lp.Le 7.;   (* x <= 3.5 -> 3 *)
+  Lp.add_constr m [ (2., x) ] Lp.Ge 3.;   (* x >= 1.5 -> 2 *)
+  Lp.set_objective m Lp.Minimize [ (1., x) ];
+  let r = reduce_model m in
+  match r.Presolve.verdict with
+  | Presolve.Reduced red ->
+    Alcotest.(check (float 1e-9)) "ub rounded down" 3. red.Lp.ub.(0);
+    Alcotest.(check (float 1e-9)) "lb rounded up" 2. red.Lp.lb.(0)
+  | Presolve.Infeasible -> Alcotest.fail "unexpected infeasible"
+
+let test_presolve_restore () =
+  let m = Lp.create () in
+  let _x = Lp.add_var m ~lb:2. ~ub:2. () in
+  let y = Lp.add_var m ~ub:10. () in
+  let _z = Lp.add_var m ~lb:1. ~ub:1. () in
+  Lp.add_constr m [ (1., y) ] Lp.Le 4.;
+  Lp.set_objective m Lp.Minimize [ (1., y) ];
+  let r = reduce_model m in
+  match r.Presolve.verdict with
+  | Presolve.Reduced red ->
+    Alcotest.(check int) "only y kept" 1 red.Lp.ncols;
+    let full = Presolve.restore r [| 3.5 |] in
+    Alcotest.(check (float 1e-9)) "x restored" 2. full.(0);
+    Alcotest.(check (float 1e-9)) "y restored" 3.5 full.(1);
+    Alcotest.(check (float 1e-9)) "z restored" 1. full.(2)
+  | Presolve.Infeasible -> Alcotest.fail "unexpected infeasible"
+
+(* Property: presolve preserves the LP optimum (checked with the simplex)
+   and the restored solution is feasible in the original. *)
+let gen_presolve_lp =
+  let open QCheck2.Gen in
+  let* nv = int_range 1 6 in
+  let* nr = int_range 1 6 in
+  let* ubs = list_size (return nv) (float_range 0.5 8.) in
+  let* fixed_mask = list_size (return nv) (int_range 0 3) in
+  let* costs = list_size (return nv) (float_range (-10.) 10.) in
+  let* rows =
+    list_size (return nr)
+      (pair (list_size (return nv) (float_range 0. 4.)) (float_range 0.5 20.))
+  in
+  return (ubs, fixed_mask, costs, rows)
+
+let prop_presolve_preserves_optimum =
+  QCheck2.Test.make ~count:200 ~name:"presolve preserves the LP optimum"
+    gen_presolve_lp
+    (fun (ubs, fixed_mask, costs, rows) ->
+       let m = Lp.create () in
+       let vars =
+         List.map2
+           (fun ub k ->
+              (* a quarter of the variables are fixed *)
+              if k = 0 then Lp.add_var m ~lb:(ub /. 2.) ~ub:(ub /. 2.) ()
+              else Lp.add_var m ~ub ())
+           ubs fixed_mask
+       in
+       List.iter
+         (fun (coefs, rhs) ->
+            Lp.add_constr m (List.map2 (fun c v -> (c, v)) coefs vars) Lp.Le rhs)
+         rows;
+       Lp.set_objective m Lp.Minimize (List.map2 (fun c v -> (c, v)) costs vars);
+       let std = Lp.standardize m in
+       let direct = Simplex.solve std in
+       let r = Presolve.reduce std in
+       match r.Presolve.verdict, direct.Simplex.status with
+       | Presolve.Infeasible, Simplex.Infeasible -> true
+       | Presolve.Infeasible, _ -> false
+       | Presolve.Reduced red, Simplex.Optimal ->
+         let via = Simplex.solve red in
+         (match via.Simplex.status with
+          | Simplex.Optimal ->
+            let restored = Presolve.restore r via.Simplex.x in
+            Float.abs (via.Simplex.obj -. direct.Simplex.obj)
+            <= 1e-5 *. (1. +. Float.abs direct.Simplex.obj)
+            && Lp.check_feasible ~tol:1e-5 std restored
+          | _ -> false)
+       | Presolve.Reduced red, Simplex.Infeasible ->
+         (* presolve may not detect all infeasibility; the simplex must *)
+         (Simplex.solve red).Simplex.status = Simplex.Infeasible
+       | Presolve.Reduced _, _ -> false)
+
+let () =
+  Alcotest.run "lp"
+    [ ("model",
+       [ Alcotest.test_case "build" `Quick test_build;
+         Alcotest.test_case "standardize" `Quick test_standardize;
+         Alcotest.test_case "duplicate terms" `Quick test_duplicate_terms;
+         Alcotest.test_case "maximize negation" `Quick test_maximize_negation;
+         Alcotest.test_case "check_feasible" `Quick test_check_feasible;
+         Alcotest.test_case "out of range" `Quick test_out_of_range;
+         Alcotest.test_case "mps export" `Quick test_mps;
+       ]);
+      ("presolve",
+       [ Alcotest.test_case "singleton row" `Quick test_presolve_singleton_row;
+         Alcotest.test_case "fixed variable" `Quick test_presolve_fixed_variable;
+         Alcotest.test_case "infeasible" `Quick test_presolve_detects_infeasible;
+         Alcotest.test_case "redundant row" `Quick test_presolve_redundant_row;
+         Alcotest.test_case "integer rounding" `Quick test_presolve_integer_rounding;
+         Alcotest.test_case "restore" `Quick test_presolve_restore;
+       ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_presolve_preserves_optimum ]);
+    ]

@@ -1,0 +1,225 @@
+(* Tests for the byte-level row store: heaps, clusters, and the
+   model = engine = rowstore agreement. *)
+
+open Vpart
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_basic () =
+  let h = Heap.create ~width:8 () in
+  Alcotest.(check int) "empty" 0 (Heap.count h);
+  let r0 = Heap.append h (Bytes.of_string "AAAABBBB") in
+  let r1 = Heap.append h (Bytes.of_string "CCCCDDDD") in
+  Alcotest.(check int) "ids dense" 0 r0;
+  Alcotest.(check int) "ids dense 2" 1 r1;
+  Alcotest.(check int) "count" 2 (Heap.count h);
+  Alcotest.(check string) "read back" "CCCCDDDD"
+    (Bytes.to_string (Heap.read_row h 1));
+  Heap.write_row h 0 (Bytes.of_string "XXXXYYYY");
+  Alcotest.(check string) "overwrite" "XXXXYYYY"
+    (Bytes.to_string (Heap.read_row h 0))
+
+let test_heap_fields () =
+  let h = Heap.create ~width:8 () in
+  ignore (Heap.append h (Bytes.of_string "AAAABBBB"));
+  Alcotest.(check string) "field read" "BBBB"
+    (Bytes.to_string (Heap.read_field h 0 ~off:4 ~len:4));
+  Heap.write_field h 0 ~off:0 ~len:2 (Bytes.of_string "ZZ");
+  Alcotest.(check string) "field write" "ZZAABBBB"
+    (Bytes.to_string (Heap.read_row h 0))
+
+let test_heap_counters () =
+  let h = Heap.create ~width:10 () in
+  ignore (Heap.append h (Bytes.create 10));
+  ignore (Heap.append h (Bytes.create 10));
+  Alcotest.(check (float 0.)) "writes = 2 rows" 20. (Heap.bytes_written h);
+  ignore (Heap.read_row h 0);
+  ignore (Heap.read_field h 1 ~off:2 ~len:3);
+  Alcotest.(check (float 0.)) "reads = row + field" 13. (Heap.bytes_read h);
+  Heap.reset_counters h;
+  Alcotest.(check (float 0.)) "reset" 0. (Heap.bytes_read h);
+  Heap.scan h (fun _ _ -> ());
+  Alcotest.(check (float 0.)) "scan reads all" 20. (Heap.bytes_read h);
+  Heap.reset_counters h;
+  Heap.scan h ~limit:1 (fun _ _ -> ());
+  Alcotest.(check (float 0.)) "limited scan" 10. (Heap.bytes_read h)
+
+let test_heap_growth () =
+  let h = Heap.create ~initial_capacity:1 ~width:4 () in
+  for i = 0 to 99 do
+    let row = Bytes.make 4 (Char.chr (i land 0xff)) in
+    ignore (Heap.append h row)
+  done;
+  Alcotest.(check int) "100 rows" 100 (Heap.count h);
+  Alcotest.(check bool) "storage grew" true (Heap.storage_bytes h >= 400);
+  for i = 0 to 99 do
+    Alcotest.(check char) "content preserved" (Char.chr (i land 0xff))
+      (Bytes.get (Heap.read_row h i) 0)
+  done
+
+let test_heap_errors () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Heap.create ~width:0 ());
+  let h = Heap.create ~width:4 () in
+  ignore (Heap.append h (Bytes.create 4));
+  expect_invalid (fun () -> Heap.append h (Bytes.create 5));
+  expect_invalid (fun () -> Heap.read_row h 7);
+  expect_invalid (fun () -> Heap.read_field h 0 ~off:2 ~len:4);
+  expect_invalid (fun () -> Heap.write_field h 0 ~off:0 ~len:2 (Bytes.create 3))
+
+(* ------------------------------------------------------------------ *)
+(* Cluster                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let deploy_tpcc sites =
+  let inst = Lazy.force Tpcc.instance in
+  let part =
+    if sites = 1 then Partitioning.single_site inst
+    else
+      (Sa_solver.solve
+         ~options:{ Sa_solver.default_options with Sa_solver.num_sites = sites;
+                    lambda = 0.9 }
+         inst)
+        .Sa_solver.partitioning
+  in
+  (inst, part, Cluster.deploy inst part)
+
+let test_cluster_matches_model () =
+  List.iter
+    (fun sites ->
+       let inst, part, cluster = deploy_tpcc sites in
+       Cluster.run_workload cluster;
+       let c = Cluster.counters cluster in
+       let b = Cost_model.breakdown inst part in
+       Alcotest.(check (float 1e-6)) "reads" b.Cost_model.read_local
+         c.Cluster.bytes_read;
+       Alcotest.(check (float 1e-6)) "writes" b.Cost_model.write_local
+         c.Cluster.bytes_written;
+       Alcotest.(check (float 1e-6)) "network" b.Cost_model.transfer
+         c.Cluster.bytes_transferred)
+    [ 1; 2; 3 ]
+
+let test_cluster_matches_engine () =
+  (* three independent implementations of the same semantics agree *)
+  let inst, part, cluster = deploy_tpcc 3 in
+  Cluster.run_workload cluster;
+  let c = Cluster.counters cluster in
+  let eng = Engine.deploy inst part in
+  let e = Engine.run_workload eng in
+  Alcotest.(check (float 1e-6)) "reads" e.Engine.bytes_read c.Cluster.bytes_read;
+  Alcotest.(check (float 1e-6)) "writes" e.Engine.bytes_written
+    c.Cluster.bytes_written;
+  Alcotest.(check (float 1e-6)) "network" e.Engine.bytes_transferred
+    c.Cluster.bytes_transferred
+
+let test_cluster_storage_and_rows () =
+  let inst, _, cluster = deploy_tpcc 2 in
+  let storage = Cluster.storage_bytes_per_site cluster in
+  Alcotest.(check int) "two sites" 2 (Array.length storage);
+  Array.iter
+    (fun b -> Alcotest.(check bool) "positive storage" true (b > 0.))
+    storage;
+  (* a fraction row can be read back and has the fraction's width *)
+  let customer = Schema.find_table inst.Instance.schema "Customer" in
+  let found = ref false in
+  for s = 0 to 1 do
+    match Cluster.fraction_row cluster ~site:s ~table:customer 0 with
+    | Some row ->
+      found := true;
+      Alcotest.(check bool) "row non-empty" true (Bytes.length row > 0)
+    | None -> ()
+  done;
+  Alcotest.(check bool) "customer stored somewhere" true !found
+
+let test_cluster_attribute_value () =
+  let inst, part, cluster = deploy_tpcc 2 in
+  let a = Tpcc.attr "Customer" "C_ID" in
+  let stored_sites =
+    List.filter (fun s -> part.Partitioning.placed.(a).(s)) [ 0; 1 ]
+  in
+  Alcotest.(check bool) "C_ID stored" true (stored_sites <> []);
+  List.iter
+    (fun s ->
+       match Cluster.attribute_value cluster ~site:s ~attr:a 0 with
+       | Some v ->
+         Alcotest.(check int) "C_ID width" 4 (Bytes.length v)
+       | None -> Alcotest.fail "missing attribute value")
+    stored_sites;
+  let absent = List.filter (fun s -> not (List.mem s stored_sites)) [ 0; 1 ] in
+  List.iter
+    (fun s ->
+       Alcotest.(check bool) "absent site returns None" true
+         (Cluster.attribute_value cluster ~site:s ~attr:a 0 = None))
+    absent;
+  ignore inst
+
+let test_cluster_reset () =
+  let _, _, cluster = deploy_tpcc 2 in
+  Cluster.run_workload cluster;
+  Alcotest.(check bool) "counted" true ((Cluster.counters cluster).Cluster.bytes_read > 0.);
+  Cluster.reset cluster;
+  let c = Cluster.counters cluster in
+  Alcotest.(check (float 0.)) "reads reset" 0. c.Cluster.bytes_read;
+  Alcotest.(check (float 0.)) "network reset" 0. c.Cluster.bytes_transferred
+
+(* Property: model = rowstore on random instances with integral stats. *)
+let prop_cluster_matches_model =
+  QCheck2.Test.make ~count:60 ~name:"rowstore measurements = cost model"
+    QCheck2.Gen.(pair (int_range 0 2000) (int_range 1 3))
+    (fun (seed, num_sites) ->
+       let params =
+         { Instance_gen.default_params with
+           Instance_gen.name = Printf.sprintf "rs%d" seed;
+           num_tables = 3;
+           num_transactions = 4;
+           update_percent = 30;
+         }
+       in
+       let inst = Instance_gen.generate ~seed params in
+       let stats = Stats.compute inst ~p:8. in
+       let rng = Rng.create seed in
+       let part =
+         Partitioning.create ~num_sites
+           ~num_txns:(Instance.num_transactions inst)
+           ~num_attrs:(Instance.num_attrs inst)
+       in
+       Array.iteri
+         (fun t _ -> part.Partitioning.txn_site.(t) <- Rng.int rng num_sites)
+         part.Partitioning.txn_site;
+       Array.iter
+         (fun row -> Array.iteri (fun s _ -> row.(s) <- Rng.bool rng 0.3) row)
+         part.Partitioning.placed;
+       Partitioning.repair_single_sitedness stats part;
+       let cluster = Cluster.deploy inst part in
+       Cluster.run_workload cluster;
+       let c = Cluster.counters cluster in
+       let b = Cost_model.breakdown inst part in
+       let close a b = Float.abs (a -. b) <= 1e-6 *. (1. +. Float.abs b) in
+       close c.Cluster.bytes_read b.Cost_model.read_local
+       && close c.Cluster.bytes_written b.Cost_model.write_local
+       && close c.Cluster.bytes_transferred b.Cost_model.transfer)
+
+let () =
+  Alcotest.run "rowstore"
+    [ ("heap",
+       [ Alcotest.test_case "basic" `Quick test_heap_basic;
+         Alcotest.test_case "fields" `Quick test_heap_fields;
+         Alcotest.test_case "counters" `Quick test_heap_counters;
+         Alcotest.test_case "growth" `Quick test_heap_growth;
+         Alcotest.test_case "errors" `Quick test_heap_errors;
+       ]);
+      ("cluster",
+       [ Alcotest.test_case "matches model" `Quick test_cluster_matches_model;
+         Alcotest.test_case "matches engine" `Quick test_cluster_matches_engine;
+         Alcotest.test_case "storage and rows" `Quick test_cluster_storage_and_rows;
+         Alcotest.test_case "attribute value" `Quick test_cluster_attribute_value;
+         Alcotest.test_case "reset" `Quick test_cluster_reset;
+       ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_cluster_matches_model ]);
+    ]

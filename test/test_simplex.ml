@@ -1,0 +1,364 @@
+(* Tests for the bounded-variable simplex solver. *)
+
+let solve_model m = Simplex.solve (Lp.standardize m)
+
+let check_status name expected (r : Simplex.result) =
+  Alcotest.(check string) name
+    (Simplex.string_of_status expected)
+    (Simplex.string_of_status r.Simplex.status)
+
+let test_textbook_max () =
+  (* max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6, x,y >= 0.  Optimum 12 at (4,0). *)
+  let m = Lp.create () in
+  let x = Lp.add_var m () and y = Lp.add_var m () in
+  Lp.add_constr m [ (1., x); (1., y) ] Lp.Le 4.;
+  Lp.add_constr m [ (1., x); (3., y) ] Lp.Le 6.;
+  Lp.set_objective m Lp.Maximize [ (3., x); (2., y) ];
+  let r = solve_model m in
+  check_status "status" Simplex.Optimal r;
+  let std = Lp.standardize m in
+  Alcotest.(check (float 1e-6)) "objective" 12. (Lp.restore_objective std r.Simplex.obj);
+  Alcotest.(check (float 1e-6)) "x" 4. r.Simplex.x.(0);
+  Alcotest.(check (float 1e-6)) "y" 0. r.Simplex.x.(1)
+
+let test_equality_rows () =
+  (* min x + 2y  s.t. x + y = 2, x - y = 0, x,y in [0,3] -> x=y=1, obj 3. *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:3. () and y = Lp.add_var m ~ub:3. () in
+  Lp.add_constr m [ (1., x); (1., y) ] Lp.Eq 2.;
+  Lp.add_constr m [ (1., x); (-1., y) ] Lp.Eq 0.;
+  Lp.set_objective m Lp.Minimize [ (1., x); (2., y) ];
+  let r = solve_model m in
+  check_status "status" Simplex.Optimal r;
+  Alcotest.(check (float 1e-6)) "objective" 3. r.Simplex.obj;
+  Alcotest.(check (float 1e-6)) "x" 1. r.Simplex.x.(0);
+  Alcotest.(check (float 1e-6)) "y" 1. r.Simplex.x.(1)
+
+let test_ge_rows () =
+  (* min 2x + 3y s.t. x + y >= 4, x >= 1, y >= 1 -> (3,1) obj 9. *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~lb:1. () and y = Lp.add_var m ~lb:1. () in
+  Lp.add_constr m [ (1., x); (1., y) ] Lp.Ge 4.;
+  Lp.set_objective m Lp.Minimize [ (2., x); (3., y) ];
+  let r = solve_model m in
+  check_status "status" Simplex.Optimal r;
+  Alcotest.(check (float 1e-6)) "objective" 9. r.Simplex.obj
+
+let test_infeasible () =
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:1. () in
+  Lp.add_constr m [ (1., x) ] Lp.Ge 2.;
+  Lp.set_objective m Lp.Minimize [ (1., x) ];
+  let r = solve_model m in
+  check_status "status" Simplex.Infeasible r
+
+let test_unbounded () =
+  let m = Lp.create () in
+  let x = Lp.add_var m () in
+  (* min -x with x >= 0 and no upper bound *)
+  Lp.set_objective m Lp.Minimize [ (-1., x) ];
+  let r = solve_model m in
+  check_status "status" Simplex.Unbounded r
+
+let test_free_variable () =
+  (* min x  s.t. x >= -5 (as a row), x free -> obj -5. *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~lb:neg_infinity () in
+  Lp.add_constr m [ (1., x) ] Lp.Ge (-5.);
+  Lp.set_objective m Lp.Minimize [ (1., x) ];
+  let r = solve_model m in
+  check_status "status" Simplex.Optimal r;
+  Alcotest.(check (float 1e-6)) "objective" (-5.) r.Simplex.obj
+
+let test_upper_bounds_active () =
+  (* max x + y with x <= 2, y <= 3 boxed, one slack row. *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:2. () and y = Lp.add_var m ~ub:3. () in
+  Lp.add_constr m [ (1., x); (1., y) ] Lp.Le 10.;
+  Lp.set_objective m Lp.Maximize [ (1., x); (1., y) ];
+  let r = solve_model m in
+  check_status "status" Simplex.Optimal r;
+  let std = Lp.standardize m in
+  Alcotest.(check (float 1e-6)) "objective" 5. (Lp.restore_objective std r.Simplex.obj)
+
+let test_degenerate () =
+  (* Classic degenerate LP; must terminate (anti-cycling). *)
+  let m = Lp.create () in
+  let x1 = Lp.add_var m () and x2 = Lp.add_var m () and x3 = Lp.add_var m () in
+  Lp.add_constr m [ (0.5, x1); (-5.5, x2); (-2.5, x3) ] Lp.Le 0.;
+  Lp.add_constr m [ (0.5, x1); (-1.5, x2); (-0.5, x3) ] Lp.Le 0.;
+  Lp.add_constr m [ (1., x1) ] Lp.Le 1.;
+  Lp.set_objective m Lp.Maximize [ (10., x1); (-57., x2); (-9., x3) ];
+  let r = solve_model m in
+  check_status "status" Simplex.Optimal r;
+  (* optimum of Beale's example variant: x1=1 with suitable x2,x3 *)
+  Alcotest.(check bool) "finite objective" true (Float.is_finite r.Simplex.obj)
+
+let test_negative_rhs () =
+  (* min x + y s.t. -x - y <= -3 (i.e. x + y >= 3), x,y in [0,5]. *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:5. () and y = Lp.add_var m ~ub:5. () in
+  Lp.add_constr m [ (-1., x); (-1., y) ] Lp.Le (-3.);
+  Lp.set_objective m Lp.Minimize [ (1., x); (1., y) ];
+  let r = solve_model m in
+  check_status "status" Simplex.Optimal r;
+  Alcotest.(check (float 1e-6)) "objective" 3. r.Simplex.obj
+
+let test_incremental_bound_change () =
+  (* Warm-started branching pattern: tighten a bound, reoptimize, relax. *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:1. () and y = Lp.add_var m ~ub:1. () in
+  Lp.add_constr m [ (1., x); (1., y) ] Lp.Ge 1.;
+  Lp.set_objective m Lp.Minimize [ (1., x); (2., y) ];
+  let t = Simplex.create (Lp.standardize m) in
+  let st = Simplex.reoptimize t in
+  Alcotest.(check string) "root optimal" "optimal" (Simplex.string_of_status st);
+  Alcotest.(check (float 1e-6)) "root obj" 1. (Simplex.objective t);
+  (* force x = 0: optimum flips to y = 1, obj 2 *)
+  Simplex.set_bounds t x ~lb:0. ~ub:0.;
+  let st = Simplex.reoptimize t in
+  Alcotest.(check string) "child optimal" "optimal" (Simplex.string_of_status st);
+  Alcotest.(check (float 1e-6)) "child obj" 2. (Simplex.objective t);
+  Alcotest.(check (float 1e-6)) "child y" 1. (Simplex.primal_value t y);
+  (* restore: optimum returns *)
+  Simplex.set_bounds t x ~lb:0. ~ub:1.;
+  let st = Simplex.reoptimize t in
+  Alcotest.(check string) "restored optimal" "optimal" (Simplex.string_of_status st);
+  Alcotest.(check (float 1e-6)) "restored obj" 1. (Simplex.objective t)
+
+let test_primal_method () =
+  (* Run the primal method from an already primal-feasible point. *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:4. () and y = Lp.add_var m ~ub:4. () in
+  Lp.add_constr m [ (1., x); (1., y) ] Lp.Le 6.;
+  Lp.set_objective m Lp.Maximize [ (2., x); (1., y) ];
+  let std = Lp.standardize m in
+  let t = Simplex.create std in
+  let st = Simplex.reoptimize t in
+  Alcotest.(check string) "dual result" "optimal" (Simplex.string_of_status st);
+  let obj_dual = Simplex.objective t in
+  let st = Simplex.primal_simplex t in
+  Alcotest.(check string) "primal result" "optimal" (Simplex.string_of_status st);
+  Alcotest.(check (float 1e-6)) "same objective" obj_dual (Simplex.objective t);
+  Alcotest.(check (float 1e-6)) "value" (-10.) obj_dual
+
+(* ------------------------------------------------------------------ *)
+(* Robustness: pathological inputs                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_redundant_rows () =
+  (* the same constraint five times: the basis stays manageable *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:3. () and y = Lp.add_var m ~ub:3. () in
+  for _ = 1 to 5 do
+    Lp.add_constr m [ (1., x); (1., y) ] Lp.Le 4.
+  done;
+  Lp.set_objective m Lp.Maximize [ (1., x); (2., y) ];
+  let r = solve_model m in
+  check_status "status" Simplex.Optimal r;
+  let std = Lp.standardize m in
+  Alcotest.(check (float 1e-6)) "objective" 7.
+    (Lp.restore_objective std r.Simplex.obj)
+
+let test_zero_row () =
+  (* a 0 = 0 row (all coefficients cancelled) must not break anything *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:2. () in
+  Lp.add_constr m [ (1., x); (-1., x) ] Lp.Le 0.;
+  Lp.set_objective m Lp.Maximize [ (1., x) ];
+  let r = solve_model m in
+  check_status "status" Simplex.Optimal r;
+  Alcotest.(check (float 1e-6)) "x at ub" 2. r.Simplex.x.(0)
+
+let test_contradictory_zero_row () =
+  (* 0 <= -1 is infeasible *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:2. () in
+  Lp.add_constr m [ (1., x); (-1., x) ] Lp.Le (-1.);
+  Lp.set_objective m Lp.Minimize [ (1., x) ];
+  let r = solve_model m in
+  check_status "status" Simplex.Infeasible r
+
+let test_wide_coefficient_range () =
+  (* coefficients spanning 8 orders of magnitude *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~ub:1e6 () and y = Lp.add_var m ~ub:1e6 () in
+  Lp.add_constr m [ (1e-4, x); (1., y) ] Lp.Le 10.;
+  Lp.add_constr m [ (1., x); (1e4, y) ] Lp.Le 20000.;
+  Lp.set_objective m Lp.Maximize [ (1., x); (1., y) ];
+  let r = solve_model m in
+  check_status "status" Simplex.Optimal r;
+  Alcotest.(check bool) "feasible" true
+    (Lp.check_feasible ~tol:1e-2 (Lp.standardize m) r.Simplex.x)
+
+let test_fixed_variables () =
+  (* lb = ub variables must be honored, not pivoted *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~lb:2. ~ub:2. () and y = Lp.add_var m ~ub:10. () in
+  Lp.add_constr m [ (1., x); (1., y) ] Lp.Le 5.;
+  Lp.set_objective m Lp.Maximize [ (1., x); (1., y) ];
+  let r = solve_model m in
+  check_status "status" Simplex.Optimal r;
+  Alcotest.(check (float 1e-6)) "x fixed" 2. r.Simplex.x.(0);
+  Alcotest.(check (float 1e-6)) "y fills the rest" 3. r.Simplex.x.(1)
+
+let test_many_equalities () =
+  (* chain x_i = x_{i+1}, all equal, bounded sum *)
+  let m = Lp.create () in
+  let n = 30 in
+  let vars = Array.init n (fun _ -> Lp.add_var m ~ub:10. ()) in
+  for i = 0 to n - 2 do
+    Lp.add_constr m [ (1., vars.(i)); (-1., vars.(i + 1)) ] Lp.Eq 0.
+  done;
+  Lp.add_constr m (Array.to_list (Array.map (fun v -> (1., v)) vars)) Lp.Le 15.;
+  Lp.set_objective m Lp.Maximize [ (1., vars.(0)) ];
+  let r = solve_model m in
+  check_status "status" Simplex.Optimal r;
+  Alcotest.(check (float 1e-6)) "all equal at 0.5" 0.5 r.Simplex.x.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type rand_lp = {
+  nv : int;
+  ubs : float list;
+  rows : (float list * float) list;  (* nonneg coefs, nonneg rhs: 0 feasible *)
+  costs : float list;
+}
+
+let gen_rand_lp =
+  let open QCheck2.Gen in
+  let* nv = int_range 1 6 in
+  let* nr = int_range 1 6 in
+  let* ubs = list_size (return nv) (float_range 0.5 8.) in
+  let* costs = list_size (return nv) (float_range (-10.) 10.) in
+  let* rows =
+    list_size (return nr)
+      (pair (list_size (return nv) (float_range 0. 4.)) (float_range 0.5 20.))
+  in
+  return { nv; ubs; rows; costs }
+
+let build_rand_lp r =
+  let m = Lp.create () in
+  let vars = List.map (fun ub -> Lp.add_var m ~ub ()) r.ubs in
+  List.iter
+    (fun (coefs, rhs) ->
+       Lp.add_constr m (List.map2 (fun c v -> (c, v)) coefs vars) Lp.Le rhs)
+    r.rows;
+  Lp.set_objective m Lp.Minimize (List.map2 (fun c v -> (c, v)) r.costs vars);
+  m
+
+(* Scale a random box point toward the origin until all rows hold; with
+   nonnegative coefficients and rhs this always succeeds, producing a
+   feasible comparison point. *)
+let random_feasible_point st r =
+  let pt =
+    List.map (fun ub -> QCheck2.Gen.generate1 ~rand:st (QCheck2.Gen.float_range 0. ub)) r.ubs
+  in
+  let worst =
+    List.fold_left
+      (fun acc (coefs, rhs) ->
+         let lhs = List.fold_left2 (fun s c x -> s +. (c *. x)) 0. coefs pt in
+         if lhs > rhs then Float.max acc (lhs /. rhs) else acc)
+      1. r.rows
+  in
+  List.map (fun x -> x /. worst) pt
+
+let prop_feasible_and_dominates =
+  QCheck2.Test.make ~count:300 ~name:"simplex: optimal is feasible and below sampled points"
+    gen_rand_lp
+    (fun r ->
+       let m = build_rand_lp r in
+       let std = Lp.standardize m in
+       let res = Simplex.solve std in
+       match res.Simplex.status with
+       | Simplex.Optimal ->
+         let feas = Lp.check_feasible ~tol:1e-5 std res.Simplex.x in
+         let st = Random.State.make [| 42 |] in
+         let dominated = ref true in
+         for _ = 1 to 20 do
+           let pt = random_feasible_point st r in
+           let obj =
+             List.fold_left2 (fun s c x -> s +. (c *. x)) 0. r.costs pt
+           in
+           if res.Simplex.obj > obj +. 1e-5 *. (1. +. Float.abs obj) then
+             dominated := false
+         done;
+         feas && !dominated
+       | _ -> false (* these instances are always feasible and bounded *))
+
+let prop_complementary_slackness =
+  QCheck2.Test.make ~count:200
+    ~name:"simplex: complementary slackness at optimum" gen_rand_lp
+    (fun r ->
+       let m = build_rand_lp r in
+       let std = Lp.standardize m in
+       let t = Simplex.create std in
+       match Simplex.reoptimize t with
+       | Simplex.Optimal ->
+         let d = Simplex.reduced_costs t in
+         let x = Simplex.primal t in
+         let ok = ref true in
+         Array.iteri
+           (fun j dj ->
+              let tol = 1e-5 *. (1. +. Float.abs dj) in
+              let at_lb = x.(j) <= std.Lp.lb.(j) +. 1e-6 in
+              let at_ub = x.(j) >= std.Lp.ub.(j) -. 1e-6 in
+              if (not at_lb) && not at_ub then begin
+                (* interior variable: zero reduced cost *)
+                if Float.abs dj > tol then ok := false
+              end
+              else begin
+                if at_lb && (not at_ub) && dj < -.tol then ok := false;
+                if at_ub && (not at_lb) && dj > tol then ok := false
+              end)
+           d;
+         (* weak duality sanity: dual objective y·b + bound terms equals
+            the primal objective at a basic optimal point; check the
+            looser statement that y has one entry per row *)
+         Array.length (Simplex.duals t) = std.Lp.nrows && !ok
+       | _ -> false)
+
+let prop_zero_objective =
+  QCheck2.Test.make ~count:100 ~name:"simplex: zero cost yields zero objective"
+    gen_rand_lp
+    (fun r ->
+       let m = build_rand_lp r in
+       Lp.set_objective m Lp.Minimize [];
+       let res = Simplex.solve (Lp.standardize m) in
+       res.Simplex.status = Simplex.Optimal && Float.abs res.Simplex.obj < 1e-9)
+
+let () =
+  Alcotest.run "simplex"
+    [ ("classic",
+       [ Alcotest.test_case "textbook max" `Quick test_textbook_max;
+         Alcotest.test_case "equality rows" `Quick test_equality_rows;
+         Alcotest.test_case "ge rows" `Quick test_ge_rows;
+         Alcotest.test_case "infeasible" `Quick test_infeasible;
+         Alcotest.test_case "unbounded" `Quick test_unbounded;
+         Alcotest.test_case "free variable" `Quick test_free_variable;
+         Alcotest.test_case "upper bounds active" `Quick test_upper_bounds_active;
+         Alcotest.test_case "degenerate" `Quick test_degenerate;
+         Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+       ]);
+      ("incremental",
+       [ Alcotest.test_case "bound change warm start" `Quick
+           test_incremental_bound_change;
+         Alcotest.test_case "primal method" `Quick test_primal_method;
+       ]);
+      ("robustness",
+       [ Alcotest.test_case "redundant rows" `Quick test_redundant_rows;
+         Alcotest.test_case "zero row" `Quick test_zero_row;
+         Alcotest.test_case "contradictory zero row" `Quick
+           test_contradictory_zero_row;
+         Alcotest.test_case "wide coefficients" `Quick test_wide_coefficient_range;
+         Alcotest.test_case "fixed variables" `Quick test_fixed_variables;
+         Alcotest.test_case "many equalities" `Quick test_many_equalities;
+       ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_feasible_and_dominates;
+         QCheck_alcotest.to_alcotest prop_complementary_slackness;
+         QCheck_alcotest.to_alcotest prop_zero_objective;
+       ]);
+    ]

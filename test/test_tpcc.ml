@@ -1,0 +1,151 @@
+(* Tests for the TPC-C v5 instance. *)
+
+open Vpart
+
+let inst () = Lazy.force Tpcc.instance
+
+let test_shape () =
+  let i = inst () in
+  Alcotest.(check int) "92 attributes (paper Table 3)" 92 (Instance.num_attrs i);
+  Alcotest.(check int) "9 tables" 9 (Schema.num_tables i.Instance.schema);
+  Alcotest.(check int) "5 transactions" 5 (Instance.num_transactions i);
+  let wl = i.Instance.workload in
+  Alcotest.(check (list string)) "transaction names" Tpcc.transaction_names
+    (List.init (Workload.num_transactions wl) (fun t ->
+         (Workload.transaction wl t).Workload.t_name))
+
+let test_attr_counts () =
+  let s = (inst ()).Instance.schema in
+  let counts =
+    [ ("Warehouse", 9); ("District", 11); ("Customer", 21); ("History", 8);
+      ("NewOrder", 3); ("Order", 8); ("OrderLine", 10); ("Item", 5); ("Stock", 17) ]
+  in
+  List.iter
+    (fun (t, n) ->
+       Alcotest.(check int) t n
+         (List.length (Schema.attrs_of_table s (Schema.find_table s t))))
+    counts
+
+let test_widths () =
+  let s = (inst ()).Instance.schema in
+  Alcotest.(check int) "C_DATA is the widest attribute" 500
+    (Schema.attr_width s (Tpcc.attr "Customer" "C_DATA"));
+  Alcotest.(check int) "ids are 4 bytes" 4
+    (Schema.attr_width s (Tpcc.attr "Warehouse" "W_ID"));
+  Alcotest.(check int) "Customer row width" 679
+    (Schema.row_width s (Schema.find_table s "Customer"))
+
+let test_validates () =
+  let i = inst () in
+  match Workload.validate i.Instance.schema i.Instance.workload with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_query_structure () =
+  let i = inst () in
+  let wl = i.Instance.workload in
+  Alcotest.(check int) "39 queries" 39 (Workload.num_queries wl);
+  let writes = ref 0 in
+  for q = 0 to Workload.num_queries wl - 1 do
+    if Workload.is_write (Workload.query wl q) then incr writes
+  done;
+  Alcotest.(check int) "13 write queries" 13 !writes;
+  (* every query has frequency 1 (paper 5.2) *)
+  for q = 0 to Workload.num_queries wl - 1 do
+    Alcotest.(check (float 0.)) "freq 1" 1.0 (Workload.query wl q).Workload.freq
+  done;
+  (* rows are 1 or 10 only (paper 5.2) *)
+  for q = 0 to Workload.num_queries wl - 1 do
+    List.iter
+      (fun (_, rows) ->
+         if rows <> 1.0 && rows <> 10.0 then
+           Alcotest.failf "query %s has rows %g"
+             (Workload.query wl q).Workload.q_name rows)
+      (Workload.query wl q).Workload.tables
+  done
+
+let test_update_split () =
+  (* every ":w" query has a matching ":r" companion in the same txn *)
+  let wl = (inst ()).Instance.workload in
+  for q = 0 to Workload.num_queries wl - 1 do
+    let name = (Workload.query wl q).Workload.q_name in
+    if Filename.check_suffix name ":w" then begin
+      let base = Filename.chop_suffix name ":w" in
+      let found = ref false in
+      for q' = 0 to Workload.num_queries wl - 1 do
+        if (Workload.query wl q').Workload.q_name = base ^ ":r" then begin
+          found := true;
+          Alcotest.(check int) (base ^ " same txn") (Workload.txn_of_query wl q)
+            (Workload.txn_of_query wl q')
+        end
+      done;
+      if not !found then Alcotest.failf "%s has no read companion" name
+    end
+  done
+
+let test_blind_increments_not_read () =
+  (* S_YTD / S_ORDER_CNT / S_REMOTE_CNT must not be read by New-Order, so
+     they may be placed away from its site (paper Table 4). *)
+  let i = inst () in
+  let stats = Stats.compute i ~p:8. in
+  let new_order = 0 in
+  List.iter
+    (fun name ->
+       Alcotest.(check bool) (name ^ " not phi-bound") false
+         stats.Stats.phi.(new_order).(Tpcc.attr "Stock" name))
+    [ "S_YTD"; "S_ORDER_CNT"; "S_REMOTE_CNT" ];
+  (* but S_QUANTITY is read *)
+  Alcotest.(check bool) "S_QUANTITY phi-bound" true
+    stats.Stats.phi.(new_order).(Tpcc.attr "Stock" "S_QUANTITY")
+
+let test_replication_opportunity () =
+  (* C_BALANCE is read by Payment and OrderStatus and written by Delivery:
+     the classic replication case the paper's Table 4 shows. *)
+  let i = inst () in
+  let stats = Stats.compute i ~p:8. in
+  let a = Tpcc.attr "Customer" "C_BALANCE" in
+  Alcotest.(check bool) "Payment reads C_BALANCE" true stats.Stats.phi.(1).(a);
+  Alcotest.(check bool) "OrderStatus reads C_BALANCE" true stats.Stats.phi.(2).(a);
+  Alcotest.(check bool) "Delivery does not read C_BALANCE" false
+    stats.Stats.phi.(3).(a);
+  Alcotest.(check bool) "C_BALANCE written (c4 > 0)" true (stats.Stats.c4.(a) > 0.)
+
+let test_single_site_cost_is_stable () =
+  (* freeze the baseline cost so accidental schema/workload edits are
+     caught; the exact value documents our statistics assumptions *)
+  let i = inst () in
+  let stats = Stats.compute i ~p:8. in
+  let c = Cost_model.cost stats (Partitioning.single_site i) in
+  Alcotest.(check (float 0.5)) "1-site cost" 37098. c
+
+let test_grouping_size () =
+  let g = Grouping.compute (inst ()) in
+  (* attributes with identical access patterns collapse 92 -> 37 *)
+  Alcotest.(check int) "groups" 37 (Grouping.num_groups g)
+
+let test_cardinalities () =
+  Alcotest.(check int) "9 tables" 9 (List.length Tpcc.cardinalities);
+  Alcotest.(check (option int)) "stock 100k" (Some 100_000)
+    (List.assoc_opt "Stock" Tpcc.cardinalities)
+
+let () =
+  Alcotest.run "tpcc"
+    [ ("schema",
+       [ Alcotest.test_case "shape" `Quick test_shape;
+         Alcotest.test_case "attr counts" `Quick test_attr_counts;
+         Alcotest.test_case "widths" `Quick test_widths;
+         Alcotest.test_case "cardinalities" `Quick test_cardinalities;
+       ]);
+      ("workload",
+       [ Alcotest.test_case "validates" `Quick test_validates;
+         Alcotest.test_case "query structure" `Quick test_query_structure;
+         Alcotest.test_case "update split" `Quick test_update_split;
+         Alcotest.test_case "blind increments" `Quick test_blind_increments_not_read;
+         Alcotest.test_case "replication opportunity" `Quick
+           test_replication_opportunity;
+       ]);
+      ("derived",
+       [ Alcotest.test_case "baseline cost" `Quick test_single_site_cost_is_stable;
+         Alcotest.test_case "grouping size" `Quick test_grouping_size;
+       ]);
+    ]

@@ -1,0 +1,136 @@
+(* Tests for the extra built-in H-store-style workloads. *)
+
+open Vpart
+
+let all_instances () =
+  [ Lazy.force Tatp.instance;
+    Lazy.force Smallbank.instance;
+    Lazy.force Voter.instance ]
+
+let test_shapes () =
+  let tatp = Lazy.force Tatp.instance in
+  Alcotest.(check int) "TATP 51 attrs" 51 (Instance.num_attrs tatp);
+  Alcotest.(check int) "TATP 7 txns" 7 (Instance.num_transactions tatp);
+  let sb = Lazy.force Smallbank.instance in
+  Alcotest.(check int) "SmallBank 10 attrs" 10 (Instance.num_attrs sb);
+  Alcotest.(check int) "SmallBank 6 txns" 6 (Instance.num_transactions sb);
+  let voter = Lazy.force Voter.instance in
+  Alcotest.(check int) "Voter 12 attrs" 12 (Instance.num_attrs voter);
+  Alcotest.(check int) "Voter 3 txns" 3 (Instance.num_transactions voter)
+
+let test_all_validate () =
+  List.iter
+    (fun inst ->
+       match Workload.validate inst.Instance.schema inst.Instance.workload with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "%s: %s" inst.Instance.name e)
+    (all_instances ())
+
+let test_tatp_mix () =
+  (* the standard frequency mix sums to 100 per query "slot" of each txn *)
+  let inst = Lazy.force Tatp.instance in
+  let wl = inst.Instance.workload in
+  let freq_of name =
+    let found = ref None in
+    for t = 0 to Workload.num_transactions wl - 1 do
+      let txn = Workload.transaction wl t in
+      if txn.Workload.t_name = name then
+        found :=
+          Some (Workload.query wl (List.hd txn.Workload.queries)).Workload.freq
+    done;
+    match !found with Some f -> f | None -> Alcotest.failf "no txn %s" name
+  in
+  Alcotest.(check (float 0.)) "GetSubscriberData 35%" 35.
+    (freq_of "GetSubscriberData");
+  Alcotest.(check (float 0.)) "UpdateLocation 14%" 14. (freq_of "UpdateLocation");
+  Alcotest.(check (float 0.)) "read-heavy total" 80.
+    (freq_of "GetSubscriberData" +. freq_of "GetNewDestination"
+     +. freq_of "GetAccessData")
+
+let test_tatp_wide_subscriber_splits () =
+  (* Subscriber is 35 attributes of which the hot path reads all but the
+     update path touches few — 2-site SA should narrow something. *)
+  let inst = Lazy.force Tatp.instance in
+  let stats = Stats.compute inst ~p:8. in
+  let single = Cost_model.cost stats (Partitioning.single_site inst) in
+  let r =
+    Sa_solver.solve
+      ~options:{ Sa_solver.default_options with Sa_solver.num_sites = 2;
+                 lambda = 0.9 }
+      inst
+  in
+  Alcotest.(check bool) "2 sites no worse than 1" true (r.Sa_solver.cost <= single +. 1e-6)
+
+let test_voter_write_heavy () =
+  (* Vote dominates; the leaderboard counter is blindly incremented so the
+     optimizer may park display columns elsewhere. *)
+  let inst = Lazy.force Voter.instance in
+  let stats = Stats.compute inst ~p:8. in
+  let vote = 0 in
+  Alcotest.(check bool) "Vote does not read Contestants.name" false
+    stats.Stats.phi.(vote).(Voter.attr "Contestants" "name");
+  Alcotest.(check bool) "Vote reads Contestants.number" true
+    stats.Stats.phi.(vote).(Voter.attr "Contestants" "number")
+
+let test_smallbank_hot_cold_split () =
+  (* Account.profile (200 B) is never read: a 2-site QP solution should not
+     co-locate it with the hot lookup path unless free. *)
+  let inst = Lazy.force Smallbank.instance in
+  let r =
+    Qp_solver.solve
+      ~options:{ Qp_solver.default_options with Qp_solver.num_sites = 2;
+                 lambda = 1.0; time_limit = 30. }
+      inst
+  in
+  match r.Qp_solver.partitioning with
+  | Some part ->
+    let stats = Stats.compute inst ~p:8. in
+    let profile = Smallbank.attr "Account" "profile" in
+    let custid = Smallbank.attr "Account" "custid" in
+    (* every transaction reads custid; profile must end up elsewhere *)
+    let lookup_site s = part.Partitioning.placed.(custid).(s) in
+    let profile_with_lookup =
+      List.exists
+        (fun s -> lookup_site s && part.Partitioning.placed.(profile).(s))
+        [ 0; 1 ]
+    in
+    ignore stats;
+    Alcotest.(check bool) "cold profile separated from hot lookup" false
+      profile_with_lookup
+  | None -> Alcotest.fail "no solution"
+
+let test_solvers_agree_on_workloads () =
+  List.iter
+    (fun inst ->
+       let qp =
+         Qp_solver.solve
+           ~options:{ Qp_solver.default_options with Qp_solver.num_sites = 2;
+                      lambda = 0.9; time_limit = 30. }
+           inst
+       in
+       let sa =
+         Sa_solver.solve
+           ~options:{ Sa_solver.default_options with Sa_solver.num_sites = 2;
+                      lambda = 0.9 }
+           inst
+       in
+       match qp.Qp_solver.outcome, qp.Qp_solver.objective6 with
+       | Qp_solver.Proved_optimal, Some opt ->
+         if sa.Sa_solver.objective6 +. 1e-6 < opt -. 1e-6 *. opt then
+           Alcotest.failf "%s: SA %.9g beats QP optimum %.9g" inst.Instance.name
+             sa.Sa_solver.objective6 opt
+       | _ -> Alcotest.failf "%s: QP did not prove optimality" inst.Instance.name)
+    (all_instances ())
+
+let () =
+  Alcotest.run "workloads"
+    [ ("instances",
+       [ Alcotest.test_case "shapes" `Quick test_shapes;
+         Alcotest.test_case "validate" `Quick test_all_validate;
+         Alcotest.test_case "tatp mix" `Quick test_tatp_mix;
+         Alcotest.test_case "tatp splits" `Quick test_tatp_wide_subscriber_splits;
+         Alcotest.test_case "voter write heavy" `Quick test_voter_write_heavy;
+         Alcotest.test_case "smallbank hot/cold" `Quick test_smallbank_hot_cold_split;
+         Alcotest.test_case "solvers agree" `Slow test_solvers_agree_on_workloads;
+       ]);
+    ]
