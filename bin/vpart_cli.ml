@@ -1,7 +1,8 @@
 (* vpart: command-line front end for the vertical partitioning library.
 
      vpart info     --tpcc | --instance FILE | --random NAME
-     vpart solve    [--solver sa|qp] [--sites N] ... (--tpcc | ...)
+     vpart check    FILE... [--strict]       (static analysis / lint)
+     vpart solve    [--solver sa|qp] [--sites N] [--lint-model] (--tpcc | ...)
      vpart gen      --random NAME [-o FILE]
      vpart export   --tpcc [-o FILE]         (instance as JSON)
      vpart mps      --tpcc --sites N [-o FILE]  (MIP (7) in MPS format)
@@ -9,6 +10,7 @@
 
 open Cmdliner
 open Vpart
+module Diagnostic = Vpart_analysis.Diagnostic
 
 (* ------------------------------------------------------------------ *)
 (* Instance sources                                                    *)
@@ -150,6 +152,53 @@ let info_cmd =
     Term.(const run $ instance_term)
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let files_term =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Instance JSON file(s) to analyse.")
+  in
+  let strict_term =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Promote warnings to errors (non-zero exit).")
+  in
+  let run files strict =
+    let total_errors = ref 0 in
+    List.iter
+      (fun file ->
+         let diags =
+           match Codec.load_instance file with
+           | inst -> Instance_lint.lint inst
+           | exception Sys_error e ->
+             [ Diagnostic.error ~code:"I001" "cannot read instance: %s" e ]
+           | exception Json.Parse_error e ->
+             [ Diagnostic.error ~code:"I001" "JSON parse error: %s" e ]
+           | exception Invalid_argument e ->
+             [ Diagnostic.error ~code:"I001" "malformed instance: %s" e ]
+         in
+         let diags = if strict then Diagnostic.promote_warnings diags else diags in
+         total_errors := !total_errors + List.length (Diagnostic.errors diags);
+         Format.printf "@[<v>%s:@,%a@]@." file Report.pp_diagnostics diags)
+      files;
+    if !total_errors > 0 then begin
+      Format.printf "check failed: %d error(s)@." !total_errors;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the static-analysis pass over instance files: referential \
+          integrity, statistics sanity and degenerate-workload findings \
+          (see docs/ANALYSIS.md for the code catalog).  Exits non-zero if \
+          any Error-level finding is present.")
+    Term.(const run $ files_term $ strict_term)
+
+(* ------------------------------------------------------------------ *)
 (* solve                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -181,12 +230,41 @@ let solve_cmd =
       value & flag
       & info [ "json" ] ~doc:"Print the partitioning as JSON instead of text.")
   in
+  let lint_model_term =
+    Arg.(
+      value & flag
+      & info [ "lint-model" ]
+          ~doc:
+            "Build the linearized MIP (7) for the instance and print its \
+             full static-analysis report (all severities) before solving.")
+  in
   let run inst solver sites p lambda disjoint no_grouping time_limit seed json
-      output =
+      lint_model output =
+    if lint_model then begin
+      let grouping =
+        if no_grouping then Grouping.identity inst else Grouping.compute inst
+      in
+      let stats = Stats.compute grouping.Grouping.reduced ~p in
+      let opts =
+        { Qp_solver.default_options with
+          Qp_solver.num_sites = sites;
+          p;
+          lambda;
+          allow_replication = not disjoint;
+        }
+      in
+      let model, _ = Qp_solver.build_model stats opts in
+      Format.printf "@[<v>model lint (%d rows, %d cols):@,%a@]@."
+        (Lp.num_constrs model) (Lp.num_vars model) Report.pp_diagnostics
+        (Vpart_analysis.Model_lint.lint_model model)
+    end;
     let finish part cost =
-      (match Partitioning.validate (Stats.compute inst ~p:(Float.max p 1e-9)) part with
-       | Ok () -> ()
-       | Error e -> Printf.eprintf "warning: %s\n" e);
+      (let pdiags = Instance_lint.lint_partitioning inst part in
+       if Diagnostic.has_errors pdiags then
+         Format.eprintf "@[<v>warning: solver returned an invalid \
+                         partitioning:@,%a@]@."
+           Report.pp_diagnostics
+           (Diagnostic.errors pdiags));
       if json then
         write_output output
           (Json.to_string (Codec.partitioning_to_json inst part) ^ "\n")
@@ -200,7 +278,8 @@ let solve_cmd =
         write_output output (Buffer.contents buf)
       end
     in
-    match solver with
+    try
+      match solver with
     | `Sa ->
       let options =
         { Sa_solver.default_options with
@@ -236,6 +315,8 @@ let solve_cmd =
          | Qp_solver.Limit_no_solution -> "no solution within limit"
          | Qp_solver.Too_large -> "model too large")
         r.Qp_solver.nodes r.Qp_solver.model_rows r.Qp_solver.elapsed;
+      if r.Qp_solver.diagnostics <> [] then
+        Format.printf "%a@." Report.pp_diagnostics r.Qp_solver.diagnostics;
       (match (r.Qp_solver.partitioning, r.Qp_solver.cost) with
        | Some part, Some cost ->
          finish part cost;
@@ -259,6 +340,8 @@ let solve_cmd =
       Printf.printf "iterative: %d rounds, %.2fs\n"
         (List.length r.Iterative_solver.rounds)
         r.Iterative_solver.elapsed;
+      if r.Iterative_solver.diagnostics <> [] then
+        Format.printf "%a@." Report.pp_diagnostics r.Iterative_solver.diagnostics;
       (match (r.Iterative_solver.partitioning, r.Iterative_solver.cost) with
        | Some part, Some cost ->
          finish part cost;
@@ -283,6 +366,9 @@ let solve_cmd =
       in
       finish r.Affinity.partitioning r.Affinity.cost;
       Ok ()
+    with Diagnostic.Errors ds ->
+      Format.eprintf "%a@." Report.pp_diagnostics ds;
+      Error (`Msg "the built model failed static analysis; refusing to solve")
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Compute a vertical partitioning for an instance.")
@@ -290,7 +376,7 @@ let solve_cmd =
       term_result
         (const run $ instance_term $ solver_term $ sites_term $ p_term
          $ lambda_term $ disjoint_term $ no_grouping_term $ time_limit_term
-         $ seed_term $ json_term $ output_term))
+         $ seed_term $ json_term $ lint_model_term $ output_term))
 
 (* ------------------------------------------------------------------ *)
 (* gen / export                                                        *)
@@ -352,10 +438,13 @@ let eval_cmd =
     | exception Invalid_argument e -> Error (`Msg e)
     | exception Json.Parse_error e -> Error (`Msg ("parse error: " ^ e))
     | part ->
-      let stats = Stats.compute inst ~p in
-      (match Partitioning.validate stats part with
-       | Error e -> Error (`Msg ("invalid partitioning: " ^ e))
-       | Ok () ->
+      let diags = Instance_lint.lint_partitioning inst part in
+      (match Diagnostic.has_errors diags with
+       | true ->
+         Format.eprintf "%a@." Report.pp_diagnostics diags;
+         Error (`Msg "invalid partitioning (see diagnostics above)")
+       | false ->
+         if diags <> [] then Format.printf "%a@." Report.pp_diagnostics diags;
          Format.printf "%a@."
            (Report.pp_solution_summary inst ~p ~lambda) part;
          let eng = Engine.deploy inst part in
@@ -423,4 +512,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "vpart" ~version:"1.0.0" ~doc)
-          [ info_cmd; solve_cmd; eval_cmd; advise_cmd; export_cmd; mps_cmd ]))
+          [ info_cmd; check_cmd; solve_cmd; eval_cmd; advise_cmd; export_cmd;
+            mps_cmd ]))

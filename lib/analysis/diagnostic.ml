@@ -1,0 +1,66 @@
+type severity = Error | Warning | Info
+
+type t = { code : string; severity : severity; message : string }
+
+exception Errors of t list
+
+let make severity ~code fmt =
+  Printf.ksprintf (fun message -> { code; severity; message }) fmt
+
+let error ~code fmt = make Error ~code fmt
+
+let warning ~code fmt = make Warning ~code fmt
+
+let info ~code fmt = make Info ~code fmt
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare_severity a b = compare (severity_rank a) (severity_rank b)
+
+let is_error d = d.severity = Error
+
+let errors ds = List.filter is_error ds
+
+let has_errors ds = List.exists is_error ds
+
+let count sev ds =
+  List.fold_left (fun acc d -> if d.severity = sev then acc + 1 else acc) 0 ds
+
+let codes ds = List.sort_uniq compare (List.map (fun d -> d.code) ds)
+
+let promote_warnings ds =
+  List.map (fun d -> if d.severity = Warning then { d with severity = Error } else d) ds
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+       let c = compare_severity a.severity b.severity in
+       if c <> 0 then c else compare a.code b.code)
+    ds
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] %s" (severity_label d.severity) d.code d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let pp_report ppf ds =
+  match ds with
+  | [] -> Format.fprintf ppf "no findings"
+  | ds ->
+    Format.fprintf ppf "@[<v>";
+    List.iter (fun d -> Format.fprintf ppf "%a@," pp d) (sort ds);
+    Format.fprintf ppf "%d error(s), %d warning(s), %d info(s)@]"
+      (count Error ds) (count Warning ds) (count Info ds)
+
+let () =
+  Printexc.register_printer (function
+    | Errors ds ->
+      Some
+        (Printf.sprintf "Diagnostic.Errors:\n%s"
+           (String.concat "\n" (List.map to_string ds)))
+    | _ -> None)

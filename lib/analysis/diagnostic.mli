@@ -1,0 +1,62 @@
+(** Structured diagnostics for the static-analysis passes.
+
+    Every finding carries a stable code (catalogued in [docs/ANALYSIS.md]),
+    a severity and a human-readable message naming the offending object.
+    The model-level pass lives in {!Model_lint}; the instance- and
+    partitioning-level passes live in [Vpart.Instance_lint] (they need the
+    core types, which depend on this library — the diagnostic
+    representation is shared through this module).
+
+    Code prefixes: [M] — MIP/LP model lint, [I] — instance lint,
+    [P] — partitioning lint. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;      (** stable identifier, e.g. ["M001"] *)
+  severity : severity;
+  message : string;   (** human-readable; names the offending object *)
+}
+
+exception Errors of t list
+(** Raised by fail-fast entry points ({!Model_lint.assert_clean}, the
+    solvers) when Error-level findings are present.  A printer rendering
+    every finding is registered with [Printexc]. *)
+
+val error : code:string -> ('a, unit, string, t) format4 -> 'a
+val warning : code:string -> ('a, unit, string, t) format4 -> 'a
+val info : code:string -> ('a, unit, string, t) format4 -> 'a
+(** [error ~code fmt ...] builds a finding with the given severity. *)
+
+val severity_label : severity -> string
+(** ["error"], ["warning"] or ["info"]. *)
+
+val compare_severity : severity -> severity -> int
+(** Orders [Error < Warning < Info] (most severe first). *)
+
+val is_error : t -> bool
+
+val errors : t list -> t list
+(** The Error-level findings, in order. *)
+
+val has_errors : t list -> bool
+
+val count : severity -> t list -> int
+
+val codes : t list -> string list
+(** Sorted, de-duplicated codes of the findings (for tests). *)
+
+val promote_warnings : t list -> t list
+(** Turn every [Warning] into an [Error] (the CLI's [--strict] mode). *)
+
+val sort : t list -> t list
+(** Stable sort by severity (errors first), then code. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [error[M001] message]. *)
+
+val to_string : t -> string
+
+val pp_report : Format.formatter -> t list -> unit
+(** Multi-line report: one line per finding (sorted) followed by a
+    severity-count summary; ["no findings"] when empty. *)

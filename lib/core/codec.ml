@@ -61,6 +61,11 @@ let instance_to_json (inst : Instance.t) =
       ("transactions", Json.List transactions);
     ]
 
+(* Prefix decode failures with the offending element's position so a bad
+   field in a long instance file is locatable ("Codec: queries[17]: ..."). *)
+let in_ctx ctx f =
+  try f () with Invalid_argument msg -> invalid_arg (ctx ^ ": " ^ msg)
+
 let instance_of_json json =
   let name =
     match Json.member "name" json with
@@ -69,12 +74,14 @@ let instance_of_json json =
     | _ -> invalid_arg "Codec: \"name\" must be a string"
   in
   let schema_spec =
-    List.map
-      (fun tbl ->
+    List.mapi
+      (fun i tbl ->
+         in_ctx (Printf.sprintf "Codec: schema[%d]" i) @@ fun () ->
          let tname = Json.(to_str (member "table" tbl)) in
          let attrs =
-           List.map
-             (fun a ->
+           List.mapi
+             (fun j a ->
+                in_ctx (Printf.sprintf "table %S: attrs[%d]" tname j) @@ fun () ->
                 (Json.(to_str (member "name" a)), Json.(to_int (member "width" a))))
              Json.(to_list (member "attrs" tbl))
          in
@@ -86,43 +93,46 @@ let instance_of_json json =
     match String.index_opt s '.' with
     | Some i ->
       (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
-    | None -> invalid_arg (Printf.sprintf "Codec: attribute %S is not qualified" s)
+    | None ->
+      invalid_arg
+        (Printf.sprintf "attribute %S is not qualified (expected \"Table.ATTR\")" s)
   in
   let queries_json = Json.(to_list (member "queries" json)) in
   let query_index = Hashtbl.create 16 in
   let queries =
     List.mapi
       (fun i qj ->
+         in_ctx (Printf.sprintf "Codec: queries[%d]" i) @@ fun () ->
          let qname = Json.(to_str (member "name" qj)) in
          Hashtbl.replace query_index qname i;
          let kind =
            match Json.(to_str (member "kind" qj)) with
            | "read" -> Workload.Read
            | "write" -> Workload.Write
-           | k -> invalid_arg (Printf.sprintf "Codec: query %S: bad kind %S" qname k)
+           | k -> invalid_arg (Printf.sprintf "query %S: bad kind %S" qname k)
          in
          let tables =
-           List.map
-             (fun tj ->
+           List.mapi
+             (fun j tj ->
+                in_ctx (Printf.sprintf "query %S: tables[%d]" qname j) @@ fun () ->
                 let tname = Json.(to_str (member "table" tj)) in
                 let tid =
                   try Schema.find_table schema tname
                   with Not_found ->
-                    invalid_arg
-                      (Printf.sprintf "Codec: query %S: unknown table %S" qname tname)
+                    invalid_arg (Printf.sprintf "unknown table %S" tname)
                 in
                 (tid, Json.(to_float (member "rows" tj))))
              Json.(to_list (member "tables" qj))
          in
          let attrs =
-           List.map
-             (fun aj ->
+           List.mapi
+             (fun j aj ->
+                in_ctx (Printf.sprintf "query %S: attrs[%d]" qname j) @@ fun () ->
                 let full = Json.to_str aj in
                 let t, a = split_qualified full in
                 try Schema.find_attr schema t a
                 with Not_found ->
-                  invalid_arg
-                    (Printf.sprintf "Codec: query %S: unknown attribute %S" qname full))
+                  invalid_arg (Printf.sprintf "unknown attribute %S" full))
              Json.(to_list (member "attrs" qj))
          in
          {
@@ -135,19 +145,19 @@ let instance_of_json json =
       queries_json
   in
   let transactions =
-    List.map
-      (fun tj ->
+    List.mapi
+      (fun i tj ->
+         in_ctx (Printf.sprintf "Codec: transactions[%d]" i) @@ fun () ->
          let tname = Json.(to_str (member "name" tj)) in
          let qids =
-           List.map
-             (fun qj ->
+           List.mapi
+             (fun j qj ->
+                in_ctx (Printf.sprintf "transaction %S: queries[%d]" tname j)
+                @@ fun () ->
                 let qname = Json.to_str qj in
                 match Hashtbl.find_opt query_index qname with
                 | Some i -> i
-                | None ->
-                  invalid_arg
-                    (Printf.sprintf "Codec: transaction %S: unknown query %S" tname
-                       qname))
+                | None -> invalid_arg (Printf.sprintf "unknown query %S" qname))
              Json.(to_list (member "queries" tj))
          in
          { Workload.t_name = tname; queries = qids })
@@ -181,34 +191,39 @@ let partitioning_of_json (inst : Instance.t) json =
     Hashtbl.replace txn_index (Workload.transaction wl t).Workload.t_name t
   done;
   let assigned = Array.make (Workload.num_transactions wl) false in
-  List.iter
-    (fun site_json ->
+  List.iteri
+    (fun i site_json ->
+       in_ctx (Printf.sprintf "Codec: sites[%d]" i) @@ fun () ->
        let s = Json.(to_int (member "site" site_json)) in
        if s < 0 || s >= num_sites then
-         invalid_arg (Printf.sprintf "Codec: site %d out of range" s);
-       List.iter
-         (fun tj ->
+         invalid_arg
+           (Printf.sprintf "site %d out of range 0..%d" s (num_sites - 1));
+       List.iteri
+         (fun j tj ->
+            in_ctx (Printf.sprintf "transactions[%d]" j) @@ fun () ->
             let name = Json.to_str tj in
             match Hashtbl.find_opt txn_index name with
             | Some t ->
               part.Partitioning.txn_site.(t) <- s;
               assigned.(t) <- true
-            | None ->
-              invalid_arg (Printf.sprintf "Codec: unknown transaction %S" name))
+            | None -> invalid_arg (Printf.sprintf "unknown transaction %S" name))
          Json.(to_list (member "transactions" site_json));
-       List.iter
-         (fun aj ->
+       List.iteri
+         (fun j aj ->
+            in_ctx (Printf.sprintf "attributes[%d]" j) @@ fun () ->
             let full = Json.to_str aj in
             match String.index_opt full '.' with
             | None ->
-              invalid_arg (Printf.sprintf "Codec: attribute %S not qualified" full)
+              invalid_arg
+                (Printf.sprintf "attribute %S is not qualified (expected \
+                                 \"Table.ATTR\")" full)
             | Some i ->
               let tname = String.sub full 0 i
               and aname = String.sub full (i + 1) (String.length full - i - 1) in
               (match Schema.find_attr schema tname aname with
                | a -> part.Partitioning.placed.(a).(s) <- true
                | exception Not_found ->
-                 invalid_arg (Printf.sprintf "Codec: unknown attribute %S" full)))
+                 invalid_arg (Printf.sprintf "unknown attribute %S" full)))
          Json.(to_list (member "attributes" site_json)))
     Json.(to_list (member "sites" json));
   Array.iteri

@@ -1,0 +1,256 @@
+module D = Vpart_analysis.Diagnostic
+
+let finite_pos lo hi v = Float.is_nan v || v < lo || v > hi
+
+(* Sane magnitude window for frequencies and row counts: below it the
+   statistic is indistinguishable from zero, above it almost certainly a
+   unit mistake. *)
+let stat_lo = 1e-9
+
+let stat_hi = 1e12
+
+let lint (inst : Instance.t) =
+  let schema = inst.Instance.schema and wl = inst.Instance.workload in
+  let nt = Schema.num_tables schema and na = Schema.num_attrs schema in
+  let nq = Workload.num_queries wl in
+  let out = ref [] in
+  let push d = out := d :: !out in
+  (* schema-side: widths (Schema.make enforces these; keep the check so a
+     future codec path cannot regress silently) *)
+  for a = 0 to na - 1 do
+    if Schema.attr_width schema a <= 0 then
+      push
+        (D.error ~code:"I002" "attribute %s: non-positive width %d"
+           (Schema.attr_name schema a) (Schema.attr_width schema a))
+  done;
+  (* per-attribute access tracking *)
+  let read = Array.make na false and written = Array.make na false in
+  let any_read = ref false and any_write = ref false in
+  for qid = 0 to nq - 1 do
+    let q = Workload.query wl qid in
+    let is_w = Workload.is_write q in
+    if is_w then any_write := true else any_read := true;
+    if q.Workload.freq <= 0. || Float.is_nan q.Workload.freq then
+      push
+        (D.error ~code:"I002" "query %s: non-positive frequency %g"
+           q.Workload.q_name q.Workload.freq)
+    else if finite_pos stat_lo stat_hi q.Workload.freq then
+      push
+        (D.warning ~code:"I007" "query %s: implausible frequency %g"
+           q.Workload.q_name q.Workload.freq);
+    let touched = List.map fst q.Workload.tables in
+    List.iter
+      (fun (tid, rows) ->
+         if tid < 0 || tid >= nt then
+           push
+             (D.error ~code:"I001" "query %s: table id %d out of range (%d tables)"
+                q.Workload.q_name tid nt)
+         else begin
+           if rows <= 0. || Float.is_nan rows then
+             push
+               (D.error ~code:"I002" "query %s: non-positive row count %g for %s"
+                  q.Workload.q_name rows (Schema.table_name schema tid))
+           else if finite_pos stat_lo stat_hi rows then
+             push
+               (D.warning ~code:"I007" "query %s: implausible row count %g for %s"
+                  q.Workload.q_name rows (Schema.table_name schema tid));
+           if
+             not
+               (List.exists
+                  (fun a ->
+                     a >= 0 && a < na && Schema.table_of_attr schema a = tid)
+                  q.Workload.attrs)
+           then
+             push
+               (D.warning ~code:"I006"
+                  "query %s: touches table %s but accesses none of its attributes"
+                  q.Workload.q_name (Schema.table_name schema tid))
+         end)
+      q.Workload.tables;
+    List.iter
+      (fun a ->
+         if a < 0 || a >= na then
+           push
+             (D.error ~code:"I001"
+                "query %s: attribute id %d out of range (%d attributes)"
+                q.Workload.q_name a na)
+         else begin
+           (if is_w then written.(a) <- true else read.(a) <- true);
+           if not (List.mem (Schema.table_of_attr schema a) touched) then
+             push
+               (D.error ~code:"I001"
+                  "query %s: accesses %s but does not touch its table %s"
+                  q.Workload.q_name (Schema.attr_name schema a)
+                  (Schema.table_name schema
+                     (Schema.table_of_attr schema a)))
+         end)
+      q.Workload.attrs
+  done;
+  for a = 0 to na - 1 do
+    if not (read.(a) || written.(a)) then
+      push
+        (D.warning ~code:"I003"
+           "attribute %s: accessed by no query (placement unconstrained)"
+           (Schema.attr_name schema a))
+    else if written.(a) && not read.(a) then
+      push
+        (D.warning ~code:"I004" "attribute %s: written but never read"
+           (Schema.attr_name schema a))
+  done;
+  for t = 0 to Workload.num_transactions wl - 1 do
+    let txn = Workload.transaction wl t in
+    match txn.Workload.queries with
+    | [] ->
+      push
+        (D.warning ~code:"I005" "transaction %s: contains no queries"
+           txn.Workload.t_name)
+    | qids ->
+      let bad = List.exists (fun q -> q < 0 || q >= nq) qids in
+      if bad then
+        push
+          (D.error ~code:"I001" "transaction %s: query id out of range (%d queries)"
+             txn.Workload.t_name nq)
+      else if
+        List.for_all (fun q -> (Workload.query wl q).Workload.attrs = []) qids
+      then
+        push
+          (D.warning ~code:"I005" "transaction %s: its queries access no attributes"
+             txn.Workload.t_name)
+  done;
+  if nq > 0 && not !any_write then
+    push
+      (D.info ~code:"I008"
+         "workload has no write queries: replication is free in the cost model");
+  if nq > 0 && not !any_read then
+    push
+      (D.info ~code:"I008"
+         "workload has no read queries: single-sitedness never binds");
+  (* tables whose attributes are always co-accessed: grouping collapses them *)
+  for tid = 0 to nt - 1 do
+    let attrs = Schema.attrs_of_table schema tid in
+    if List.length attrs > 1 then begin
+      let accessed_once = ref false and always_all = ref true in
+      for qid = 0 to nq - 1 do
+        let q = Workload.query wl qid in
+        let mine =
+          List.filter
+            (fun a -> a >= 0 && a < na && Schema.table_of_attr schema a = tid)
+            q.Workload.attrs
+        in
+        if mine <> [] then begin
+          accessed_once := true;
+          if List.length (List.sort_uniq compare mine) <> List.length attrs then
+            always_all := false
+        end
+      done;
+      if !accessed_once && !always_all then
+        push
+          (D.info ~code:"I009"
+             "table %s: all %d attributes are always co-accessed (grouping \
+              collapses them)"
+             (Schema.table_name schema tid) (List.length attrs))
+    end
+  done;
+  List.rev !out
+
+let lint_partitioning (inst : Instance.t) (part : Partitioning.t) =
+  let schema = inst.Instance.schema and wl = inst.Instance.workload in
+  let na = Schema.num_attrs schema and nt = Workload.num_transactions wl in
+  let ns = part.Partitioning.num_sites in
+  let out = ref [] in
+  let push d = out := d :: !out in
+  let txn_name t = (Workload.transaction wl t).Workload.t_name in
+  let shape_ok = ref true in
+  if Array.length part.Partitioning.txn_site <> nt then begin
+    shape_ok := false;
+    push
+      (D.error ~code:"P001" "partitioning covers %d transactions, instance has %d"
+         (Array.length part.Partitioning.txn_site) nt)
+  end;
+  if Array.length part.Partitioning.placed <> na then begin
+    shape_ok := false;
+    push
+      (D.error ~code:"P001" "partitioning covers %d attributes, instance has %d"
+         (Array.length part.Partitioning.placed) na)
+  end;
+  Array.iteri
+    (fun a row ->
+       if Array.length row <> ns then begin
+         shape_ok := false;
+         push
+           (D.error ~code:"P001"
+              "attribute index %d: placement row has %d sites, partitioning \
+               declares %d"
+              a (Array.length row) ns)
+       end)
+    part.Partitioning.placed;
+  if !shape_ok then begin
+    Array.iteri
+      (fun t s ->
+         if s < 0 || s >= ns then
+           push
+             (D.error ~code:"P002"
+                "transaction %s (index %d): homed on site %d, valid sites are \
+                 0..%d"
+                (txn_name t) t s (ns - 1)))
+      part.Partitioning.txn_site;
+    (* phi: which transactions *read* each attribute *)
+    let readers = Array.make na [] in
+    for t = 0 to nt - 1 do
+      List.iter
+        (fun qid ->
+           let q = Workload.query wl qid in
+           if not (Workload.is_write q) then
+             List.iter
+               (fun a ->
+                  if a >= 0 && a < na && not (List.mem t readers.(a)) then
+                    readers.(a) <- t :: readers.(a))
+               q.Workload.attrs)
+        (Workload.transaction wl t).Workload.queries
+    done;
+    for a = 0 to na - 1 do
+      let row = part.Partitioning.placed.(a) in
+      let name = Schema.attr_name schema a in
+      if not (Array.exists Fun.id row) then
+        push
+          (D.error ~code:"P003"
+             "attribute %s (index %d): placed on no site (coverage violated)"
+             name a)
+      else begin
+        let reader_sites =
+          List.filter_map
+            (fun t ->
+               let s = part.Partitioning.txn_site.(t) in
+               if s >= 0 && s < ns then Some s else None)
+            readers.(a)
+        in
+        List.iter
+          (fun t ->
+             let home = part.Partitioning.txn_site.(t) in
+             if home >= 0 && home < ns && not row.(home) then
+               push
+                 (D.error ~code:"P004"
+                    "transaction %s reads %s but site %d (its home) does not \
+                     store it"
+                    (txn_name t) name home))
+          readers.(a);
+        if readers.(a) <> [] then
+          Array.iteri
+            (fun s placed ->
+               if placed && not (List.mem s reader_sites) then
+                 push
+                   (D.info ~code:"P005"
+                      "attribute %s: replica on site %d serves no reading \
+                       transaction (write cost only)"
+                      name s))
+            row
+      end
+    done;
+    for s = 0 to ns - 1 do
+      if
+        Partitioning.txns_on_site part s = []
+        && Partitioning.attrs_on_site part s = []
+      then push (D.info ~code:"P006" "site %d: no transactions and no attributes" s)
+    done
+  end;
+  List.rev !out

@@ -1,0 +1,51 @@
+(** Static analysis of problem instances and partitionings.
+
+    The workload-sanity counterpart of {!Vpart_analysis.Model_lint}: checks
+    an {!Instance.t} (schema + workload + statistics) and a
+    {!Partitioning.t} for silent-garbage inputs before any solver runs —
+    the same role the pre-optimization sanity passes play in partitioning
+    advisors.  Findings share the {!Vpart_analysis.Diagnostic}
+    representation; codes are catalogued in [docs/ANALYSIS.md].
+
+    Instance codes:
+
+    - [I001] {e error} — referential-integrity failure: a query references
+      a table or attribute that does not resolve, or accesses an attribute
+      of a table it does not touch;
+    - [I002] {e error} — non-positive or non-finite statistic (query
+      frequency, per-table row count) or attribute width;
+    - [I003] {e warning} — attribute accessed by no query (its placement
+      is unconstrained);
+    - [I004] {e warning} — attribute that is written but never read;
+    - [I005] {e warning} — degenerate transaction: no queries, or queries
+      touching no attributes at all;
+    - [I006] {e warning} — query that touches a table but accesses none of
+      its attributes;
+    - [I007] {e warning} — implausible statistic magnitude (frequency or
+      row count outside [\[1e-9, 1e12\]] — usage probabilities and row
+      counts outside this range are almost always unit mistakes);
+    - [I008] {e info} — one-sided workload: no write queries (replication
+      is free) or no read queries (single-sitedness never binds);
+    - [I009] {e info} — table whose attributes are always co-accessed
+      (attribute grouping will collapse it to one group). *)
+
+val lint : Instance.t -> Vpart_analysis.Diagnostic.t list
+(** Run every instance-level check. *)
+
+(** Partitioning codes (all messages name the offending attribute,
+    transaction and site):
+
+    - [P001] {e error} — shape mismatch: transaction/attribute/site counts
+      disagree with the instance;
+    - [P002] {e error} — transaction homed on an out-of-range site;
+    - [P003] {e error} — attribute placed on no site (coverage violated);
+    - [P004] {e error} — single-sitedness violated: a transaction reads an
+      attribute that is not placed on its home site;
+    - [P005] {e info} — attribute replicated on a site none of its reading
+      transactions is homed at (the replica only adds write cost);
+    - [P006] {e info} — empty site: no transactions homed and no
+      attributes placed there. *)
+
+val lint_partitioning :
+  Instance.t -> Partitioning.t -> Vpart_analysis.Diagnostic.t list
+(** Run every partitioning-level check against the instance. *)

@@ -20,6 +20,7 @@ type result = {
   objective6 : float option;
   elapsed : float;
   rounds : round_info list;
+  diagnostics : Vpart_analysis.Diagnostic.t list;
 }
 
 let transaction_weights (inst : Instance.t) =
@@ -126,6 +127,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
       objective6 = r.Qp_solver.objective6;
       elapsed;
       rounds = List.rev !rounds_info;
+      diagnostics = r.Qp_solver.diagnostics;
     }
   | _ ->
     {
@@ -135,4 +137,5 @@ let solve ?(options = default_options) (inst : Instance.t) =
       objective6 = None;
       elapsed;
       rounds = List.rev !rounds_info;
+      diagnostics = [];
     }

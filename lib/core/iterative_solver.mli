@@ -42,6 +42,10 @@ type result = {
   objective6 : float option;
   elapsed : float;
   rounds : round_info list;             (** in execution order *)
+  diagnostics : Vpart_analysis.Diagnostic.t list;
+      (** non-error model-lint findings of the final (full) round; each
+          round's MIP is linted by {!Qp_solver.solve}, which raises
+          {!Vpart_analysis.Diagnostic.Errors} on Error-level findings *)
 }
 
 val transaction_weights : Instance.t -> float array

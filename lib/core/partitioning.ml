@@ -69,16 +69,21 @@ let validate (stats : Stats.t) t =
   let err = ref None in
   let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
   if Array.length t.txn_site <> stats.Stats.num_txns then
-    fail "transaction count mismatch";
+    fail "transaction count mismatch: partitioning has %d, instance has %d"
+      (Array.length t.txn_site) stats.Stats.num_txns;
   if Array.length t.placed <> stats.Stats.num_attrs then
-    fail "attribute count mismatch";
+    fail "attribute count mismatch: partitioning has %d, instance has %d"
+      (Array.length t.placed) stats.Stats.num_attrs;
   Array.iteri
     (fun tx s ->
-       if s < 0 || s >= t.num_sites then fail "transaction %d: site %d out of range" tx s)
+       if s < 0 || s >= t.num_sites then
+         fail "transaction %d: site %d out of range 0..%d" tx s (t.num_sites - 1))
     t.txn_site;
   Array.iteri
     (fun a row ->
-       if Array.length row <> t.num_sites then fail "attribute %d: bad row" a
+       if Array.length row <> t.num_sites then
+         fail "attribute %d: placement row has %d sites, partitioning declares %d"
+           a (Array.length row) t.num_sites
        else if not (Array.exists Fun.id row) then
          fail "attribute %d: placed on no site (coverage violated)" a)
     t.placed;

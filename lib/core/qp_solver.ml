@@ -42,6 +42,7 @@ type result = {
   simplex_iters : int;
   model_rows : int;
   model_cols : int;
+  diagnostics : Vpart_analysis.Diagnostic.t list;
 }
 
 (* Layout bookkeeping shared by the builder, the rounding heuristic and the
@@ -319,7 +320,24 @@ let solve ?(options = default_options) (inst : Instance.t) =
   let reduced = grouping.Grouping.reduced in
   let stats = Stats.compute reduced ~p:options.p in
   let full_stats = Stats.compute inst ~p:options.p in
-  let model, layout = build_layout_model ~instance:reduced stats options in
+  let model, layout =
+    (* The Lp layer rejects non-finite data at construction time; surface
+       such a failure through the same diagnostic channel as the lint gate
+       below so callers have a single refusal contract. *)
+    try build_layout_model ~instance:reduced stats options
+    with Invalid_argument msg ->
+      raise
+        (Vpart_analysis.Diagnostic.Errors
+           [ Vpart_analysis.Diagnostic.error ~code:"M012"
+               "model construction rejected corrupted statistics: %s" msg ])
+  in
+  (* Static analysis gate: refuse to hand a model with Error-level findings
+     to branch-and-bound (raises Diagnostic.Errors); keep the rest for the
+     caller's report. *)
+  let diagnostics =
+    Vpart_analysis.Model_lint.assert_clean ~var_name:(Lp.var_name model)
+      (Lp.standardize model)
+  in
   let ncols = Lp.num_vars model in
   let priority v =
     (* branch on x before y before (continuous) u/m *)
@@ -370,6 +388,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
       simplex_iters = mip_stats.Mip.simplex_iterations;
       model_rows = Lp.num_constrs model;
       model_cols = ncols;
+      diagnostics;
     }
   in
   match mip_outcome with

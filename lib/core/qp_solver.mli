@@ -64,9 +64,17 @@ type result = {
   simplex_iters : int;
   model_rows : int;
   model_cols : int;
+  diagnostics : Vpart_analysis.Diagnostic.t list;
+      (** non-error findings of the model lint run on the built MIP
+          (see {!Vpart_analysis.Model_lint}) *)
 }
 
 val solve : ?options:options -> Instance.t -> result
+(** Builds the MIP, runs {!Vpart_analysis.Model_lint} over it and solves.
+    @raise Vpart_analysis.Diagnostic.Errors if the lint reports
+    Error-level findings — the solver refuses to run a provably broken
+    model (this can only happen on corrupted statistics, e.g. non-finite
+    frequencies smuggled past validation). *)
 
 val build_model :
   Stats.t -> options -> Lp.model * (Lp.var array array * Lp.var array array)

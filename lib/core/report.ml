@@ -68,3 +68,10 @@ let pp_solution_summary (inst : Instance.t) ~p ~lambda ppf part =
     (row_width_reduction inst part);
   ignore work;
   Format.fprintf ppf "@]"
+
+let pp_diagnostics ppf ds =
+  match ds with
+  | [] -> Format.fprintf ppf "diagnostics: none"
+  | ds ->
+    Format.fprintf ppf "@[<v>diagnostics:@,%a@]"
+      Vpart_analysis.Diagnostic.pp_report ds

@@ -10,6 +10,12 @@ val pp_solution_summary :
 (** Cost summary: objective (4), read/write/transfer breakdown, per-site
     work, replication statistics, average row-width reduction per table. *)
 
+val pp_diagnostics :
+  Format.formatter -> Vpart_analysis.Diagnostic.t list -> unit
+(** Diagnostics section: every finding (sorted, errors first) plus a
+    severity-count summary; ["diagnostics: none"] when the list is empty.
+    Used by the CLI's [check] subcommand and after solver runs. *)
+
 val row_width_reduction : Instance.t -> Partitioning.t -> (string * int * float) list
 (** Per table: name, original row width, and the average width of its
     fractions across sites holding any of it (smaller = narrower rows,

@@ -67,14 +67,16 @@ let validate schema w =
   let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
   Array.iter
     (fun q ->
-       if q.freq <= 0. then fail "query %S: non-positive frequency" q.q_name;
+       if not (Float.is_finite q.freq && q.freq > 0.) then
+         fail "query %S: frequency %g is not positive and finite" q.q_name q.freq;
        if q.tables = [] then fail "query %S: touches no table" q.q_name;
        List.iter
          (fun (tid, rows) ->
             if tid < 0 || tid >= nt then
               fail "query %S: table id %d out of range" q.q_name tid;
-            if rows <= 0. then
-              fail "query %S: non-positive row count for table %d" q.q_name tid)
+            if not (Float.is_finite rows && rows > 0.) then
+              fail "query %S: row count %g for table %d is not positive and finite"
+                q.q_name rows tid)
          q.tables;
        let tids = List.map fst q.tables in
        if List.length (List.sort_uniq compare tids) <> List.length tids then

@@ -62,6 +62,6 @@ val rows_for_table : query -> int -> float option
 val validate : Schema.t -> t -> (unit, string) result
 (** Check referential integrity against a schema: table ids in range,
     attribute ids in range, every accessed attribute belongs to a touched
-    table, frequencies and row counts positive. *)
+    table, frequencies and row counts positive and finite. *)
 
 val pp : Format.formatter -> t -> unit

@@ -46,6 +46,10 @@ let name m = m.m_name
 let dummy_vinfo = { v_name = None; v_lb = 0.; v_ub = 0.; v_integer = false }
 
 let add_var m ?name ?(lb = 0.) ?(ub = infinity) ?(integer = false) () =
+  if Float.is_nan lb || Float.is_nan ub || lb = infinity || ub = neg_infinity
+  then
+    invalid_arg
+      (Printf.sprintf "Lp.add_var: unsatisfiable bounds [%g, %g]" lb ub);
   if lb > ub then
     invalid_arg (Printf.sprintf "Lp.add_var: lb %g > ub %g" lb ub);
   if m.nvars = Array.length m.vars then begin
@@ -84,7 +88,28 @@ let normalize_terms m terms =
 
 let add_constr m ?name terms cmp rhs =
   ignore name;
+  if Float.is_nan rhs || Float.abs rhs = infinity then
+    invalid_arg
+      (Printf.sprintf "Lp.add_constr: non-finite right-hand side %g" rhs);
+  List.iter
+    (fun (c, v) ->
+       if Float.is_nan c || Float.abs c = infinity then
+         invalid_arg
+           (Printf.sprintf "Lp.add_constr: non-finite coefficient %g on variable %d"
+              c v))
+    terms;
   let r_idx, r_val = normalize_terms m terms in
+  (* After summing duplicates and dropping zeros the row may be empty; an
+     unsatisfiable empty row (e.g. [0·x = 1]) is a modeling bug — report it
+     here instead of letting the solver chase a phantom infeasibility. *)
+  if Array.length r_idx = 0 then begin
+    let ok = match cmp with Le -> rhs >= 0. | Ge -> rhs <= 0. | Eq -> rhs = 0. in
+    if not ok then
+      invalid_arg
+        (Printf.sprintf "Lp.add_constr: empty row \"0 %s %g\" is trivially infeasible"
+           (match cmp with Le -> "<=" | Ge -> ">=" | Eq -> "=")
+           rhs)
+  end;
   m.rows_rev <- { r_idx; r_val; r_cmp = cmp; r_rhs = rhs } :: m.rows_rev;
   m.nrows <- m.nrows + 1
 
@@ -162,6 +187,9 @@ let check_feasible ?(tol = 1e-6) std x =
   let ok = ref (Array.length x = std.ncols) in
   if !ok then begin
     for j = 0 to std.ncols - 1 do
+      (* a NaN coordinate compares false against every bound — reject
+         non-finite points explicitly instead of accepting them *)
+      if not (Float.is_finite x.(j)) then ok := false;
       if x.(j) < std.lb.(j) -. tol || x.(j) > std.ub.(j) +. tol then ok := false;
       if std.integer.(j) && Float.abs (x.(j) -. Float.round x.(j)) > tol then
         ok := false

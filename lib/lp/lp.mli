@@ -35,7 +35,10 @@ val binary : model -> ?name:string -> unit -> var
 val add_constr : model -> ?name:string -> (float * var) list -> cmp -> float -> unit
 (** [add_constr m terms cmp rhs] adds the constraint [Σ coef·var cmp rhs].
     Repeated variables in [terms] are summed.  Zero coefficients are
-    dropped.  @raise Invalid_argument on an out-of-range variable. *)
+    dropped.  @raise Invalid_argument on an out-of-range variable, a
+    non-finite coefficient or right-hand side, or a row whose support
+    normalizes to empty while the comparison is unsatisfiable (e.g.
+    [0·x = 1]). *)
 
 val set_objective : model -> sense -> ?constant:float -> (float * var) list -> unit
 (** Replace the objective.  Terms behave as in {!add_constr}. *)
@@ -78,7 +81,8 @@ val restore_objective : std -> float -> float
 val check_feasible : ?tol:float -> std -> float array -> bool
 (** [check_feasible std x] tests bounds, every row and integrality of [x]
     (structural variables only) within absolute tolerance [tol]
-    (default [1e-6]).  Used by branch-and-bound to vet heuristic points. *)
+    (default [1e-6]).  Points containing non-finite coordinates are always
+    infeasible.  Used by branch-and-bound to vet heuristic points. *)
 
 val eval_objective : std -> float array -> float
 (** Minimization objective (including constant) of a structural point. *)

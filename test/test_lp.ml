@@ -136,10 +136,18 @@ let test_presolve_detects_infeasible () =
   (match r.Presolve.verdict with
    | Presolve.Infeasible -> ()
    | Presolve.Reduced _ -> Alcotest.fail "expected infeasible");
-  (* contradictory empty row after cancellation *)
+  (* a row that is directly contradictory after cancellation is now
+     rejected at construction time... *)
   let m = Lp.create () in
   let x = Lp.add_var m () in
-  Lp.add_constr m [ (1., x); (-1., x) ] Lp.Eq 3.;
+  (match Lp.add_constr m [ (1., x); (-1., x) ] Lp.Eq 3. with
+   | () -> Alcotest.fail "add_constr accepted 0 = 3"
+   | exception Invalid_argument _ -> ());
+  (* ...so presolve meets contradictory empty rows only via substitution:
+     x fixed at 0 by its bounds turns 1·x = 3 into 0 = 3 *)
+  let m = Lp.create () in
+  let x = Lp.add_var m ~lb:0. ~ub:0. () in
+  Lp.add_constr m [ (1., x) ] Lp.Eq 3.;
   Lp.set_objective m Lp.Minimize [ (1., x) ];
   match (reduce_model m).Presolve.verdict with
   | Presolve.Infeasible -> ()

@@ -171,12 +171,26 @@ let test_zero_row () =
   Alcotest.(check (float 1e-6)) "x at ub" 2. r.Simplex.x.(0)
 
 let test_contradictory_zero_row () =
-  (* 0 <= -1 is infeasible *)
+  (* 0 <= -1 is infeasible.  Lp.add_constr now rejects such a row at
+     construction time, so feed the simplex a hand-built standard form to
+     keep exercising its robustness to empty rows. *)
   let m = Lp.create () in
   let x = Lp.add_var m ~ub:2. () in
-  Lp.add_constr m [ (1., x); (-1., x) ] Lp.Le (-1.);
+  (match Lp.add_constr m [ (1., x); (-1., x) ] Lp.Le (-1.) with
+   | () -> Alcotest.fail "add_constr accepted 0 <= -1"
+   | exception Invalid_argument _ -> ());
   Lp.set_objective m Lp.Minimize [ (1., x) ];
-  let r = solve_model m in
+  let std = Lp.standardize m in
+  let std =
+    { std with
+      Lp.nrows = 1;
+      row_idx = [| [||] |];
+      row_val = [| [||] |];
+      rhs = [| -1. |];
+      row_cmp = [| Lp.Le |];
+    }
+  in
+  let r = Simplex.solve std in
   check_status "status" Simplex.Infeasible r
 
 let test_wide_coefficient_range () =
