@@ -511,6 +511,35 @@ let suite () =
     [ "TPC-C v5"; "TATP"; "SmallBank"; "Voter"; "rndAt8x15"; "rndBt16x15" ]
 
 (* ------------------------------------------------------------------ *)
+(* Certification overhead: same QP solve with certificates off and on   *)
+(* ------------------------------------------------------------------ *)
+
+let certify_overhead () =
+  section "Certification overhead (QP solve, certify off vs on)";
+  Printf.printf "%-10s | %9s %9s %9s | %s\n" "instance" "off (s)" "on (s)"
+    "overhead" "verdict";
+  hr ();
+  List.iter
+    (fun name ->
+       let inst = get_instance name in
+       let time f =
+         let t0 = Unix.gettimeofday () in
+         let r = f () in
+         (r, Unix.gettimeofday () -. t0)
+       in
+       let opts certify =
+         { (qp_options ~time_limit:30. 2) with
+           Qp_solver.certify; gap = 0.01 }
+       in
+       let _, t_off = time (fun () -> Qp_solver.solve ~options:(opts false) inst) in
+       let r, t_on = time (fun () -> Qp_solver.solve ~options:(opts true) inst) in
+       Printf.printf "%-10s | %9.3f %9.3f %8.1f%% | %s\n%!" name t_off t_on
+         (100. *. (t_on -. t_off) /. Float.max 1e-9 t_off)
+         (Format.asprintf "%a" Report.pp_certificate r.Qp_solver.certificate))
+    [ "TPC-C v5"; "TATP"; "SmallBank"; "Voter" ];
+  hr ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per paper table                *)
 (* ------------------------------------------------------------------ *)
 
@@ -554,6 +583,20 @@ let bechamel () =
         (Staged.stage (fun () -> ignore (Cost_model.cost stats part)));
       Test.make ~name:"grouping: reasonable cuts on TPC-C"
         (Staged.stage (fun () -> ignore (Grouping.compute tpcc)));
+      (* The trusted checker alone: certify a solved MIP (dot products
+         over the pre-presolve rows), no solver time included. *)
+      (let m = Lp.create () in
+       let v = Array.init 12 (fun _ -> Lp.binary m ()) in
+       Array.iteri
+         (fun i x -> Lp.add_constr m [ (float_of_int (1 + (i mod 5)), x) ] Lp.Le 4.)
+         v;
+       Lp.add_constr m (Array.to_list (Array.map (fun x -> (1., x)) v)) Lp.Eq 6.;
+       Lp.set_objective m Lp.Minimize
+         (Array.to_list (Array.mapi (fun i x -> (float_of_int (1 + i), x)) v));
+       let out, stats = Mip.solve m in
+       Test.make ~name:"certify: re-check a solved 12-var MIP"
+         (Staged.stage (fun () ->
+              ignore (Vpart_certify.Certify.certify_mip m out stats))));
     ]
   in
   List.iter
@@ -581,7 +624,7 @@ let bechamel () =
 let usage () =
   print_endline
     "usage: main.exe [--qp-limit SECONDS] [--lambda L] [--max-rows N] [--seed N]\n\
-    \                [table1|table2|table3|table4|table5|table6|ablation|suite|bechamel|all]...";
+    \                [table1|table2|table3|table4|table5|table6|ablation|suite|certify|bechamel|all]...";
   exit 1
 
 let () =
@@ -607,13 +650,14 @@ let () =
     | "table6" -> table6 ()
     | "ablation" -> ablation ()
     | "suite" -> suite ()
+    | "certify" -> certify_overhead ()
     | "bechamel" -> bechamel ()
     | "all" ->
       Printf.printf
         "vpart experiment harness (p=%.0f, lambda=%.2f, QP limit %.0fs)\n"
         cfg.p cfg.lambda cfg.qp_limit;
       table2 (); table1 (); table3 (); table4 (); table5 (); table6 ();
-      ablation (); suite (); bechamel ()
+      ablation (); suite (); certify_overhead (); bechamel ()
     | j -> Printf.printf "unknown job %S\n" j; usage ()
   in
   List.iter dispatch jobs

@@ -2,7 +2,9 @@
 
      vpart info     --tpcc | --instance FILE | --random NAME
      vpart check    FILE... [--strict]       (static analysis / lint)
-     vpart solve    [--solver sa|qp] [--sites N] [--lint-model] (--tpcc | ...)
+     vpart solve    [--solver sa|qp] [--sites N] [--lint-model] [--certify]
+                    (--tpcc | ...)
+     vpart certify  FILE... [--solver qp|sa|iter]  (solve + certificates)
      vpart gen      --random NAME [-o FILE]
      vpart export   --tpcc [-o FILE]         (instance as JSON)
      vpart mps      --tpcc --sites N [-o FILE]  (MIP (7) in MPS format)
@@ -238,8 +240,17 @@ let solve_cmd =
             "Build the linearized MIP (7) for the instance and print its \
              full static-analysis report (all severities) before solving.")
   in
+  let certify_term =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Independently re-derive every claim of the solve (incumbent \
+             feasibility, dual bounds, cost-model agreement) and print the \
+             certificate verdict; exits non-zero if certification fails.")
+  in
   let run inst solver sites p lambda disjoint no_grouping time_limit seed json
-      lint_model output =
+      lint_model certify output =
     if lint_model then begin
       let grouping =
         if no_grouping then Grouping.identity inst else Grouping.compute inst
@@ -278,6 +289,29 @@ let solve_cmd =
         write_output output (Buffer.contents buf)
       end
     in
+    (* Print the certificate verdict (and its findings when non-trivial);
+       fail the command on Error-level findings. *)
+    let check_certificate cert =
+      if not certify then Ok ()
+      else begin
+        Format.printf "%a@." Report.pp_certificate cert;
+        match cert with
+        | Some (_ :: _ as ds) ->
+          Format.printf "%a@." Report.pp_diagnostics ds;
+          if Diagnostic.has_errors ds then
+            Error (`Msg "certification failed (see findings above)")
+          else Ok ()
+        | _ -> Ok ()
+      end
+    in
+    (* Baseline solvers have no MIP/dual claims to certify: check the
+       decoded partitioning and the claimed cost against the instance. *)
+    let domain_certificate part cost =
+      Some
+        (Diagnostic.sort
+           (Solution_certify.certify_partitioning (Stats.compute inst ~p) part
+            @ Solution_certify.certify_cost inst ~p part ~claimed:cost))
+    in
     try
       match solver with
     | `Sa ->
@@ -289,13 +323,14 @@ let solve_cmd =
           allow_replication = not disjoint;
           use_grouping = not no_grouping;
           seed;
+          certify;
         }
       in
       let r = Sa_solver.solve ~options inst in
       Printf.printf "SA: %d iterations, %d accepted, %.2fs\n"
         r.Sa_solver.iterations r.Sa_solver.accepted r.Sa_solver.elapsed;
       finish r.Sa_solver.partitioning r.Sa_solver.cost;
-      Ok ()
+      check_certificate r.Sa_solver.certificate
     | `Qp ->
       let options =
         { Qp_solver.default_options with
@@ -305,6 +340,7 @@ let solve_cmd =
           allow_replication = not disjoint;
           use_grouping = not no_grouping;
           time_limit;
+          certify;
         }
       in
       let r = Qp_solver.solve ~options inst in
@@ -320,7 +356,7 @@ let solve_cmd =
       (match (r.Qp_solver.partitioning, r.Qp_solver.cost) with
        | Some part, Some cost ->
          finish part cost;
-         Ok ()
+         check_certificate r.Qp_solver.certificate
        | _ -> Error (`Msg "no solution found (increase --time-limit?)"))
     | `Iter ->
       let options =
@@ -333,6 +369,7 @@ let solve_cmd =
               allow_replication = not disjoint;
               use_grouping = not no_grouping;
               time_limit;
+              certify;
             };
         }
       in
@@ -345,7 +382,7 @@ let solve_cmd =
       (match (r.Iterative_solver.partitioning, r.Iterative_solver.cost) with
        | Some part, Some cost ->
          finish part cost;
-         Ok ()
+         check_certificate r.Iterative_solver.certificate
        | _ -> Error (`Msg "no solution found (increase --time-limit?)"))
     | `Greedy ->
       let options =
@@ -359,13 +396,18 @@ let solve_cmd =
       let r = Greedy.solve ~options inst in
       Printf.printf "greedy: %d moves, %.2fs\n" r.Greedy.moves r.Greedy.elapsed;
       finish r.Greedy.partitioning r.Greedy.cost;
-      Ok ()
+      if certify then
+        check_certificate (domain_certificate r.Greedy.partitioning r.Greedy.cost)
+      else Ok ()
     | `Affinity ->
       let r =
         Affinity.solve ~options:{ Affinity.num_sites = sites; p; lambda } inst
       in
       finish r.Affinity.partitioning r.Affinity.cost;
-      Ok ()
+      if certify then
+        check_certificate
+          (domain_certificate r.Affinity.partitioning r.Affinity.cost)
+      else Ok ()
     with Diagnostic.Errors ds ->
       Format.eprintf "%a@." Report.pp_diagnostics ds;
       Error (`Msg "the built model failed static analysis; refusing to solve")
@@ -376,7 +418,110 @@ let solve_cmd =
       term_result
         (const run $ instance_term $ solver_term $ sites_term $ p_term
          $ lambda_term $ disjoint_term $ no_grouping_term $ time_limit_term
-         $ seed_term $ json_term $ lint_model_term $ output_term))
+         $ seed_term $ json_term $ lint_model_term $ certify_term
+         $ output_term))
+
+(* ------------------------------------------------------------------ *)
+(* certify                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let certify_cmd =
+  let files_term =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Instance JSON file(s) to solve and certify.")
+  in
+  let solver_term =
+    Arg.(
+      value
+      & opt (enum [ ("qp", `Qp); ("sa", `Sa); ("iter", `Iter) ]) `Qp
+      & info [ "solver" ] ~docv:"SOLVER"
+          ~doc:"Solver whose claims to certify: $(b,qp), $(b,sa) or $(b,iter).")
+  in
+  let time_limit_term =
+    Arg.(
+      value & opt float 10.
+      & info [ "time-limit" ] ~docv:"S"
+          ~doc:"Per-instance solve budget (seconds).")
+  in
+  let run files solver sites p lambda time_limit =
+    let total_errors = ref 0 in
+    List.iter
+      (fun file ->
+         let cert =
+           match Codec.load_instance file with
+           | exception Sys_error e ->
+             Some [ Diagnostic.error ~code:"I001" "cannot read instance: %s" e ]
+           | exception Json.Parse_error e ->
+             Some [ Diagnostic.error ~code:"I001" "JSON parse error: %s" e ]
+           | exception Invalid_argument e ->
+             Some [ Diagnostic.error ~code:"I001" "malformed instance: %s" e ]
+           | inst -> (
+             try
+               match solver with
+               | `Qp ->
+                 (Qp_solver.solve
+                    ~options:
+                      { Qp_solver.default_options with
+                        Qp_solver.num_sites = sites;
+                        p;
+                        lambda;
+                        time_limit;
+                        certify = true;
+                      }
+                    inst)
+                   .Qp_solver.certificate
+               | `Sa ->
+                 (Sa_solver.solve
+                    ~options:
+                      { Sa_solver.default_options with
+                        Sa_solver.num_sites = sites;
+                        p;
+                        lambda;
+                        time_limit = Some time_limit;
+                        certify = true;
+                      }
+                    inst)
+                   .Sa_solver.certificate
+               | `Iter ->
+                 (Iterative_solver.solve
+                    ~options:
+                      { Iterative_solver.default_options with
+                        Iterative_solver.qp =
+                          { Qp_solver.default_options with
+                            Qp_solver.num_sites = sites;
+                            p;
+                            lambda;
+                            time_limit;
+                            certify = true;
+                          };
+                      }
+                    inst)
+                   .Iterative_solver.certificate
+             with Diagnostic.Errors ds -> Some ds)
+         in
+         let ds = Option.value cert ~default:[] in
+         total_errors := !total_errors + List.length (Diagnostic.errors ds);
+         Format.printf "@[<v>%s: %a@]@." file Report.pp_certificate cert;
+         if ds <> [] then Format.printf "%a@." Report.pp_diagnostics ds)
+      files;
+    if !total_errors > 0 then begin
+      Format.printf "certification failed: %d error(s)@." !total_errors;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Solve each instance and independently certify every claim of the \
+          solve: incumbent feasibility against the pre-presolve model, dual \
+          and Farkas bounds, bound/gap bookkeeping, and cost-model agreement \
+          via Cost_model.breakdown (the [C]-code catalog in \
+          docs/ANALYSIS.md).  Exits non-zero if any certificate has \
+          Error-level findings.")
+    Term.(
+      const run $ files_term $ solver_term $ sites_term $ p_term $ lambda_term
+      $ time_limit_term)
 
 (* ------------------------------------------------------------------ *)
 (* gen / export                                                        *)
@@ -512,5 +657,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "vpart" ~version:"1.0.0" ~doc)
-          [ info_cmd; check_cmd; solve_cmd; eval_cmd; advise_cmd; export_cmd;
-            mps_cmd ]))
+          [ info_cmd; check_cmd; solve_cmd; certify_cmd; eval_cmd; advise_cmd;
+            export_cmd; mps_cmd ]))

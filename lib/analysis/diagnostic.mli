@@ -8,7 +8,8 @@
     representation is shared through this module).
 
     Code prefixes: [M] — MIP/LP model lint, [I] — instance lint,
-    [P] — partitioning lint. *)
+    [P] — partitioning lint, [C] — solve certificates
+    ([Vpart_certify.Certify] and [Vpart.Solution_certify]). *)
 
 type severity = Error | Warning | Info
 

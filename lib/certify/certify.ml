@@ -1,0 +1,418 @@
+module Diagnostic = Vpart_analysis.Diagnostic
+
+let rel tol reference = tol *. (1. +. Float.abs reference)
+
+let string_of_cmp = function Lp.Le -> "<=" | Lp.Ge -> ">=" | Lp.Eq -> "="
+
+(* ------------------------------------------------------------------ *)
+(* Primal certificates                                                *)
+(* ------------------------------------------------------------------ *)
+
+let certify_point ?(tol = 1e-5) ?var_name (std : Lp.std) x =
+  List.map
+    (fun v ->
+       let msg = Format.asprintf "%a" (Lp.pp_violation ?var_name ()) v in
+       let code =
+         match v with
+         | Lp.Wrong_length _ | Lp.Non_finite _ -> "C001"
+         | Lp.Bound_violation _ -> "C002"
+         | Lp.Not_integral _ -> "C003"
+         | Lp.Row_violation _ -> "C004"
+       in
+       Diagnostic.error ~code "%s" msg)
+    (Lp.feasibility_violations ~tol std x)
+
+(* ------------------------------------------------------------------ *)
+(* Dual certificates                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let clamp_duals ?(tol = 1e-7) (std : Lp.std) y =
+  let diags = ref [] in
+  let yc = Array.copy y in
+  Array.iteri
+    (fun r cmp ->
+       let v = y.(r) in
+       let out_of_cone =
+         match cmp with
+         | Lp.Le -> v > 0.
+         | Lp.Ge -> v < 0.
+         | Lp.Eq -> false
+       in
+       if out_of_cone then begin
+         if Float.abs v > tol then
+           diags :=
+             Diagnostic.warning ~code:"C101"
+               "dual multiplier y[%d] = %g lies outside the dual cone of a \
+                '%s' row; clamped to 0 for the bound"
+               r v (string_of_cmp cmp)
+             :: !diags;
+         yc.(r) <- 0.
+       end)
+    std.Lp.row_cmp;
+  (yc, List.rev !diags)
+
+let reduced_costs (std : Lp.std) y =
+  let d = Array.copy std.Lp.obj in
+  for r = 0 to std.Lp.nrows - 1 do
+    let yr = y.(r) in
+    if yr <> 0. then
+      Array.iteri
+        (fun k j -> d.(j) <- d.(j) -. (yr *. std.Lp.row_val.(r).(k)))
+        std.Lp.row_idx.(r)
+  done;
+  d
+
+let lagrangian_bound (std : Lp.std) y =
+  let d = reduced_costs std y in
+  let bound = ref std.Lp.obj_const in
+  Array.iteri (fun r yr -> bound := !bound +. (yr *. std.Lp.rhs.(r))) y;
+  Array.iteri
+    (fun j dj ->
+       let noise = 1e-7 *. (1. +. Float.abs std.Lp.obj.(j)) in
+       if dj > 0. then begin
+         (* contribution d_j·l_j; treat numerical noise as zero against an
+            infinite bound rather than collapsing the whole bound to -inf *)
+         if Float.is_finite std.Lp.lb.(j) then
+           bound := !bound +. (dj *. std.Lp.lb.(j))
+         else if dj > noise then bound := neg_infinity
+       end
+       else if dj < 0. then begin
+         if Float.is_finite std.Lp.ub.(j) then
+           bound := !bound +. (dj *. std.Lp.ub.(j))
+         else if dj < -.noise then bound := neg_infinity
+       end)
+    d;
+  !bound
+
+let farkas_proves_infeasible ?(tol = 1e-7) (std : Lp.std) y =
+  Array.length y = std.Lp.nrows
+  && Array.for_all Float.is_finite y
+  && Array.exists (fun v -> v <> 0.) y
+  &&
+  (* t = Aᵀy over the structural columns *)
+  let t = Array.make std.Lp.ncols 0. in
+  for r = 0 to std.Lp.nrows - 1 do
+    let yr = y.(r) in
+    if yr <> 0. then
+      Array.iteri
+        (fun k j -> t.(j) <- t.(j) +. (yr *. std.Lp.row_val.(r).(k)))
+        std.Lp.row_idx.(r)
+  done;
+  (* Range of yᵀ(Ax + s) over the true variable boxes and slack cones:
+     the simplex encodes [row cmp rhs] as [row + s = rhs] with slack
+     s >= 0 for <=, s <= 0 for >=, s = 0 for =. *)
+  let fmax = ref 0. and fmin = ref 0. in
+  let yrhs = ref 0. and scale = ref 1. in
+  Array.iteri
+    (fun j tj ->
+       if tj > 0. then begin
+         fmax := !fmax +. (tj *. std.Lp.ub.(j));
+         fmin := !fmin +. (tj *. std.Lp.lb.(j));
+         scale := !scale +. Float.abs tj
+       end
+       else if tj < 0. then begin
+         fmax := !fmax +. (tj *. std.Lp.lb.(j));
+         fmin := !fmin +. (tj *. std.Lp.ub.(j));
+         scale := !scale +. Float.abs tj
+       end)
+    t;
+  Array.iteri
+    (fun r yr ->
+       yrhs := !yrhs +. (yr *. std.Lp.rhs.(r));
+       scale := !scale +. Float.abs (yr *. std.Lp.rhs.(r));
+       match std.Lp.row_cmp.(r) with
+       | Lp.Le ->
+         if yr > 0. then fmax := infinity
+         else if yr < 0. then fmin := neg_infinity
+       | Lp.Ge ->
+         if yr > 0. then fmin := neg_infinity
+         else if yr < 0. then fmax := infinity
+       | Lp.Eq -> ())
+    y;
+  let eps = tol *. !scale in
+  !yrhs > !fmax +. eps || !yrhs < !fmin -. eps
+
+(* ------------------------------------------------------------------ *)
+(* Whole-solve certification                                          *)
+(* ------------------------------------------------------------------ *)
+
+let certify_mip ?(tol = 1e-5) ?(gap = Mip.default_limits.Mip.gap) ?var_name
+    model outcome (stats : Mip.stats) =
+  let std = Lp.standardize model in
+  let audit = stats.Mip.audit in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+
+  (* Primal side: the incumbent and its claimed objective. *)
+  let primal_checks (sol : Mip.solution) =
+    List.iter add (certify_point ~tol ?var_name std sol.Mip.x);
+    let obj_min = Lp.restore_objective std sol.Mip.obj in
+    if Array.length sol.Mip.x = std.Lp.ncols
+       && Array.for_all Float.is_finite sol.Mip.x
+    then begin
+      let fresh = Lp.eval_objective std sol.Mip.x in
+      if Float.abs (fresh -. obj_min) > rel tol obj_min then
+        add
+          (Diagnostic.error ~code:"C005"
+             "claimed objective %g differs from independent re-evaluation %g"
+             sol.Mip.obj
+             (Lp.restore_objective std fresh))
+    end;
+    obj_min
+  in
+
+  (* Dual side: the root LP certificate, checked against the original
+     matrix.  [primal_obj_min] is the certified incumbent value (if any)
+     for the weak-duality check. *)
+  let dual_checks ~primal_obj_min =
+    match audit.Mip.root_lp with
+    | None ->
+      add
+        (Diagnostic.info ~code:"C111"
+           "no root LP certificate returned: dual-side claims cannot be \
+            independently checked")
+    | Some cert ->
+      if
+        Array.length cert.Mip.lp_y <> std.Lp.nrows
+        || not (Array.for_all Float.is_finite cert.Mip.lp_y)
+      then
+        add
+          (Diagnostic.error ~code:"C103"
+             "root LP dual vector malformed (length %d for %d rows, or \
+              non-finite entries): bound claims unverifiable"
+             (Array.length cert.Mip.lp_y) std.Lp.nrows)
+      else begin
+        let yc, cone = clamp_duals std cert.Mip.lp_y in
+        List.iter add cone;
+        (* C102: the solver's reported reduced costs vs c - Aᵀy. *)
+        let d = reduced_costs std cert.Mip.lp_y in
+        if Array.length cert.Mip.lp_reduced <> std.Lp.ncols then
+          add
+            (Diagnostic.warning ~code:"C102"
+               "reported reduced-cost vector has length %d, expected %d"
+               (Array.length cert.Mip.lp_reduced)
+               std.Lp.ncols)
+        else begin
+          let worst = ref 0. and worst_j = ref (-1) in
+          Array.iteri
+            (fun j dj ->
+               let e =
+                 Float.abs (dj -. cert.Mip.lp_reduced.(j))
+                 /. (1. +. Float.abs dj)
+               in
+               if e > !worst then begin
+                 worst := e;
+                 worst_j := j
+               end)
+            d;
+          if !worst > tol then
+            add
+              (Diagnostic.warning ~code:"C102"
+                 "reported reduced cost of column %d disagrees with c - A'y \
+                  (relative error %g)"
+                 !worst_j !worst)
+        end;
+        let lb = lagrangian_bound std yc in
+        (* C103: weak duality against the certified incumbent. *)
+        (match primal_obj_min with
+         | Some obj when lb > obj +. rel tol obj ->
+           add
+             (Diagnostic.error ~code:"C103"
+                "weak duality violated: certified dual bound %g exceeds \
+                 certified incumbent objective %g"
+                lb obj)
+         | _ -> ());
+        (* C104: the claimed root LP objective vs the recomputed bound. *)
+        if audit.Mip.presolve_rows_removed = 0 then begin
+          if Float.abs (lb -. cert.Mip.lp_obj) > rel tol cert.Mip.lp_obj then
+            add
+              (Diagnostic.warning ~code:"C104"
+                 "root LP certificate inconsistent: recomputed Lagrangian \
+                  bound %g vs claimed LP objective %g"
+                 lb cert.Mip.lp_obj)
+        end
+        else begin
+          if lb > cert.Mip.lp_obj +. rel tol cert.Mip.lp_obj then
+            add
+              (Diagnostic.warning ~code:"C104"
+                 "root LP certificate inconsistent: back-mapped Lagrangian \
+                  bound %g exceeds claimed LP objective %g"
+                 lb cert.Mip.lp_obj);
+          add
+            (Diagnostic.info ~code:"C111"
+               "presolve removed %d rows; the back-mapped dual certificate \
+                may be weaker than the solver's internal bound"
+               audit.Mip.presolve_rows_removed)
+        end;
+        (* C109: complementary slackness at the root optimum. *)
+        if
+          Array.length cert.Mip.lp_x = std.Lp.ncols
+          && Array.for_all Float.is_finite cert.Mip.lp_x
+        then begin
+          let violations = ref 0 and worst = ref 0. and worst_j = ref (-1) in
+          Array.iteri
+            (fun j dj ->
+               let v = cert.Mip.lp_x.(j) in
+               let eps = 1e-6 *. (1. +. Float.abs v) in
+               let cs_tol = rel tol std.Lp.obj.(j) in
+               let bad =
+                 if v > std.Lp.lb.(j) +. eps && v < std.Lp.ub.(j) -. eps then
+                   Float.abs dj > cs_tol
+                 else if v <= std.Lp.lb.(j) +. eps then dj < -.cs_tol
+                 else dj > cs_tol
+               in
+               if bad then begin
+                 incr violations;
+                 if Float.abs dj > !worst then begin
+                   worst := Float.abs dj;
+                   worst_j := j
+                 end
+               end)
+            d;
+          if !violations > 0 then
+            add
+              (Diagnostic.warning ~code:"C109"
+                 "complementary slackness fails at the root LP optimum for \
+                  %d column(s) (worst: column %d, reduced cost %g)"
+                 !violations !worst_j !worst)
+        end
+      end
+  in
+
+  (* Bound side: audited proven bound, its support, the outcome's claimed
+     bound and the reported gap must all agree. *)
+  let bound_checks ~claimed_bound_min ~obj_min =
+    (match audit.Mip.proven_bound with
+     | Some pb ->
+       if Array.length audit.Mip.bound_support = 0 then
+         add
+           (Diagnostic.warning ~code:"C110"
+              "proven bound %g has no supporting node bounds in the audit" pb)
+       else begin
+         let m = Array.fold_left Float.min infinity audit.Mip.bound_support in
+         if Float.abs (pb -. m) > rel tol m then
+           add
+             (Diagnostic.error ~code:"C110"
+                "claimed proven bound %g is not the minimum %g of its %d \
+                 supporting node bounds"
+                pb m
+                (Array.length audit.Mip.bound_support))
+       end;
+       (match claimed_bound_min with
+        | Some cb when Float.is_finite cb && Float.abs (cb -. pb) > rel tol pb
+          ->
+          add
+            (Diagnostic.error ~code:"C105"
+               "outcome bound %g disagrees with audited proven bound %g" cb pb)
+        | _ -> ())
+     | None ->
+       (match claimed_bound_min with
+        | Some cb when Float.is_finite cb ->
+          add
+            (Diagnostic.warning ~code:"C105"
+               "outcome claims bound %g but the audit records no proven bound"
+               cb)
+        | _ -> ()));
+    match obj_min with
+    | Some o ->
+      let b =
+        match audit.Mip.proven_bound with
+        | Some pb -> Some pb
+        | None -> claimed_bound_min
+      in
+      (match b with
+       | Some b when Float.is_finite b ->
+         let g = Float.max 0. ((o -. b) /. Float.max 1. (Float.abs o)) in
+         if
+           Float.is_finite stats.Mip.gap_achieved
+           && Float.abs (stats.Mip.gap_achieved -. g) > tol
+         then
+           add
+             (Diagnostic.error ~code:"C105"
+                "reported gap %g disagrees with gap %g recomputed from \
+                 objective %g and bound %g"
+                stats.Mip.gap_achieved g o b)
+       | _ ->
+         if Float.is_finite stats.Mip.gap_achieved then
+           add
+             (Diagnostic.error ~code:"C105"
+                "finite gap %g reported without any finite proven bound"
+                stats.Mip.gap_achieved))
+    | None ->
+      if Float.is_finite stats.Mip.gap_achieved then
+        add
+          (Diagnostic.error ~code:"C105"
+             "finite gap %g reported without an incumbent"
+             stats.Mip.gap_achieved)
+  in
+
+  if audit.Mip.numerical_prunes > 0 then
+    add
+      (Diagnostic.info ~code:"C111"
+         "%d subtree(s) abandoned on numerical trouble; optimality proofs \
+          degrade to the root bound"
+         audit.Mip.numerical_prunes);
+
+  (match outcome with
+   | Mip.Optimal sol ->
+     let obj_min = primal_checks sol in
+     dual_checks ~primal_obj_min:(Some obj_min);
+     bound_checks ~claimed_bound_min:None ~obj_min:(Some obj_min);
+     (match audit.Mip.proven_bound with
+      | Some pb ->
+        let g = Float.max 0. ((obj_min -. pb) /. Float.max 1. (Float.abs obj_min)) in
+        if g > gap +. tol then begin
+          let f =
+            if audit.Mip.numerical_prunes > 0 then
+              Diagnostic.warning ~code:"C106"
+            else Diagnostic.error ~code:"C106"
+          in
+          add
+            (f
+               "optimality claimed but the certified gap %g exceeds the gap \
+                tolerance %g"
+               g gap)
+        end
+      | None ->
+        add
+          (Diagnostic.warning ~code:"C106"
+             "optimality claimed but the audit records no proven bound"))
+   | Mip.Feasible (sol, bound) ->
+     let obj_min = primal_checks sol in
+     let b_min = Lp.restore_objective std bound in
+     if Float.is_finite b_min && b_min > obj_min +. rel tol obj_min then
+       add
+         (Diagnostic.error ~code:"C105"
+            "claimed lower bound %g exceeds the incumbent objective %g" b_min
+            obj_min);
+     dual_checks ~primal_obj_min:(Some obj_min);
+     bound_checks ~claimed_bound_min:(Some b_min) ~obj_min:(Some obj_min)
+   | Mip.No_incumbent b ->
+     dual_checks ~primal_obj_min:None;
+     bound_checks
+       ~claimed_bound_min:(Option.map (Lp.restore_objective std) b)
+       ~obj_min:None
+   | Mip.Infeasible ->
+     (match audit.Mip.farkas with
+      | Some ray ->
+        if not (farkas_proves_infeasible ~tol std ray) then
+          add
+            (Diagnostic.error ~code:"C107"
+               "returned Farkas multiplier does not prove infeasibility of \
+                the original model")
+      | None ->
+        add
+          (Diagnostic.info ~code:"C108"
+             "infeasibility claim carries no single-multiplier certificate \
+              (presolve reduction chain or exhaustive search)"))
+   | Mip.Unbounded ->
+     add
+       (Diagnostic.info ~code:"C111"
+          "unboundedness claims are not independently certified")
+   | Mip.Too_large n ->
+     if n <> std.Lp.nrows then
+       add
+         (Diagnostic.error ~code:"C105"
+            "refusal claims %d rows but the model has %d" n std.Lp.nrows));
+
+  Diagnostic.sort (List.rev !diags)

@@ -1,0 +1,108 @@
+(** Independent certificates for solver claims.
+
+    The branch-and-bound solver ({!Vpart_mip.Mip}) makes three kinds of
+    claims: {e this point is feasible}, {e no better objective than this
+    bound exists}, and {e the problem is infeasible}.  This module is the
+    trusted checker of the untrusted-solver/trusted-checker split: it
+    re-derives every claim using only the {e original} (pre-presolve,
+    pre-patching) standard form and the artifacts the solver returned —
+    it never re-runs the solver and never trusts intermediate solver
+    state.  The arithmetic here is a few hundred lines of dot products;
+    the solver is thousands of lines of pivoting and search.
+
+    Checks are reported as {!Vpart_analysis.Diagnostic} findings with the
+    [C1xx] code family (catalogued in [docs/ANALYSIS.md]); the domain-level
+    certificates ([C2xx], comparing MIP objectives against the independent
+    cost model) live in [Vpart.Solution_certify], which depends on the core
+    types.
+
+    {2 The mathematics}
+
+    For a minimization standard form [min cᵀx + k] s.t. [Ax cmp b],
+    [l <= x <= u], any multiplier vector [y] inside the {e dual cone}
+    ([y_r <= 0] on [<=] rows, [y_r >= 0] on [>=] rows, free on [=] rows)
+    yields the Lagrangian bound
+
+    {v L(y) = k + yᵀb + Σ_j min(d_j·l_j, d_j·u_j),   d = c − Aᵀy v}
+
+    which is a valid lower bound on the optimum for {e any} such [y] —
+    so the checker clamps out-of-cone components to zero (reporting them)
+    rather than rejecting the certificate.  Infeasibility certificates are
+    the same machinery with [c = 0]: a ray [y] proves infeasibility when
+    [yᵀb] lies strictly outside the range of [yᵀ(Ax + s)] over the
+    variable boxes and slack cones. *)
+
+module Diagnostic = Vpart_analysis.Diagnostic
+
+val certify_point :
+  ?tol:float ->
+  ?var_name:(Lp.var -> string) ->
+  Lp.std ->
+  float array ->
+  Diagnostic.t list
+(** Primal certificate: check that [x] satisfies every bound, row and
+    integrality marker of [std] within absolute tolerance [tol] (default
+    [1e-5], matching the solver's own incumbent vetting).  Findings:
+    [C001] (malformed vector), [C002] (bound), [C003] (integrality),
+    [C004] (row).  Empty list = certified feasible. *)
+
+val clamp_duals :
+  ?tol:float -> Lp.std -> float array -> float array * Diagnostic.t list
+(** Project [y] onto the dual cone of the minimization form [std]
+    (see above).  Components outside the cone by more than [tol]
+    (default [1e-7]) are zeroed and reported as [C101] warnings;
+    sub-tolerance noise is zeroed silently.  The returned vector always
+    yields a valid {!lagrangian_bound}. *)
+
+val reduced_costs : Lp.std -> float array -> float array
+(** [reduced_costs std y] is [d = c − Aᵀy], computed directly from the
+    sparse rows of [std] (length [ncols]). *)
+
+val lagrangian_bound : Lp.std -> float array -> float
+(** The bound [L(y)] above for a vector already inside the dual cone
+    (callers should {!clamp_duals} first).  May be [neg_infinity] when a
+    nonzero reduced cost meets an infinite bound; reduced costs within
+    [1e-7·(1+|c_j|)] of zero are treated as zero against infinite bounds
+    (safe-bounding compromise, documented in DESIGN.md). *)
+
+val farkas_proves_infeasible : ?tol:float -> Lp.std -> float array -> bool
+(** [farkas_proves_infeasible std y] re-derives primal infeasibility from
+    a Farkas-style multiplier [y] (one entry per row, e.g. from
+    {!Vpart_simplex.Simplex.farkas_ray}): true iff [yᵀb] provably lies
+    outside the attainable range of [yᵀ(Ax + s)] over the {e true}
+    (unpatched) variable boxes and slack cones, with tolerance scaled by
+    the certificate's magnitude.  A ray that only "proves" infeasibility
+    of the solver's patched boxes fails here — by design. *)
+
+val certify_mip :
+  ?tol:float ->
+  ?gap:float ->
+  ?var_name:(Lp.var -> string) ->
+  Lp.model ->
+  Mip.outcome ->
+  Mip.stats ->
+  Diagnostic.t list
+(** Certify everything a {!Vpart_mip.Mip.solve} result claims against the
+    original [model]:
+
+    - [Optimal]/[Feasible]: the incumbent passes {!certify_point}; its
+      claimed objective matches an independent re-evaluation ([C005]);
+      the root LP certificate's duals are in the cone ([C101]), its
+      reduced costs agree with [c − Aᵀy] ([C102]), the Lagrangian bound
+      does not exceed the incumbent (weak duality, [C103]) and agrees
+      with the claimed root LP objective ([C104]); complementary
+      slackness holds at the root optimum ([C109]).
+    - Claimed bounds: the audited proven bound equals the minimum of its
+      supporting node bounds ([C110]); outcome bound, audited bound and
+      [gap_achieved] are mutually consistent ([C105]); an [Optimal] claim
+      whose certified gap exceeds [gap] (default
+      {!Vpart_mip.Mip.default_limits}[.gap]) is rejected ([C106],
+      downgraded to a warning when numerical prunes already voided the
+      proof).
+    - [Infeasible]: the Farkas ray re-proves infeasibility ([C107]);
+      claims with no checkable certificate are flagged [C108].
+    - Missing/weakened certificates (no root LP, presolve row removal,
+      numerical prunes) are surfaced as [C111] infos.
+
+    Findings are sorted most-severe-first; an empty list means every
+    claim was independently certified. *)

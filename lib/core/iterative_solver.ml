@@ -11,6 +11,7 @@ type round_info = {
   txns_considered : int;
   outcome : Qp_solver.outcome;
   elapsed : float;
+  pins_violated : int;
 }
 
 type result = {
@@ -21,6 +22,7 @@ type result = {
   elapsed : float;
   rounds : round_info list;
   diagnostics : Vpart_analysis.Diagnostic.t list;
+  certificate : Vpart_analysis.Diagnostic.t list option;
 }
 
 let transaction_weights (inst : Instance.t) =
@@ -80,6 +82,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
   let fixed = ref [] in
   let final : Qp_solver.result option ref = ref None in
   let failed = ref false in
+  let pin_findings = ref [] in
   List.iter
     (fun size ->
        if not !failed then begin
@@ -92,10 +95,21 @@ let solve ?(options = default_options) (inst : Instance.t) =
            }
          in
          let r = Qp_solver.solve ~options:qp_opts sub in
+         (* Certify the batch contract: the transactions pinned from the
+            previous rounds must come back on their pinned sites. *)
+         let pins_violated =
+           match r.Qp_solver.partitioning with
+           | Some part when options.qp.Qp_solver.certify ->
+             let bad = Solution_certify.certify_pins ~fixed:!fixed part in
+             pin_findings := !pin_findings @ bad;
+             List.length bad
+           | _ -> 0
+         in
          rounds_info :=
            { txns_considered = size;
              outcome = r.Qp_solver.outcome;
-             elapsed = r.Qp_solver.elapsed }
+             elapsed = r.Qp_solver.elapsed;
+             pins_violated }
            :: !rounds_info;
          (match r.Qp_solver.partitioning with
           | Some part ->
@@ -120,6 +134,14 @@ let solve ?(options = default_options) (inst : Instance.t) =
            out)
         r.Qp_solver.partitioning
     in
+    let certificate =
+      if not options.qp.Qp_solver.certify then None
+      else
+        Some
+          (Vpart_analysis.Diagnostic.sort
+             (!pin_findings
+              @ Option.value r.Qp_solver.certificate ~default:[]))
+    in
     {
       outcome = r.Qp_solver.outcome;
       partitioning = mapped;
@@ -128,6 +150,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
       elapsed;
       rounds = List.rev !rounds_info;
       diagnostics = r.Qp_solver.diagnostics;
+      certificate;
     }
   | _ ->
     {
@@ -138,4 +161,8 @@ let solve ?(options = default_options) (inst : Instance.t) =
       elapsed;
       rounds = List.rev !rounds_info;
       diagnostics = [];
+      certificate =
+        (if options.qp.Qp_solver.certify then
+           Some (Vpart_analysis.Diagnostic.sort !pin_findings)
+         else None);
     }

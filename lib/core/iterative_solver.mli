@@ -33,6 +33,10 @@ type round_info = {
   txns_considered : int;
   outcome : Qp_solver.outcome;
   elapsed : float;
+  pins_violated : int;
+      (** number of previous-round pins the batch's solution broke
+          ([C204] findings; always 0 unless [qp.certify] is set, which
+          enables the per-round check) *)
 }
 
 type result = {
@@ -46,6 +50,10 @@ type result = {
       (** non-error model-lint findings of the final (full) round; each
           round's MIP is linted by {!Qp_solver.solve}, which raises
           {!Vpart_analysis.Diagnostic.Errors} on Error-level findings *)
+  certificate : Vpart_analysis.Diagnostic.t list option;
+      (** [Some findings] when [qp.certify] was set: every round's [C204]
+          pin-contract findings plus the final round's full
+          {!Qp_solver} certificate; [None] otherwise *)
 }
 
 val transaction_weights : Instance.t -> float array

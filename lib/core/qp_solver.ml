@@ -11,6 +11,7 @@ type options = {
   latency : float option;
   fixed_txns : (int * int) list;
   seed_solution : Partitioning.t option;
+  certify : bool;
 }
 
 let default_options =
@@ -27,6 +28,7 @@ let default_options =
     latency = None;
     fixed_txns = [];
     seed_solution = None;
+    certify = false;
   }
 
 type outcome = Proved_optimal | Limit_feasible | Limit_no_solution | Too_large
@@ -43,6 +45,7 @@ type result = {
   model_rows : int;
   model_cols : int;
   diagnostics : Vpart_analysis.Diagnostic.t list;
+  certificate : Vpart_analysis.Diagnostic.t list option;
 }
 
 (* Layout bookkeeping shared by the builder, the rounding heuristic and the
@@ -377,6 +380,45 @@ let solve ?(options = default_options) (inst : Instance.t) =
     let objective6 =
       Option.map (Cost_model.objective full_stats ~lambda:options.lambda) partitioning
     in
+    let certificate =
+      if not options.certify then None
+      else begin
+        (* Independent certification of every claim this solve made: the
+           MIP-level checks re-derive feasibility/bounds/duality from the
+           model and the returned artifacts; the domain-level checks
+           re-evaluate the decoded partitioning straight from the instance
+           (Cost_model.breakdown), bypassing the Stats coefficients the
+           model was built from. *)
+        let mip_certs =
+          Vpart_certify.Certify.certify_mip ~gap:options.gap
+            ~var_name:(Lp.var_name model) model mip_outcome mip_stats
+        in
+        let claimed_obj6 =
+          match mip_outcome with
+          | Mip.Optimal sol | Mip.Feasible (sol, _) -> Some sol.Mip.obj
+          | _ -> None
+        in
+        let domain_certs =
+          match partitioning with
+          | None -> []
+          | Some part ->
+            Solution_certify.certify_partitioning full_stats part
+            @ (match claimed_obj6 with
+               | Some obj6 ->
+                 Solution_certify.certify_objective6 ~tol:1e-5 inst
+                   ~p:options.p ~lambda:options.lambda
+                   ?latency:options.latency part ~claimed:obj6
+               | None -> [])
+            @ (match cost with
+               | Some c ->
+                 Solution_certify.certify_cost ~tol:1e-5 inst ~p:options.p
+                   part ~claimed:c
+               | None -> [])
+            @ Solution_certify.certify_pins ~fixed:options.fixed_txns part
+        in
+        Some (Vpart_analysis.Diagnostic.sort (mip_certs @ domain_certs))
+      end
+    in
     {
       outcome;
       partitioning;
@@ -389,6 +431,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
       model_rows = Lp.num_constrs model;
       model_cols = ncols;
       diagnostics;
+      certificate;
     }
   in
   match mip_outcome with

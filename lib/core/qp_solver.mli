@@ -40,6 +40,13 @@ type options = {
       (** Warm-start incumbent (original attribute space), e.g. an
           {!Sa_solver} result: vetted and used for pruning from the first
           node.  Off for paper-comparison runs. *)
+  certify : bool;
+      (** Self-certification: after the solve, re-derive every claim
+          (incumbent feasibility, dual bounds, objective-(6)/cost
+          agreement with {!Cost_model.breakdown}, pin satisfaction) with
+          {!Vpart_certify.Certify} and {!Solution_certify}, and return the
+          findings in [certificate].  Off by default (it re-standardizes
+          the model and re-evaluates the instance). *)
 }
 
 val default_options : options
@@ -67,6 +74,10 @@ type result = {
   diagnostics : Vpart_analysis.Diagnostic.t list;
       (** non-error findings of the model lint run on the built MIP
           (see {!Vpart_analysis.Model_lint}) *)
+  certificate : Vpart_analysis.Diagnostic.t list option;
+      (** [Some findings] when [options.certify] was set: the sorted
+          [C]-code findings of the independent certification pass (empty
+          list = every claim certified clean); [None] otherwise *)
 }
 
 val solve : ?options:options -> Instance.t -> result

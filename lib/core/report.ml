@@ -75,3 +75,21 @@ let pp_diagnostics ppf ds =
   | ds ->
     Format.fprintf ppf "@[<v>diagnostics:@,%a@]"
       Vpart_analysis.Diagnostic.pp_report ds
+
+let pp_certificate ppf cert =
+  let module D = Vpart_analysis.Diagnostic in
+  match cert with
+  | None -> Format.fprintf ppf "certificate: not requested"
+  | Some [] -> Format.fprintf ppf "certificate: all claims verified"
+  | Some ds ->
+    let e = D.count D.Error ds
+    and w = D.count D.Warning ds
+    and i = D.count D.Info ds in
+    if e > 0 then
+      Format.fprintf ppf
+        "certificate: FAILED (%d error(s), %d warning(s), %d info) [%s]" e w i
+        (String.concat " " (D.codes ds))
+    else
+      Format.fprintf ppf
+        "certificate: verified with %d warning(s), %d info note(s) [%s]" w i
+        (String.concat " " (D.codes ds))

@@ -16,6 +16,12 @@ val pp_diagnostics :
     severity-count summary; ["diagnostics: none"] when the list is empty.
     Used by the CLI's [check] subcommand and after solver runs. *)
 
+val pp_certificate :
+  Format.formatter -> Vpart_analysis.Diagnostic.t list option -> unit
+(** One-line certificate verdict for a solver's [certificate] field:
+    not requested / all claims verified / verified with warnings /
+    FAILED, with severity counts and the distinct [C]-codes involved. *)
+
 val row_width_reduction : Instance.t -> Partitioning.t -> (string * int * float) list
 (** Per table: name, original row width, and the average width of its
     fractions across sites holding any of it (smaller = narrower rows,

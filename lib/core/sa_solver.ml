@@ -13,6 +13,7 @@ type options = {
   max_outer : int;
   time_limit : float option;
   latency : float option;
+  certify : bool;
 }
 
 let default_options =
@@ -31,6 +32,7 @@ let default_options =
     max_outer = 400;
     time_limit = None;
     latency = None;
+    certify = false;
   }
 
 type result = {
@@ -41,6 +43,7 @@ type result = {
   iterations : int;
   accepted : int;
   outer_rounds : int;
+  certificate : Vpart_analysis.Diagnostic.t list option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -406,12 +409,44 @@ let solve ?(options = default_options) (inst : Instance.t) =
    | Ok () -> ()
    | Error e -> invalid_arg ("Sa_solver: internal invariant broken: " ^ e));
   let partitioning = Grouping.expand grouping best in
+  let cost = Cost_model.cost full_stats partitioning in
+  let objective6 =
+    Cost_model.objective full_stats ~lambda:options.lambda partitioning
+  in
+  let certificate =
+    if not options.certify then None
+    else
+      (* The annealer tracks its objective incrementally; certify both the
+         internal best (against a from-scratch reduced-space evaluation)
+         and the reported cost/objective (against the instance-level
+         breakdown, which never touches the Stats coefficients). *)
+      let internal =
+        let fresh =
+          Cost_model.objective stats ~lambda:options.lambda best +. extra best
+        in
+        if Float.abs (fresh -. _obj6) > 1e-6 *. (1. +. Float.abs fresh) then
+          [ Vpart_analysis.Diagnostic.error ~code:"C203"
+              "annealer's tracked best objective %g differs from a fresh \
+               re-evaluation %g of the returned layout"
+              _obj6 fresh ]
+        else []
+      in
+      Some
+        (Vpart_analysis.Diagnostic.sort
+           (internal
+            @ Solution_certify.certify_partitioning full_stats partitioning
+            @ Solution_certify.certify_cost ~code:"C203" inst ~p:options.p
+                partitioning ~claimed:cost
+            @ Solution_certify.certify_objective6 inst ~p:options.p
+                ~lambda:options.lambda partitioning ~claimed:objective6))
+  in
   {
     partitioning;
-    cost = Cost_model.cost full_stats partitioning;
-    objective6 = Cost_model.objective full_stats ~lambda:options.lambda partitioning;
+    cost;
+    objective6;
     elapsed;
     iterations;
     accepted;
     outer_rounds = outer;
+    certificate;
   }

@@ -42,6 +42,11 @@ type options = {
       (** Appendix A: when [Some pl], adds [λ·pl·Σ_q f_q·ψ_q] to the
           annealed objective (ψ_q = 1 when write query q updates an
           attribute replicated away from its home site). *)
+  certify : bool;
+      (** Self-certification: re-derive the reported cost/objective from
+          {!Cost_model.breakdown} and a from-scratch evaluation of the
+          annealer's tracked best, returning the findings in
+          [certificate].  Off by default. *)
 }
 
 val default_options : options
@@ -62,6 +67,9 @@ type result = {
   iterations : int;               (** inner iterations executed *)
   accepted : int;                 (** accepted moves *)
   outer_rounds : int;
+  certificate : Vpart_analysis.Diagnostic.t list option;
+      (** [Some findings] when [options.certify] was set ([C203]/[C201]/
+          [C205] checks; empty = certified clean); [None] otherwise *)
 }
 
 val solve : ?options:options -> Instance.t -> result

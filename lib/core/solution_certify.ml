@@ -1,0 +1,63 @@
+module Diagnostic = Vpart_analysis.Diagnostic
+
+let rel tol reference = tol *. (1. +. Float.abs reference)
+
+let certify_partitioning stats part =
+  match Partitioning.validate stats part with
+  | Ok () -> []
+  | Error msg ->
+    [ Diagnostic.error ~code:"C205"
+        "returned partitioning fails structural validation: %s" msg ]
+
+let independent_cost (b : Cost_model.breakdown) ~p =
+  b.Cost_model.read_local +. b.Cost_model.write_local
+  +. (p *. b.Cost_model.transfer)
+
+let certify_cost ?(tol = 1e-6) ?(code = "C202") inst ~p part ~claimed =
+  let b = Cost_model.breakdown inst part in
+  let indep = independent_cost b ~p in
+  if Float.abs (indep -. claimed) > rel tol indep then
+    [ Diagnostic.error ~code
+        "claimed cost %g differs from the independent breakdown \
+         re-derivation %g (read %g + write %g + %g x transfer %g)"
+        claimed indep b.Cost_model.read_local b.Cost_model.write_local p
+        b.Cost_model.transfer ]
+  else []
+
+let certify_objective6 ?(tol = 1e-6) ?(code = "C201") inst ~p ~lambda ?latency
+    part ~claimed =
+  let b = Cost_model.breakdown inst part in
+  let cost = independent_cost b ~p in
+  let work = Array.fold_left Float.max 0. b.Cost_model.site_work in
+  let lat =
+    match latency with
+    | None -> 0.
+    | Some pl -> lambda *. Cost_model.latency inst ~pl part
+  in
+  let indep = (lambda *. cost) +. ((1. -. lambda) *. work) +. lat in
+  if Float.abs (indep -. claimed) > rel tol indep then
+    [ Diagnostic.error ~code
+        "claimed objective (6) %g differs from the independent instance \
+         evaluation %g (lambda %g, cost %g, max site work %g%s)"
+        claimed indep lambda cost work
+        (if lat = 0. then "" else Printf.sprintf ", latency term %g" lat) ]
+  else []
+
+let certify_pins ~fixed part =
+  let nt = Array.length part.Partitioning.txn_site in
+  List.filter_map
+    (fun (t, site) ->
+       if t < 0 || t >= nt then
+         Some
+           (Diagnostic.error ~code:"C204"
+              "pinned transaction %d is out of range (0..%d)" t (nt - 1))
+       else if part.Partitioning.txn_site.(t) <> site then
+         Some
+           (Diagnostic.error ~code:"C204"
+              "pinned transaction %d homed on site %d, but the pin required \
+               site %d"
+              t
+              part.Partitioning.txn_site.(t)
+              site)
+       else None)
+    fixed

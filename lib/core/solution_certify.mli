@@ -1,0 +1,55 @@
+(** Domain-level certificates: re-derive solver cost claims from the
+    instance definition.
+
+    The MIP-level certificates ([C0xx]/[C1xx], {!Vpart_certify.Certify})
+    check a solve against its own model; the checks here close the
+    remaining gap between {e model} and {e problem}: whatever a solver
+    reports — a decoded partitioning, a cost, an objective-(6) value —
+    is re-evaluated directly from the {!Instance.t} via
+    {!Cost_model.breakdown}, the evaluator-of-record that sums over
+    queries and sites without going through the precomputed {!Stats.t}
+    coefficients the solvers themselves optimize.  Codes are the [C2xx]
+    family (catalogued in [docs/ANALYSIS.md]). *)
+
+module Diagnostic = Vpart_analysis.Diagnostic
+
+val certify_partitioning : Stats.t -> Partitioning.t -> Diagnostic.t list
+(** [C205] when the partitioning fails {!Partitioning.validate}
+    (shape, site range, coverage, single-sitedness). *)
+
+val certify_cost :
+  ?tol:float ->
+  ?code:string ->
+  Instance.t ->
+  p:float ->
+  Partitioning.t ->
+  claimed:float ->
+  Diagnostic.t list
+(** Re-derive objective (4) as [read_local + write_local + p·transfer]
+    from {!Cost_model.breakdown} ([p] must be the network penalty the
+    claim was made with) and compare against [claimed] within relative
+    tolerance [tol] (default [1e-6]).  Emits [code] (default ["C202"];
+    {!Sa_solver} uses ["C203"] to mark the annealer's fresh-evaluation
+    check). *)
+
+val certify_objective6 :
+  ?tol:float ->
+  ?code:string ->
+  Instance.t ->
+  p:float ->
+  lambda:float ->
+  ?latency:float ->
+  Partitioning.t ->
+  claimed:float ->
+  Diagnostic.t list
+(** Re-derive objective (6) — [λ·(A + p·B) + (1−λ)·max_s work(s)], plus
+    [λ·pl·Σ_q f_q·ψ_q] when [latency] is set — from the breakdown and
+    {!Cost_model.latency}, and compare against [claimed].  Emits [code]
+    (default ["C201"]).  This is the check that catches a drift between
+    the MIP/SA objective arithmetic and the paper's cost model. *)
+
+val certify_pins :
+  fixed:(int * int) list -> Partitioning.t -> Diagnostic.t list
+(** [C204] for every [(txn, site)] pin the partitioning does not honour
+    (or that indexes out of range) — the contract of
+    {!Qp_solver.options.fixed_txns} relied on by {!Iterative_solver}. *)

@@ -183,28 +183,82 @@ let eval_row std r x =
   done;
   !acc
 
-let check_feasible ?(tol = 1e-6) std x =
-  let ok = ref (Array.length x = std.ncols) in
-  if !ok then begin
+type violation =
+  | Wrong_length of { expected : int; got : int }
+  | Non_finite of { var : int; value : float }
+  | Bound_violation of { var : int; value : float; lb : float; ub : float;
+                         excess : float }
+  | Not_integral of { var : int; value : float }
+  | Row_violation of { row : int; activity : float; cmp : cmp; rhs : float;
+                       excess : float }
+
+let feasibility_violations ?(tol = 1e-6) std x =
+  if Array.length x <> std.ncols then
+    [ Wrong_length { expected = std.ncols; got = Array.length x } ]
+  else begin
+    let out = ref [] in
+    let add v = out := v :: !out in
+    let finite = ref true in
     for j = 0 to std.ncols - 1 do
+      let v = x.(j) in
       (* a NaN coordinate compares false against every bound — reject
          non-finite points explicitly instead of accepting them *)
-      if not (Float.is_finite x.(j)) then ok := false;
-      if x.(j) < std.lb.(j) -. tol || x.(j) > std.ub.(j) +. tol then ok := false;
-      if std.integer.(j) && Float.abs (x.(j) -. Float.round x.(j)) > tol then
-        ok := false
+      if not (Float.is_finite v) then begin
+        finite := false;
+        add (Non_finite { var = j; value = v })
+      end
+      else begin
+        if v < std.lb.(j) -. tol || v > std.ub.(j) +. tol then
+          add
+            (Bound_violation
+               { var = j; value = v; lb = std.lb.(j); ub = std.ub.(j);
+                 excess = Float.max (std.lb.(j) -. v) (v -. std.ub.(j)) });
+        if std.integer.(j) && Float.abs (v -. Float.round v) > tol then
+          add (Not_integral { var = j; value = v })
+      end
     done;
-    let r = ref 0 in
-    while !ok && !r < std.nrows do
-      let v = eval_row std !r x in
-      (match std.row_cmp.(!r) with
-       | Le -> if v > std.rhs.(!r) +. tol then ok := false
-       | Ge -> if v < std.rhs.(!r) -. tol then ok := false
-       | Eq -> if Float.abs (v -. std.rhs.(!r)) > tol then ok := false);
-      incr r
-    done
-  end;
-  !ok
+    (* row activities are meaningless over a non-finite point *)
+    if !finite then
+      for r = 0 to std.nrows - 1 do
+        let act = eval_row std r x in
+        let excess =
+          match std.row_cmp.(r) with
+          | Le -> act -. std.rhs.(r)
+          | Ge -> std.rhs.(r) -. act
+          | Eq -> Float.abs (act -. std.rhs.(r))
+        in
+        if excess > tol then
+          add
+            (Row_violation
+               { row = r; activity = act; cmp = std.row_cmp.(r);
+                 rhs = std.rhs.(r); excess })
+      done;
+    List.rev !out
+  end
+
+let string_of_cmp = function Le -> "<=" | Ge -> ">=" | Eq -> "="
+
+let pp_violation ?var_name () ppf v =
+  let vname j =
+    match var_name with Some f -> f j | None -> Printf.sprintf "x%d" j
+  in
+  match v with
+  | Wrong_length { expected; got } ->
+    Format.fprintf ppf "point has %d coordinates, model has %d columns" got
+      expected
+  | Non_finite { var; value } ->
+    Format.fprintf ppf "variable %s has non-finite value %g" (vname var) value
+  | Bound_violation { var; value; lb; ub; excess } ->
+    Format.fprintf ppf "variable %s = %g outside bounds [%g, %g] by %g"
+      (vname var) value lb ub excess
+  | Not_integral { var; value } ->
+    Format.fprintf ppf "integer variable %s = %g is fractional" (vname var)
+      value
+  | Row_violation { row; activity; cmp; rhs; excess } ->
+    Format.fprintf ppf "row %d violated: activity %g %s %g fails by %g" row
+      activity (string_of_cmp cmp) rhs excess
+
+let check_feasible ?tol std x = feasibility_violations ?tol std x = []
 
 let eval_objective std x =
   let acc = ref std.obj_const in

@@ -78,11 +78,41 @@ val standardize : model -> std
 val restore_objective : std -> float -> float
 (** Map a minimization objective value back to the source model's sense. *)
 
+(** {1 Feasibility checking}
+
+    {!feasibility_violations} is the detailed check: it names every
+    violated bound/row so error messages (and the {!Vpart_certify}
+    certificates built on them) can say {e what} failed and by how much.
+    {!check_feasible} is the boolean wrapper kept for the hot paths. *)
+
+type violation =
+  | Wrong_length of { expected : int; got : int }
+  | Non_finite of { var : int; value : float }
+      (** NaN or infinite coordinate *)
+  | Bound_violation of { var : int; value : float; lb : float; ub : float;
+                         excess : float }
+      (** [value] outside [[lb, ub]] by [excess > 0] *)
+  | Not_integral of { var : int; value : float }
+  | Row_violation of { row : int; activity : float; cmp : cmp; rhs : float;
+                       excess : float }
+      (** row activity fails [activity cmp rhs] by [excess > 0] *)
+
+val feasibility_violations : ?tol:float -> std -> float array -> violation list
+(** All violations of bounds, rows and integrality of [x] (structural
+    variables only) within absolute tolerance [tol] (default [1e-6]), in
+    variable-then-row order.  A [Wrong_length] finding short-circuits the
+    rest.  Empty list = feasible. *)
+
+val pp_violation : ?var_name:(var -> string) -> unit ->
+  Format.formatter -> violation -> unit
+(** One-line rendering naming the offending variable/row. *)
+
 val check_feasible : ?tol:float -> std -> float array -> bool
-(** [check_feasible std x] tests bounds, every row and integrality of [x]
-    (structural variables only) within absolute tolerance [tol]
-    (default [1e-6]).  Points containing non-finite coordinates are always
-    infeasible.  Used by branch-and-bound to vet heuristic points. *)
+(** [check_feasible std x] is [feasibility_violations std x = []]: tests
+    bounds, every row and integrality of [x] (structural variables only)
+    within absolute tolerance [tol] (default [1e-6]).  Points containing
+    non-finite coordinates are always infeasible.  Used by
+    branch-and-bound to vet heuristic points. *)
 
 val eval_objective : std -> float array -> float
 (** Minimization objective (including constant) of a structural point. *)

@@ -3,6 +3,7 @@ type verdict = Reduced of Lp.std | Infeasible
 type t = {
   verdict : verdict;
   kept_cols : int array;
+  kept_rows : int array;
   fixed : (int * float) array;
   rows_removed : int;
 }
@@ -161,7 +162,7 @@ let rebuild (std : Lp.std) w =
   let kept_cols = Array.of_list !kept in
   let new_index = Array.make w.ncols (-1) in
   Array.iteri (fun i j -> new_index.(j) <- i) kept_cols;
-  let rows = ref [] in
+  let rows = ref [] and kept_rows = ref [] in
   for r = Array.length w.rows - 1 downto 0 do
     if w.alive.(r) then begin
       let entries =
@@ -170,10 +171,12 @@ let rebuild (std : Lp.std) w =
              if Float.abs a <= tol then None else Some (new_index.(j), a))
           w.rows.(r)
       in
-      rows := (entries, w.cmp.(r), w.rhs.(r)) :: !rows
+      rows := (entries, w.cmp.(r), w.rhs.(r)) :: !rows;
+      kept_rows := r :: !kept_rows
     end
   done;
   let rows = Array.of_list !rows in
+  let kept_rows = Array.of_list !kept_rows in
   let nkept = Array.length kept_cols in
   let reduced : Lp.std =
     {
@@ -201,6 +204,7 @@ let rebuild (std : Lp.std) w =
   {
     verdict = Reduced reduced;
     kept_cols;
+    kept_rows;
     fixed = Array.of_list (List.rev !fixed);
     rows_removed = std.Lp.nrows - Array.length rows;
   }
@@ -218,6 +222,7 @@ let reduce (std : Lp.std) =
     {
       verdict = Infeasible;
       kept_cols = [||];
+      kept_rows = [||];
       fixed = [||];
       rows_removed = 0;
     }
@@ -234,6 +239,16 @@ let restore t reduced_solution =
     let out = Array.make n 0. in
     Array.iteri (fun i j -> out.(j) <- reduced_solution.(i)) t.kept_cols;
     Array.iter (fun (j, v) -> out.(j) <- v) t.fixed;
+    out
+
+let restore_duals t reduced_duals =
+  match t.verdict with
+  | Infeasible -> invalid_arg "Presolve.restore_duals: infeasible problem"
+  | Reduced _ ->
+    if Array.length reduced_duals <> Array.length t.kept_rows then
+      invalid_arg "Presolve.restore_duals: dual length mismatch";
+    let out = Array.make (Array.length t.kept_rows + t.rows_removed) 0. in
+    Array.iteri (fun i r -> out.(r) <- reduced_duals.(i)) t.kept_rows;
     out
 
 let pp_summary ppf t =

@@ -24,6 +24,8 @@ type t = {
   verdict : verdict;
   kept_cols : int array;
       (** reduced column index -> original column index *)
+  kept_rows : int array;
+      (** reduced row index -> original row index *)
   fixed : (int * float) array;
       (** original columns eliminated as fixed, with their values *)
   rows_removed : int;
@@ -35,6 +37,15 @@ val reduce : Lp.std -> t
 val restore : t -> float array -> float array
 (** Map a reduced-space structural solution back to the original space
     (fixed variables get their fixed values).
+    @raise Invalid_argument on a length mismatch. *)
+
+val restore_duals : t -> float array -> float array
+(** Map a reduced-space row-dual vector back to the original row space.
+    Removed rows get a zero multiplier, which keeps the vector inside the
+    dual cone: the back-mapped vector still certifies a {e valid} Lagrangian
+    bound on the original problem, though possibly a weaker one when a
+    removed singleton row had tightened a variable bound the reduced dual
+    relied on (see DESIGN.md, "certificates and presolve").
     @raise Invalid_argument on a length mismatch. *)
 
 val pp_summary : Format.formatter -> t -> unit

@@ -18,11 +18,28 @@ type outcome =
   | Unbounded
   | Too_large of int
 
+type lp_certificate = {
+  lp_x : float array;
+  lp_y : float array;
+  lp_reduced : float array;
+  lp_obj : float;
+}
+
+type audit = {
+  root_lp : lp_certificate option;
+  farkas : float array option;
+  bound_support : float array;
+  proven_bound : float option;
+  presolve_rows_removed : int;
+  numerical_prunes : int;
+}
+
 type stats = {
   nodes : int;
   simplex_iterations : int;
   elapsed : float;
   gap_achieved : float;
+  audit : audit;
 }
 
 let int_tol = 1e-6
@@ -49,9 +66,10 @@ type search = {
 
 exception Hit_limit
 
-exception Gap_reached of float
+exception Gap_reached of float * float array
 (* carries the global lower bound proven at the moment the MIP gap
-   criterion was satisfied *)
+   criterion was satisfied, together with the open node bounds supporting
+   it (for the audit trail — the Hashtbl is unwound by the handlers) *)
 
 let out_of_time s =
   match s.deadline with None -> false | Some d -> Unix.gettimeofday () > d
@@ -63,12 +81,17 @@ let rel_gap inc lb =
   if inc = infinity then infinity
   else (inc -. lb) /. Float.max 1. (Float.abs inc)
 
+let bound_support s current =
+  let acc = Hashtbl.fold (fun _ b acc -> b :: acc) s.open_bounds [ current ] in
+  Array.of_list acc
+
 let check_gap s current_lb =
   match s.incumbent with
   | None -> ()
   | Some _ ->
     let glb = global_lower_bound s current_lb in
-    if rel_gap s.incumbent_obj glb <= s.limits.gap then raise (Gap_reached glb)
+    if rel_gap s.incumbent_obj glb <= s.limits.gap then
+      raise (Gap_reached (glb, bound_support s current_lb))
 
 (* Round integer coordinates of [x]; returns a fresh array. *)
 let round_integers std x =
@@ -173,21 +196,55 @@ let rec branch s depth =
 let pp_outcome ppf = function
   | Optimal { obj; _ } -> Format.fprintf ppf "optimal %g" obj
   | Feasible ({ obj; _ }, bound) ->
-    Format.fprintf ppf "feasible %g (bound %g)" obj bound
-  | No_incumbent (Some b) -> Format.fprintf ppf "no incumbent (bound %g)" b
+    if Float.is_finite bound then
+      Format.fprintf ppf "feasible %g (bound %g, gap %.2g%%)" obj bound
+        (100. *. Float.abs (obj -. bound) /. Float.max 1. (Float.abs obj))
+    else Format.fprintf ppf "feasible %g (bound %g)" obj bound
+  | No_incumbent (Some b) ->
+    Format.fprintf ppf "no incumbent (proven bound %g)" b
   | No_incumbent None -> Format.fprintf ppf "no incumbent"
   | Infeasible -> Format.fprintf ppf "infeasible"
   | Unbounded -> Format.fprintf ppf "unbounded"
   | Too_large n -> Format.fprintf ppf "too large (%d rows)" n
 
+(* Reduced costs d = c - yᵀA of [std] from a row-dual vector, computed
+   against the original (sparse row) matrix — used to re-derive reduced
+   costs in the original column space after presolve back-mapping. *)
+let reduced_costs_from (std : Lp.std) y =
+  let d = Array.copy std.Lp.obj in
+  for r = 0 to std.Lp.nrows - 1 do
+    let yr = y.(r) in
+    if yr <> 0. then
+      Array.iteri
+        (fun k j -> d.(j) <- d.(j) -. (yr *. std.Lp.row_val.(r).(k)))
+        std.Lp.row_idx.(r)
+  done;
+  d
+
+let no_audit =
+  {
+    root_lp = None;
+    farkas = None;
+    bound_support = [||];
+    proven_bound = None;
+    presolve_rows_removed = 0;
+    numerical_prunes = 0;
+  }
+
 let solve ?(limits = default_limits) ?(presolve = false)
     ?(priority = fun _ -> 0) ?heuristic ?incumbent model =
   let original_std = Lp.standardize model in
   (* Optional presolve: solve the reduced problem and map every solution
-     (and the callbacks' variable spaces) back to the original. *)
-  let std, restore, project, priority, heuristic, incumbent =
+     (and the callbacks' variable spaces) back to the original.
+     [restore_y] back-maps row duals ([None] when the search runs on the
+     synthetic contradiction below, whose row space is unrelated to the
+     original); [rows_removed] is recorded in the audit so a checker knows
+     the dual certificate may be weaker than the reduced problem's. *)
+  let std, restore, restore_y, rows_removed, project, priority, heuristic,
+      incumbent =
     if not presolve then
-      (original_std, Fun.id, Fun.id, priority, heuristic, incumbent)
+      (original_std, Fun.id, Some Fun.id, 0, Fun.id, priority, heuristic,
+       incumbent)
     else
       match Presolve.reduce original_std with
       | { Presolve.verdict = Presolve.Infeasible; _ } ->
@@ -195,9 +252,10 @@ let solve ?(limits = default_limits) ?(presolve = false)
         let m = Lp.create ~name:"infeasible" () in
         let x = Lp.add_var m ~lb:0. ~ub:0. () in
         Lp.add_constr m [ (1., x) ] Lp.Ge 1.;
-        (Lp.standardize m, Fun.id, Fun.id, priority, None, None)
+        (Lp.standardize m, Fun.id, None, 0, Fun.id, priority, None, None)
       | { Presolve.verdict = Presolve.Reduced red; kept_cols; _ } as r ->
         let restore x = Presolve.restore r x in
+        let restore_y y = Presolve.restore_duals r y in
         let project full = Array.map (fun j -> full.(j)) kept_cols in
         let priority j = priority kept_cols.(j) in
         let heuristic =
@@ -206,11 +264,13 @@ let solve ?(limits = default_limits) ?(presolve = false)
             heuristic
         in
         let incumbent = Option.map project incumbent in
-        (red, restore, project, priority, heuristic, incumbent)
+        (red, restore, Some restore_y, r.Presolve.rows_removed, project,
+         priority, heuristic, incumbent)
   in
   ignore project;
+  let presolved = presolve in
   let start = Unix.gettimeofday () in
-  let finish outcome ~nodes ~iters ~gap_achieved =
+  let finish outcome ~nodes ~iters ~gap_achieved ~audit =
     let outcome =
       match outcome with
       | Optimal s -> Optimal { s with x = restore s.x }
@@ -221,11 +281,13 @@ let solve ?(limits = default_limits) ?(presolve = false)
      { nodes;
        simplex_iterations = iters;
        elapsed = Unix.gettimeofday () -. start;
-       gap_achieved })
+       gap_achieved;
+       audit = { audit with presolve_rows_removed = rows_removed } })
   in
   match limits.max_rows with
   | Some r when std.Lp.nrows > r ->
     finish (Too_large std.Lp.nrows) ~nodes:0 ~iters:0 ~gap_achieved:infinity
+      ~audit:no_audit
   | _ ->
     let sx = Simplex.create std in
     let deadline = Option.map (fun tl -> start +. tl) limits.time_limit in
@@ -250,8 +312,11 @@ let solve ?(limits = default_limits) ?(presolve = false)
     let root_status = Simplex.reoptimize ?deadline s.sx in
     (match root_status with
      | Simplex.Infeasible ->
+       (* A Farkas multiplier is only meaningful in the original row space;
+          after presolve the proof is the reduction chain itself. *)
+       let farkas = if presolved then None else Simplex.farkas_ray sx in
        finish Infeasible ~nodes:1 ~iters:(Simplex.iterations sx)
-         ~gap_achieved:infinity
+         ~gap_achieved:infinity ~audit:{ no_audit with farkas }
      | Simplex.Time_limit | Simplex.Iter_limit | Simplex.Numerical ->
        let out =
          match s.incumbent with
@@ -260,46 +325,82 @@ let solve ?(limits = default_limits) ?(presolve = false)
          | None -> No_incumbent None
        in
        finish out ~nodes:1 ~iters:(Simplex.iterations sx) ~gap_achieved:infinity
+         ~audit:no_audit
      | Simplex.Optimal | Simplex.Unbounded ->
        (* The incremental interface cannot return Unbounded; detect patched
           bounds explicitly via the solution magnitude. *)
        let root_x = Simplex.primal sx in
        if Array.exists (fun v -> Float.abs v > 1e9) root_x then
          finish Unbounded ~nodes:1 ~iters:(Simplex.iterations sx)
-           ~gap_achieved:infinity
+           ~gap_achieved:infinity ~audit:no_audit
        else begin
          let root_bound = Simplex.objective sx +. std.Lp.obj_const in
+         (* Capture the root relaxation's certificate before branching
+            disturbs the basis: duals and reduced costs back-mapped into
+            the original spaces so an independent checker can re-derive
+            the bound without trusting the solver. *)
+         let root_lp =
+           match restore_y with
+           | None -> None
+           | Some restore_y ->
+             let y = restore_y (Simplex.duals sx) in
+             let reduced =
+               if presolved then reduced_costs_from original_std y
+               else Simplex.reduced_costs sx
+             in
+             Some
+               { lp_x = restore root_x;
+                 lp_y = y;
+                 lp_reduced = reduced;
+                 lp_obj = root_bound }
+         in
          (* Root heuristic. *)
          (match heuristic with
           | Some h ->
             (match h root_x with Some cand -> ignore (offer s cand) | None -> ())
           | None -> ());
-         let interrupted, proven_lb =
+         let interrupted, proven_lb, support =
            try
              branch s 0;
              (* Search exhausted: the proof is complete up to numerical
                 prunes. *)
-             if s.numerical_prunes = 0 then (false, s.incumbent_obj)
-             else (false, root_bound)
+             if s.numerical_prunes = 0 then
+               (false, s.incumbent_obj, [| s.incumbent_obj |])
+             else (false, root_bound, [| root_bound |])
            with
-           | Hit_limit -> (true, global_lower_bound s root_bound)
-           | Gap_reached glb -> (true, glb)
+           | Hit_limit ->
+             (* The exception handlers along the unwind removed their
+                open_bounds entries, so the table only retains nodes above
+                the interrupt point (usually none): the provable bound
+                degrades towards the root bound. *)
+             let glb = global_lower_bound s root_bound in
+             (true, glb, bound_support s root_bound)
+           | Gap_reached (glb, support) -> (true, glb, support)
          in
          let iters = Simplex.iterations sx in
          let lb_min = proven_lb in
+         let audit glb_known =
+           { no_audit with
+             root_lp;
+             bound_support = (if glb_known then support else [||]);
+             proven_bound = (if glb_known then Some lb_min else None);
+             numerical_prunes = s.numerical_prunes }
+         in
          match s.incumbent with
          | None ->
            if interrupted then
              finish (No_incumbent (Some (Lp.restore_objective std lb_min)))
-               ~nodes:s.nodes ~iters ~gap_achieved:infinity
+               ~nodes:s.nodes ~iters ~gap_achieved:infinity ~audit:(audit true)
            else
              finish Infeasible ~nodes:s.nodes ~iters ~gap_achieved:infinity
+               ~audit:(audit false)
          | Some x ->
            let sol = { x; obj = Lp.restore_objective std s.incumbent_obj } in
            let g = rel_gap s.incumbent_obj lb_min in
            if (not interrupted) || g <= limits.gap then
-             finish (Optimal sol) ~nodes:s.nodes ~iters ~gap_achieved:(Float.max g 0.)
+             finish (Optimal sol) ~nodes:s.nodes ~iters
+               ~gap_achieved:(Float.max g 0.) ~audit:(audit true)
            else
              finish (Feasible (sol, Lp.restore_objective std lb_min))
-               ~nodes:s.nodes ~iters ~gap_achieved:g
+               ~nodes:s.nodes ~iters ~gap_achieved:g ~audit:(audit true)
        end)

@@ -41,11 +41,63 @@ type outcome =
   | Unbounded
   | Too_large of int           (** the model has this many rows, above [max_rows] *)
 
+type lp_certificate = {
+  lp_x : float array;
+      (** LP-relaxation point, original structural space *)
+  lp_y : float array;
+      (** row duals, original row space, minimization sense *)
+  lp_reduced : float array;
+      (** reduced costs [c - yᵀA], original structural space, minimization
+          sense.  With presolve these are recomputed against the original
+          matrix from the back-mapped [lp_y], so they may disagree with the
+          reduced solver's internal values on eliminated columns. *)
+  lp_obj : float;
+      (** LP objective including the constant, minimization sense *)
+}
+(** Everything an independent checker needs to re-derive the root
+    relaxation's claims: weak duality, the Lagrangian bound and
+    complementary slackness (see [Vpart_certify.Certify]). *)
+
+type audit = {
+  root_lp : lp_certificate option;
+      (** root LP relaxation certificate; [None] when the root did not
+          solve to optimality (time/iteration/numerical trouble) or the
+          model was rejected before any simplex work *)
+  farkas : float array option;
+      (** when the root relaxation proved [Infeasible] without presolve:
+          the dual-simplex Farkas-style multiplier row from which
+          infeasibility can be re-derived.  [None] when presolve detected
+          infeasibility (the reduction chain, not a single multiplier,
+          is the proof) or the outcome is not [Infeasible]. *)
+  bound_support : float array;
+      (** minimization-sense node bounds backing the claimed global lower
+          bound at termination: the claimed bound must equal their minimum.
+          Empty when no bound was proven. *)
+  proven_bound : float option;
+      (** minimization-sense global lower bound at exit, when the search
+          ran far enough to establish one *)
+  presolve_rows_removed : int;
+      (** rows eliminated by presolve (0 without [~presolve]); nonzero
+          values mean dual certificates were back-mapped with zero
+          multipliers on removed rows and may be weaker than the reduced
+          problem's internal bound *)
+  numerical_prunes : int;
+      (** subtrees abandoned on simplex numerical trouble; nonzero values
+          void the optimality proof down to the root bound *)
+}
+(** Independently checkable artifacts from the solve, in the {e original}
+    (pre-presolve) spaces.  Consumed by [Vpart_certify.Certify.certify_mip];
+    the solver never verifies its own claims with these. *)
+
 type stats = {
   nodes : int;
   simplex_iterations : int;
   elapsed : float;          (** seconds *)
-  gap_achieved : float;     (** relative gap at termination; [infinity] if unknown *)
+  gap_achieved : float;
+      (** relative gap at termination.  [infinity] exactly when no finite
+          gap exists: there is no incumbent, or no finite proven bound to
+          measure the incumbent against (root limit paths). *)
+  audit : audit;
 }
 
 val solve :

@@ -52,6 +52,9 @@ type t = {
   mutable total_iters : int;
   mutable bland : bool;
   mutable degen_count : int;
+  mutable infeas_ray : float array option;
+      (* row of B^-1 at the moment the dual method proved primal
+         infeasibility: a Farkas-style multiplier vector over the rows *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -136,6 +139,7 @@ let create (std : Lp.std) =
     total_iters = 0;
     bland = false;
     degen_count = 0;
+    infeas_ray = None;
   }
 
 let nrows t = t.m
@@ -252,6 +256,8 @@ let compute_duals t =
   y
 
 let duals t = compute_duals t
+
+let farkas_ray t = t.infeas_ray
 
 let reduced_costs t =
   let y = compute_duals t in
@@ -452,7 +458,15 @@ let dual_step t =
            end
          end)
       !movable;
-    if !q < 0 then `Infeasible
+    if !q < 0 then begin
+      (* No entering column can repair the violated basic variable in row
+         [r]: the row [e_r B^-1] of the basis inverse is a Farkas-style
+         infeasibility multiplier over the constraint rows (the certifier
+         re-derives the contradiction from it against the true, unpatched
+         variable boxes). *)
+      t.infeas_ray <- Some (Array.copy rho);
+      `Infeasible
+    end
     else begin
       let q = !q in
       let w = ftran t q in
@@ -638,6 +652,7 @@ let reoptimize ?(max_iter = 200_000) ?deadline t =
   recompute_d t;
   t.bland <- false;
   t.degen_count <- 0;
+  t.infeas_ray <- None;
   let status = dual_loop t ~max_iter ~deadline in
   match status with
   | Optimal ->

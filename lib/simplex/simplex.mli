@@ -93,6 +93,15 @@ val reduced_costs : t -> float array
     bounds has (numerically) zero reduced cost, one at its lower bound has
     [d_j >= 0], one at its upper bound has [d_j <= 0]. *)
 
+val farkas_ray : t -> float array option
+(** After a {!reoptimize} that returned [Infeasible]: the row [e_r B⁻¹] of
+    the basis inverse for the unrepairable basic variable — a Farkas-style
+    multiplier vector (one entry per constraint row) from which primal
+    infeasibility can be re-derived independently (see
+    [Vpart_certify.Certify.farkas_proves_infeasible]).  [None] before the
+    first reoptimize or when the last reoptimize did not prove
+    infeasibility.  Cleared at the start of every reoptimize. *)
+
 (** {1 Primal method}
 
     Exposed mainly for testing and for completeness of the library; the
