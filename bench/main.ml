@@ -29,11 +29,16 @@ type config = {
   mutable max_rows : int;
   mutable sa_seed : int;
   mutable unit_ : float;          (* cost display unit *)
+  mutable json_out : string option;  (* machine-readable results + metrics *)
 }
 
 let cfg =
   { qp_limit = 30.; lambda = 0.9; p = 8.; max_rows = 4000; sa_seed = 1;
-    unit_ = 1000. }
+    unit_ = 1000.; json_out = None }
+
+(* Per-job machine-readable results, written to [cfg.json_out] at exit
+   together with the in-process metrics summary. *)
+let json_results : (string * Json.t) list ref = ref []
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -523,9 +528,9 @@ let certify_overhead () =
     (fun name ->
        let inst = get_instance name in
        let time f =
-         let t0 = Unix.gettimeofday () in
+         let t0 = Obs.Clock.now () in
          let r = f () in
-         (r, Unix.gettimeofday () -. t0)
+         (r, Obs.Clock.now () -. t0)
        in
        let opts certify =
          { (qp_options ~time_limit:30. 2) with
@@ -537,6 +542,69 @@ let certify_overhead () =
          (100. *. (t_on -. t_off) /. Float.max 1e-9 t_off)
          (Format.asprintf "%a" Report.pp_certificate r.Qp_solver.certificate))
     [ "TPC-C v5"; "TATP"; "SmallBank"; "Voter" ];
+  hr ()
+
+(* ------------------------------------------------------------------ *)
+(* Observability overhead: same QP solve with tracing off / no-op sink  *)
+(* / JSONL sink                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let obs_overhead () =
+  section "Observability overhead (QP solve: obs off vs no-op sink vs JSONL)";
+  Printf.printf
+    "Best of 3 runs each; the JSONL column writes every event to a \n\
+     discarding buffer (I/O excluded).\n";
+  Printf.printf "%-10s | %9s %9s %9s | %8s %8s | %8s\n" "instance" "off (s)"
+    "no-op (s)" "jsonl (s)" "no-op" "jsonl" "events";
+  hr ();
+  let best_of n f =
+    let best = ref infinity in
+    for _ = 1 to n do
+      let t0 = Obs.Clock.now () in
+      f ();
+      let dt = Obs.Clock.now () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let pct base t = 100. *. (t -. base) /. Float.max 1e-9 base in
+  List.iter
+    (fun name ->
+       let inst = get_instance name in
+       let solve () =
+         ignore
+           (Qp_solver.solve
+              ~options:{ (qp_options ~time_limit:30. 2) with Qp_solver.gap = 0.01 }
+              inst)
+       in
+       let t_off = best_of 3 solve in
+       let t_null = best_of 3 (fun () -> Obs.with_sink (Obs.null_sink ()) solve) in
+       let events = ref 0 in
+       let t_jsonl =
+         best_of 3 (fun () ->
+             events := 0;
+             (* count events, discard the bytes: isolates encoding cost *)
+             let sink =
+               Obs.jsonl_sink (fun s -> if String.length s > 1 then incr events)
+             in
+             Obs.with_sink sink solve)
+       in
+       Printf.printf "%-10s | %9.3f %9.3f %9.3f | %7.2f%% %7.2f%% | %8d\n%!"
+         name t_off t_null t_jsonl (pct t_off t_null) (pct t_off t_jsonl)
+         !events;
+       json_results :=
+         ( "obs-overhead/" ^ name,
+           Json.Obj
+             [
+               ("off_seconds", Json.Float t_off);
+               ("null_sink_seconds", Json.Float t_null);
+               ("jsonl_sink_seconds", Json.Float t_jsonl);
+               ("null_sink_overhead_pct", Json.Float (pct t_off t_null));
+               ("jsonl_sink_overhead_pct", Json.Float (pct t_off t_jsonl));
+               ("events", Json.Int !events);
+             ] )
+         :: !json_results)
+    [ "SmallBank"; "Voter"; "TATP" ];
   hr ()
 
 (* ------------------------------------------------------------------ *)
@@ -624,7 +692,8 @@ let bechamel () =
 let usage () =
   print_endline
     "usage: main.exe [--qp-limit SECONDS] [--lambda L] [--max-rows N] [--seed N]\n\
-    \                [table1|table2|table3|table4|table5|table6|ablation|suite|certify|bechamel|all]...";
+    \                [--json-out FILE]\n\
+    \                [table1|table2|table3|table4|table5|table6|ablation|suite|certify|obs|bechamel|all]...";
   exit 1
 
 let () =
@@ -636,6 +705,7 @@ let () =
     | "--lambda" :: v :: rest -> cfg.lambda <- float_of_string v; parse rest
     | "--max-rows" :: v :: rest -> cfg.max_rows <- int_of_string v; parse rest
     | "--seed" :: v :: rest -> cfg.sa_seed <- int_of_string v; parse rest
+    | "--json-out" :: v :: rest -> cfg.json_out <- Some v; parse rest
     | "--help" :: _ -> usage ()
     | job :: rest -> jobs := job :: !jobs; parse rest
   in
@@ -651,13 +721,43 @@ let () =
     | "ablation" -> ablation ()
     | "suite" -> suite ()
     | "certify" -> certify_overhead ()
+    | "obs" -> obs_overhead ()
     | "bechamel" -> bechamel ()
     | "all" ->
       Printf.printf
         "vpart experiment harness (p=%.0f, lambda=%.2f, QP limit %.0fs)\n"
         cfg.p cfg.lambda cfg.qp_limit;
       table2 (); table1 (); table3 (); table4 (); table5 (); table6 ();
-      ablation (); suite (); certify_overhead (); bechamel ()
+      ablation (); suite (); certify_overhead (); obs_overhead (); bechamel ()
     | j -> Printf.printf "unknown job %S\n" j; usage ()
   in
-  List.iter dispatch jobs
+  (* With --json-out, collect in-process solver metrics across all jobs
+     and fold them into the machine-readable output. *)
+  if cfg.json_out <> None then begin
+    Obs.Metrics.reset ();
+    Obs.Metrics.enable ()
+  end;
+  List.iter dispatch jobs;
+  match cfg.json_out with
+  | None -> ()
+  | Some path ->
+    let j =
+      Json.Obj
+        [
+          ( "config",
+            Json.Obj
+              [
+                ("qp_limit", Json.Float cfg.qp_limit);
+                ("lambda", Json.Float cfg.lambda);
+                ("p", Json.Float cfg.p);
+                ("max_rows", Json.Int cfg.max_rows);
+                ("sa_seed", Json.Int cfg.sa_seed);
+              ] );
+          ("results", Json.Obj (List.rev !json_results));
+          ("metrics", Obs.Metrics.to_json (Obs.Metrics.snapshot ()));
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (Json.to_string j ^ "\n");
+    close_out oc;
+    Printf.printf "wrote %s\n" path

@@ -249,8 +249,34 @@ let solve_cmd =
              feasibility, dual bounds, cost-model agreement) and print the \
              certificate verdict; exits non-zero if certification fails.")
   in
+  let trace_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE.jsonl"
+          ~doc:
+            "Write a structured JSONL trace of the solve (spans, counters, \
+             incumbent/bound events) to $(docv); inspect it with $(b,vpart \
+             trace summarize).  Schema: docs/OBSERVABILITY.md.")
+  in
+  let progress_term =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Print live solve progress (span opens/closes, incumbents, \
+             bounds) to stderr.")
+  in
+  let metrics_term =
+    Arg.(
+      value & flag
+      & info [ "metrics-summary" ]
+          ~doc:
+            "Collect in-process metrics during the solve and print a \
+             counter/gauge/histogram summary afterwards.")
+  in
   let run inst solver sites p lambda disjoint no_grouping time_limit seed json
-      lint_model certify output =
+      lint_model certify trace progress metrics_summary output =
     if lint_model then begin
       let grouping =
         if no_grouping then Grouping.identity inst else Grouping.compute inst
@@ -312,6 +338,34 @@ let solve_cmd =
            (Solution_certify.certify_partitioning (Stats.compute inst ~p) part
             @ Solution_certify.certify_cost inst ~p part ~claimed:cost))
     in
+    (* Observability setup: trace / progress sinks and in-process metrics
+       live for the duration of the solve, torn down (and the trace file
+       closed) even on errors. *)
+    let trace_oc = Option.map open_out trace in
+    let sinks =
+      (match trace_oc with
+       | Some oc -> [ Obs.jsonl_sink (output_string oc) ]
+       | None -> [])
+      @ (if progress then [ Obs.progress_sink ~ppf:Format.err_formatter () ]
+         else [])
+    in
+    if metrics_summary then begin
+      Obs.Metrics.reset ();
+      Obs.Metrics.enable ()
+    end;
+    (match sinks with [] -> () | ss -> Obs.set_sink (Some (Obs.tee ss)));
+    let teardown_obs () =
+      Obs.set_sink None;
+      (match trace_oc with Some oc -> close_out oc | None -> ());
+      (match trace with
+       | Some f -> Printf.eprintf "trace written to %s\n%!" f
+       | None -> ());
+      if metrics_summary then begin
+        Format.printf "%a@." Obs.Metrics.pp (Obs.Metrics.snapshot ());
+        Obs.Metrics.disable ()
+      end
+    in
+    Fun.protect ~finally:teardown_obs @@ fun () ->
     try
       match solver with
     | `Sa ->
@@ -329,6 +383,7 @@ let solve_cmd =
       let r = Sa_solver.solve ~options inst in
       Printf.printf "SA: %d iterations, %d accepted, %.2fs\n"
         r.Sa_solver.iterations r.Sa_solver.accepted r.Sa_solver.elapsed;
+      Format.printf "%a@." Report.pp_sa_search r.Sa_solver.search;
       finish r.Sa_solver.partitioning r.Sa_solver.cost;
       check_certificate r.Sa_solver.certificate
     | `Qp ->
@@ -419,7 +474,44 @@ let solve_cmd =
         (const run $ instance_term $ solver_term $ sites_term $ p_term
          $ lambda_term $ disjoint_term $ no_grouping_term $ time_limit_term
          $ seed_term $ json_term $ lint_model_term $ certify_term
-         $ output_term))
+         $ trace_term $ progress_term $ metrics_term $ output_term))
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let file_term =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE.jsonl"
+          ~doc:"Trace file written by $(b,vpart solve --trace).")
+  in
+  let summarize_run file =
+    match Obs.Reader.read_file file with
+    | Error e -> Error (`Msg ("invalid trace: " ^ e))
+    | Ok events ->
+      (match Obs.Reader.check_nesting events with
+       | Error e -> Error (`Msg ("malformed span nesting: " ^ e))
+       | Ok () ->
+         Format.printf "%a@." Obs.Summary.pp (Obs.Summary.of_events events);
+         Ok ())
+  in
+  let summarize_cmd =
+    Cmd.v
+      (Cmd.info "summarize"
+         ~doc:
+           "Validate a JSONL solve trace against the event schema \
+            (docs/OBSERVABILITY.md) and reconstruct the solve timeline: \
+            per-phase durations, counters, time-to-first-incumbent and the \
+            gap-vs-time trajectory.  Exits non-zero on schema or span-nesting \
+            violations.")
+      Term.(term_result (const summarize_run $ file_term))
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Inspect structured solve traces.")
+    [ summarize_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* certify                                                             *)
@@ -658,4 +750,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "vpart" ~version:"1.0.0" ~doc)
           [ info_cmd; check_cmd; solve_cmd; certify_cmd; eval_cmd; advise_cmd;
-            export_cmd; mps_cmd ]))
+            export_cmd; mps_cmd; trace_cmd ]))

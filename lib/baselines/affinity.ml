@@ -115,7 +115,7 @@ let fragments_of_order aff order k =
   end
 
 let solve ?(options = default_options) (inst : Instance.t) =
-  let start = Unix.gettimeofday () in
+  let start = Obs.Clock.now () in
   let schema = inst.Instance.schema in
   let stats = Stats.compute inst ~p:options.p in
   let nt = Instance.num_transactions inst in
@@ -178,5 +178,5 @@ let solve ?(options = default_options) (inst : Instance.t) =
     partitioning = part;
     cost = Cost_model.cost stats part;
     objective6 = Cost_model.objective stats ~lambda:options.lambda part;
-    elapsed = Unix.gettimeofday () -. start;
+    elapsed = Obs.Clock.now () -. start;
   }

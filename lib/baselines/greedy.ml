@@ -122,7 +122,7 @@ let best_move st =
   !best
 
 let solve ?(options = default_options) (inst : Instance.t) =
-  let start = Unix.gettimeofday () in
+  let start = Obs.Clock.now () in
   let grouping =
     if options.use_grouping then Grouping.compute inst else Grouping.identity inst
   in
@@ -152,5 +152,5 @@ let solve ?(options = default_options) (inst : Instance.t) =
     cost = Cost_model.cost full_stats partitioning;
     objective6 = Cost_model.objective full_stats ~lambda:options.lambda partitioning;
     moves = !moves;
-    elapsed = Unix.gettimeofday () -. start;
+    elapsed = Obs.Clock.now () -. start;
   }

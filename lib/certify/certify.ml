@@ -138,6 +138,7 @@ let farkas_proves_infeasible ?(tol = 1e-7) (std : Lp.std) y =
 
 let certify_mip ?(tol = 1e-5) ?(gap = Mip.default_limits.Mip.gap) ?var_name
     model outcome (stats : Mip.stats) =
+  Obs.with_span "certify.mip" @@ fun () ->
   let std = Lp.standardize model in
   let audit = stats.Mip.audit in
   let diags = ref [] in
@@ -145,6 +146,7 @@ let certify_mip ?(tol = 1e-5) ?(gap = Mip.default_limits.Mip.gap) ?var_name
 
   (* Primal side: the incumbent and its claimed objective. *)
   let primal_checks (sol : Mip.solution) =
+    Obs.timed "certify.primal.seconds" @@ fun () ->
     List.iter add (certify_point ~tol ?var_name std sol.Mip.x);
     let obj_min = Lp.restore_objective std sol.Mip.obj in
     if Array.length sol.Mip.x = std.Lp.ncols
@@ -165,6 +167,7 @@ let certify_mip ?(tol = 1e-5) ?(gap = Mip.default_limits.Mip.gap) ?var_name
      matrix.  [primal_obj_min] is the certified incumbent value (if any)
      for the weak-duality check. *)
   let dual_checks ~primal_obj_min =
+    Obs.timed "certify.dual.seconds" @@ fun () ->
     match audit.Mip.root_lp with
     | None ->
       add
@@ -282,6 +285,7 @@ let certify_mip ?(tol = 1e-5) ?(gap = Mip.default_limits.Mip.gap) ?var_name
   (* Bound side: audited proven bound, its support, the outcome's claimed
      bound and the reported gap must all agree. *)
   let bound_checks ~claimed_bound_min ~obj_min =
+    Obs.timed "certify.bounds.seconds" @@ fun () ->
     (match audit.Mip.proven_bound with
      | Some pb ->
        if Array.length audit.Mip.bound_support = 0 then

@@ -62,7 +62,8 @@ let batch_sizes ~nt ~rounds ~first_fraction =
   end
 
 let solve ?(options = default_options) (inst : Instance.t) =
-  let start = Unix.gettimeofday () in
+  Obs.with_span "iter.solve" @@ fun () ->
+  let start = Obs.Clock.now () in
   let nt = Instance.num_transactions inst in
   let weights = transaction_weights inst in
   let order =
@@ -83,9 +84,14 @@ let solve ?(options = default_options) (inst : Instance.t) =
   let final : Qp_solver.result option ref = ref None in
   let failed = ref false in
   let pin_findings = ref [] in
+  let round_no = ref 0 in
   List.iter
     (fun size ->
        if not !failed then begin
+         incr round_no;
+         Obs.with_span "iter.round"
+           ~attrs:[ ("round", Obs.Int !round_no); ("txns", Obs.Int size) ]
+         @@ fun () ->
          let ids = List.init size (fun i -> order.(i)) in
          let sub = Instance.restrict_transactions inst ids in
          let qp_opts =
@@ -119,7 +125,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
           | None -> failed := true)
        end)
     sizes;
-  let elapsed = Unix.gettimeofday () -. start in
+  let elapsed = Obs.Clock.now () -. start in
   match !final with
   | Some r when not !failed ->
     (* Map the final partitioning's transaction order back to the original

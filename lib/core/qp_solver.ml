@@ -316,23 +316,29 @@ and encode_assignment (stats : Stats.t) opts layout ncols
   out
 
 let solve ?(options = default_options) (inst : Instance.t) =
-  let start = Unix.gettimeofday () in
+  Obs.with_span "qp.solve" @@ fun () ->
+  let start = Obs.Clock.now () in
   let grouping =
-    if options.use_grouping then Grouping.compute inst else Grouping.identity inst
+    Obs.with_span "qp.grouping" (fun () ->
+        if options.use_grouping then Grouping.compute inst
+        else Grouping.identity inst)
   in
   let reduced = grouping.Grouping.reduced in
-  let stats = Stats.compute reduced ~p:options.p in
-  let full_stats = Stats.compute inst ~p:options.p in
+  let stats, full_stats =
+    Obs.with_span "qp.stats" (fun () ->
+        (Stats.compute reduced ~p:options.p, Stats.compute inst ~p:options.p))
+  in
   let model, layout =
     (* The Lp layer rejects non-finite data at construction time; surface
        such a failure through the same diagnostic channel as the lint gate
        below so callers have a single refusal contract. *)
-    try build_layout_model ~instance:reduced stats options
-    with Invalid_argument msg ->
-      raise
-        (Vpart_analysis.Diagnostic.Errors
-           [ Vpart_analysis.Diagnostic.error ~code:"M012"
-               "model construction rejected corrupted statistics: %s" msg ])
+    Obs.with_span "qp.build_model" (fun () ->
+        try build_layout_model ~instance:reduced stats options
+        with Invalid_argument msg ->
+          raise
+            (Vpart_analysis.Diagnostic.Errors
+               [ Vpart_analysis.Diagnostic.error ~code:"M012"
+                   "model construction rejected corrupted statistics: %s" msg ]))
   in
   (* Static analysis gate: refuse to hand a model with Error-level findings
      to branch-and-bound (raises Diagnostic.Errors); keep the rest for the
@@ -373,7 +379,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
   let mip_outcome, mip_stats =
     Mip.solve ~limits ~priority ?heuristic ?incumbent model
   in
-  let elapsed = Unix.gettimeofday () -. start in
+  let elapsed = Obs.Clock.now () -. start in
   let finish outcome partitioning_reduced bound =
     let partitioning = Option.map (Grouping.expand grouping) partitioning_reduced in
     let cost = Option.map (Cost_model.cost full_stats) partitioning in
@@ -382,7 +388,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
     in
     let certificate =
       if not options.certify then None
-      else begin
+      else Obs.with_span "qp.certify" @@ fun () -> begin
         (* Independent certification of every claim this solve made: the
            MIP-level checks re-derive feasibility/bounds/duality from the
            model and the returned artifacts; the domain-level checks

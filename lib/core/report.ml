@@ -76,6 +76,19 @@ let pp_diagnostics ppf ds =
     Format.fprintf ppf "@[<v>diagnostics:@,%a@]"
       Vpart_analysis.Diagnostic.pp_report ds
 
+let pp_sa_search ppf (s : Sa_solver.search_stats) =
+  let rate =
+    if s.Sa_solver.moves = 0 then 0.
+    else
+      float_of_int s.Sa_solver.accepted_moves /. float_of_int s.Sa_solver.moves
+  in
+  Format.fprintf ppf
+    "@[<v>search: %d moves (%d accepted, %d rejected, %.1f%% acceptance)@,\
+     cooling: %d epoch(s), temperature %.4g -> %.4g@]"
+    s.Sa_solver.moves s.Sa_solver.accepted_moves s.Sa_solver.rejected_moves
+    (100. *. rate) s.Sa_solver.epochs s.Sa_solver.initial_temperature
+    s.Sa_solver.final_temperature
+
 let pp_certificate ppf cert =
   let module D = Vpart_analysis.Diagnostic in
   match cert with

@@ -16,6 +16,10 @@ val pp_diagnostics :
     severity-count summary; ["diagnostics: none"] when the list is empty.
     Used by the CLI's [check] subcommand and after solver runs. *)
 
+val pp_sa_search : Format.formatter -> Sa_solver.search_stats -> unit
+(** Two-line summary of an annealing run's search statistics: move /
+    acceptance counts and the cooling trajectory (epochs, τ₀ → final τ). *)
+
 val pp_certificate :
   Format.formatter -> Vpart_analysis.Diagnostic.t list option -> unit
 (** One-line certificate verdict for a solver's [certificate] field:

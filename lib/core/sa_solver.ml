@@ -35,6 +35,15 @@ let default_options =
     certify = false;
   }
 
+type search_stats = {
+  moves : int;
+  accepted_moves : int;
+  rejected_moves : int;
+  epochs : int;
+  initial_temperature : float;
+  final_temperature : float;
+}
+
 type result = {
   partitioning : Partitioning.t;
   cost : float;
@@ -43,6 +52,7 @@ type result = {
   iterations : int;
   accepted : int;
   outer_rounds : int;
+  search : search_stats;
   certificate : Vpart_analysis.Diagnostic.t list option;
 }
 
@@ -167,12 +177,19 @@ type anneal_callbacks = {
 }
 
 let anneal ?(extra = fun _ -> 0.) (stats : Stats.t) opts rng callbacks =
+  Obs.with_span "sa.anneal"
+    ~attrs:
+      [
+        ("txns", Obs.Int stats.Stats.num_txns);
+        ("attrs", Obs.Int stats.Stats.num_attrs);
+      ]
+  @@ fun () ->
   let lambda = opts.lambda in
   let eval part = Cost_model.objective stats ~lambda part +. extra part in
-  let start = Unix.gettimeofday () in
+  let start = Obs.Clock.now () in
   let deadline = Option.map (fun tl -> start +. tl) opts.time_limit in
   let out_of_time () =
-    match deadline with None -> false | Some d -> Unix.gettimeofday () > d
+    match deadline with None -> false | Some d -> Obs.Clock.now () > d
   in
   let current_obj = ref (eval (callbacks.current ())) in
   let best = ref (callbacks.snapshot ()) in
@@ -193,6 +210,7 @@ let anneal ?(extra = fun _ -> 0.) (stats : Stats.t) opts rng callbacks =
        && not (out_of_time ())
      do
        incr outer;
+       let epoch_start_accepted = !accepted in
        for _ = 1 to opts.inner_loops do
          if out_of_time () then raise Exit;
          incr iterations;
@@ -205,16 +223,53 @@ let anneal ?(extra = fun _ -> 0.) (stats : Stats.t) opts rng callbacks =
            current_obj := cand_obj;
            if cand_obj < !best_obj then begin
              best_obj := cand_obj;
-             best := callbacks.snapshot ()
+             best := callbacks.snapshot ();
+             if Obs.enabled () then
+               Obs.point "sa.best"
+                 ~attrs:
+                   [
+                     ("obj", Obs.Float !best_obj);
+                     ("move", Obs.Int !iterations);
+                   ]
            end
          end
          else callbacks.restore saved;
          fix := (match !fix with `Fix_x -> `Fix_y | `Fix_y -> `Fix_x)
        done;
-       tau := opts.cooling *. !tau
+       tau := opts.cooling *. !tau;
+       if Obs.enabled () then begin
+         Obs.gauge "sa.temperature" !tau;
+         Obs.point "sa.epoch"
+           ~attrs:
+             [
+               ("epoch", Obs.Int !outer);
+               ("temperature", Obs.Float !tau);
+               ( "accept_rate",
+                 Obs.Float
+                   (float_of_int (!accepted - epoch_start_accepted)
+                    /. float_of_int opts.inner_loops) );
+               ("best_obj", Obs.Float !best_obj);
+               ("current_obj", Obs.Float !current_obj);
+             ]
+       end
      done
    with Exit -> ());
-  (!best, !best_obj, !iterations, !accepted, !outer, Unix.gettimeofday () -. start)
+  if Obs.enabled () then begin
+    Obs.count "sa.moves" (float_of_int !iterations);
+    Obs.count "sa.accepted" (float_of_int !accepted);
+    Obs.count "sa.rejected" (float_of_int (!iterations - !accepted))
+  end;
+  let search =
+    {
+      moves = !iterations;
+      accepted_moves = !accepted;
+      rejected_moves = !iterations - !accepted;
+      epochs = !outer;
+      initial_temperature = tau0;
+      final_temperature = !tau;
+    }
+  in
+  (!best, !best_obj, search, Obs.Clock.now () -. start)
 
 (* ------------------------------------------------------------------ *)
 (* Replication mode                                                    *)
@@ -236,9 +291,14 @@ let solve_replicated ?extra (stats : Stats.t) opts rng =
            let p = !state in
            perturb_x rng opts opts.move_fraction p;
            perturb_y rng opts opts.move_fraction p;
+           (* [`Fix_x] re-optimizes y (a y-step) and vice versa. *)
            (match fix with
-            | `Fix_x -> optimize_y_given_x stats opts p
-            | `Fix_y -> optimize_x_given_y stats opts p);
+            | `Fix_x ->
+              Obs.timed "sa.ystep.seconds" (fun () ->
+                  optimize_y_given_x stats opts p)
+            | `Fix_y ->
+              Obs.timed "sa.xstep.seconds" (fun () ->
+                  optimize_x_given_y stats opts p));
            Partitioning.repair_single_sitedness stats p);
       snapshot = (fun () -> Partitioning.copy !state);
       restore = (fun saved -> state := saved);
@@ -378,6 +438,7 @@ let collapsed_candidate (stats : Stats.t) opts site =
   part
 
 let solve ?(options = default_options) (inst : Instance.t) =
+  Obs.with_span "sa.solve" @@ fun () ->
   let grouping =
     if options.use_grouping then Grouping.compute inst else Grouping.identity inst
   in
@@ -393,7 +454,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
     | Some pl ->
       fun part -> options.lambda *. Cost_model.latency reduced ~pl part
   in
-  let best, best_obj6, iterations, accepted, outer, elapsed =
+  let best, best_obj6, search, elapsed =
     if options.allow_replication then solve_replicated ~extra stats options rng
     else solve_disjoint ~extra stats options rng
   in
@@ -445,8 +506,9 @@ let solve ?(options = default_options) (inst : Instance.t) =
     cost;
     objective6;
     elapsed;
-    iterations;
-    accepted;
-    outer_rounds = outer;
+    iterations = search.moves;
+    accepted = search.accepted_moves;
+    outer_rounds = search.epochs;
+    search;
     certificate;
   }

@@ -59,6 +59,18 @@ val default_options : options
     optimally placed attributes — which the random-start annealer cannot
     always reach on instances where partitioning does not pay. *)
 
+type search_stats = {
+  moves : int;                    (** proposals evaluated (= [iterations]) *)
+  accepted_moves : int;
+  rejected_moves : int;
+  epochs : int;                   (** outer cooling rounds (= [outer_rounds]) *)
+  initial_temperature : float;    (** τ₀ from the §5.1 accept-gap rule *)
+  final_temperature : float;      (** τ when the search froze or was cut off *)
+}
+(** Search statistics of the annealing run, reported via
+    {!Report.pp_sa_search} and mirrored in the [sa.*] observability
+    counters (see [docs/OBSERVABILITY.md]). *)
+
 type result = {
   partitioning : Partitioning.t;  (** original attribute space; validated *)
   cost : float;                   (** objective (4) *)
@@ -67,6 +79,7 @@ type result = {
   iterations : int;               (** inner iterations executed *)
   accepted : int;                 (** accepted moves *)
   outer_rounds : int;
+  search : search_stats;          (** full search statistics *)
   certificate : Vpart_analysis.Diagnostic.t list option;
       (** [Some findings] when [options.certify] was set ([C203]/[C201]/
           [C205] checks; empty = certified clean); [None] otherwise *)

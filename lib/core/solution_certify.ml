@@ -3,6 +3,7 @@ module Diagnostic = Vpart_analysis.Diagnostic
 let rel tol reference = tol *. (1. +. Float.abs reference)
 
 let certify_partitioning stats part =
+  Obs.timed "certify.partitioning.seconds" @@ fun () ->
   match Partitioning.validate stats part with
   | Ok () -> []
   | Error msg ->
@@ -14,6 +15,7 @@ let independent_cost (b : Cost_model.breakdown) ~p =
   +. (p *. b.Cost_model.transfer)
 
 let certify_cost ?(tol = 1e-6) ?(code = "C202") inst ~p part ~claimed =
+  Obs.timed "certify.cost.seconds" @@ fun () ->
   let b = Cost_model.breakdown inst part in
   let indep = independent_cost b ~p in
   if Float.abs (indep -. claimed) > rel tol indep then
@@ -26,6 +28,7 @@ let certify_cost ?(tol = 1e-6) ?(code = "C202") inst ~p part ~claimed =
 
 let certify_objective6 ?(tol = 1e-6) ?(code = "C201") inst ~p ~lambda ?latency
     part ~claimed =
+  Obs.timed "certify.objective6.seconds" @@ fun () ->
   let b = Cost_model.breakdown inst part in
   let cost = independent_cost b ~p in
   let work = Array.fold_left Float.max 0. b.Cost_model.site_work in

@@ -209,23 +209,53 @@ let rebuild (std : Lp.std) w =
     rows_removed = std.Lp.nrows - Array.length rows;
   }
 
+(* Rows/columns eliminated so far — used for the per-pass progress events. *)
+let removed_so_far w =
+  let rows = Array.fold_left (fun n a -> if a then n else n + 1) 0 w.alive in
+  let cols = Array.fold_left (fun n a -> if a then n else n + 1) 0 w.active in
+  (rows, cols)
+
 let reduce (std : Lp.std) =
-  let w = of_std std in
-  match
-    let continue_ = ref true in
-    while !continue_ do
-      continue_ := pass w
-    done
-  with
-  | () -> rebuild std w
-  | exception Infeasible_exn ->
-    {
-      verdict = Infeasible;
-      kept_cols = [||];
-      kept_rows = [||];
-      fixed = [||];
-      rows_removed = 0;
-    }
+  Obs.with_span "presolve.reduce"
+    ~attrs:[ ("rows", Obs.Int std.Lp.nrows); ("cols", Obs.Int std.Lp.ncols) ]
+    (fun () ->
+       let w = of_std std in
+       let npass = ref 0 in
+       let finish r =
+         if Obs.enabled () then begin
+           Obs.count "presolve.passes" (float_of_int !npass);
+           Obs.count "presolve.rows_removed" (float_of_int r.rows_removed);
+           Obs.count "presolve.cols_fixed" (float_of_int (Array.length r.fixed))
+         end;
+         r
+       in
+       match
+         let continue_ = ref true in
+         while !continue_ do
+           continue_ := pass w;
+           incr npass;
+           if Obs.enabled () then begin
+             let rows, cols = removed_so_far w in
+             Obs.point "presolve.pass"
+               ~attrs:
+                 [
+                   ("pass", Obs.Int !npass);
+                   ("rows_removed", Obs.Int rows);
+                   ("cols_fixed", Obs.Int cols);
+                 ]
+           end
+         done
+       with
+       | () -> finish (rebuild std w)
+       | exception Infeasible_exn ->
+         finish
+           {
+             verdict = Infeasible;
+             kept_cols = [||];
+             kept_rows = [||];
+             fixed = [||];
+             rows_removed = 0;
+           })
 
 let restore t reduced_solution =
   match t.verdict with

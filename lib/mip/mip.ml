@@ -72,7 +72,7 @@ exception Gap_reached of float * float array
    it (for the audit trail — the Hashtbl is unwound by the handlers) *)
 
 let out_of_time s =
-  match s.deadline with None -> false | Some d -> Unix.gettimeofday () > d
+  match s.deadline with None -> false | Some d -> Obs.Clock.now () > d
 
 let global_lower_bound s current =
   Hashtbl.fold (fun _ b acc -> Float.min b acc) s.open_bounds current
@@ -90,6 +90,13 @@ let check_gap s current_lb =
   | None -> ()
   | Some _ ->
     let glb = global_lower_bound s current_lb in
+    if Obs.enabled () then
+      Obs.point "mip.bound"
+        ~attrs:
+          [
+            ("bound", Obs.Float (Lp.restore_objective s.std glb));
+            ("node", Obs.Int s.nodes);
+          ];
     if rel_gap s.incumbent_obj glb <= s.limits.gap then
       raise (Gap_reached (glb, bound_support s current_lb))
 
@@ -110,6 +117,13 @@ let offer s cand =
     if obj < s.incumbent_obj -. 1e-9 then begin
       s.incumbent <- Some cand;
       s.incumbent_obj <- obj;
+      if Obs.enabled () then
+        Obs.point "mip.incumbent"
+          ~attrs:
+            [
+              ("obj", Obs.Float (Lp.restore_objective s.std obj));
+              ("node", Obs.Int s.nodes);
+            ];
       true
     end
     else false
@@ -138,28 +152,40 @@ let rec branch s depth =
    | Some n when s.nodes >= n -> raise Hit_limit
    | _ -> ());
   s.nodes <- s.nodes + 1;
+  if Obs.enabled () then
+    Obs.point "mip.node"
+      ~attrs:[ ("node", Obs.Int s.nodes); ("depth", Obs.Int depth) ];
   match Simplex.reoptimize ?deadline:s.deadline s.sx with
-  | Simplex.Infeasible -> ()
+  | Simplex.Infeasible -> Obs.count "mip.prune.infeasible" 1.
   | Simplex.Time_limit -> raise Hit_limit
   | Simplex.Iter_limit | Simplex.Numerical ->
     (* Cannot trust this subtree's relaxation; abandoning it loses the
        optimality proof, which the caller reports via the gap. *)
-    s.numerical_prunes <- s.numerical_prunes + 1
+    s.numerical_prunes <- s.numerical_prunes + 1;
+    Obs.count "mip.prune.numerical" 1.
   | Simplex.Unbounded -> ()  (* cannot happen from reoptimize *)
   | Simplex.Optimal ->
     let bound = Simplex.objective s.sx +. s.std.Lp.obj_const in
     if bound >= s.incumbent_obj -. 1e-9 *. Float.max 1. (Float.abs s.incumbent_obj)
-    then ()
+    then Obs.count "mip.prune.bound" 1.
     else begin
       let x = Simplex.primal s.sx in
       match most_fractional s x with
       | None ->
+        Obs.count "mip.integral_leaf" 1.;
         if not (offer s x) then
           (* Rounding failed the vet (tolerance artifact): accept the raw
              relaxation point, which is integral within int_tol. *)
           if bound < s.incumbent_obj -. 1e-9 then begin
             s.incumbent <- Some (round_integers s.std x);
-            s.incumbent_obj <- bound
+            s.incumbent_obj <- bound;
+            if Obs.enabled () then
+              Obs.point "mip.incumbent"
+                ~attrs:
+                  [
+                    ("obj", Obs.Float (Lp.restore_objective s.std bound));
+                    ("node", Obs.Int s.nodes);
+                  ]
           end
       | Some j ->
         (match s.heuristic with
@@ -231,9 +257,24 @@ let no_audit =
     numerical_prunes = 0;
   }
 
+let outcome_tag = function
+  | Optimal _ -> "optimal"
+  | Feasible _ -> "feasible"
+  | No_incumbent _ -> "no_incumbent"
+  | Infeasible -> "infeasible"
+  | Unbounded -> "unbounded"
+  | Too_large _ -> "too_large"
+
 let solve ?(limits = default_limits) ?(presolve = false)
     ?(priority = fun _ -> 0) ?heuristic ?incumbent model =
   let original_std = Lp.standardize model in
+  Obs.with_span "mip.solve"
+    ~attrs:
+      [
+        ("rows", Obs.Int original_std.Lp.nrows);
+        ("cols", Obs.Int original_std.Lp.ncols);
+      ]
+  @@ fun () ->
   (* Optional presolve: solve the reduced problem and map every solution
      (and the callbacks' variable spaces) back to the original.
      [restore_y] back-maps row duals ([None] when the search runs on the
@@ -269,7 +310,7 @@ let solve ?(limits = default_limits) ?(presolve = false)
   in
   ignore project;
   let presolved = presolve in
-  let start = Unix.gettimeofday () in
+  let start = Obs.Clock.now () in
   let finish outcome ~nodes ~iters ~gap_achieved ~audit =
     let outcome =
       match outcome with
@@ -277,10 +318,19 @@ let solve ?(limits = default_limits) ?(presolve = false)
       | Feasible (s, b) -> Feasible ({ s with x = restore s.x }, b)
       | o -> o
     in
+    (* The counters emitted here carry exactly the values returned in
+       [stats], so a trace consumer can cross-check them 1:1. *)
+    if Obs.enabled () then begin
+      Obs.count "mip.nodes" (float_of_int nodes);
+      Obs.count "mip.simplex_iterations" (float_of_int iters);
+      if Float.is_finite gap_achieved then
+        Obs.gauge "mip.gap_achieved" gap_achieved;
+      Obs.point "mip.done" ~attrs:[ ("outcome", Obs.Str (outcome_tag outcome)) ]
+    end;
     (outcome,
      { nodes;
        simplex_iterations = iters;
-       elapsed = Unix.gettimeofday () -. start;
+       elapsed = Obs.Clock.now () -. start;
        gap_achieved;
        audit = { audit with presolve_rows_removed = rows_removed } })
   in
@@ -335,6 +385,8 @@ let solve ?(limits = default_limits) ?(presolve = false)
            ~gap_achieved:infinity ~audit:no_audit
        else begin
          let root_bound = Simplex.objective sx +. std.Lp.obj_const in
+         if Obs.enabled () then
+           Obs.gauge "mip.root_lp_obj" (Lp.restore_objective std root_bound);
          (* Capture the root relaxation's certificate before branching
             disturbs the basis: duals and reduced costs back-mapped into
             the original spaces so an independent checker can re-derive

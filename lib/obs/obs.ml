@@ -1,0 +1,728 @@
+(* Observability layer: monotone clock, span/counter/gauge/point events,
+   pluggable sinks, in-process metrics, and the JSONL schema reader used
+   by `vpart_cli trace summarize` and the tests.
+
+   Hot-path contract: with no sink installed and metrics collection off,
+   every emitter is one mutable-flag test.  Call sites that must build
+   attribute lists guard with [enabled ()] first. *)
+
+module Clock = struct
+  (* Monotone clamp over the wall clock: a backwards adjustment freezes
+     [now] until real time catches up (documented in the .mli). *)
+  let last = ref 0.
+
+  let now () =
+    let t = Unix.gettimeofday () in
+    if t > !last then begin
+      last := t;
+      t
+    end
+    else !last
+
+  let since t0 = now () -. t0
+end
+
+type value = Int of int | Float of float | Bool of bool | Str of string
+
+type attrs = (string * value) list
+
+type event =
+  | Span_open of { id : int; parent : int option; name : string; attrs : attrs }
+  | Span_close of { id : int; name : string; dur : float }
+  | Counter of { name : string; add : float; attrs : attrs }
+  | Gauge of { name : string; value : float; attrs : attrs }
+  | Point of { name : string; attrs : attrs }
+
+let schema_version = 1
+
+type sink = {
+  emit : ts:float -> event -> unit;
+  flush : unit -> unit;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [Metrics.enable]/[disable] must refresh the emitter's cached activity
+   flag, but the emitter state is defined below; wired up via this hook. *)
+let metrics_toggle_hook = ref (fun () -> ())
+
+module Metrics = struct
+  let on = ref false
+
+  let counters : (string, float ref) Hashtbl.t = Hashtbl.create 32
+  let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 16
+
+  type mutable_hist = {
+    mutable h_count : int;
+    mutable h_sum : float;
+    mutable h_min : float;
+    mutable h_max : float;
+  }
+
+  let hists : (string, mutable_hist) Hashtbl.t = Hashtbl.create 16
+
+  let enable () =
+    on := true;
+    !metrics_toggle_hook ()
+
+  let disable () =
+    on := false;
+    !metrics_toggle_hook ()
+
+  let enabled () = !on
+
+  let reset () =
+    Hashtbl.reset counters;
+    Hashtbl.reset gauges;
+    Hashtbl.reset hists
+
+  let add_counter name v =
+    match Hashtbl.find_opt counters name with
+    | Some r -> r := !r +. v
+    | None -> Hashtbl.replace counters name (ref v)
+
+  let set_gauge name v =
+    match Hashtbl.find_opt gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.replace gauges name (ref v)
+
+  let observe name v =
+    match Hashtbl.find_opt hists name with
+    | Some h ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v
+    | None ->
+      Hashtbl.replace hists name
+        { h_count = 1; h_sum = v; h_min = v; h_max = v }
+
+  type hist = { count : int; sum : float; min : float; max : float }
+
+  type snapshot = {
+    counters : (string * float) list;
+    gauges : (string * float) list;
+    hists : (string * hist) list;
+  }
+
+  let sorted_bindings tbl f =
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl [])
+
+  let snapshot () =
+    {
+      counters = sorted_bindings counters (fun r -> !r);
+      gauges = sorted_bindings gauges (fun r -> !r);
+      hists =
+        sorted_bindings hists (fun h ->
+            { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max });
+    }
+
+  let counter_value name =
+    match Hashtbl.find_opt counters name with Some r -> !r | None -> 0.
+
+  let to_json (s : snapshot) =
+    let obj_of f xs = Json.Obj (List.map (fun (k, v) -> (k, f v)) xs) in
+    Json.Obj
+      [
+        ("counters", obj_of (fun v -> Json.Float v) s.counters);
+        ("gauges", obj_of (fun v -> Json.Float v) s.gauges);
+        ( "hists",
+          obj_of
+            (fun (h : hist) ->
+               Json.Obj
+                 [
+                   ("count", Json.Int h.count);
+                   ("sum", Json.Float h.sum);
+                   ("min", Json.Float h.min);
+                   ("max", Json.Float h.max);
+                 ])
+            s.hists );
+      ]
+
+  let pp ppf (s : snapshot) =
+    Format.fprintf ppf "@[<v>metrics:";
+    if s.counters = [] && s.gauges = [] && s.hists = [] then
+      Format.fprintf ppf " (empty)"
+    else begin
+      List.iter
+        (fun (name, v) -> Format.fprintf ppf "@,  %-36s %14.6g" name v)
+        s.counters;
+      List.iter
+        (fun (name, v) ->
+           Format.fprintf ppf "@,  %-36s %14.6g (gauge)" name v)
+        s.gauges;
+      List.iter
+        (fun (name, (h : hist)) ->
+           Format.fprintf ppf
+             "@,  %-36s n=%d sum=%.6g min=%.6g max=%.6g" name h.count h.sum
+             h.min h.max)
+        s.hists
+    end;
+    Format.fprintf ppf "@]"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Global emitter state                                                *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  mutable sink : sink option;
+  mutable t0 : float;           (* sink time origin *)
+  mutable next_id : int;
+  mutable stack : int list;     (* open span ids, innermost first *)
+  mutable active : bool;        (* sink <> None || Metrics.enabled *)
+}
+
+let st = { sink = None; t0 = 0.; next_id = 0; stack = []; active = false }
+
+let sink_on () = match st.sink with Some _ -> true | None -> false
+
+let refresh_active () = st.active <- sink_on () || Metrics.enabled ()
+let () = metrics_toggle_hook := refresh_active
+
+let set_sink s =
+  st.sink <- s;
+  st.t0 <- Clock.now ();
+  st.next_id <- 0;
+  st.stack <- [];
+  refresh_active ()
+
+let enabled () =
+  (* Metrics.enable/disable don't go through [set_sink]; recompute. *)
+  refresh_active ();
+  st.active
+
+let emit ev =
+  match st.sink with
+  | None -> ()
+  | Some s -> s.emit ~ts:(Clock.since st.t0) ev
+
+let with_sink sink f =
+  let prev = st.sink in
+  set_sink (Some sink);
+  Fun.protect
+    ~finally:(fun () ->
+        sink.flush ();
+        set_sink prev)
+    f
+
+let with_span ?(attrs = []) name f =
+  refresh_active ();
+  if not st.active then f ()
+  else begin
+    let t0 = Clock.now () in
+    let id =
+      match st.sink with
+      | None -> -1
+      | Some _ ->
+        let id = st.next_id in
+        st.next_id <- id + 1;
+        let parent = match st.stack with [] -> None | p :: _ -> Some p in
+        st.stack <- id :: st.stack;
+        emit (Span_open { id; parent; name; attrs });
+        id
+    in
+    Fun.protect
+      ~finally:(fun () ->
+          let dur = Clock.since t0 in
+          if id >= 0 then begin
+            (match st.stack with
+             | top :: rest when top = id -> st.stack <- rest
+             | _ -> ()  (* sink swapped mid-span; drop silently *));
+            emit (Span_close { id; name; dur })
+          end;
+          if Metrics.enabled () then Metrics.observe ("span." ^ name) dur)
+      f
+  end
+
+let count ?(attrs = []) name v =
+  if st.active then begin
+    if Metrics.enabled () then Metrics.add_counter name v;
+    if sink_on () then emit (Counter { name; add = v; attrs })
+  end
+
+let gauge ?(attrs = []) name v =
+  if st.active then begin
+    if Metrics.enabled () then Metrics.set_gauge name v;
+    if sink_on () then emit (Gauge { name; value = v; attrs })
+  end
+
+let point ?(attrs = []) name =
+  if st.active then begin
+    if Metrics.enabled () then Metrics.add_counter name 1.;
+    if sink_on () then emit (Point { name; attrs })
+  end
+
+let observe name v = if Metrics.enabled () then Metrics.observe name v
+
+let timed name f =
+  if not (Metrics.enabled ()) then f ()
+  else begin
+    let t0 = Clock.now () in
+    Fun.protect ~finally:(fun () -> Metrics.observe name (Clock.since t0)) f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Event rendering                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_value = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Bool b -> Json.Bool b
+  | Str s -> Json.String s
+
+let json_of_attrs attrs =
+  Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) attrs)
+
+let event_to_json ~ts ev =
+  let base ev_name rest =
+    Json.Obj
+      (("v", Json.Int schema_version)
+       :: ("ev", Json.String ev_name)
+       :: ("ts", Json.Float ts)
+       :: rest)
+  in
+  match ev with
+  | Span_open { id; parent; name; attrs } ->
+    base "span_open"
+      [
+        ("id", Json.Int id);
+        ("parent", (match parent with Some p -> Json.Int p | None -> Json.Null));
+        ("name", Json.String name);
+        ("attrs", json_of_attrs attrs);
+      ]
+  | Span_close { id; name; dur } ->
+    base "span_close"
+      [ ("id", Json.Int id); ("name", Json.String name); ("dur", Json.Float dur) ]
+  | Counter { name; add; attrs } ->
+    base "counter"
+      [
+        ("name", Json.String name);
+        ("add", Json.Float add);
+        ("attrs", json_of_attrs attrs);
+      ]
+  | Gauge { name; value; attrs } ->
+    base "gauge"
+      [
+        ("name", Json.String name);
+        ("value", Json.Float value);
+        ("attrs", json_of_attrs attrs);
+      ]
+  | Point { name; attrs } ->
+    base "point" [ ("name", Json.String name); ("attrs", json_of_attrs attrs) ]
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let null_sink () = { emit = (fun ~ts:_ _ -> ()); flush = (fun () -> ()) }
+
+let jsonl_sink write =
+  {
+    emit =
+      (fun ~ts ev ->
+         write (Json.to_string ~minify:true (event_to_json ~ts ev));
+         write "\n");
+    flush = (fun () -> ());
+  }
+
+let pp_attr_value ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%.6g" f
+  | Bool b -> Format.pp_print_bool ppf b
+  | Str s -> Format.pp_print_string ppf s
+
+let pp_attrs ppf = function
+  | [] -> ()
+  | attrs ->
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_attr_value v)
+      attrs
+
+let progress_sink ?ppf () =
+  let ppf = match ppf with Some p -> p | None -> Format.err_formatter in
+  let depth = ref 0 in
+  let indent () = String.make (2 * !depth) ' ' in
+  {
+    emit =
+      (fun ~ts ev ->
+         (match ev with
+          | Span_open { name; attrs; _ } ->
+            Format.fprintf ppf "[%8.3fs] %s> %s%a@." ts (indent ()) name
+              pp_attrs attrs;
+            incr depth
+          | Span_close { name; dur; _ } ->
+            decr depth;
+            if !depth < 0 then depth := 0;
+            Format.fprintf ppf "[%8.3fs] %s< %s (%.3fs)@." ts (indent ()) name
+              dur
+          | Counter { name; add; attrs } ->
+            Format.fprintf ppf "[%8.3fs] %s+ %s %.6g%a@." ts (indent ()) name
+              add pp_attrs attrs
+          | Gauge { name; value; attrs } ->
+            Format.fprintf ppf "[%8.3fs] %s= %s %.6g%a@." ts (indent ()) name
+              value pp_attrs attrs
+          | Point { name; attrs } ->
+            Format.fprintf ppf "[%8.3fs] %s* %s%a@." ts (indent ()) name
+              pp_attrs attrs))
+    ;
+    flush = (fun () -> Format.pp_print_flush ppf ());
+  }
+
+let tee sinks =
+  {
+    emit = (fun ~ts ev -> List.iter (fun s -> s.emit ~ts ev) sinks);
+    flush = (fun () -> List.iter (fun s -> s.flush ()) sinks);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reader: schema validation                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Reader = struct
+  exception Bad of string
+
+  let bad fmt = Format.kasprintf (fun m -> raise (Bad m)) fmt
+
+  let field name json =
+    match Json.member_opt name json with
+    | Some v -> v
+    | None -> bad "missing field %S" name
+
+  let as_int name = function
+    | Json.Int i -> i
+    | Json.Float f when Float.is_integer f -> int_of_float f
+    | _ -> bad "field %S must be an integer" name
+
+  let as_float name = function
+    | Json.Int i -> float_of_int i
+    | Json.Float f -> f
+    | _ -> bad "field %S must be a number" name
+
+  let as_string name = function
+    | Json.String s -> s
+    | _ -> bad "field %S must be a string" name
+
+  let attrs_of_json name = function
+    | Json.Obj fields ->
+      List.map
+        (fun (k, v) ->
+           ( k,
+             match v with
+             | Json.Int i -> Int i
+             | Json.Float f -> Float f
+             | Json.Bool b -> Bool b
+             | Json.String s -> Str s
+             | _ -> bad "attr %S of %S must be a scalar" k name ))
+        fields
+    | Json.Null -> []
+    | _ -> bad "field %S must be an object" name
+
+  let event_of_json json =
+    try
+      (match json with Json.Obj _ -> () | _ -> bad "event must be an object");
+      let v = as_int "v" (field "v" json) in
+      if v <> schema_version then
+        bad "unsupported schema version %d (expected %d)" v schema_version;
+      let ts = as_float "ts" (field "ts" json) in
+      if not (Float.is_finite ts) || ts < 0. then
+        bad "field \"ts\" must be a finite non-negative number";
+      let name () = as_string "name" (field "name" json) in
+      let attrs () =
+        match Json.member_opt "attrs" json with
+        | None -> []
+        | Some a -> attrs_of_json "attrs" a
+      in
+      let ev =
+        match as_string "ev" (field "ev" json) with
+        | "span_open" ->
+          let parent =
+            match Json.member_opt "parent" json with
+            | None | Some Json.Null -> None
+            | Some p -> Some (as_int "parent" p)
+          in
+          Span_open
+            {
+              id = as_int "id" (field "id" json);
+              parent;
+              name = name ();
+              attrs = attrs ();
+            }
+        | "span_close" ->
+          let dur = as_float "dur" (field "dur" json) in
+          if not (Float.is_finite dur) || dur < 0. then
+            bad "field \"dur\" must be a finite non-negative number";
+          Span_close { id = as_int "id" (field "id" json); name = name (); dur }
+        | "counter" ->
+          Counter
+            {
+              name = name ();
+              add = as_float "add" (field "add" json);
+              attrs = attrs ();
+            }
+        | "gauge" ->
+          Gauge
+            {
+              name = name ();
+              value = as_float "value" (field "value" json);
+              attrs = attrs ();
+            }
+        | "point" -> Point { name = name (); attrs = attrs () }
+        | other -> bad "unknown event kind %S" other
+      in
+      Ok (ts, ev)
+    with
+    | Bad m -> Error m
+    | Invalid_argument m -> Error m
+
+  let read_string contents =
+    let lines = String.split_on_char '\n' contents in
+    let rec go lineno acc = function
+      | [] -> Ok (List.rev acc)
+      | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) acc rest
+        else begin
+          match Json.of_string line with
+          | exception Json.Parse_error m ->
+            Error (Printf.sprintf "line %d: JSON parse error: %s" lineno m)
+          | json -> (
+            match event_of_json json with
+            | Ok ev -> go (lineno + 1) (ev :: acc) rest
+            | Error m -> Error (Printf.sprintf "line %d: %s" lineno m))
+        end
+    in
+    go 1 [] lines
+
+  let read_file path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error m -> Error m
+    | contents -> read_string contents
+
+  let check_nesting events =
+    let open_spans = Hashtbl.create 32 in
+    let stack = ref [] in
+    let rec check = function
+      | [] -> (
+        match !stack with
+        | [] -> Ok ()
+        | id :: _ ->
+          Error
+            (Printf.sprintf "span %d (%s) never closed" id
+               (try Hashtbl.find open_spans id with Not_found -> "?")))
+      | (_, ev) :: rest -> (
+        match ev with
+        | Span_open { id; parent; name; _ } ->
+          if Hashtbl.mem open_spans id then
+            Error (Printf.sprintf "span id %d opened twice" id)
+          else begin
+            match parent with
+            | Some p when not (Hashtbl.mem open_spans p) ->
+              Error
+                (Printf.sprintf "span %d (%s) opened under unknown parent %d"
+                   id name p)
+            | Some p when (match !stack with t :: _ -> t <> p | [] -> true) ->
+              Error
+                (Printf.sprintf
+                   "span %d (%s): parent %d is not the innermost open span" id
+                   name p)
+            | None when !stack <> [] ->
+              Error
+                (Printf.sprintf
+                   "span %d (%s) claims no parent inside an open span" id name)
+            | _ ->
+              Hashtbl.replace open_spans id name;
+              stack := id :: !stack;
+              check rest
+          end
+        | Span_close { id; name; _ } -> (
+          match !stack with
+          | top :: rest_stack when top = id ->
+            stack := rest_stack;
+            Hashtbl.remove open_spans id;
+            check rest
+          | top :: _ ->
+            Error
+              (Printf.sprintf
+                 "span close %d (%s) does not match innermost open span %d" id
+                 name top)
+          | [] ->
+            Error (Printf.sprintf "orphan span close %d (%s)" id name))
+        | Counter _ | Gauge _ | Point _ -> check rest)
+    in
+    check events
+end
+
+(* ------------------------------------------------------------------ *)
+(* Summary                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Summary = struct
+  type phase = { calls : int; total : float }
+
+  type t = {
+    events : int;
+    duration : float;
+    phases : (string * phase) list;
+    counters : (string * float) list;
+    gauges : (string * float) list;
+    points : (string * int) list;
+    solve_start : float option;
+    incumbents : (float * float) list;
+    bounds : (float * float) list;
+    time_to_first_incumbent : float option;
+  }
+
+  let attr_float key attrs =
+    List.find_map
+      (fun (k, v) ->
+         if k <> key then None
+         else
+           match v with
+           | Float f -> Some f
+           | Int i -> Some (float_of_int i)
+           | _ -> None)
+      attrs
+
+  let of_events events =
+    let phases : (string, phase ref) Hashtbl.t = Hashtbl.create 16 in
+    let phase_order = ref [] in
+    let counters : (string, float ref) Hashtbl.t = Hashtbl.create 16 in
+    let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 16 in
+    let points : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+    let duration = ref 0. in
+    let solve_start = ref None in
+    let incumbents = ref [] and bounds = ref [] in
+    List.iter
+      (fun (ts, ev) ->
+         if ts > !duration then duration := ts;
+         match ev with
+         | Span_open { name; _ } ->
+           if not (Hashtbl.mem phases name) then begin
+             Hashtbl.replace phases name (ref { calls = 0; total = 0. });
+             phase_order := name :: !phase_order
+           end;
+           if name = "mip.solve" && !solve_start = None then
+             solve_start := Some ts
+         | Span_close { name; dur; _ } ->
+           let r =
+             match Hashtbl.find_opt phases name with
+             | Some r -> r
+             | None ->
+               let r = ref { calls = 0; total = 0. } in
+               Hashtbl.replace phases name r;
+               phase_order := name :: !phase_order;
+               r
+           in
+           r := { calls = !r.calls + 1; total = !r.total +. dur }
+         | Counter { name; add; _ } -> (
+           match Hashtbl.find_opt counters name with
+           | Some r -> r := !r +. add
+           | None -> Hashtbl.replace counters name (ref add))
+         | Gauge { name; value; _ } -> (
+           match Hashtbl.find_opt gauges name with
+           | Some r -> r := value
+           | None -> Hashtbl.replace gauges name (ref value))
+         | Point { name; attrs } ->
+           (match Hashtbl.find_opt points name with
+            | Some r -> incr r
+            | None -> Hashtbl.replace points name (ref 1));
+           (match name, attr_float "obj" attrs with
+            | "mip.incumbent", Some obj ->
+              incumbents := (ts, obj) :: !incumbents
+            | _ -> ());
+           (match name, attr_float "bound" attrs with
+            | "mip.bound", Some b -> bounds := (ts, b) :: !bounds
+            | _ -> ()))
+      events;
+    let sorted tbl f =
+      List.sort
+        (fun (a, _) (b, _) -> compare a b)
+        (Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl [])
+    in
+    let incumbents = List.rev !incumbents in
+    let ttfi =
+      match incumbents with
+      | [] -> None
+      | (ts, _) :: _ ->
+        Some (ts -. Option.value !solve_start ~default:0.)
+    in
+    {
+      events = List.length events;
+      duration = !duration;
+      phases =
+        List.rev_map
+          (fun name -> (name, !(Hashtbl.find phases name)))
+          !phase_order;
+      counters = sorted counters (fun r -> !r);
+      gauges = sorted gauges (fun r -> !r);
+      points = sorted points (fun r -> !r);
+      solve_start = !solve_start;
+      incumbents;
+      bounds = List.rev !bounds;
+      time_to_first_incumbent = ttfi;
+    }
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>trace summary (schema v%d): %d events, %.3fs"
+      schema_version t.events t.duration;
+    if t.phases <> [] then begin
+      Format.fprintf ppf "@,per-phase breakdown:";
+      List.iter
+        (fun (name, p) ->
+           Format.fprintf ppf "@,  %-28s %5d call%s %10.3fs" name p.calls
+             (if p.calls = 1 then " " else "s") p.total)
+        t.phases
+    end;
+    if t.counters <> [] then begin
+      Format.fprintf ppf "@,counters:";
+      List.iter
+        (fun (name, v) -> Format.fprintf ppf "@,  %-28s %16.6g" name v)
+        t.counters
+    end;
+    if t.gauges <> [] then begin
+      Format.fprintf ppf "@,gauges:";
+      List.iter
+        (fun (name, v) -> Format.fprintf ppf "@,  %-28s %16.6g" name v)
+        t.gauges
+    end;
+    if t.points <> [] then begin
+      Format.fprintf ppf "@,events:";
+      List.iter
+        (fun (name, n) -> Format.fprintf ppf "@,  %-28s %10d" name n)
+        t.points
+    end;
+    (match t.time_to_first_incumbent with
+     | Some dt -> Format.fprintf ppf "@,time-to-first-incumbent: %.3fs" dt
+     | None -> ());
+    if t.incumbents <> [] then begin
+      Format.fprintf ppf "@,gap-vs-time (incumbent trajectory):";
+      List.iter
+        (fun (ts, obj) ->
+           (* best proven bound known at this timestamp *)
+           let bound =
+             List.fold_left
+               (fun acc (bts, b) -> if bts <= ts then Some b else acc)
+               None t.bounds
+           in
+           match bound with
+           | Some b when Float.is_finite b ->
+             let gap =
+               100. *. Float.abs (obj -. b) /. Float.max 1. (Float.abs obj)
+             in
+             Format.fprintf ppf "@,  %8.3fs  obj %14.6g  bound %14.6g  gap %6.2f%%"
+               ts obj b gap
+           | _ -> Format.fprintf ppf "@,  %8.3fs  obj %14.6g" ts obj)
+        t.incumbents
+    end;
+    Format.fprintf ppf "@]"
+end

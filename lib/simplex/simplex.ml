@@ -50,6 +50,7 @@ type t = {
   alpha : float array;            (* nn scratch: pivot row in nonbasic space *)
   wscratch : float array;         (* m scratch: ftran result *)
   mutable total_iters : int;
+  mutable total_refactors : int;
   mutable bland : bool;
   mutable degen_count : int;
   mutable infeas_ray : float array option;
@@ -137,6 +138,7 @@ let create (std : Lp.std) =
     alpha = Array.make nn 0.;
     wscratch = Array.make m 0.;
     total_iters = 0;
+    total_refactors = 0;
     bland = false;
     degen_count = 0;
     infeas_ray = None;
@@ -145,6 +147,7 @@ let create (std : Lp.std) =
 let nrows t = t.m
 let ncols t = t.n
 let iterations t = t.total_iters
+let refactorizations t = t.total_refactors
 
 let set_bounds t j ~lb ~ub =
   if j < 0 || j >= t.n then invalid_arg "Simplex.set_bounds: out of range";
@@ -272,6 +275,7 @@ let reduced_costs t =
 (* Rebuild binv from the basis by Gauss-Jordan with partial pivoting.
    Returns false if the basis matrix is (numerically) singular. *)
 let refactor t =
+  t.total_refactors <- t.total_refactors + 1;
   let m = t.m in
   let a = Array.init m (fun _ -> Array.make m 0.) in
   for k = 0 to m - 1 do
@@ -371,7 +375,7 @@ exception Stop of status
 
 let check_deadline deadline iters =
   match deadline with
-  | Some d when iters land 15 = 0 && Unix.gettimeofday () > d ->
+  | Some d when iters land 15 = 0 && Obs.Clock.now () > d ->
     raise (Stop Time_limit)
   | _ -> ()
 
@@ -680,20 +684,33 @@ type result = {
 }
 
 let solve ?(max_iter = 200_000) ?time_limit (std : Lp.std) =
-  let t = create std in
-  let deadline =
-    match time_limit with
-    | Some s -> Some (Unix.gettimeofday () +. s)
-    | None -> None
-  in
-  let status = reoptimize ~max_iter ?deadline t in
-  let status =
-    if status = Optimal && structural_on_patched_bound t then Unbounded
-    else status
-  in
-  {
-    status;
-    x = primal t;
-    obj = objective t +. std.Lp.obj_const;
-    iterations = t.total_iters;
-  }
+  Obs.with_span "simplex.solve"
+    ~attrs:[ ("rows", Obs.Int std.Lp.nrows); ("cols", Obs.Int std.Lp.ncols) ]
+    (fun () ->
+       let t = create std in
+       let deadline =
+         match time_limit with
+         | Some s -> Some (Obs.Clock.now () +. s)
+         | None -> None
+       in
+       let status = reoptimize ~max_iter ?deadline t in
+       let status =
+         if status = Optimal && structural_on_patched_bound t then Unbounded
+         else status
+       in
+       if Obs.enabled () then begin
+         Obs.count "simplex.iterations" (float_of_int t.total_iters);
+         Obs.count "simplex.refactorizations" (float_of_int t.total_refactors);
+         Obs.point "simplex.done"
+           ~attrs:
+             [
+               ("status", Obs.Str (string_of_status status));
+               ("iterations", Obs.Int t.total_iters);
+             ]
+       end;
+       {
+         status;
+         x = primal t;
+         obj = objective t +. std.Lp.obj_const;
+         iterations = t.total_iters;
+       })

@@ -63,8 +63,8 @@ val bounds : t -> int -> float * float
 
 val reoptimize : ?max_iter:int -> ?deadline:float -> t -> status
 (** Recompute basic values under the current bounds and run the dual
-    simplex to optimality.  [deadline] is an absolute
-    [Unix.gettimeofday]-style timestamp. *)
+    simplex to optimality.  [deadline] is an absolute timestamp on the
+    [Obs.Clock.now] (monotone wall-clock) scale. *)
 
 val objective : t -> float
 (** Objective value of the current (last reoptimized) point. *)
@@ -77,6 +77,10 @@ val primal : t -> float array
 
 val iterations : t -> int
 (** Total simplex iterations performed by this instance so far. *)
+
+val refactorizations : t -> int
+(** Total basis refactorizations (periodic resyncs and numerical-recovery
+    rebuilds) performed by this instance so far. *)
 
 (** {1 Dual information}
 
