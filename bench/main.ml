@@ -608,6 +608,71 @@ let obs_overhead () =
   hr ()
 
 (* ------------------------------------------------------------------ *)
+(* Parallel speedup: QP branch-and-bound at 1/2/4 domains              *)
+(* ------------------------------------------------------------------ *)
+
+(* Honest wall-clock measurement of `--jobs`: the same QP solve at 1, 2
+   and 4 domains on TPC-C and a ~20-attribute generated instance.
+   Speedup is relative to the sequential (jobs = 1) run on this host —
+   on a single-core container the parallel runs can only break even or
+   lose to scheduling overhead, and the numbers will say so. *)
+let par_speedup () =
+  section "Parallel B&B speedup (QP, jobs = 1/2/4)";
+  Printf.printf "host: %d domain(s) recommended by the runtime\n\n"
+    (Par.recommended_jobs ());
+  let rnd20 =
+    Instance_gen.generate
+      { Instance_gen.default_params with
+        Instance_gen.name = "par20";
+        num_tables = 6;
+        max_attrs_per_table = 6;
+        num_transactions = 15;
+        max_attrs_per_query = 6;
+      }
+  in
+  Printf.printf "%-12s %5s | %9s %9s %9s %9s\n" "instance" "jobs" "seconds"
+    "speedup" "nodes" "nodes/s";
+  hr ();
+  List.iter
+    (fun (name, inst) ->
+       let solve jobs =
+         let options =
+           { (qp_options ~time_limit:30. 2) with
+             Qp_solver.gap = 0.01;
+             jobs;
+           }
+         in
+         let t0 = Obs.Clock.now () in
+         let r = Qp_solver.solve ~options inst in
+         (Obs.Clock.now () -. t0, r.Qp_solver.nodes)
+       in
+       (* warm-up: page in the instance + model build caches *)
+       ignore (solve 1);
+       let base, _ = solve 1 in
+       List.iter
+         (fun jobs ->
+            let seconds, nodes = solve jobs in
+            let speedup = base /. Float.max 1e-9 seconds in
+            let nodes_s = float_of_int nodes /. Float.max 1e-9 seconds in
+            Printf.printf "%-12s %5d | %9.3f %9.2fx %9d %9.0f\n%!" name jobs
+              seconds speedup nodes nodes_s;
+            json_results :=
+              ( Printf.sprintf "par/%s/jobs%d" name jobs,
+                Json.Obj
+                  [
+                    ("seconds", Json.Float seconds);
+                    ("speedup_vs_jobs1", Json.Float speedup);
+                    ("nodes", Json.Int nodes);
+                    ("nodes_per_second", Json.Float nodes_s);
+                    ("recommended_jobs", Json.Int (Par.recommended_jobs ()));
+                  ] )
+              :: !json_results)
+         [ 1; 2; 4 ])
+    [ ("TPC-C v5", get_instance "TPC-C v5");
+      (Printf.sprintf "rnd-%dattrs" (Instance.num_attrs rnd20), rnd20) ];
+  hr ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per paper table                *)
 (* ------------------------------------------------------------------ *)
 
@@ -693,7 +758,7 @@ let usage () =
   print_endline
     "usage: main.exe [--qp-limit SECONDS] [--lambda L] [--max-rows N] [--seed N]\n\
     \                [--json-out FILE]\n\
-    \                [table1|table2|table3|table4|table5|table6|ablation|suite|certify|obs|bechamel|all]...";
+    \                [table1|table2|table3|table4|table5|table6|ablation|suite|certify|obs|par|bechamel|all]...";
   exit 1
 
 let () =
@@ -722,13 +787,15 @@ let () =
     | "suite" -> suite ()
     | "certify" -> certify_overhead ()
     | "obs" -> obs_overhead ()
+    | "par" -> par_speedup ()
     | "bechamel" -> bechamel ()
     | "all" ->
       Printf.printf
         "vpart experiment harness (p=%.0f, lambda=%.2f, QP limit %.0fs)\n"
         cfg.p cfg.lambda cfg.qp_limit;
       table2 (); table1 (); table3 (); table4 (); table5 (); table6 ();
-      ablation (); suite (); certify_overhead (); obs_overhead (); bechamel ()
+      ablation (); suite (); certify_overhead (); obs_overhead ();
+      par_speedup (); bechamel ()
     | j -> Printf.printf "unknown job %S\n" j; usage ()
   in
   (* With --json-out, collect in-process solver metrics across all jobs

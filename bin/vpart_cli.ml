@@ -134,6 +134,18 @@ let no_grouping_term =
     & info [ "no-grouping" ]
         ~doc:"Disable the reasonable-cuts attribute grouping reduction.")
 
+let jobs_term =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains to use (default 1 = the sequential solvers, bit for \
+           bit).  For $(b,solve) this parallelizes the solver itself: the \
+           QP branch-and-bound solves open subtrees concurrently and the \
+           SA runs an $(docv)-chain portfolio with best-layout exchange.  \
+           For $(b,check) and $(b,certify) it fans the instance files out \
+           across domains.  See docs/PARALLELISM.md.")
+
 (* ------------------------------------------------------------------ *)
 (* info                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -168,26 +180,40 @@ let check_cmd =
       value & flag
       & info [ "strict" ] ~doc:"Promote warnings to errors (non-zero exit).")
   in
-  let run files strict =
-    let total_errors = ref 0 in
-    List.iter
-      (fun file ->
-         let diags =
-           match Codec.load_instance file with
-           | inst -> Instance_lint.lint inst
-           | exception Sys_error e ->
-             [ Diagnostic.error ~code:"I001" "cannot read instance: %s" e ]
-           | exception Json.Parse_error e ->
-             [ Diagnostic.error ~code:"I001" "JSON parse error: %s" e ]
-           | exception Invalid_argument e ->
-             [ Diagnostic.error ~code:"I001" "malformed instance: %s" e ]
-         in
-         let diags = if strict then Diagnostic.promote_warnings diags else diags in
-         total_errors := !total_errors + List.length (Diagnostic.errors diags);
-         Format.printf "@[<v>%s:@,%a@]@." file Report.pp_diagnostics diags)
-      files;
-    if !total_errors > 0 then begin
-      Format.printf "check failed: %d error(s)@." !total_errors;
+  let run files strict jobs =
+    (* Lint every file independently (possibly across domains), then print
+       the reports in command-line order — the output is identical for
+       every --jobs value. *)
+    let check_one file =
+      let diags =
+        match Codec.load_instance file with
+        | inst -> Instance_lint.lint inst
+        | exception Sys_error e ->
+          [ Diagnostic.error ~code:"I001" "cannot read instance: %s" e ]
+        | exception Json.Parse_error e ->
+          [ Diagnostic.error ~code:"I001" "JSON parse error: %s" e ]
+        | exception Invalid_argument e ->
+          [ Diagnostic.error ~code:"I001" "malformed instance: %s" e ]
+      in
+      let diags = if strict then Diagnostic.promote_warnings diags else diags in
+      let report =
+        Format.asprintf "@[<v>%s:@,%a@]@." file Report.pp_diagnostics diags
+      in
+      (List.length (Diagnostic.errors diags), report)
+    in
+    let results =
+      Par.with_pool ~jobs:(max 1 jobs) @@ fun pool ->
+      Par.map_list pool check_one files
+    in
+    let total_errors =
+      List.fold_left
+        (fun acc (errs, report) ->
+           print_string report;
+           acc + errs)
+        0 results
+    in
+    if total_errors > 0 then begin
+      Format.printf "check failed: %d error(s)@." total_errors;
       exit 1
     end
   in
@@ -198,7 +224,7 @@ let check_cmd =
           integrity, statistics sanity and degenerate-workload findings \
           (see docs/ANALYSIS.md for the code catalog).  Exits non-zero if \
           any Error-level finding is present.")
-    Term.(const run $ files_term $ strict_term)
+    Term.(const run $ files_term $ strict_term $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* solve                                                               *)
@@ -275,8 +301,9 @@ let solve_cmd =
             "Collect in-process metrics during the solve and print a \
              counter/gauge/histogram summary afterwards.")
   in
-  let run inst solver sites p lambda disjoint no_grouping time_limit seed json
-      lint_model certify trace progress metrics_summary output =
+  let run inst solver sites p lambda disjoint no_grouping jobs time_limit seed
+      json lint_model certify trace progress metrics_summary output =
+    let jobs = max 1 jobs in
     if lint_model then begin
       let grouping =
         if no_grouping then Grouping.identity inst else Grouping.compute inst
@@ -378,12 +405,16 @@ let solve_cmd =
           use_grouping = not no_grouping;
           seed;
           certify;
+          restarts = jobs;
+          jobs;
         }
       in
       let r = Sa_solver.solve ~options inst in
       Printf.printf "SA: %d iterations, %d accepted, %.2fs\n"
         r.Sa_solver.iterations r.Sa_solver.accepted r.Sa_solver.elapsed;
       Format.printf "%a@." Report.pp_sa_search r.Sa_solver.search;
+      if Array.length r.Sa_solver.chains > 1 then
+        Format.printf "%a@." Report.pp_sa_chains r.Sa_solver.chains;
       finish r.Sa_solver.partitioning r.Sa_solver.cost;
       check_certificate r.Sa_solver.certificate
     | `Qp ->
@@ -396,6 +427,7 @@ let solve_cmd =
           use_grouping = not no_grouping;
           time_limit;
           certify;
+          jobs;
         }
       in
       let r = Qp_solver.solve ~options inst in
@@ -425,6 +457,7 @@ let solve_cmd =
               use_grouping = not no_grouping;
               time_limit;
               certify;
+              jobs;
             };
         }
       in
@@ -472,9 +505,10 @@ let solve_cmd =
     Term.(
       term_result
         (const run $ instance_term $ solver_term $ sites_term $ p_term
-         $ lambda_term $ disjoint_term $ no_grouping_term $ time_limit_term
-         $ seed_term $ json_term $ lint_model_term $ certify_term
-         $ trace_term $ progress_term $ metrics_term $ output_term))
+         $ lambda_term $ disjoint_term $ no_grouping_term $ jobs_term
+         $ time_limit_term $ seed_term $ json_term $ lint_model_term
+         $ certify_term $ trace_term $ progress_term $ metrics_term
+         $ output_term))
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -536,10 +570,11 @@ let certify_cmd =
       & info [ "time-limit" ] ~docv:"S"
           ~doc:"Per-instance solve budget (seconds).")
   in
-  let run files solver sites p lambda time_limit =
-    let total_errors = ref 0 in
-    List.iter
-      (fun file ->
+  let run files solver sites p lambda time_limit jobs =
+    (* Solve + certify every file independently (possibly across domains;
+       the per-file solvers stay sequential so the fan-out owns the only
+       pool), then print the verdicts in command-line order. *)
+    let certify_one file =
          let cert =
            match Codec.load_instance file with
            | exception Sys_error e ->
@@ -592,13 +627,23 @@ let certify_cmd =
                    .Iterative_solver.certificate
              with Diagnostic.Errors ds -> Some ds)
          in
-         let ds = Option.value cert ~default:[] in
-         total_errors := !total_errors + List.length (Diagnostic.errors ds);
-         Format.printf "@[<v>%s: %a@]@." file Report.pp_certificate cert;
-         if ds <> [] then Format.printf "%a@." Report.pp_diagnostics ds)
-      files;
-    if !total_errors > 0 then begin
-      Format.printf "certification failed: %d error(s)@." !total_errors;
+         (file, cert)
+    in
+    let results =
+      Par.with_pool ~jobs:(max 1 jobs) @@ fun pool ->
+      Par.map_list pool certify_one files
+    in
+    let total_errors =
+      List.fold_left
+        (fun acc (file, cert) ->
+           let ds = Option.value cert ~default:[] in
+           Format.printf "@[<v>%s: %a@]@." file Report.pp_certificate cert;
+           if ds <> [] then Format.printf "%a@." Report.pp_diagnostics ds;
+           acc + List.length (Diagnostic.errors ds))
+        0 results
+    in
+    if total_errors > 0 then begin
+      Format.printf "certification failed: %d error(s)@." total_errors;
       exit 1
     end
   in
@@ -613,7 +658,7 @@ let certify_cmd =
           Error-level findings.")
     Term.(
       const run $ files_term $ solver_term $ sites_term $ p_term $ lambda_term
-      $ time_limit_term)
+      $ time_limit_term $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* gen / export                                                        *)

@@ -12,6 +12,7 @@ type options = {
   fixed_txns : (int * int) list;
   seed_solution : Partitioning.t option;
   certify : bool;
+  jobs : int;
 }
 
 let default_options =
@@ -29,6 +30,7 @@ let default_options =
     fixed_txns = [];
     seed_solution = None;
     certify = false;
+    jobs = 1;
   }
 
 type outcome = Proved_optimal | Limit_feasible | Limit_no_solution | Too_large
@@ -377,7 +379,8 @@ let solve ?(options = default_options) (inst : Instance.t) =
       options.seed_solution
   in
   let mip_outcome, mip_stats =
-    Mip.solve ~limits ~priority ?heuristic ?incumbent model
+    Mip.solve ~limits ~priority ?heuristic ?incumbent
+      ~jobs:(max 1 options.jobs) model
   in
   let elapsed = Obs.Clock.now () -. start in
   let finish outcome partitioning_reduced bound =

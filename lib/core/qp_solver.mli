@@ -47,11 +47,14 @@ type options = {
           {!Vpart_certify.Certify} and {!Solution_certify}, and return the
           findings in [certificate].  Off by default (it re-standardizes
           the model and re-evaluates the instance). *)
+  jobs : int;
+      (** Domains the branch-and-bound may use ({!Mip.solve}'s [jobs]);
+          1 (default) keeps the sequential search bit for bit. *)
 }
 
 val default_options : options
 (** 2 sites, p = 8, λ = 0.1, replication and grouping on, 60 s, 0.1 % gap,
-    4000-row cap, heuristic on, no latency term. *)
+    4000-row cap, heuristic on, no latency term, one domain. *)
 
 type outcome =
   | Proved_optimal       (** optimal within the MIP gap *)

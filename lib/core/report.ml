@@ -89,6 +89,17 @@ let pp_sa_search ppf (s : Sa_solver.search_stats) =
     (100. *. rate) s.Sa_solver.epochs s.Sa_solver.initial_temperature
     s.Sa_solver.final_temperature
 
+let pp_sa_chains ppf (chains : Sa_solver.search_stats array) =
+  Format.fprintf ppf "@[<v>portfolio: %d chain(s)" (Array.length chains);
+  Array.iteri
+    (fun i (c : Sa_solver.search_stats) ->
+       Format.fprintf ppf
+         "@,  chain %d: %d moves (%d accepted), %d epoch(s), tau %.4g -> %.4g"
+         i c.Sa_solver.moves c.Sa_solver.accepted_moves c.Sa_solver.epochs
+         c.Sa_solver.initial_temperature c.Sa_solver.final_temperature)
+    chains;
+  Format.fprintf ppf "@]"
+
 let pp_certificate ppf cert =
   let module D = Vpart_analysis.Diagnostic in
   match cert with

@@ -20,6 +20,11 @@ val pp_sa_search : Format.formatter -> Sa_solver.search_stats -> unit
 (** Two-line summary of an annealing run's search statistics: move /
     acceptance counts and the cooling trajectory (epochs, τ₀ → final τ). *)
 
+val pp_sa_chains : Format.formatter -> Sa_solver.search_stats array -> unit
+(** One line per portfolio chain ([Sa_solver.result.chains]): moves,
+    acceptance, epochs and temperature trajectory.  Meant for
+    [restarts > 1] runs; prints a single line for a one-chain array. *)
+
 val pp_certificate :
   Format.formatter -> Vpart_analysis.Diagnostic.t list option -> unit
 (** One-line certificate verdict for a solver's [certificate] field:

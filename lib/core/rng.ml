@@ -13,6 +13,19 @@ let int64 t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
+let split t n =
+  if n < 0 then invalid_arg "Rng.split: n must be non-negative";
+  (* Seed each child from a well-mixed draw of the parent.  The children
+     start from distinct 64-bit states (distinct with overwhelming
+     probability), so their streams are decorrelated in a way that
+     [create (seed + i)] -- sequential raw states -- would not be, and
+     the whole family is a pure function of the parent's state. *)
+  let seeds = Array.make (max n 1) 0L in
+  for i = 0 to n - 1 do
+    seeds.(i) <- int64 t
+  done;
+  Array.init n (fun i -> { state = seeds.(i) })
+
 let float t =
   (* 53 top bits -> [0,1) *)
   let bits = Int64.shift_right_logical (int64 t) 11 in

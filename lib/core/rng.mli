@@ -15,6 +15,14 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy: the original and the copy produce the same stream. *)
 
+val split : t -> int -> t array
+(** [split t n] advances [t] by [n] draws and returns [n] child
+    generators with distinct, decorrelated streams (each child is seeded
+    from one well-mixed output of [t]).  Reproducible: the same parent
+    state always yields the same family.  Unlike {!copy}, the children
+    do not replay the parent's stream — use one child per domain for
+    parallel work. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

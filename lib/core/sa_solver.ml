@@ -14,6 +14,8 @@ type options = {
   time_limit : float option;
   latency : float option;
   certify : bool;
+  restarts : int;
+  jobs : int;
 }
 
 let default_options =
@@ -33,6 +35,8 @@ let default_options =
     time_limit = None;
     latency = None;
     certify = false;
+    restarts = 1;
+    jobs = 1;
   }
 
 type search_stats = {
@@ -53,6 +57,7 @@ type result = {
   accepted : int;
   outer_rounds : int;
   search : search_stats;
+  chains : search_stats array;
   certificate : Vpart_analysis.Diagnostic.t list option;
 }
 
@@ -176,7 +181,17 @@ type anneal_callbacks = {
   current : unit -> Partitioning.t;
 }
 
-let anneal ?(extra = fun _ -> 0.) (stats : Stats.t) opts rng callbacks =
+(* [epoch_hook best_obj best] runs at every epoch boundary of a
+   portfolio chain: it publishes the chain's best to the other domains
+   and may return a strictly better (objective, partitioning) for this
+   chain to adopt.  The hook must not touch the chain's annealing state
+   ([current]/rng/temperature), so the chain's own trajectory — and its
+   [search_stats] — stay exactly those of a sequential run with the same
+   seed; adoption only ever lowers the reported best.  [best] is never
+   mutated in place by the annealer (it is replaced by fresh snapshots),
+   so the hook may share it across domains without copying. *)
+let anneal ?(extra = fun _ -> 0.) ?epoch_hook (stats : Stats.t) opts rng
+    callbacks =
   Obs.with_span "sa.anneal"
     ~attrs:
       [
@@ -237,6 +252,17 @@ let anneal ?(extra = fun _ -> 0.) (stats : Stats.t) opts rng callbacks =
          fix := (match !fix with `Fix_x -> `Fix_y | `Fix_y -> `Fix_x)
        done;
        tau := opts.cooling *. !tau;
+       (match epoch_hook with
+        | None -> ()
+        | Some hook -> (
+          match hook !best_obj !best with
+          | Some (obj, part) when obj < !best_obj ->
+            best_obj := obj;
+            best := part;
+            if Obs.enabled () then
+              Obs.point "sa.exchange"
+                ~attrs:[ ("obj", Obs.Float obj); ("epoch", Obs.Int !outer) ]
+          | _ -> ()));
        if Obs.enabled () then begin
          Obs.gauge "sa.temperature" !tau;
          Obs.point "sa.epoch"
@@ -275,7 +301,7 @@ let anneal ?(extra = fun _ -> 0.) (stats : Stats.t) opts rng callbacks =
 (* Replication mode                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let solve_replicated ?extra (stats : Stats.t) opts rng =
+let solve_replicated ?extra ?epoch_hook (stats : Stats.t) opts rng =
   let nt = stats.Stats.num_txns and na = stats.Stats.num_attrs in
   let part = Partitioning.create ~num_sites:opts.num_sites ~num_txns:nt ~num_attrs:na in
   (* random initial x satisfying (2) *)
@@ -305,7 +331,7 @@ let solve_replicated ?extra (stats : Stats.t) opts rng =
       current = (fun () -> !state);
     }
   in
-  anneal ?extra stats opts rng callbacks
+  anneal ?extra ?epoch_hook stats opts rng callbacks
 
 (* ------------------------------------------------------------------ *)
 (* Disjoint mode                                                       *)
@@ -349,7 +375,7 @@ let components (stats : Stats.t) =
   done;
   (!n, comp_of)
 
-let solve_disjoint ?extra (stats : Stats.t) opts rng =
+let solve_disjoint ?extra ?epoch_hook (stats : Stats.t) opts rng =
   let nt = stats.Stats.num_txns and na = stats.Stats.num_attrs in
   let ncomp, comp_of = components stats in
   let comp_site = Array.init ncomp (fun _ -> Rng.int rng opts.num_sites) in
@@ -420,7 +446,7 @@ let solve_disjoint ?extra (stats : Stats.t) opts rng =
       current = (fun () -> part);
     }
   in
-  anneal ?extra stats opts rng callbacks
+  anneal ?extra ?epoch_hook stats opts rng callbacks
 
 (* The trivial "everything co-located on one site" candidate: all
    transactions on site s with y optimized.  The annealer's random start
@@ -445,7 +471,6 @@ let solve ?(options = default_options) (inst : Instance.t) =
   let reduced = grouping.Grouping.reduced in
   let stats = Stats.compute reduced ~p:options.p in
   let full_stats = Stats.compute inst ~p:options.p in
-  let rng = Rng.create options.seed in
   (* Appendix A: fold the latency estimate into the annealed objective,
      scaled by lambda like every other cost term (matching the QP). *)
   let extra =
@@ -454,9 +479,117 @@ let solve ?(options = default_options) (inst : Instance.t) =
     | Some pl ->
       fun part -> options.lambda *. Cost_model.latency reduced ~pl part
   in
-  let best, best_obj6, search, elapsed =
-    if options.allow_replication then solve_replicated ~extra stats options rng
-    else solve_disjoint ~extra stats options rng
+  let restarts = max 1 options.restarts in
+  let best, best_obj6, search, chains, elapsed =
+    if restarts = 1 then begin
+      (* Single chain: the pre-portfolio sequential code path, bit for
+         bit (plain seed, no pool, no exchange). *)
+      let rng = Rng.create options.seed in
+      let best, obj, search, elapsed =
+        if options.allow_replication then
+          solve_replicated ~extra stats options rng
+        else solve_disjoint ~extra stats options rng
+      in
+      (best, obj, search, [| search |], elapsed)
+    end
+    else begin
+      (* Portfolio: [restarts] independent chains with split seeds run
+         across [jobs] domains.  Chains exchange their bests at epoch
+         boundaries through a monotone atomic cell; in replication mode
+         the receiving chain additionally polishes the adopted layout
+         with one exact y-step + x-step sweep (outside its own
+         trajectory).  The portfolio best is therefore never worse than
+         the best of the same chains run sequentially. *)
+      let t_start = Obs.Clock.now () in
+      (* Chain 0 anneals the exact stream a [restarts = 1] run would use,
+         so the portfolio is provably never worse than the sequential run
+         on the same seed (its reported best can only be replaced by a
+         strictly better exchanged layout); the extra chains explore
+         decorrelated split streams. *)
+      let rngs =
+        let splits = Rng.split (Rng.create options.seed) (restarts - 1) in
+        Array.init restarts (fun i ->
+            if i = 0 then Rng.create options.seed else splits.(i - 1))
+      in
+      let cell :
+            (float * Partitioning.t option) Atomic.t =
+        Atomic.make (infinity, None)
+      in
+      let rec publish obj part =
+        let cur = Atomic.get cell in
+        if obj < fst cur then
+          if not (Atomic.compare_and_set cell cur (obj, Some part)) then
+            publish obj part
+      in
+      let eval part =
+        Cost_model.objective stats ~lambda:options.lambda part +. extra part
+      in
+      let epoch_hook best_obj best =
+        publish best_obj best;
+        match Atomic.get cell with
+        | gobj, Some gpart when gobj < best_obj ->
+          if options.allow_replication then begin
+            (* Side polish on a private copy; publish any improvement. *)
+            let c = Partitioning.copy gpart in
+            optimize_y_given_x stats options c;
+            optimize_x_given_y stats options c;
+            let cobj = eval c in
+            if cobj < gobj then begin
+              publish cobj c;
+              Some (cobj, c)
+            end
+            else Some (gobj, gpart)
+          end
+          else Some (gobj, gpart)
+        | _ -> None
+      in
+      let run_chain rng =
+        if options.allow_replication then
+          solve_replicated ~extra ~epoch_hook stats options rng
+        else solve_disjoint ~extra ~epoch_hook stats options rng
+      in
+      let jobs = max 1 (min options.jobs restarts) in
+      let results =
+        Par.with_pool ~jobs (fun pool -> Par.map_array pool run_chain rngs)
+      in
+      let best = ref None and best_obj = ref infinity in
+      Array.iter
+        (fun (b, obj, _, _) ->
+           if obj < !best_obj then begin
+             best_obj := obj;
+             best := Some b
+           end)
+        results;
+      (* The cell may hold a polished layout better than every chain's
+         own best. *)
+      (match Atomic.get cell with
+       | gobj, Some gpart when gobj < !best_obj ->
+         best_obj := gobj;
+         best := Some gpart
+       | _ -> ());
+      let chains = Array.map (fun (_, _, s, _) -> s) results in
+      let search =
+        Array.fold_left
+          (fun acc (c : search_stats) ->
+             {
+               moves = acc.moves + c.moves;
+               accepted_moves = acc.accepted_moves + c.accepted_moves;
+               rejected_moves = acc.rejected_moves + c.rejected_moves;
+               epochs = max acc.epochs c.epochs;
+               initial_temperature = acc.initial_temperature;
+               final_temperature =
+                 Float.min acc.final_temperature c.final_temperature;
+             })
+          { chains.(0) with moves = 0; accepted_moves = 0; rejected_moves = 0 }
+          chains
+      in
+      let best =
+        match !best with
+        | Some b -> b
+        | None -> invalid_arg "Sa_solver: empty portfolio"
+      in
+      (best, !best_obj, search, chains, Obs.Clock.now () -. t_start)
+    end
   in
   let best, _obj6 =
     let collapsed = collapsed_candidate stats options 0 in
@@ -510,5 +643,6 @@ let solve ?(options = default_options) (inst : Instance.t) =
     accepted = search.accepted_moves;
     outer_rounds = search.epochs;
     search;
+    chains;
     certificate;
   }

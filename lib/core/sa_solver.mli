@@ -47,12 +47,27 @@ type options = {
           {!Cost_model.breakdown} and a from-scratch evaluation of the
           annealer's tracked best, returning the findings in
           [certificate].  Off by default. *)
+  restarts : int;
+      (** Portfolio width: number of independent annealing chains.  With
+          [restarts = 1] (default) the solver runs the single sequential
+          chain, bit for bit as before.  With more, chain 0 anneals that
+          same stream and chains 1.. run {!Rng.split} streams of [seed];
+          chains exchange their best layouts at epoch boundaries, and the
+          reported best is never worse than the best of the same chains
+          run in isolation — in particular never worse (in objective (6))
+          than the [restarts = 1] run on the same seed. *)
+  jobs : int;
+      (** Domains the portfolio may occupy (capped at [restarts]);
+          1 (default) runs the chains sequentially on the caller.  The
+          set of chain trajectories is identical for every [jobs] value
+          when [time_limit] is [None]; only wall-clock changes. *)
 }
 
 val default_options : options
 (** 2 sites, p = 8, λ = 0.1, replication and grouping on, seed 1,
     10 % moves, L = 40, ρ = 0.85, 5 % gap, freeze at τ₀/1000,
-    at most 400 outer rounds, no time limit, no latency term.
+    at most 400 outer rounds, no time limit, no latency term,
+    one chain ([restarts = 1]) on one domain ([jobs = 1]).
 
     The returned solution is additionally never worse (in objective (6))
     than the best {e collapsed} layout — all transactions on one site with
@@ -79,7 +94,14 @@ type result = {
   iterations : int;               (** inner iterations executed *)
   accepted : int;                 (** accepted moves *)
   outer_rounds : int;
-  search : search_stats;          (** full search statistics *)
+  search : search_stats;
+      (** aggregated search statistics: with one chain, that chain's; with
+          a portfolio, moves/accepted/rejected summed over chains, epochs
+          the maximum, final temperature the minimum *)
+  chains : search_stats array;
+      (** per-chain search statistics, [restarts] entries in chain order
+          (chain [i] runs on split seed [i]); a single-element array when
+          [restarts = 1] *)
   certificate : Vpart_analysis.Diagnostic.t list option;
       (** [Some findings] when [options.certify] was set ([C203]/[C201]/
           [C205] checks; empty = certified clean); [None] otherwise *)

@@ -44,6 +44,17 @@ type stats = {
 
 let int_tol = 1e-6
 
+(* State shared between the domains of a parallel search ([solve ~jobs]).
+   [None] in every sequential search: the sequential code path is the
+   pre-parallelism one, bit for bit. *)
+type shared = {
+  best : (float * float array option) Atomic.t;
+      (* global incumbent (objective, point); objective only decreases *)
+  nodes_global : int Atomic.t;
+      (* process-wide node count, so [node_limit] caps the whole search
+         rather than each domain separately *)
+}
+
 type search = {
   std : Lp.std;
   sx : Simplex.t;
@@ -62,7 +73,31 @@ type search = {
   mutable next_node_id : int;
   mutable nodes : int;
   mutable numerical_prunes : int;
+  mutable shared : shared option;
 }
+
+(* Pull a better incumbent published by another domain into this
+   domain's local view, so its prune threshold tightens. *)
+let sync_shared s =
+  match s.shared with
+  | None -> ()
+  | Some sh ->
+    let obj, x = Atomic.get sh.best in
+    if obj < s.incumbent_obj then begin
+      s.incumbent_obj <- obj;
+      s.incumbent <- x
+    end
+
+(* Publish this domain's incumbent; the CAS loop keeps the shared
+   objective monotonically decreasing under contention. *)
+let rec publish_shared s =
+  match s.shared with
+  | None -> ()
+  | Some sh ->
+    let cur = Atomic.get sh.best in
+    if s.incumbent_obj < fst cur then
+      if not (Atomic.compare_and_set sh.best cur (s.incumbent_obj, s.incumbent))
+      then publish_shared s
 
 exception Hit_limit
 
@@ -117,6 +152,7 @@ let offer s cand =
     if obj < s.incumbent_obj -. 1e-9 then begin
       s.incumbent <- Some cand;
       s.incumbent_obj <- obj;
+      publish_shared s;
       if Obs.enabled () then
         Obs.point "mip.incumbent"
           ~attrs:
@@ -148,10 +184,20 @@ let most_fractional s x =
 
 let rec branch s depth =
   if out_of_time s then raise Hit_limit;
+  sync_shared s;
   (match s.limits.node_limit with
-   | Some n when s.nodes >= n -> raise Hit_limit
-   | _ -> ());
+   | Some n ->
+     let counted =
+       match s.shared with
+       | Some sh -> Atomic.get sh.nodes_global
+       | None -> s.nodes
+     in
+     if counted >= n then raise Hit_limit
+   | None -> ());
   s.nodes <- s.nodes + 1;
+  (match s.shared with
+   | Some sh -> Atomic.incr sh.nodes_global
+   | None -> ());
   if Obs.enabled () then
     Obs.point "mip.node"
       ~attrs:[ ("node", Obs.Int s.nodes); ("depth", Obs.Int depth) ];
@@ -179,6 +225,7 @@ let rec branch s depth =
           if bound < s.incumbent_obj -. 1e-9 then begin
             s.incumbent <- Some (round_integers s.std x);
             s.incumbent_obj <- bound;
+            publish_shared s;
             if Obs.enabled () then
               Obs.point "mip.incumbent"
                 ~attrs:
@@ -218,6 +265,236 @@ let rec branch s depth =
         Hashtbl.remove s.open_bounds id;
         explore second
     end
+
+(* ------------------------------------------------------------------ *)
+(* Parallel branch-and-bound (solve ~jobs)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* An open subtree produced by the breadth-first expansion: the bound
+   changes along the path from the root (root-first, so replaying them
+   in order reproduces the node's variable box on a fresh root copy)
+   and the parent's LP objective, which is a valid lower bound for
+   everything inside the subtree. *)
+type subtree = {
+  changes : (int * float * float) list;  (* (var, lb, ub) *)
+  sub_bound : float;
+  sub_depth : int;
+}
+
+let insert_by_bound node queue =
+  let rec go = function
+    | [] -> [ node ]
+    | n :: rest when n.sub_bound <= node.sub_bound -> n :: go rest
+    | rest -> node :: rest
+  in
+  go queue
+
+(* Multi-domain search: expand the tree best-bound-first on the caller's
+   simplex until at least [4 * jobs] open subtrees exist, then solve
+   each subtree on the pool.  Every worker gets an independent
+   [Simplex.copy] of the root-optimal instance (a dual-feasible warm
+   start for any subtree box) and runs the ordinary [branch] DFS; the
+   incumbent is exchanged through [shared.best] so all domains prune
+   against the global best.
+
+   Soundness of the aggregated proof: the global minimum is covered by
+   (a) subtrees explored to exhaustion — every leaf pruned against an
+   incumbent objective that only ever decreases towards the final one,
+   so they prove [>= incumbent_obj] exactly as the sequential search
+   does; (b) abandoned or unfinished parts, each of which contributes
+   its own subtree/frontier LP bound.  The proven global lower bound is
+   the minimum over those contributions, and the contribution list is
+   returned as [bound_support] so the certificate layer can re-check
+   [proven = min support] (C110).  Returns
+   [(interrupted, proven_lb, support, worker_simplex_iters)]. *)
+let parallel_search s ~root_bound ~jobs =
+  let sh =
+    {
+      best = Atomic.make (s.incumbent_obj, s.incumbent);
+      nodes_global = Atomic.make s.nodes;
+    }
+  in
+  s.shared <- Some sh;
+  let target = 4 * jobs in
+  let queue = ref [ { changes = []; sub_bound = root_bound; sub_depth = 0 } ] in
+  let contribs = ref [] in
+  let stopped = ref false in
+  let gap_stop = ref None in
+  let node_limit_hit () =
+    match s.limits.node_limit with
+    | Some n -> Atomic.get sh.nodes_global >= n
+    | None -> false
+  in
+  while
+    (not !stopped) && !gap_stop = None && !queue <> []
+    && List.length !queue < target
+  do
+    (* Frontier-wide gap check (the expansion-phase analogue of
+       [check_gap]): the minimum over open subtree bounds is the global
+       lower bound right now. *)
+    (match s.incumbent with
+     | Some _ ->
+       let glb =
+         List.fold_left (fun acc n -> Float.min acc n.sub_bound) infinity !queue
+       in
+       if Obs.enabled () then
+         Obs.point "mip.bound"
+           ~attrs:
+             [
+               ("bound", Obs.Float (Lp.restore_objective s.std glb));
+               ("node", Obs.Int s.nodes);
+             ];
+       if rel_gap s.incumbent_obj glb <= s.limits.gap then gap_stop := Some glb
+     | None -> ());
+    match !queue with
+    | [] -> ()
+    | node :: rest when !gap_stop = None ->
+      if out_of_time s || node_limit_hit () then stopped := true
+      else begin
+        queue := rest;
+        s.nodes <- s.nodes + 1;
+        Atomic.incr sh.nodes_global;
+        if Obs.enabled () then
+          Obs.point "mip.node"
+            ~attrs:[ ("node", Obs.Int s.nodes); ("depth", Obs.Int node.sub_depth) ];
+        (* Apply the node's box on the caller's simplex, recording the
+           previous bounds so it can be restored to the root box. *)
+        let saved =
+          List.rev_map
+            (fun (j, lb, ub) ->
+               let plo, phi = Simplex.bounds s.sx j in
+               Simplex.set_bounds s.sx j ~lb ~ub;
+               (j, plo, phi))
+            node.changes
+        in
+        (match Simplex.reoptimize ?deadline:s.deadline s.sx with
+         | Simplex.Infeasible -> Obs.count "mip.prune.infeasible" 1.
+         | Simplex.Time_limit ->
+           stopped := true;
+           contribs := node.sub_bound :: !contribs
+         | Simplex.Iter_limit | Simplex.Numerical ->
+           s.numerical_prunes <- s.numerical_prunes + 1;
+           Obs.count "mip.prune.numerical" 1.;
+           contribs := node.sub_bound :: !contribs
+         | Simplex.Unbounded -> ()  (* cannot happen from reoptimize *)
+         | Simplex.Optimal ->
+           let bound = Simplex.objective s.sx +. s.std.Lp.obj_const in
+           if
+             bound
+             >= s.incumbent_obj
+                -. (1e-9 *. Float.max 1. (Float.abs s.incumbent_obj))
+           then Obs.count "mip.prune.bound" 1.
+           else begin
+             let x = Simplex.primal s.sx in
+             match most_fractional s x with
+             | None ->
+               Obs.count "mip.integral_leaf" 1.;
+               if not (offer s x) then
+                 if bound < s.incumbent_obj -. 1e-9 then begin
+                   s.incumbent <- Some (round_integers s.std x);
+                   s.incumbent_obj <- bound;
+                   publish_shared s;
+                   if Obs.enabled () then
+                     Obs.point "mip.incumbent"
+                       ~attrs:
+                         [
+                           ("obj", Obs.Float (Lp.restore_objective s.std bound));
+                           ("node", Obs.Int s.nodes);
+                         ]
+                 end
+             | Some j ->
+               let lo, hi = Simplex.bounds s.sx j in
+               let fl = Float.of_int (int_of_float (Float.floor x.(j)))
+               and ce = Float.of_int (int_of_float (Float.ceil x.(j))) in
+               let child changes =
+                 {
+                   changes = node.changes @ [ changes ];
+                   sub_bound = bound;
+                   sub_depth = node.sub_depth + 1;
+                 }
+               in
+               let down = child (j, lo, fl) and up = child (j, ce, hi) in
+               let first, second =
+                 if x.(j) -. fl >= 0.5 then (up, down) else (down, up)
+               in
+               queue := insert_by_bound second (insert_by_bound first !queue)
+           end);
+        List.iter
+          (fun (j, lo, hi) -> Simplex.set_bounds s.sx j ~lb:lo ~ub:hi)
+          saved
+      end
+    | _ -> ()
+  done;
+  (* Solve the open subtrees on the pool.  Each worker copies the
+     root-boxed, root-warm simplex, replays its subtree's bound changes
+     and runs the ordinary DFS. *)
+  let run_subtree node =
+    let wsx = Simplex.copy s.sx in
+    let iters0 = Simplex.iterations wsx in
+    List.iter (fun (j, lb, ub) -> Simplex.set_bounds wsx j ~lb ~ub) node.changes;
+    let iobj, ix = Atomic.get sh.best in
+    let ws =
+      {
+        s with
+        sx = wsx;
+        incumbent = ix;
+        incumbent_obj = iobj;
+        open_bounds = Hashtbl.create 64;
+        next_node_id = 0;
+        nodes = 0;
+        numerical_prunes = 0;
+      }
+    in
+    let verdict =
+      try
+        branch ws node.sub_depth;
+        if ws.numerical_prunes = 0 then `Clean else `Abandoned node.sub_bound
+      with
+      | Hit_limit -> `Limit (global_lower_bound ws node.sub_bound)
+      | Gap_reached (glb, _) -> `Gap glb
+    in
+    (verdict, ws.nodes, Simplex.iterations wsx - iters0, ws.numerical_prunes)
+  in
+  let results =
+    if !stopped || !gap_stop <> None || !queue = [] then [||]
+    else
+      Par.with_pool ~jobs (fun pool ->
+          Par.map_array pool run_subtree (Array.of_list !queue))
+  in
+  let interrupted = ref (!stopped || !gap_stop <> None) in
+  (match !gap_stop with Some glb -> contribs := glb :: !contribs | None -> ());
+  if !stopped then
+    List.iter (fun n -> contribs := n.sub_bound :: !contribs) !queue;
+  let par_iters = ref 0 in
+  Array.iter
+    (fun (verdict, n, it, np) ->
+       s.nodes <- s.nodes + n;
+       par_iters := !par_iters + it;
+       s.numerical_prunes <- s.numerical_prunes + np;
+       match verdict with
+       | `Clean -> ()
+       | `Abandoned b -> contribs := b :: !contribs
+       | `Limit b ->
+         interrupted := true;
+         contribs := b :: !contribs
+       | `Gap b ->
+         interrupted := true;
+         contribs := b :: !contribs)
+    results;
+  (* Adopt the portfolio-best incumbent, then drop the shared state. *)
+  let iobj, ix = Atomic.get sh.best in
+  if iobj < s.incumbent_obj then begin
+    s.incumbent <- ix;
+    s.incumbent_obj <- iobj
+  end;
+  s.shared <- None;
+  let support =
+    match s.incumbent with
+    | Some _ -> s.incumbent_obj :: !contribs
+    | None -> !contribs
+  in
+  let proven = List.fold_left Float.min infinity support in
+  (!interrupted, proven, Array.of_list support, !par_iters)
 
 let pp_outcome ppf = function
   | Optimal { obj; _ } -> Format.fprintf ppf "optimal %g" obj
@@ -266,7 +543,7 @@ let outcome_tag = function
   | Too_large _ -> "too_large"
 
 let solve ?(limits = default_limits) ?(presolve = false)
-    ?(priority = fun _ -> 0) ?heuristic ?incumbent model =
+    ?(priority = fun _ -> 0) ?heuristic ?incumbent ?(jobs = 1) model =
   let original_std = Lp.standardize model in
   Obs.with_span "mip.solve"
     ~attrs:
@@ -336,6 +613,12 @@ let solve ?(limits = default_limits) ?(presolve = false)
   in
   match limits.max_rows with
   | Some r when std.Lp.nrows > r ->
+    (* Leave a trace of the refusal: a silent Too_large is
+       indistinguishable from a solver that never ran (documented next
+       to the M/I/P codes in docs/ANALYSIS.md). *)
+    if Obs.enabled () then
+      Obs.point "mip.too_large"
+        ~attrs:[ ("rows", Obs.Int std.Lp.nrows); ("max_rows", Obs.Int r) ];
     finish (Too_large std.Lp.nrows) ~nodes:0 ~iters:0 ~gap_achieved:infinity
       ~audit:no_audit
   | _ ->
@@ -356,6 +639,7 @@ let solve ?(limits = default_limits) ?(presolve = false)
         next_node_id = 0;
         nodes = 0;
         numerical_prunes = 0;
+        shared = None;
       }
     in
     (match incumbent with Some c -> ignore (offer s c) | None -> ());
@@ -411,25 +695,27 @@ let solve ?(limits = default_limits) ?(presolve = false)
           | Some h ->
             (match h root_x with Some cand -> ignore (offer s cand) | None -> ())
           | None -> ());
-         let interrupted, proven_lb, support =
-           try
-             branch s 0;
-             (* Search exhausted: the proof is complete up to numerical
-                prunes. *)
-             if s.numerical_prunes = 0 then
-               (false, s.incumbent_obj, [| s.incumbent_obj |])
-             else (false, root_bound, [| root_bound |])
-           with
-           | Hit_limit ->
-             (* The exception handlers along the unwind removed their
-                open_bounds entries, so the table only retains nodes above
-                the interrupt point (usually none): the provable bound
-                degrades towards the root bound. *)
-             let glb = global_lower_bound s root_bound in
-             (true, glb, bound_support s root_bound)
-           | Gap_reached (glb, support) -> (true, glb, support)
+         let interrupted, proven_lb, support, par_iters =
+           if jobs <= 1 then (
+             try
+               branch s 0;
+               (* Search exhausted: the proof is complete up to numerical
+                  prunes. *)
+               if s.numerical_prunes = 0 then
+                 (false, s.incumbent_obj, [| s.incumbent_obj |], 0)
+               else (false, root_bound, [| root_bound |], 0)
+             with
+             | Hit_limit ->
+               (* The exception handlers along the unwind removed their
+                  open_bounds entries, so the table only retains nodes above
+                  the interrupt point (usually none): the provable bound
+                  degrades towards the root bound. *)
+               let glb = global_lower_bound s root_bound in
+               (true, glb, bound_support s root_bound, 0)
+             | Gap_reached (glb, support) -> (true, glb, support, 0))
+           else parallel_search s ~root_bound ~jobs
          in
-         let iters = Simplex.iterations sx in
+         let iters = Simplex.iterations sx + par_iters in
          let lb_min = proven_lb in
          let audit glb_known =
            { no_audit with

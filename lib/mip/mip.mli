@@ -106,6 +106,7 @@ val solve :
   ?priority:(Lp.var -> int) ->
   ?heuristic:(float array -> float array option) ->
   ?incumbent:float array ->
+  ?jobs:int ->
   Lp.model ->
   outcome * stats
 (** Solve the model.  [priority v] orders branching candidates (higher
@@ -117,6 +118,22 @@ val solve :
     With [~presolve:true] (default false) the model is reduced with
     {!Presolve} first; returned solutions are mapped back to the original
     variable space, and the [priority]/[heuristic]/[incumbent] callbacks
-    continue to see original-space indices/points. *)
+    continue to see original-space indices/points.
+
+    [jobs] (default 1) is the number of domains the branch-and-bound may
+    use.  With [jobs = 1] the search is the sequential DFS, bit for bit.
+    With [jobs > 1] the tree is first expanded best-bound-first into at
+    least [4 * jobs] open subtrees, which are then solved concurrently on
+    a {!Par} pool: every domain owns a private warm-started
+    {!Simplex.copy} of the root instance, the incumbent is shared through
+    an [Atomic] so all domains prune against the global best, and the
+    proven lower bound / [bound_support] aggregate the per-subtree
+    proofs, so [gap_achieved] and the audit keep their sequential
+    meaning (the certificate layer re-checks them unchanged).  The
+    explored tree shape — and therefore [nodes], the incumbent point and
+    exact tie-breaking — may differ from the sequential search, but the
+    certified objective agrees within [limits.gap].  [priority] and
+    [heuristic] callbacks must be thread-safe (pure functions of their
+    arguments); the ones built by [Qp_solver] are. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -4,20 +4,31 @@
 
    Hot-path contract: with no sink installed and metrics collection off,
    every emitter is one mutable-flag test.  Call sites that must build
-   attribute lists guard with [enabled ()] first. *)
+   attribute lists guard with [enabled ()] first.
+
+   Domain safety: emitters may be called from worker domains
+   (Mip.solve ~jobs, the SA portfolio, Par batches).  The clock clamp is
+   a CAS loop, span stacks are per-domain (Domain.DLS), span ids come
+   from an Atomic, sink emission and the Metrics tables are
+   mutex-guarded, and events emitted off the main domain carry a
+   [domain] attr so [Reader.check_nesting] can validate each domain's
+   span stack separately.  Installing a sink ([with_sink]) remains a
+   main-domain affair; the sequential (main-domain-only) event stream is
+   byte-identical to the unguarded implementation. *)
 
 module Clock = struct
   (* Monotone clamp over the wall clock: a backwards adjustment freezes
-     [now] until real time catches up (documented in the .mli). *)
-  let last = ref 0.
+     [now] until real time catches up (documented in the .mli).  The
+     clamp is process-wide across domains: CAS loop over the last value
+     returned. *)
+  let last = Atomic.make 0.
 
-  let now () =
+  let rec now () =
     let t = Unix.gettimeofday () in
-    if t > !last then begin
-      last := t;
-      t
-    end
-    else !last
+    let l = Atomic.get last in
+    if t > l then
+      if Atomic.compare_and_set last l t then t else now ()
+    else l
 
   let since t0 = now () -. t0
 end
@@ -49,7 +60,18 @@ type sink = {
 let metrics_toggle_hook = ref (fun () -> ())
 
 module Metrics = struct
-  let on = ref false
+  let on = Atomic.make false
+
+  (* All table mutation and reading happens under [lock]: counters may
+     be bumped concurrently from worker domains (Hashtbl is not
+     domain-safe).  The off fast path never touches the lock. *)
+  let lock = Mutex.create ()
+
+  let locked f =
+    Mutex.lock lock;
+    match f () with
+    | v -> Mutex.unlock lock; v
+    | exception e -> Mutex.unlock lock; raise e
 
   let counters : (string, float ref) Hashtbl.t = Hashtbl.create 32
   let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 16
@@ -64,31 +86,35 @@ module Metrics = struct
   let hists : (string, mutable_hist) Hashtbl.t = Hashtbl.create 16
 
   let enable () =
-    on := true;
+    Atomic.set on true;
     !metrics_toggle_hook ()
 
   let disable () =
-    on := false;
+    Atomic.set on false;
     !metrics_toggle_hook ()
 
-  let enabled () = !on
+  let enabled () = Atomic.get on
 
   let reset () =
+    locked @@ fun () ->
     Hashtbl.reset counters;
     Hashtbl.reset gauges;
     Hashtbl.reset hists
 
   let add_counter name v =
+    locked @@ fun () ->
     match Hashtbl.find_opt counters name with
     | Some r -> r := !r +. v
     | None -> Hashtbl.replace counters name (ref v)
 
   let set_gauge name v =
+    locked @@ fun () ->
     match Hashtbl.find_opt gauges name with
     | Some r -> r := v
     | None -> Hashtbl.replace gauges name (ref v)
 
   let observe name v =
+    locked @@ fun () ->
     match Hashtbl.find_opt hists name with
     | Some h ->
       h.h_count <- h.h_count + 1;
@@ -113,6 +139,7 @@ module Metrics = struct
       (Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl [])
 
   let snapshot () =
+    locked @@ fun () ->
     {
       counters = sorted_bindings counters (fun r -> !r);
       gauges = sorted_bindings gauges (fun r -> !r);
@@ -122,6 +149,7 @@ module Metrics = struct
     }
 
   let counter_value name =
+    locked @@ fun () ->
     match Hashtbl.find_opt counters name with Some r -> !r | None -> 0.
 
   let to_json (s : snapshot) =
@@ -170,14 +198,23 @@ end
 (* ------------------------------------------------------------------ *)
 
 type state = {
-  mutable sink : sink option;
+  mutable sink : sink option;   (* installed/removed on the main domain *)
   mutable t0 : float;           (* sink time origin *)
-  mutable next_id : int;
-  mutable stack : int list;     (* open span ids, innermost first *)
+  next_id : int Atomic.t;
   mutable active : bool;        (* sink <> None || Metrics.enabled *)
 }
 
-let st = { sink = None; t0 = 0.; next_id = 0; stack = []; active = false }
+let st = { sink = None; t0 = 0.; next_id = Atomic.make 0; active = false }
+
+(* Open span ids, innermost first, per domain: spans opened on a worker
+   domain nest among themselves, never under another domain's spans. *)
+let stack_key : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+(* Serializes sink emission across domains, so concurrent events cannot
+   interleave inside a JSONL line and file timestamps stay
+   non-decreasing (the ts is taken under the lock). *)
+let emit_lock = Mutex.create ()
 
 let sink_on () = match st.sink with Some _ -> true | None -> false
 
@@ -187,8 +224,8 @@ let () = metrics_toggle_hook := refresh_active
 let set_sink s =
   st.sink <- s;
   st.t0 <- Clock.now ();
-  st.next_id <- 0;
-  st.stack <- [];
+  Atomic.set st.next_id 0;
+  Domain.DLS.get stack_key := [];
   refresh_active ()
 
 let enabled () =
@@ -199,7 +236,11 @@ let enabled () =
 let emit ev =
   match st.sink with
   | None -> ()
-  | Some s -> s.emit ~ts:(Clock.since st.t0) ev
+  | Some s ->
+    Mutex.lock emit_lock;
+    (match s.emit ~ts:(Clock.since st.t0) ev with
+     | () -> Mutex.unlock emit_lock
+     | exception e -> Mutex.unlock emit_lock; raise e)
 
 let with_sink sink f =
   let prev = st.sink in
@@ -210,28 +251,36 @@ let with_sink sink f =
         set_sink prev)
     f
 
+(* Events emitted off the main domain are tagged with the runtime domain
+   id, so a parallel trace remains attributable and checkable per
+   domain.  Main-domain events carry no tag: the sequential stream is
+   byte-identical to the pre-parallelism schema. *)
+let domain_attrs attrs =
+  if Domain.is_main_domain () then attrs
+  else attrs @ [ ("domain", Int (Domain.self () :> int)) ]
+
 let with_span ?(attrs = []) name f =
   refresh_active ();
   if not st.active then f ()
   else begin
     let t0 = Clock.now () in
+    let stack = Domain.DLS.get stack_key in
     let id =
       match st.sink with
       | None -> -1
       | Some _ ->
-        let id = st.next_id in
-        st.next_id <- id + 1;
-        let parent = match st.stack with [] -> None | p :: _ -> Some p in
-        st.stack <- id :: st.stack;
-        emit (Span_open { id; parent; name; attrs });
+        let id = Atomic.fetch_and_add st.next_id 1 in
+        let parent = match !stack with [] -> None | p :: _ -> Some p in
+        stack := id :: !stack;
+        emit (Span_open { id; parent; name; attrs = domain_attrs attrs });
         id
     in
     Fun.protect
       ~finally:(fun () ->
           let dur = Clock.since t0 in
           if id >= 0 then begin
-            (match st.stack with
-             | top :: rest when top = id -> st.stack <- rest
+            (match !stack with
+             | top :: rest when top = id -> stack := rest
              | _ -> ()  (* sink swapped mid-span; drop silently *));
             emit (Span_close { id; name; dur })
           end;
@@ -254,7 +303,7 @@ let gauge ?(attrs = []) name v =
 let point ?(attrs = []) name =
   if st.active then begin
     if Metrics.enabled () then Metrics.add_counter name 1.;
-    if sink_on () then emit (Point { name; attrs })
+    if sink_on () then emit (Point { name; attrs = domain_attrs attrs })
   end
 
 let observe name v = if Metrics.enabled () then Metrics.observe name v
@@ -508,20 +557,45 @@ module Reader = struct
     | exception Sys_error m -> Error m
     | contents -> read_string contents
 
+  (* Span discipline is per domain: events emitted off the main domain
+     carry a ["domain"] int attr (absent = main domain, runtime id 0),
+     and spans opened on a domain nest among that domain's spans only.
+     A [span_close] has no attrs; it belongs to the domain that opened
+     its id.  Sequential traces (no tagged events) degenerate to the
+     original single-stack check. *)
   let check_nesting events =
-    let open_spans = Hashtbl.create 32 in
-    let stack = ref [] in
+    let open_spans = Hashtbl.create 32 in   (* id -> name *)
+    let span_domain = Hashtbl.create 32 in  (* id -> domain *)
+    let stacks : (int, int list ref) Hashtbl.t = Hashtbl.create 4 in
+    let stack_of dom =
+      match Hashtbl.find_opt stacks dom with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.replace stacks dom r;
+        r
+    in
+    let domain_of attrs =
+      match List.assoc_opt "domain" attrs with
+      | Some (Int d) -> d
+      | _ -> 0
+    in
     let rec check = function
-      | [] -> (
-        match !stack with
-        | [] -> Ok ()
-        | id :: _ ->
-          Error
-            (Printf.sprintf "span %d (%s) never closed" id
-               (try Hashtbl.find open_spans id with Not_found -> "?")))
+      | [] ->
+        Hashtbl.fold
+          (fun _dom stack acc ->
+             match (acc, !stack) with
+             | (Error _, _) | (_, []) -> acc
+             | (Ok (), id :: _) ->
+               Error
+                 (Printf.sprintf "span %d (%s) never closed" id
+                    (try Hashtbl.find open_spans id with Not_found -> "?")))
+          stacks (Ok ())
       | (_, ev) :: rest -> (
         match ev with
-        | Span_open { id; parent; name; _ } ->
+        | Span_open { id; parent; name; attrs } ->
+          let dom = domain_of attrs in
+          let stack = stack_of dom in
           if Hashtbl.mem open_spans id then
             Error (Printf.sprintf "span id %d opened twice" id)
           else begin
@@ -541,10 +615,16 @@ module Reader = struct
                    "span %d (%s) claims no parent inside an open span" id name)
             | _ ->
               Hashtbl.replace open_spans id name;
+              Hashtbl.replace span_domain id dom;
               stack := id :: !stack;
               check rest
           end
         | Span_close { id; name; _ } -> (
+          let stack =
+            match Hashtbl.find_opt span_domain id with
+            | Some dom -> stack_of dom
+            | None -> stack_of 0
+          in
           match !stack with
           | top :: rest_stack when top = id ->
             stack := rest_stack;

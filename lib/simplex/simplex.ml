@@ -144,6 +144,29 @@ let create (std : Lp.std) =
     infeas_ray = None;
   }
 
+(* Independent snapshot for a worker domain.  [cost], [b], [col_idx] and
+   [col_val] are write-once after [create] (verified: no mutation site in
+   this module), so the copy shares them; everything the solve mutates --
+   bounds, basis, B^-1, values, reduced costs, scratch, counters -- is
+   deep-copied so the copy can reoptimize concurrently with (or instead
+   of) the original. *)
+let copy t =
+  {
+    t with
+    lb = Array.copy t.lb;
+    ub = Array.copy t.ub;
+    lb_patched = Array.copy t.lb_patched;
+    ub_patched = Array.copy t.ub_patched;
+    basis = Array.copy t.basis;
+    loc = Array.copy t.loc;
+    binv = Array.map Array.copy t.binv;
+    xb = Array.copy t.xb;
+    d = Array.copy t.d;
+    alpha = Array.copy t.alpha;
+    wscratch = Array.copy t.wscratch;
+    infeas_ray = Option.map Array.copy t.infeas_ray;
+  }
+
 let nrows t = t.m
 let ncols t = t.n
 let iterations t = t.total_iters

@@ -51,6 +51,16 @@ val create : Lp.std -> t
 (** Build an instance positioned at the dual-feasible all-slack basis.
     Integrality markers in [std] are ignored here. *)
 
+val copy : t -> t
+(** Independent snapshot: same model, same current basis/bounds/values,
+    but no mutable state shared with the original — the copy and the
+    original can be reoptimized concurrently (e.g. on different domains).
+    Immutable model data (costs, matrix columns, right-hand side) is
+    shared, so a copy is O(rows² + cols), dominated by the basis
+    inverse.  A copy of a root-optimal instance is a valid warm start
+    for any subtree of a branch-and-bound search: the basis stays dual
+    feasible under the subtree's bound changes. *)
+
 val nrows : t -> int
 val ncols : t -> int
 
