@@ -275,6 +275,25 @@ let solve_cmd =
              feasibility, dual bounds, cost-model agreement) and print the \
              certificate verdict; exits non-zero if certification fails.")
   in
+  let simplex_dense_term =
+    Arg.(
+      value & flag
+      & info [ "simplex-dense" ]
+          ~doc:
+            "Use the dense explicit-inverse simplex kernel for node LPs \
+             instead of the default product-form (eta) updates.  Same \
+             certified answers, different wall-clock profile; see \
+             docs/PERFORMANCE.md.")
+  in
+  let refactor_every_term =
+    Arg.(
+      value
+      & opt int Qp_solver.default_options.Qp_solver.refactor_every
+      & info [ "refactor-every" ] ~docv:"N"
+          ~doc:
+            "Pivots between eta-file folds in the eta simplex kernel \
+             (ignored with $(b,--simplex-dense)).")
+  in
   let trace_term =
     Arg.(
       value
@@ -302,7 +321,9 @@ let solve_cmd =
              counter/gauge/histogram summary afterwards.")
   in
   let run inst solver sites p lambda disjoint no_grouping jobs time_limit seed
-      json lint_model certify trace progress metrics_summary output =
+      simplex_dense refactor_every json lint_model certify trace progress
+      metrics_summary output =
+    let simplex_eta = not simplex_dense in
     let jobs = max 1 jobs in
     if lint_model then begin
       let grouping =
@@ -428,6 +449,8 @@ let solve_cmd =
           time_limit;
           certify;
           jobs;
+          simplex_eta;
+          refactor_every;
         }
       in
       let r = Qp_solver.solve ~options inst in
@@ -438,6 +461,7 @@ let solve_cmd =
          | Qp_solver.Limit_no_solution -> "no solution within limit"
          | Qp_solver.Too_large -> "model too large")
         r.Qp_solver.nodes r.Qp_solver.model_rows r.Qp_solver.elapsed;
+      Format.printf "%a@." Report.pp_mip_kernel r;
       if r.Qp_solver.diagnostics <> [] then
         Format.printf "%a@." Report.pp_diagnostics r.Qp_solver.diagnostics;
       (match (r.Qp_solver.partitioning, r.Qp_solver.cost) with
@@ -458,6 +482,8 @@ let solve_cmd =
               time_limit;
               certify;
               jobs;
+              simplex_eta;
+              refactor_every;
             };
         }
       in
@@ -506,9 +532,9 @@ let solve_cmd =
       term_result
         (const run $ instance_term $ solver_term $ sites_term $ p_term
          $ lambda_term $ disjoint_term $ no_grouping_term $ jobs_term
-         $ time_limit_term $ seed_term $ json_term $ lint_model_term
-         $ certify_term $ trace_term $ progress_term $ metrics_term
-         $ output_term))
+         $ time_limit_term $ seed_term $ simplex_dense_term
+         $ refactor_every_term $ json_term $ lint_model_term $ certify_term
+         $ trace_term $ progress_term $ metrics_term $ output_term))
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)

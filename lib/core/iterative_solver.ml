@@ -140,19 +140,104 @@ let solve ?(options = default_options) (inst : Instance.t) =
            out)
         r.Qp_solver.partitioning
     in
+    (* Replica polish through the O(Δ) evaluator: the batched rounds fix
+       transactions incrementally, so the final replica set can carry
+       leftovers from early rounds.  First-improvement flips on the full
+       annealed objective (objective (6) plus the Appendix-A latency term
+       when configured) clean those up.  Pure y-moves keep the pins and
+       the transaction mapping intact; dropping a replica is only legal
+       when the attribute keeps coverage and no φ-reader is homed on the
+       dropped site.  Bounded to two sweeps over (attribute, site). *)
+    let polished =
+      match mapped with
+      | Some part
+        when options.qp.Qp_solver.allow_replication
+             && options.qp.Qp_solver.num_sites > 1 ->
+        Obs.with_span "iter.polish" @@ fun () ->
+        let stats = Stats.compute inst ~p:options.qp.Qp_solver.p in
+        let lambda = options.qp.Qp_solver.lambda in
+        let latency =
+          Option.map (fun pl -> (inst, pl)) options.qp.Qp_solver.latency
+        in
+        let dc = Delta_cost.create ?latency stats ~lambda part in
+        let na = stats.Stats.num_attrs in
+        let phi_txns =
+          Array.init na (fun a ->
+              List.filter
+                (fun t -> stats.Stats.phi.(t).(a))
+                (List.init (Array.length part.Partitioning.txn_site) Fun.id))
+        in
+        let changed = ref false and improved = ref true and pass = ref 0 in
+        while !improved && !pass < 2 do
+          improved := false;
+          incr pass;
+          for a = 0 to na - 1 do
+            for s = 0 to part.Partitioning.num_sites - 1 do
+              let legal =
+                if part.Partitioning.placed.(a).(s) then
+                  Delta_cost.replicas dc a > 1
+                  && not
+                       (List.exists
+                          (fun t -> part.Partitioning.txn_site.(t) = s)
+                          phi_txns.(a))
+                else true
+              in
+              if legal then begin
+                let tol =
+                  1e-9 *. (1. +. Float.abs (Delta_cost.objective dc))
+                in
+                let d = Delta_cost.apply_move dc (Delta_cost.Flip (a, s)) in
+                if d < -.tol then begin
+                  improved := true;
+                  changed := true
+                end
+                else Delta_cost.undo_move dc
+              end
+            done
+          done
+        done;
+        if !changed then Some (stats, dc) else None
+      | _ -> None
+    in
+    (* [mapped] is the partitioning wrapped by the evaluator, mutated in
+       place, so it already carries the polished layout; the reported
+       numbers are re-derived from the unchanged Cost_model, never from
+       the delta caches. *)
+    let cost, objective6, polish_certs =
+      match polished with
+      | None -> (r.Qp_solver.cost, r.Qp_solver.objective6, [])
+      | Some (stats, dc) ->
+        let part = Delta_cost.partitioning dc in
+        let cost = Cost_model.cost stats part in
+        let obj6 =
+          Cost_model.objective stats ~lambda:options.qp.Qp_solver.lambda part
+        in
+        let certs =
+          if not options.qp.Qp_solver.certify then []
+          else
+            Solution_certify.certify_partitioning stats part
+            @ Solution_certify.certify_cost ~tol:1e-5 inst
+                ~p:options.qp.Qp_solver.p part ~claimed:cost
+            @ Solution_certify.certify_objective6 ~tol:1e-5 inst
+                ~p:options.qp.Qp_solver.p ~lambda:options.qp.Qp_solver.lambda
+                ?latency:options.qp.Qp_solver.latency part
+                ~claimed:(Delta_cost.objective dc)
+        in
+        (Some cost, Some obj6, certs)
+    in
     let certificate =
       if not options.qp.Qp_solver.certify then None
       else
         Some
           (Vpart_analysis.Diagnostic.sort
-             (!pin_findings
+             (!pin_findings @ polish_certs
               @ Option.value r.Qp_solver.certificate ~default:[]))
     in
     {
       outcome = r.Qp_solver.outcome;
       partitioning = mapped;
-      cost = r.Qp_solver.cost;
-      objective6 = r.Qp_solver.objective6;
+      cost;
+      objective6;
       elapsed;
       rounds = List.rev !rounds_info;
       diagnostics = r.Qp_solver.diagnostics;

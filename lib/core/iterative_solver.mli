@@ -15,7 +15,18 @@
 
     This trades optimality for scaling: each round's search space is
     exponentially smaller than the monolithic program's, while attribute
-    placement is still globally re-optimized every round. *)
+    placement is still globally re-optimized every round.
+
+    After the last round the replica set is {e polished}: first-improvement
+    replica flips on the full annealed objective (objective (6) plus the
+    Appendix-A latency term when configured), evaluated through the
+    {!Delta_cost} incremental kernel, bounded to two sweeps.  Pure y-moves
+    never break the pin contract; flips that would break coverage or read
+    single-sitedness are not proposed.  Skipped with
+    [qp.allow_replication = false] or a single site.  Reported cost and
+    objective are re-derived from {!Cost_model} (never from the delta
+    caches), and with [qp.certify] the polished layout gets fresh
+    feasibility/cost/objective certificates. *)
 
 type options = {
   qp : Qp_solver.options;   (** per-round solver setup; [qp.time_limit] is
@@ -42,8 +53,8 @@ type round_info = {
 type result = {
   outcome : Qp_solver.outcome;          (** of the final (full) round *)
   partitioning : Partitioning.t option; (** original attribute space *)
-  cost : float option;                  (** objective (4) *)
-  objective6 : float option;
+  cost : float option;                  (** objective (4), after polish *)
+  objective6 : float option;            (** objective (6), after polish *)
   elapsed : float;
   rounds : round_info list;             (** in execution order *)
   diagnostics : Vpart_analysis.Diagnostic.t list;

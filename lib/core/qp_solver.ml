@@ -13,6 +13,8 @@ type options = {
   seed_solution : Partitioning.t option;
   certify : bool;
   jobs : int;
+  simplex_eta : bool;
+  refactor_every : int;
 }
 
 let default_options =
@@ -31,6 +33,8 @@ let default_options =
     seed_solution = None;
     certify = false;
     jobs = 1;
+    simplex_eta = true;
+    refactor_every = 32;
   }
 
 type outcome = Proved_optimal | Limit_feasible | Limit_no_solution | Too_large
@@ -44,6 +48,8 @@ type result = {
   elapsed : float;
   nodes : int;
   simplex_iters : int;
+  refactorizations : int;
+  eta_applications : int;
   model_rows : int;
   model_cols : int;
   diagnostics : Vpart_analysis.Diagnostic.t list;
@@ -368,6 +374,8 @@ let solve ?(options = default_options) (inst : Instance.t) =
       node_limit = None;
       gap = options.gap;
       max_rows = options.max_rows;
+      simplex_eta = options.simplex_eta;
+      refactor_every = options.refactor_every;
     }
   in
   let incumbent =
@@ -437,6 +445,8 @@ let solve ?(options = default_options) (inst : Instance.t) =
       elapsed;
       nodes = mip_stats.Mip.nodes;
       simplex_iters = mip_stats.Mip.simplex_iterations;
+      refactorizations = mip_stats.Mip.refactorizations;
+      eta_applications = mip_stats.Mip.eta_applications;
       model_rows = Lp.num_constrs model;
       model_cols = ncols;
       diagnostics;

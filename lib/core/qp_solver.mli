@@ -50,11 +50,19 @@ type options = {
   jobs : int;
       (** Domains the branch-and-bound may use ({!Mip.solve}'s [jobs]);
           1 (default) keeps the sequential search bit for bit. *)
+  simplex_eta : bool;
+      (** Product-form (eta-file) basis updates in the node LPs
+          ({!Mip.limits.simplex_eta}); [false] falls back to the dense
+          per-pivot inverse update, kept as the [bench perf] baseline. *)
+  refactor_every : int;
+      (** Eta-file length at which the node LPs rebuild their dense
+          inverse ({!Mip.limits.refactor_every}). *)
 }
 
 val default_options : options
 (** 2 sites, p = 8, λ = 0.1, replication and grouping on, 60 s, 0.1 % gap,
-    4000-row cap, heuristic on, no latency term, one domain. *)
+    4000-row cap, heuristic on, no latency term, one domain, eta updates
+    on with refactorization every 32 pivots. *)
 
 type outcome =
   | Proved_optimal       (** optimal within the MIP gap *)
@@ -72,6 +80,8 @@ type result = {
   elapsed : float;
   nodes : int;
   simplex_iters : int;
+  refactorizations : int;  (** basis rebuilds across all node LPs *)
+  eta_applications : int;  (** eta-file applications; 0 when [simplex_eta] is off *)
   model_rows : int;
   model_cols : int;
   diagnostics : Vpart_analysis.Diagnostic.t list;

@@ -100,6 +100,16 @@ let pp_sa_chains ppf (chains : Sa_solver.search_stats array) =
     chains;
   Format.fprintf ppf "@]"
 
+let pp_mip_kernel ppf (r : Qp_solver.result) =
+  Format.fprintf ppf "kernel: %d node(s), %d simplex iteration(s)"
+    r.Qp_solver.nodes r.Qp_solver.simplex_iters;
+  if r.Qp_solver.eta_applications > 0 then
+    Format.fprintf ppf ", %d eta application(s), %d refactorization(s)"
+      r.Qp_solver.eta_applications r.Qp_solver.refactorizations
+  else
+    Format.fprintf ppf ", %d refactorization(s) (dense basis updates)"
+      r.Qp_solver.refactorizations
+
 let pp_certificate ppf cert =
   let module D = Vpart_analysis.Diagnostic in
   match cert with

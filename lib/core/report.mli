@@ -25,6 +25,13 @@ val pp_sa_chains : Format.formatter -> Sa_solver.search_stats array -> unit
     acceptance, epochs and temperature trajectory.  Meant for
     [restarts > 1] runs; prints a single line for a one-chain array. *)
 
+val pp_mip_kernel : Format.formatter -> Qp_solver.result -> unit
+(** One-line LP-kernel summary of a QP/MIP solve: node and simplex
+    iteration counts plus the basis-update statistics — eta applications
+    and refactorizations in eta mode ({!Qp_solver.options.simplex_eta}),
+    refactorizations only in dense mode — so the eta-vs-rebuild tradeoff
+    of the [refactor_every] cadence is visible in run output. *)
+
 val pp_certificate :
   Format.formatter -> Vpart_analysis.Diagnostic.t list option -> unit
 (** One-line certificate verdict for a solver's [certificate] field:

@@ -16,6 +16,7 @@ type options = {
   certify : bool;
   restarts : int;
   jobs : int;
+  full_eval : bool;
 }
 
 let default_options =
@@ -37,6 +38,7 @@ let default_options =
     certify = false;
     restarts = 1;
     jobs = 1;
+    full_eval = false;
   }
 
 type search_stats = {
@@ -170,168 +172,371 @@ let perturb_y rng opts frac (part : Partitioning.t) =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Annealing loop shared by both modes                                 *)
+(* Per-solve context: loop-invariant work hoisted out of the move loop *)
 (* ------------------------------------------------------------------ *)
 
-type anneal_callbacks = {
-  propose : [ `Fix_x | `Fix_y ] -> unit;
-      (** perturb the state and re-optimize the non-fixed vector *)
-  snapshot : unit -> Partitioning.t;
-  restore : Partitioning.t -> unit;
-  current : unit -> Partitioning.t;
+(* Hoisted Appendix-A latency evaluator.  [Cost_model.latency] re-walks
+   the workload's query lists on every call and the annealer evaluates it
+   once per move; precompute the write queries (home transaction,
+   frequency, accessed attributes as arrays) once per solve instead. *)
+let make_latency_eval (inst : Instance.t) =
+  let wl = inst.Instance.workload in
+  let acc = ref [] in
+  for q = Workload.num_queries wl - 1 downto 0 do
+    let query = Workload.query wl q in
+    if Workload.is_write query then
+      acc :=
+        ( Workload.txn_of_query wl q,
+          query.Workload.freq,
+          Array.of_list query.Workload.attrs )
+        :: !acc
+  done;
+  let wq = Array.of_list !acc in
+  fun (part : Partitioning.t) ->
+    let ns = part.Partitioning.num_sites in
+    let total = ref 0. in
+    Array.iter
+      (fun (tx, freq, attrs) ->
+         let home = part.Partitioning.txn_site.(tx) in
+         let remote = ref false in
+         Array.iter
+           (fun a ->
+              if not !remote then begin
+                let row = part.Partitioning.placed.(a) in
+                for s = 0 to ns - 1 do
+                  if row.(s) && s <> home then remote := true
+                done
+              end)
+           attrs;
+         if !remote then total := !total +. freq)
+      wq;
+    !total
+
+type ctx = {
+  stats : Stats.t;
+  opts : options;
+  phi_attrs : int array array;  (* txn  -> attrs with φ(t,a), ascending *)
+  phi_txns : int array array;   (* attr -> txns with φ(t,a), ascending *)
+  latency : (Instance.t * float) option;  (* reduced instance, pl *)
+  extra : Partitioning.t -> float;
+      (* λ·pl·latency (Appendix A), hoisted; constant 0 when disabled *)
 }
 
-(* [epoch_hook best_obj best] runs at every epoch boundary of a
-   portfolio chain: it publishes the chain's best to the other domains
-   and may return a strictly better (objective, partitioning) for this
-   chain to adopt.  The hook must not touch the chain's annealing state
-   ([current]/rng/temperature), so the chain's own trajectory — and its
-   [search_stats] — stay exactly those of a sequential run with the same
-   seed; adoption only ever lowers the reported best.  [best] is never
-   mutated in place by the annealer (it is replaced by fresh snapshots),
-   so the hook may share it across domains without copying. *)
-let anneal ?(extra = fun _ -> 0.) ?epoch_hook (stats : Stats.t) opts rng
-    callbacks =
-  Obs.with_span "sa.anneal"
-    ~attrs:
-      [
-        ("txns", Obs.Int stats.Stats.num_txns);
-        ("attrs", Obs.Int stats.Stats.num_attrs);
-      ]
-  @@ fun () ->
-  let lambda = opts.lambda in
-  let eval part = Cost_model.objective stats ~lambda part +. extra part in
-  let start = Obs.Clock.now () in
-  let deadline = Option.map (fun tl -> start +. tl) opts.time_limit in
-  let out_of_time () =
-    match deadline with None -> false | Some d -> Obs.Clock.now () > d
-  in
-  let current_obj = ref (eval (callbacks.current ())) in
-  let best = ref (callbacks.snapshot ()) in
-  let best_obj = ref !current_obj in
-  (* §5.1: accept a accept_gap-worse solution with probability 1/2 in the
-     first iterations. *)
-  let tau0 =
-    let c = Float.max !best_obj 1e-9 in
-    -.(opts.accept_gap *. c) /. Float.log 0.5
-  in
-  let tau = ref tau0 in
-  let iterations = ref 0 and accepted = ref 0 and outer = ref 0 in
-  let fix = ref `Fix_x in
-  (try
-     while
-       !tau > opts.freeze_ratio *. tau0
-       && !outer < opts.max_outer
-       && not (out_of_time ())
-     do
-       incr outer;
-       let epoch_start_accepted = !accepted in
-       for _ = 1 to opts.inner_loops do
-         if out_of_time () then raise Exit;
-         incr iterations;
-         let saved = callbacks.snapshot () in
-         callbacks.propose !fix;
-         let cand_obj = eval (callbacks.current ()) in
-         let delta = cand_obj -. !current_obj in
-         if delta <= 0. || Rng.float rng < Float.exp (-.delta /. !tau) then begin
-           incr accepted;
-           current_obj := cand_obj;
-           if cand_obj < !best_obj then begin
-             best_obj := cand_obj;
-             best := callbacks.snapshot ();
-             if Obs.enabled () then
-               Obs.point "sa.best"
-                 ~attrs:
-                   [
-                     ("obj", Obs.Float !best_obj);
-                     ("move", Obs.Int !iterations);
-                   ]
-           end
-         end
-         else callbacks.restore saved;
-         fix := (match !fix with `Fix_x -> `Fix_y | `Fix_y -> `Fix_x)
-       done;
-       tau := opts.cooling *. !tau;
-       (match epoch_hook with
-        | None -> ()
-        | Some hook -> (
-          match hook !best_obj !best with
-          | Some (obj, part) when obj < !best_obj ->
-            best_obj := obj;
-            best := part;
-            if Obs.enabled () then
-              Obs.point "sa.exchange"
-                ~attrs:[ ("obj", Obs.Float obj); ("epoch", Obs.Int !outer) ]
-          | _ -> ()));
-       if Obs.enabled () then begin
-         Obs.gauge "sa.temperature" !tau;
-         Obs.point "sa.epoch"
-           ~attrs:
-             [
-               ("epoch", Obs.Int !outer);
-               ("temperature", Obs.Float !tau);
-               ( "accept_rate",
-                 Obs.Float
-                   (float_of_int (!accepted - epoch_start_accepted)
-                    /. float_of_int opts.inner_loops) );
-               ("best_obj", Obs.Float !best_obj);
-               ("current_obj", Obs.Float !current_obj);
-             ]
-       end
-     done
-   with Exit -> ());
-  if Obs.enabled () then begin
-    Obs.count "sa.moves" (float_of_int !iterations);
-    Obs.count "sa.accepted" (float_of_int !accepted);
-    Obs.count "sa.rejected" (float_of_int (!iterations - !accepted))
-  end;
-  let search =
-    {
-      moves = !iterations;
-      accepted_moves = !accepted;
-      rejected_moves = !iterations - !accepted;
-      epochs = !outer;
-      initial_temperature = tau0;
-      final_temperature = !tau;
-    }
-  in
-  (!best, !best_obj, search, Obs.Clock.now () -. start)
-
-(* ------------------------------------------------------------------ *)
-(* Replication mode                                                    *)
-(* ------------------------------------------------------------------ *)
-
-let solve_replicated ?extra ?epoch_hook (stats : Stats.t) opts rng =
+let make_ctx (reduced : Instance.t) (stats : Stats.t) (opts : options) =
   let nt = stats.Stats.num_txns and na = stats.Stats.num_attrs in
-  let part = Partitioning.create ~num_sites:opts.num_sites ~num_txns:nt ~num_attrs:na in
-  (* random initial x satisfying (2) *)
+  let counts_t = Array.make nt 0 and counts_a = Array.make na 0 in
+  for t = 0 to nt - 1 do
+    for a = 0 to na - 1 do
+      if stats.Stats.phi.(t).(a) then begin
+        counts_t.(t) <- counts_t.(t) + 1;
+        counts_a.(a) <- counts_a.(a) + 1
+      end
+    done
+  done;
+  let phi_attrs = Array.init nt (fun t -> Array.make counts_t.(t) 0) in
+  let phi_txns = Array.init na (fun a -> Array.make counts_a.(a) 0) in
+  Array.fill counts_t 0 nt 0;
+  Array.fill counts_a 0 na 0;
+  for t = 0 to nt - 1 do
+    for a = 0 to na - 1 do
+      if stats.Stats.phi.(t).(a) then begin
+        phi_attrs.(t).(counts_t.(t)) <- a;
+        counts_t.(t) <- counts_t.(t) + 1;
+        phi_txns.(a).(counts_a.(a)) <- t;
+        counts_a.(a) <- counts_a.(a) + 1
+      end
+    done
+  done;
+  let latency = Option.map (fun pl -> (reduced, pl)) opts.latency in
+  let extra =
+    match opts.latency with
+    | None -> fun _ -> 0.
+    | Some pl ->
+      let lat = make_latency_eval reduced in
+      fun part -> opts.lambda *. pl *. lat part
+  in
+  { stats; opts; phi_attrs; phi_txns; latency; extra }
+
+(* ------------------------------------------------------------------ *)
+(* Move engines                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The annealing loop drives the search through this interface.  The
+   full-evaluation engines ([full_eval = true]) reproduce the pre-delta
+   behavior — copy the state, perturb, re-optimize, pay a full
+   {!Cost_model.objective} — and serve as the measured baseline; the
+   delta engines track the objective through {!Delta_cost} and undo
+   rejected moves through its journal instead of restoring snapshots. *)
+type engine = {
+  init_obj : float;
+  propose : [ `Fix_x | `Fix_y ] -> float;
+      (** perturb + re-optimize the non-fixed vector; returns the
+          candidate objective *)
+  accept : unit -> unit;
+  reject : unit -> unit;  (** roll the proposal back *)
+  snapshot_best : unit -> Partitioning.t;
+  epoch_refresh : float -> float;
+      (** epoch boundary: resync incremental caches against float drift;
+          takes and returns the current objective *)
+  delta_evals : unit -> int;  (** primitive delta updates performed *)
+}
+
+(* Shared by both replication engines: random x satisfying (2), then an
+   exact y-step. *)
+let init_replicated (stats : Stats.t) opts rng =
+  let nt = stats.Stats.num_txns and na = stats.Stats.num_attrs in
+  let part =
+    Partitioning.create ~num_sites:opts.num_sites ~num_txns:nt ~num_attrs:na
+  in
   for t = 0 to nt - 1 do
     part.Partitioning.txn_site.(t) <- Rng.int rng opts.num_sites
   done;
   optimize_y_given_x stats opts part;
-  let state = ref part in
-  let callbacks =
-    {
-      propose =
-        (fun fix ->
-           let p = !state in
-           perturb_x rng opts opts.move_fraction p;
-           perturb_y rng opts opts.move_fraction p;
-           (* [`Fix_x] re-optimizes y (a y-step) and vice versa. *)
-           (match fix with
-            | `Fix_x ->
-              Obs.timed "sa.ystep.seconds" (fun () ->
-                  optimize_y_given_x stats opts p)
-            | `Fix_y ->
-              Obs.timed "sa.xstep.seconds" (fun () ->
-                  optimize_x_given_y stats opts p));
-           Partitioning.repair_single_sitedness stats p);
-      snapshot = (fun () -> Partitioning.copy !state);
-      restore = (fun saved -> state := saved);
-      current = (fun () -> !state);
-    }
+  part
+
+let full_replicated_engine ctx rng part =
+  let stats = ctx.stats and opts = ctx.opts in
+  let eval p =
+    Cost_model.objective stats ~lambda:opts.lambda p +. ctx.extra p
   in
-  anneal ?extra ?epoch_hook stats opts rng callbacks
+  let state = ref part in
+  let saved = ref part in
+  {
+    init_obj = eval part;
+    propose =
+      (fun fix ->
+         saved := Partitioning.copy !state;
+         let p = !state in
+         perturb_x rng opts opts.move_fraction p;
+         perturb_y rng opts opts.move_fraction p;
+         (* [`Fix_x] re-optimizes y (a y-step) and vice versa. *)
+         (match fix with
+          | `Fix_x ->
+            Obs.timed "sa.ystep.seconds" (fun () ->
+                optimize_y_given_x stats opts p)
+          | `Fix_y ->
+            Obs.timed "sa.xstep.seconds" (fun () ->
+                optimize_x_given_y stats opts p));
+         Partitioning.repair_single_sitedness stats p;
+         eval p);
+    accept = (fun () -> ());
+    reject = (fun () -> state := !saved);
+    snapshot_best = (fun () -> Partitioning.copy !state);
+    epoch_refresh = (fun obj -> obj);
+    delta_evals = (fun () -> 0);
+  }
+
+(* Replication-mode delta engine.  On top of {!Delta_cost} it maintains
+   the two aggregates the exact sub-steps need, so a full y- or x-step
+   costs O(attrs × sites) / O(txns × sites) instead of O(txns × attrs):
+
+     coef.(a).(s)   = c2(a) + Σ_{t at s} c1(t,a)   (y-step coefficient)
+     forced.(a).(s) = #{t at s with φ(t,a)}        (single-sitedness)
+     score.(t).(s)  = Σ_{a placed at s} c1(t,a)    (x-step cost)
+     miss.(t).(s)   = #{a : φ(t,a), not placed at s}  (x feasibility)
+
+   Rejected proposals are rolled back through an engine journal that
+   mirrors the {!Delta_cost} one. *)
+type rprim =
+  | EFlip of int * int * bool  (* attr, site, was-added *)
+  | EAssign of int * int * int (* txn, old site, new site *)
+
+let delta_replicated_engine ctx rng part =
+  let stats = ctx.stats and opts = ctx.opts in
+  let nt = stats.Stats.num_txns
+  and na = stats.Stats.num_attrs
+  and ns = opts.num_sites in
+  let dc = Delta_cost.create ?latency:ctx.latency stats ~lambda:opts.lambda part in
+  let coef = Array.make_matrix na ns 0. in
+  let forced = Array.make_matrix na ns 0 in
+  let score = Array.make_matrix nt ns 0. in
+  let miss = Array.make_matrix nt ns 0 in
+  let rebuild_aggregates () =
+    for a = 0 to na - 1 do
+      Array.fill coef.(a) 0 ns stats.Stats.c2.(a);
+      Array.fill forced.(a) 0 ns 0
+    done;
+    for t = 0 to nt - 1 do
+      let home = part.Partitioning.txn_site.(t) in
+      let c1t = stats.Stats.c1.(t) in
+      for a = 0 to na - 1 do
+        coef.(a).(home) <- coef.(a).(home) +. c1t.(a)
+      done;
+      Array.iter
+        (fun a -> forced.(a).(home) <- forced.(a).(home) + 1)
+        ctx.phi_attrs.(t)
+    done;
+    for t = 0 to nt - 1 do
+      let c1t = stats.Stats.c1.(t) in
+      let nphi = Array.length ctx.phi_attrs.(t) in
+      for s = 0 to ns - 1 do
+        let sc = ref 0. in
+        for a = 0 to na - 1 do
+          if part.Partitioning.placed.(a).(s) then sc := !sc +. c1t.(a)
+        done;
+        score.(t).(s) <- !sc;
+        let m = ref nphi in
+        Array.iter
+          (fun a -> if part.Partitioning.placed.(a).(s) then decr m)
+          ctx.phi_attrs.(t);
+        miss.(t).(s) <- !m
+      done
+    done
+  in
+  rebuild_aggregates ();
+  let journal = ref [] in
+  let flip a s =
+    let added = not part.Partitioning.placed.(a).(s) in
+    ignore (Delta_cost.apply_move dc (Delta_cost.Flip (a, s)));
+    let sign = if added then 1. else -1. in
+    for t = 0 to nt - 1 do
+      score.(t).(s) <- score.(t).(s) +. (sign *. stats.Stats.c1.(t).(a))
+    done;
+    let d = if added then -1 else 1 in
+    Array.iter (fun t -> miss.(t).(s) <- miss.(t).(s) + d) ctx.phi_txns.(a);
+    journal := EFlip (a, s, added) :: !journal
+  in
+  let assign t s =
+    let s_old = part.Partitioning.txn_site.(t) in
+    if s_old <> s then begin
+      ignore (Delta_cost.apply_move dc (Delta_cost.Assign (t, s)));
+      let c1t = stats.Stats.c1.(t) in
+      for a = 0 to na - 1 do
+        coef.(a).(s_old) <- coef.(a).(s_old) -. c1t.(a);
+        coef.(a).(s) <- coef.(a).(s) +. c1t.(a)
+      done;
+      Array.iter
+        (fun a ->
+           forced.(a).(s_old) <- forced.(a).(s_old) - 1;
+           forced.(a).(s) <- forced.(a).(s) + 1)
+        ctx.phi_attrs.(t);
+      journal := EAssign (t, s_old, s) :: !journal
+    end
+  in
+  let reject () =
+    (* head of the journal = last primitive applied: popping in list
+       order keeps the engine aggregates and the Delta_cost journal in
+       lockstep *)
+    List.iter
+      (function
+        | EFlip (a, s, added) ->
+          Delta_cost.undo_move dc;
+          let sign = if added then -1. else 1. in
+          for t = 0 to nt - 1 do
+            score.(t).(s) <- score.(t).(s) +. (sign *. stats.Stats.c1.(t).(a))
+          done;
+          let d = if added then 1 else -1 in
+          Array.iter
+            (fun t -> miss.(t).(s) <- miss.(t).(s) + d)
+            ctx.phi_txns.(a)
+        | EAssign (t, s_old, s_new) ->
+          Delta_cost.undo_move dc;
+          let c1t = stats.Stats.c1.(t) in
+          for a = 0 to na - 1 do
+            coef.(a).(s_new) <- coef.(a).(s_new) -. c1t.(a);
+            coef.(a).(s_old) <- coef.(a).(s_old) +. c1t.(a)
+          done;
+          Array.iter
+            (fun a ->
+               forced.(a).(s_new) <- forced.(a).(s_new) - 1;
+               forced.(a).(s_old) <- forced.(a).(s_old) + 1)
+            ctx.phi_attrs.(t))
+      !journal;
+    journal := []
+  in
+  let ystep () =
+    (* y optimal given x, from the maintained coefficients: same
+       placement rule as [optimize_y_given_x], applied as diffs *)
+    for a = 0 to na - 1 do
+      let row = part.Partitioning.placed.(a) in
+      let cf = coef.(a) and fc = forced.(a) in
+      let any = ref false in
+      for s = 0 to ns - 1 do
+        if fc.(s) > 0 || cf.(s) < 0. then any := true
+      done;
+      if !any then
+        for s = 0 to ns - 1 do
+          let want = fc.(s) > 0 || cf.(s) < 0. in
+          if want <> row.(s) then flip a s
+        done
+      else begin
+        let best = ref 0 and best_c = ref cf.(0) in
+        for s = 1 to ns - 1 do
+          if cf.(s) < !best_c then begin
+            best := s;
+            best_c := cf.(s)
+          end
+        done;
+        for s = 0 to ns - 1 do
+          if (s = !best) <> row.(s) then flip a s
+        done
+      end
+    done
+  in
+  let xstep () =
+    (* x optimal given y from score/miss, then the φ-repair for
+       transactions left on an infeasible site — the same fixpoint as
+       [optimize_x_given_y] + [repair_single_sitedness] *)
+    for t = 0 to nt - 1 do
+      let best = ref (-1) and best_c = ref infinity in
+      for s = 0 to ns - 1 do
+        if miss.(t).(s) = 0 && score.(t).(s) < !best_c then begin
+          best := s;
+          best_c := score.(t).(s)
+        end
+      done;
+      if !best >= 0 then assign t !best
+    done;
+    for t = 0 to nt - 1 do
+      let home = part.Partitioning.txn_site.(t) in
+      if miss.(t).(home) > 0 then
+        Array.iter
+          (fun a -> if not part.Partitioning.placed.(a).(home) then flip a home)
+          ctx.phi_attrs.(t)
+    done
+  in
+  {
+    init_obj = Delta_cost.objective dc;
+    propose =
+      (fun fix ->
+         if nt > 0 && ns > 1 then begin
+           let k = count_moves opts.move_fraction nt in
+           List.iter
+             (fun t ->
+                let cur = part.Partitioning.txn_site.(t) in
+                let s = Rng.int rng (ns - 1) in
+                assign t (if s >= cur then s + 1 else s))
+             (Rng.sample_distinct rng k nt)
+         end;
+         if na > 0 && ns > 1 then begin
+           let k = count_moves opts.move_fraction na in
+           List.iter
+             (fun a ->
+                let row = part.Partitioning.placed.(a) in
+                let absent = ref [] in
+                for s = ns - 1 downto 0 do
+                  if not row.(s) then absent := s :: !absent
+                done;
+                match !absent with
+                | [] -> ()
+                | sites ->
+                  flip a (List.nth sites (Rng.int rng (List.length sites))))
+             (Rng.sample_distinct rng k na)
+         end;
+         (match fix with
+          | `Fix_x -> Obs.timed "sa.ystep.seconds" ystep
+          | `Fix_y -> Obs.timed "sa.xstep.seconds" xstep);
+         Delta_cost.objective dc);
+    accept = (fun () -> journal := []);
+    reject;
+    snapshot_best = (fun () -> Partitioning.copy part);
+    epoch_refresh =
+      (fun _ ->
+         rebuild_aggregates ();
+         Delta_cost.resync dc;
+         Delta_cost.objective dc);
+    delta_evals = (fun () -> Delta_cost.moves_applied dc);
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Disjoint mode                                                       *)
@@ -375,78 +580,360 @@ let components (stats : Stats.t) =
   done;
   (!n, comp_of)
 
-let solve_disjoint ?extra ?epoch_hook (stats : Stats.t) opts rng =
+type disjoint_ctx = {
+  ncomp : int;
+  comp_of : int array;
+  comp_txns : int array array;   (* component -> its transactions *)
+  comp_attrs : int array array;  (* component -> its read attributes *)
+  never_read : int array;        (* attrs no transaction φ-reads *)
+}
+
+let make_disjoint_ctx (stats : Stats.t) =
   let nt = stats.Stats.num_txns and na = stats.Stats.num_attrs in
   let ncomp, comp_of = components stats in
-  let comp_site = Array.init ncomp (fun _ -> Rng.int rng opts.num_sites) in
-  let part = Partitioning.create ~num_sites:opts.num_sites ~num_txns:nt ~num_attrs:na in
-  (* Attributes read by someone follow their component; never-read
-     attributes are placed greedily given x. *)
-  let apply () =
-    for t = 0 to nt - 1 do
-      part.Partitioning.txn_site.(t) <- comp_site.(comp_of.(t))
+  let read = Array.make na false in
+  for t = 0 to nt - 1 do
+    for a = 0 to na - 1 do
+      if stats.Stats.phi.(t).(a) then read.(a) <- true
+    done
+  done;
+  let tcount = Array.make ncomp 0 and acount = Array.make ncomp 0 in
+  for t = 0 to nt - 1 do
+    tcount.(comp_of.(t)) <- tcount.(comp_of.(t)) + 1
+  done;
+  for a = 0 to na - 1 do
+    if read.(a) then
+      acount.(comp_of.(nt + a)) <- acount.(comp_of.(nt + a)) + 1
+  done;
+  let comp_txns = Array.init ncomp (fun c -> Array.make tcount.(c) 0) in
+  let comp_attrs = Array.init ncomp (fun c -> Array.make acount.(c) 0) in
+  Array.fill tcount 0 ncomp 0;
+  Array.fill acount 0 ncomp 0;
+  for t = 0 to nt - 1 do
+    let c = comp_of.(t) in
+    comp_txns.(c).(tcount.(c)) <- t;
+    tcount.(c) <- tcount.(c) + 1
+  done;
+  let nr = ref [] in
+  for a = na - 1 downto 0 do
+    if read.(a) then begin
+      let c = comp_of.(nt + a) in
+      comp_attrs.(c).(acount.(c)) <- a;
+      acount.(c) <- acount.(c) + 1
+    end
+    else nr := a :: !nr
+  done;
+  (* the fill above ran from high to low attr ids: restore ascending *)
+  Array.iter (fun row -> Array.sort compare row) comp_attrs;
+  { ncomp; comp_of; comp_txns; comp_attrs; never_read = Array.of_list !nr }
+
+(* Full rebuild of the disjoint layout from component sites: attributes
+   read by someone follow their component; never-read attributes are
+   placed greedily given x. *)
+let disjoint_apply (stats : Stats.t) opts comp_of comp_site
+    (part : Partitioning.t) =
+  let nt = stats.Stats.num_txns and na = stats.Stats.num_attrs in
+  for t = 0 to nt - 1 do
+    part.Partitioning.txn_site.(t) <- comp_site.(comp_of.(t))
+  done;
+  let read = Array.make na false in
+  for t = 0 to nt - 1 do
+    for a = 0 to na - 1 do
+      if stats.Stats.phi.(t).(a) then read.(a) <- true
+    done
+  done;
+  (* greedy single placement for every attribute *)
+  let coef = Array.init na (fun a -> Array.make opts.num_sites stats.Stats.c2.(a)) in
+  for t = 0 to nt - 1 do
+    let home = part.Partitioning.txn_site.(t) in
+    let c1t = stats.Stats.c1.(t) in
+    for a = 0 to na - 1 do
+      coef.(a).(home) <- coef.(a).(home) +. c1t.(a)
+    done
+  done;
+  for a = 0 to na - 1 do
+    let row = part.Partitioning.placed.(a) in
+    Array.fill row 0 opts.num_sites false;
+    if read.(a) then row.(comp_site.(comp_of.(nt + a))) <- true
+    else begin
+      let best = ref 0 and best_c = ref coef.(a).(0) in
+      for s = 1 to opts.num_sites - 1 do
+        if coef.(a).(s) < !best_c then begin
+          best := s;
+          best_c := coef.(a).(s)
+        end
+      done;
+      row.(!best) <- true
+    end
+  done
+
+let full_disjoint_engine ctx (dctx : disjoint_ctx) rng =
+  let stats = ctx.stats and opts = ctx.opts in
+  let comp_site =
+    Array.init dctx.ncomp (fun _ -> Rng.int rng opts.num_sites)
+  in
+  let part =
+    Partitioning.create ~num_sites:opts.num_sites
+      ~num_txns:stats.Stats.num_txns ~num_attrs:stats.Stats.num_attrs
+  in
+  let apply () = disjoint_apply stats opts dctx.comp_of comp_site part in
+  apply ();
+  let eval () =
+    Cost_model.objective stats ~lambda:opts.lambda part +. ctx.extra part
+  in
+  let saved_sites = ref (Array.copy comp_site) in
+  {
+    init_obj = eval ();
+    propose =
+      (fun _fix ->
+         saved_sites := Array.copy comp_site;
+         if opts.num_sites > 1 then begin
+           let k = count_moves opts.move_fraction dctx.ncomp in
+           List.iter
+             (fun c ->
+                let cur = comp_site.(c) in
+                let s = Rng.int rng (opts.num_sites - 1) in
+                comp_site.(c) <- (if s >= cur then s + 1 else s))
+             (Rng.sample_distinct rng k dctx.ncomp)
+         end;
+         apply ();
+         eval ());
+    accept = (fun () -> ());
+    reject =
+      (fun () ->
+         Array.blit !saved_sites 0 comp_site 0 dctx.ncomp;
+         apply ());
+    snapshot_best = (fun () -> Partitioning.copy part);
+    epoch_refresh = (fun obj -> obj);
+    delta_evals = (fun () -> 0);
+  }
+
+(* Disjoint-mode delta engine: component moves are {!Delta_cost}
+   composites; only the greedy coefficient of the never-read attributes
+   needs maintaining. *)
+type dprim =
+  | DComp of int * int * int  (* component, old site, new site *)
+  | DNr                       (* one never-read re-placement to undo *)
+
+let delta_disjoint_engine ctx (dctx : disjoint_ctx) rng =
+  let stats = ctx.stats and opts = ctx.opts in
+  let nt = stats.Stats.num_txns
+  and na = stats.Stats.num_attrs
+  and ns = opts.num_sites in
+  let comp_site = Array.init dctx.ncomp (fun _ -> Rng.int rng ns) in
+  let part =
+    Partitioning.create ~num_sites:ns ~num_txns:nt ~num_attrs:na
+  in
+  disjoint_apply stats opts dctx.comp_of comp_site part;
+  let dc =
+    Delta_cost.create ?latency:ctx.latency stats ~lambda:opts.lambda part
+  in
+  let coef = Array.make_matrix na ns 0. in
+  let rebuild_coef () =
+    for a = 0 to na - 1 do
+      Array.fill coef.(a) 0 ns stats.Stats.c2.(a)
     done;
-    let read = Array.make na false in
-    for t = 0 to nt - 1 do
-      for a = 0 to na - 1 do
-        if stats.Stats.phi.(t).(a) then read.(a) <- true
-      done
-    done;
-    (* greedy single placement for every attribute *)
-    let coef = Array.init na (fun a -> Array.make opts.num_sites stats.Stats.c2.(a)) in
     for t = 0 to nt - 1 do
       let home = part.Partitioning.txn_site.(t) in
       let c1t = stats.Stats.c1.(t) in
       for a = 0 to na - 1 do
         coef.(a).(home) <- coef.(a).(home) +. c1t.(a)
       done
-    done;
-    for a = 0 to na - 1 do
-      let row = part.Partitioning.placed.(a) in
-      Array.fill row 0 opts.num_sites false;
-      if read.(a) then row.(comp_site.(comp_of.(nt + a))) <- true
-      else begin
-        let best = ref 0 and best_c = ref coef.(a).(0) in
-        for s = 1 to opts.num_sites - 1 do
-          if coef.(a).(s) < !best_c then begin
-            best := s;
-            best_c := coef.(a).(s)
-          end
-        done;
-        row.(!best) <- true
-      end
     done
   in
-  apply ();
-  let saved_sites = ref (Array.copy comp_site) in
-  let callbacks =
+  rebuild_coef ();
+  let journal = ref [] in
+  let shift_coef txns from_s to_s =
+    Array.iter
+      (fun t ->
+         let c1t = stats.Stats.c1.(t) in
+         for a = 0 to na - 1 do
+           coef.(a).(from_s) <- coef.(a).(from_s) -. c1t.(a);
+           coef.(a).(to_s) <- coef.(a).(to_s) +. c1t.(a)
+         done)
+      txns
+  in
+  let move_comp c s =
+    let s_old = comp_site.(c) in
+    comp_site.(c) <- s;
+    ignore
+      (Delta_cost.apply_move dc
+         (Delta_cost.Move_component (dctx.comp_txns.(c), dctx.comp_attrs.(c), s)));
+    shift_coef dctx.comp_txns.(c) s_old s;
+    journal := DComp (c, s_old, s) :: !journal
+  in
+  {
+    init_obj = Delta_cost.objective dc;
+    propose =
+      (fun _fix ->
+         if ns > 1 then begin
+           let k = count_moves opts.move_fraction dctx.ncomp in
+           List.iter
+             (fun c ->
+                let cur = comp_site.(c) in
+                let s = Rng.int rng (ns - 1) in
+                move_comp c (if s >= cur then s + 1 else s))
+             (Rng.sample_distinct rng k dctx.ncomp)
+         end;
+         (* greedy re-placement of the never-read attributes, as in
+            [disjoint_apply] *)
+         Array.iter
+           (fun a ->
+              let cf = coef.(a) in
+              let best = ref 0 and best_c = ref cf.(0) in
+              for s = 1 to ns - 1 do
+                if cf.(s) < !best_c then begin
+                  best := s;
+                  best_c := cf.(s)
+                end
+              done;
+              if not part.Partitioning.placed.(a).(!best) then begin
+                ignore
+                  (Delta_cost.apply_move dc
+                     (Delta_cost.Move_component ([||], [| a |], !best)));
+                journal := DNr :: !journal
+              end)
+           dctx.never_read;
+         Delta_cost.objective dc);
+    accept = (fun () -> journal := []);
+    reject =
+      (fun () ->
+         List.iter
+           (function
+             | DNr -> Delta_cost.undo_move dc
+             | DComp (c, s_old, s_new) ->
+               Delta_cost.undo_move dc;
+               comp_site.(c) <- s_old;
+               shift_coef dctx.comp_txns.(c) s_new s_old)
+           !journal;
+         journal := []);
+    snapshot_best = (fun () -> Partitioning.copy part);
+    epoch_refresh =
+      (fun _ ->
+         rebuild_coef ();
+         Delta_cost.resync dc;
+         Delta_cost.objective dc);
+    delta_evals = (fun () -> Delta_cost.moves_applied dc);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Annealing loop shared by both modes                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* [epoch_hook best_obj best] runs at every epoch boundary of a
+   portfolio chain: it publishes the chain's best to the other domains
+   and may return a strictly better (objective, partitioning) for this
+   chain to adopt.  The hook must not touch the chain's annealing state
+   (engine/rng/temperature), so the chain's own trajectory — and its
+   [search_stats] — stay exactly those of a sequential run with the same
+   seed; adoption only ever lowers the reported best.  [best] is never
+   mutated in place by the annealer (it is replaced by fresh snapshots),
+   so the hook may share it across domains without copying. *)
+let anneal ?epoch_hook (stats : Stats.t) opts rng (engine : engine) =
+  Obs.with_span "sa.anneal"
+    ~attrs:
+      [
+        ("txns", Obs.Int stats.Stats.num_txns);
+        ("attrs", Obs.Int stats.Stats.num_attrs);
+      ]
+  @@ fun () ->
+  let start = Obs.Clock.now () in
+  let deadline = Option.map (fun tl -> start +. tl) opts.time_limit in
+  let out_of_time () =
+    match deadline with None -> false | Some d -> Obs.Clock.now () > d
+  in
+  let current_obj = ref engine.init_obj in
+  let best = ref (engine.snapshot_best ()) in
+  let best_obj = ref !current_obj in
+  (* §5.1: accept a accept_gap-worse solution with probability 1/2 in the
+     first iterations. *)
+  let tau0 =
+    let c = Float.max !best_obj 1e-9 in
+    -.(opts.accept_gap *. c) /. Float.log 0.5
+  in
+  let tau = ref tau0 in
+  let iterations = ref 0 and accepted = ref 0 and outer = ref 0 in
+  let fix = ref `Fix_x in
+  (try
+     while
+       !tau > opts.freeze_ratio *. tau0
+       && !outer < opts.max_outer
+       && not (out_of_time ())
+     do
+       incr outer;
+       let epoch_start_accepted = !accepted in
+       for _ = 1 to opts.inner_loops do
+         if out_of_time () then raise Exit;
+         incr iterations;
+         let cand_obj = engine.propose !fix in
+         let delta = cand_obj -. !current_obj in
+         if delta <= 0. || Rng.float rng < Float.exp (-.delta /. !tau) then begin
+           engine.accept ();
+           incr accepted;
+           current_obj := cand_obj;
+           if cand_obj < !best_obj then begin
+             best_obj := cand_obj;
+             best := engine.snapshot_best ();
+             if Obs.enabled () then
+               Obs.point "sa.best"
+                 ~attrs:
+                   [
+                     ("obj", Obs.Float !best_obj);
+                     ("move", Obs.Int !iterations);
+                   ]
+           end
+         end
+         else engine.reject ();
+         fix := (match !fix with `Fix_x -> `Fix_y | `Fix_y -> `Fix_x)
+       done;
+       tau := opts.cooling *. !tau;
+       current_obj := engine.epoch_refresh !current_obj;
+       (match epoch_hook with
+        | None -> ()
+        | Some hook -> (
+          match hook !best_obj !best with
+          | Some (obj, part) when obj < !best_obj ->
+            best_obj := obj;
+            best := part;
+            if Obs.enabled () then
+              Obs.point "sa.exchange"
+                ~attrs:[ ("obj", Obs.Float obj); ("epoch", Obs.Int !outer) ]
+          | _ -> ()));
+       if Obs.enabled () then begin
+         Obs.gauge "sa.temperature" !tau;
+         Obs.point "sa.epoch"
+           ~attrs:
+             [
+               ("epoch", Obs.Int !outer);
+               ("temperature", Obs.Float !tau);
+               ( "accept_rate",
+                 Obs.Float
+                   (float_of_int (!accepted - epoch_start_accepted)
+                    /. float_of_int opts.inner_loops) );
+               ("best_obj", Obs.Float !best_obj);
+               ("current_obj", Obs.Float !current_obj);
+             ]
+       end
+     done
+   with Exit -> ());
+  if Obs.enabled () then begin
+    Obs.count "sa.moves" (float_of_int !iterations);
+    Obs.count "sa.accepted" (float_of_int !accepted);
+    Obs.count "sa.rejected" (float_of_int (!iterations - !accepted));
+    let de = engine.delta_evals () in
+    if de > 0 then Obs.count "sa.delta_evals" (float_of_int de)
+  end;
+  let search =
     {
-      propose =
-        (fun _fix ->
-           saved_sites := Array.copy comp_site;
-           if opts.num_sites > 1 then begin
-             let k = count_moves opts.move_fraction ncomp in
-             List.iter
-               (fun c ->
-                  let cur = comp_site.(c) in
-                  let s = Rng.int rng (opts.num_sites - 1) in
-                  comp_site.(c) <- (if s >= cur then s + 1 else s))
-               (Rng.sample_distinct rng k ncomp)
-           end;
-           apply ());
-      snapshot =
-        (fun () ->
-           (* component sites fully determine the state *)
-           apply ();
-           Partitioning.copy part);
-      restore =
-        (fun _saved ->
-           Array.blit !saved_sites 0 comp_site 0 ncomp;
-           apply ());
-      current = (fun () -> part);
+      moves = !iterations;
+      accepted_moves = !accepted;
+      rejected_moves = !iterations - !accepted;
+      epochs = !outer;
+      initial_temperature = tau0;
+      final_temperature = !tau;
     }
   in
-  anneal ?extra ?epoch_hook stats opts rng callbacks
+  (!best, !best_obj, search, Obs.Clock.now () -. start)
 
 (* The trivial "everything co-located on one site" candidate: all
    transactions on site s with y optimized.  The annealer's random start
@@ -472,24 +959,36 @@ let solve ?(options = default_options) (inst : Instance.t) =
   let stats = Stats.compute reduced ~p:options.p in
   let full_stats = Stats.compute inst ~p:options.p in
   (* Appendix A: fold the latency estimate into the annealed objective,
-     scaled by lambda like every other cost term (matching the QP). *)
-  let extra =
-    match options.latency with
-    | None -> fun _ -> 0.
-    | Some pl ->
-      fun part -> options.lambda *. Cost_model.latency reduced ~pl part
+     scaled by lambda like every other cost term (matching the QP).  The
+     evaluator and the φ adjacency are built once and shared by every
+     chain. *)
+  let ctx = make_ctx reduced stats options in
+  let extra = ctx.extra in
+  let dctx =
+    if options.allow_replication then None else Some (make_disjoint_ctx stats)
+  in
+  let run_chain ?epoch_hook rng =
+    let engine =
+      if options.allow_replication then begin
+        let part = init_replicated stats options rng in
+        if options.full_eval then full_replicated_engine ctx rng part
+        else delta_replicated_engine ctx rng part
+      end
+      else begin
+        let dctx = Option.get dctx in
+        if options.full_eval then full_disjoint_engine ctx dctx rng
+        else delta_disjoint_engine ctx dctx rng
+      end
+    in
+    anneal ?epoch_hook stats options rng engine
   in
   let restarts = max 1 options.restarts in
   let best, best_obj6, search, chains, elapsed =
     if restarts = 1 then begin
-      (* Single chain: the pre-portfolio sequential code path, bit for
-         bit (plain seed, no pool, no exchange). *)
+      (* Single chain: the sequential code path (plain seed, no pool, no
+         exchange). *)
       let rng = Rng.create options.seed in
-      let best, obj, search, elapsed =
-        if options.allow_replication then
-          solve_replicated ~extra stats options rng
-        else solve_disjoint ~extra stats options rng
-      in
+      let best, obj, search, elapsed = run_chain rng in
       (best, obj, search, [| search |], elapsed)
     end
     else begin
@@ -543,14 +1042,10 @@ let solve ?(options = default_options) (inst : Instance.t) =
           else Some (gobj, gpart)
         | _ -> None
       in
-      let run_chain rng =
-        if options.allow_replication then
-          solve_replicated ~extra ~epoch_hook stats options rng
-        else solve_disjoint ~extra ~epoch_hook stats options rng
-      in
       let jobs = max 1 (min options.jobs restarts) in
       let results =
-        Par.with_pool ~jobs (fun pool -> Par.map_array pool run_chain rngs)
+        Par.with_pool ~jobs (fun pool ->
+            Par.map_array pool (fun rng -> run_chain ~epoch_hook rng) rngs)
       in
       let best = ref None and best_obj = ref infinity in
       Array.iter

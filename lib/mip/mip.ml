@@ -3,10 +3,13 @@ type limits = {
   node_limit : int option;
   gap : float;
   max_rows : int option;
+  simplex_eta : bool;
+  refactor_every : int;
 }
 
 let default_limits =
-  { time_limit = Some 60.; node_limit = None; gap = 1e-3; max_rows = Some 4000 }
+  { time_limit = Some 60.; node_limit = None; gap = 1e-3; max_rows = Some 4000;
+    simplex_eta = true; refactor_every = 32 }
 
 type solution = { x : float array; obj : float }
 
@@ -37,6 +40,8 @@ type audit = {
 type stats = {
   nodes : int;
   simplex_iterations : int;
+  refactorizations : int;
+  eta_applications : int;
   elapsed : float;
   gap_achieved : float;
   audit : audit;
@@ -306,7 +311,8 @@ let insert_by_bound node queue =
    the minimum over those contributions, and the contribution list is
    returned as [bound_support] so the certificate layer can re-check
    [proven = min support] (C110).  Returns
-   [(interrupted, proven_lb, support, worker_simplex_iters)]. *)
+   [(interrupted, proven_lb, support, worker_simplex_iters,
+     worker_refactorizations, worker_eta_applications)]. *)
 let parallel_search s ~root_bound ~jobs =
   let sh =
     {
@@ -431,6 +437,8 @@ let parallel_search s ~root_bound ~jobs =
   let run_subtree node =
     let wsx = Simplex.copy s.sx in
     let iters0 = Simplex.iterations wsx in
+    let refacs0 = Simplex.refactorizations wsx in
+    let etas0 = Simplex.eta_applications wsx in
     List.iter (fun (j, lb, ub) -> Simplex.set_bounds wsx j ~lb ~ub) node.changes;
     let iobj, ix = Atomic.get sh.best in
     let ws =
@@ -453,7 +461,12 @@ let parallel_search s ~root_bound ~jobs =
       | Hit_limit -> `Limit (global_lower_bound ws node.sub_bound)
       | Gap_reached (glb, _) -> `Gap glb
     in
-    (verdict, ws.nodes, Simplex.iterations wsx - iters0, ws.numerical_prunes)
+    ( verdict,
+      ws.nodes,
+      Simplex.iterations wsx - iters0,
+      Simplex.refactorizations wsx - refacs0,
+      Simplex.eta_applications wsx - etas0,
+      ws.numerical_prunes )
   in
   let results =
     if !stopped || !gap_stop <> None || !queue = [] then [||]
@@ -465,11 +478,13 @@ let parallel_search s ~root_bound ~jobs =
   (match !gap_stop with Some glb -> contribs := glb :: !contribs | None -> ());
   if !stopped then
     List.iter (fun n -> contribs := n.sub_bound :: !contribs) !queue;
-  let par_iters = ref 0 in
+  let par_iters = ref 0 and par_refacs = ref 0 and par_etas = ref 0 in
   Array.iter
-    (fun (verdict, n, it, np) ->
+    (fun (verdict, n, it, rf, ea, np) ->
        s.nodes <- s.nodes + n;
        par_iters := !par_iters + it;
+       par_refacs := !par_refacs + rf;
+       par_etas := !par_etas + ea;
        s.numerical_prunes <- s.numerical_prunes + np;
        match verdict with
        | `Clean -> ()
@@ -494,7 +509,8 @@ let parallel_search s ~root_bound ~jobs =
     | None -> !contribs
   in
   let proven = List.fold_left Float.min infinity support in
-  (!interrupted, proven, Array.of_list support, !par_iters)
+  (!interrupted, proven, Array.of_list support, !par_iters, !par_refacs,
+   !par_etas)
 
 let pp_outcome ppf = function
   | Optimal { obj; _ } -> Format.fprintf ppf "optimal %g" obj
@@ -588,7 +604,8 @@ let solve ?(limits = default_limits) ?(presolve = false)
   ignore project;
   let presolved = presolve in
   let start = Obs.Clock.now () in
-  let finish outcome ~nodes ~iters ~gap_achieved ~audit =
+  let finish outcome ~nodes ~iters ~refacs ~etas ~eta_len ~gap_achieved ~audit
+    =
     let outcome =
       match outcome with
       | Optimal s -> Optimal { s with x = restore s.x }
@@ -600,6 +617,11 @@ let solve ?(limits = default_limits) ?(presolve = false)
     if Obs.enabled () then begin
       Obs.count "mip.nodes" (float_of_int nodes);
       Obs.count "mip.simplex_iterations" (float_of_int iters);
+      if refacs > 0 then
+        Obs.count "simplex.refactorizations" (float_of_int refacs);
+      if etas > 0 then
+        Obs.count "simplex.eta_applications" (float_of_int etas);
+      if eta_len > 0 then Obs.gauge "simplex.eta_len" (float_of_int eta_len);
       if Float.is_finite gap_achieved then
         Obs.gauge "mip.gap_achieved" gap_achieved;
       Obs.point "mip.done" ~attrs:[ ("outcome", Obs.Str (outcome_tag outcome)) ]
@@ -607,6 +629,8 @@ let solve ?(limits = default_limits) ?(presolve = false)
     (outcome,
      { nodes;
        simplex_iterations = iters;
+       refactorizations = refacs;
+       eta_applications = etas;
        elapsed = Obs.Clock.now () -. start;
        gap_achieved;
        audit = { audit with presolve_rows_removed = rows_removed } })
@@ -619,10 +643,13 @@ let solve ?(limits = default_limits) ?(presolve = false)
     if Obs.enabled () then
       Obs.point "mip.too_large"
         ~attrs:[ ("rows", Obs.Int std.Lp.nrows); ("max_rows", Obs.Int r) ];
-    finish (Too_large std.Lp.nrows) ~nodes:0 ~iters:0 ~gap_achieved:infinity
-      ~audit:no_audit
+    finish (Too_large std.Lp.nrows) ~nodes:0 ~iters:0 ~refacs:0 ~etas:0
+      ~eta_len:0 ~gap_achieved:infinity ~audit:no_audit
   | _ ->
-    let sx = Simplex.create std in
+    let sx =
+      Simplex.create ~eta_mode:limits.simplex_eta
+        ~refactor_every:limits.refactor_every std
+    in
     let deadline = Option.map (fun tl -> start +. tl) limits.time_limit in
     let int_vars =
       Array.of_list
@@ -650,7 +677,10 @@ let solve ?(limits = default_limits) ?(presolve = false)
           after presolve the proof is the reduction chain itself. *)
        let farkas = if presolved then None else Simplex.farkas_ray sx in
        finish Infeasible ~nodes:1 ~iters:(Simplex.iterations sx)
-         ~gap_achieved:infinity ~audit:{ no_audit with farkas }
+         ~refacs:(Simplex.refactorizations sx)
+         ~etas:(Simplex.eta_applications sx)
+         ~eta_len:(Simplex.max_eta_length sx) ~gap_achieved:infinity
+         ~audit:{ no_audit with farkas }
      | Simplex.Time_limit | Simplex.Iter_limit | Simplex.Numerical ->
        let out =
          match s.incumbent with
@@ -658,7 +688,10 @@ let solve ?(limits = default_limits) ?(presolve = false)
                                Lp.restore_objective std neg_infinity)
          | None -> No_incumbent None
        in
-       finish out ~nodes:1 ~iters:(Simplex.iterations sx) ~gap_achieved:infinity
+       finish out ~nodes:1 ~iters:(Simplex.iterations sx)
+         ~refacs:(Simplex.refactorizations sx)
+         ~etas:(Simplex.eta_applications sx)
+         ~eta_len:(Simplex.max_eta_length sx) ~gap_achieved:infinity
          ~audit:no_audit
      | Simplex.Optimal | Simplex.Unbounded ->
        (* The incremental interface cannot return Unbounded; detect patched
@@ -666,7 +699,10 @@ let solve ?(limits = default_limits) ?(presolve = false)
        let root_x = Simplex.primal sx in
        if Array.exists (fun v -> Float.abs v > 1e9) root_x then
          finish Unbounded ~nodes:1 ~iters:(Simplex.iterations sx)
-           ~gap_achieved:infinity ~audit:no_audit
+           ~refacs:(Simplex.refactorizations sx)
+           ~etas:(Simplex.eta_applications sx)
+           ~eta_len:(Simplex.max_eta_length sx) ~gap_achieved:infinity
+           ~audit:no_audit
        else begin
          let root_bound = Simplex.objective sx +. std.Lp.obj_const in
          if Obs.enabled () then
@@ -695,15 +731,15 @@ let solve ?(limits = default_limits) ?(presolve = false)
           | Some h ->
             (match h root_x with Some cand -> ignore (offer s cand) | None -> ())
           | None -> ());
-         let interrupted, proven_lb, support, par_iters =
+         let interrupted, proven_lb, support, par_iters, par_refacs, par_etas =
            if jobs <= 1 then (
              try
                branch s 0;
                (* Search exhausted: the proof is complete up to numerical
                   prunes. *)
                if s.numerical_prunes = 0 then
-                 (false, s.incumbent_obj, [| s.incumbent_obj |], 0)
-               else (false, root_bound, [| root_bound |], 0)
+                 (false, s.incumbent_obj, [| s.incumbent_obj |], 0, 0, 0)
+               else (false, root_bound, [| root_bound |], 0, 0, 0)
              with
              | Hit_limit ->
                (* The exception handlers along the unwind removed their
@@ -711,11 +747,14 @@ let solve ?(limits = default_limits) ?(presolve = false)
                   the interrupt point (usually none): the provable bound
                   degrades towards the root bound. *)
                let glb = global_lower_bound s root_bound in
-               (true, glb, bound_support s root_bound, 0)
-             | Gap_reached (glb, support) -> (true, glb, support, 0))
+               (true, glb, bound_support s root_bound, 0, 0, 0)
+             | Gap_reached (glb, support) -> (true, glb, support, 0, 0, 0))
            else parallel_search s ~root_bound ~jobs
          in
          let iters = Simplex.iterations sx + par_iters in
+         let refacs = Simplex.refactorizations sx + par_refacs in
+         let etas = Simplex.eta_applications sx + par_etas in
+         let eta_len = Simplex.max_eta_length sx in
          let lb_min = proven_lb in
          let audit glb_known =
            { no_audit with
@@ -728,17 +767,19 @@ let solve ?(limits = default_limits) ?(presolve = false)
          | None ->
            if interrupted then
              finish (No_incumbent (Some (Lp.restore_objective std lb_min)))
-               ~nodes:s.nodes ~iters ~gap_achieved:infinity ~audit:(audit true)
+               ~nodes:s.nodes ~iters ~refacs ~etas ~eta_len
+               ~gap_achieved:infinity ~audit:(audit true)
            else
-             finish Infeasible ~nodes:s.nodes ~iters ~gap_achieved:infinity
-               ~audit:(audit false)
+             finish Infeasible ~nodes:s.nodes ~iters ~refacs ~etas ~eta_len
+               ~gap_achieved:infinity ~audit:(audit false)
          | Some x ->
            let sol = { x; obj = Lp.restore_objective std s.incumbent_obj } in
            let g = rel_gap s.incumbent_obj lb_min in
            if (not interrupted) || g <= limits.gap then
-             finish (Optimal sol) ~nodes:s.nodes ~iters
+             finish (Optimal sol) ~nodes:s.nodes ~iters ~refacs ~etas ~eta_len
                ~gap_achieved:(Float.max g 0.) ~audit:(audit true)
            else
              finish (Feasible (sol, Lp.restore_objective std lb_min))
-               ~nodes:s.nodes ~iters ~gap_achieved:g ~audit:(audit true)
+               ~nodes:s.nodes ~iters ~refacs ~etas ~eta_len ~gap_achieved:g
+               ~audit:(audit true)
        end)

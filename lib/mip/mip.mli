@@ -20,10 +20,18 @@ type limits = {
   node_limit : int option;
   gap : float;                (** relative MIP gap at which to stop, e.g. 0.001 *)
   max_rows : int option;      (** refuse models with more rows (dense basis inverse) *)
+  simplex_eta : bool;
+      (** product-form (eta-file) basis updates in the node LPs; [false]
+          falls back to the dense per-pivot inverse update
+          (see {!Vpart_simplex.Simplex.create}) *)
+  refactor_every : int;
+      (** eta-file length at which the dense inverse is rebuilt; only
+          meaningful with [simplex_eta] *)
 }
 
 val default_limits : limits
-(** 60 s, unlimited nodes, gap 0.001, 4000 rows. *)
+(** 60 s, unlimited nodes, gap 0.001, 4000 rows, eta updates on with
+    refactorization every 32 pivots. *)
 
 type solution = {
   x : float array;  (** structural values; integer variables are integral *)
@@ -92,6 +100,15 @@ type audit = {
 type stats = {
   nodes : int;
   simplex_iterations : int;
+  refactorizations : int;
+      (** basis refactorizations across the root instance and all worker
+          copies; with [simplex_eta] off this counts only the dense-mode
+          cadence/recovery rebuilds *)
+  eta_applications : int;
+      (** eta-matrix applications summed likewise; 0 with [simplex_eta]
+          off.  Emitted as the [simplex.eta_applications] counter (and
+          the root's high-water eta-file length as the [simplex.eta_len]
+          gauge) next to [mip.nodes]/[mip.simplex_iterations]. *)
   elapsed : float;          (** seconds *)
   gap_achieved : float;
       (** relative gap at termination.  [infinity] exactly when no finite

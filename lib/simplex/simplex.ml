@@ -29,6 +29,30 @@ let pivot_tol = 1e-8
 let feas_tol = 1e-7
 let dual_tol = 1e-7
 let degen_limit = 60
+let drift_tol = 1e-7
+
+(* Warm-reoptimize guards: fall back to a full compute_xb/recompute_d when
+   too many bounds changed (the ftran replay would cost more than the dense
+   passes), when a patched infinite bound is involved (cancellation on the
+   1e10 box), or after this many consecutive warm starts (bounds the xb
+   drift a short node solve never resyncs). *)
+let warm_max_pending = 8
+let warm_max_delta = 1e7
+let warm_limit = 64
+
+(* One product-form elementary matrix E = I with column [er] replaced by
+   the eta column derived from the entering column w = B^-1 A_q at pivot
+   row [er]: E_{er,er} = 1/piv, E_{i,er} = -w_i/piv.  B^-1 after k pivots
+   is E_k ... E_1 B0^-1 with B0^-1 the dense inverse of the last
+   refactorization.  Records are immutable, so [copy] can share them. *)
+type eta = {
+  er : int;            (* pivot basis position *)
+  idx : int array;     (* rows i <> er with w_i <> 0 *)
+  va : float array;    (* the corresponding w_i *)
+  piv : float;         (* w_er *)
+}
+
+let dummy_eta = { er = 0; idx = [||]; va = [||]; piv = 1. }
 
 type t = {
   n : int;                        (* structural variables *)
@@ -44,11 +68,27 @@ type t = {
   b : float array;
   basis : int array;              (* m: variable basic at each position *)
   loc : int array;                (* nn: -1 at lower, -2 at upper, pos >= 0 basic *)
-  binv : float array array;       (* m x m rows of B^-1 *)
+  binv : float array array;
+      (* m x m rows of B0^-1: the dense inverse at the last
+         refactorization.  In eta mode the current B^-1 is the product
+         of the eta file over this matrix; in dense mode ([eta_mode =
+         false]) the eta file stays empty and binv is B^-1 itself,
+         updated in place per pivot. *)
   xb : float array;               (* m basic values *)
   d : float array;                (* nn reduced costs (valid for nonbasic) *)
   alpha : float array;            (* nn scratch: pivot row in nonbasic space *)
   wscratch : float array;         (* m scratch: ftran result *)
+  eta_mode : bool;
+  refactor_every : int;           (* eta-file length triggering refactor *)
+  mutable etas : eta array;       (* stack; first neta entries valid *)
+  mutable neta : int;
+  mutable eta_apps : int;         (* eta applications performed *)
+  mutable eta_len_max : int;      (* high-water eta-file length *)
+  rho : float array;              (* m scratch: pivot row e_r B^-1 *)
+  uscratch : float array;         (* m scratch: sparse btran (zero outside) *)
+  utouched : int array;           (* m scratch: nonzero rows of uscratch *)
+  umark : bool array;             (* m scratch: membership (false outside) *)
+  xb_save : float array;          (* m scratch: drift detection *)
   mutable total_iters : int;
   mutable total_refactors : int;
   mutable bland : bool;
@@ -56,6 +96,16 @@ type t = {
   mutable infeas_ray : float array option;
       (* row of B^-1 at the moment the dual method proved primal
          infeasibility: a Farkas-style multiplier vector over the rows *)
+  mutable warm : bool;
+      (* xb and d are current for the basis and bounds: the last
+         reoptimize ended verified Optimal and only set_bounds calls
+         happened since.  Lets the next reoptimize skip the dense
+         compute_xb/recompute_d entry passes (eta mode only). *)
+  mutable pending_bounds : (int * float) list;
+      (* (j, new resting value - old) for nonbasic variables whose
+         bound changed while [warm]; replayed as ftran updates of xb *)
+  mutable npending : int;
+  mutable warm_solves : int;      (* consecutive warm starts since full resync *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -86,7 +136,9 @@ let col_major (std : Lp.std) =
   done;
   (idx, value)
 
-let create (std : Lp.std) =
+let create ?(eta_mode = true) ?(refactor_every = 32) (std : Lp.std) =
+  if refactor_every < 1 then
+    invalid_arg "Simplex.create: refactor_every must be >= 1";
   let n = std.Lp.ncols and m = std.Lp.nrows in
   let nn = n + m in
   let cost = Array.make nn 0. in
@@ -137,11 +189,26 @@ let create (std : Lp.std) =
     d;
     alpha = Array.make nn 0.;
     wscratch = Array.make m 0.;
+    eta_mode;
+    refactor_every;
+    etas = [||];
+    neta = 0;
+    eta_apps = 0;
+    eta_len_max = 0;
+    rho = Array.make m 0.;
+    uscratch = Array.make m 0.;
+    utouched = Array.make m 0;
+    umark = Array.make m false;
+    xb_save = Array.make m 0.;
     total_iters = 0;
     total_refactors = 0;
     bland = false;
     degen_count = 0;
     infeas_ray = None;
+    warm = false;
+    pending_bounds = [];
+    npending = 0;
+    warm_solves = 0;
   }
 
 (* Independent snapshot for a worker domain.  [cost], [b], [col_idx] and
@@ -164,6 +231,13 @@ let copy t =
     d = Array.copy t.d;
     alpha = Array.copy t.alpha;
     wscratch = Array.copy t.wscratch;
+    (* eta records are immutable; sharing them with the copy is safe *)
+    etas = Array.copy t.etas;
+    rho = Array.copy t.rho;
+    uscratch = Array.copy t.uscratch;
+    utouched = Array.copy t.utouched;
+    umark = Array.copy t.umark;
+    xb_save = Array.copy t.xb_save;
     infeas_ray = Option.map Array.copy t.infeas_ray;
   }
 
@@ -171,14 +245,38 @@ let nrows t = t.m
 let ncols t = t.n
 let iterations t = t.total_iters
 let refactorizations t = t.total_refactors
+let eta_applications t = t.eta_apps
+let eta_length t = t.neta
+let max_eta_length t = t.eta_len_max
+
+(* Value of a nonbasic variable (forward declaration of the one below;
+   needed here so set_bounds can record resting-value deltas). *)
+let nb_value_loc t j = if t.loc.(j) = -1 then t.lb.(j) else t.ub.(j)
 
 let set_bounds t j ~lb ~ub =
   if j < 0 || j >= t.n then invalid_arg "Simplex.set_bounds: out of range";
   if lb > ub then invalid_arg "Simplex.set_bounds: lb > ub";
+  let old_v = if t.warm && t.loc.(j) < 0 then nb_value_loc t j else 0. in
   t.lb_patched.(j) <- lb = neg_infinity;
   t.ub_patched.(j) <- ub = infinity;
   t.lb.(j) <- patch_lb lb;
-  t.ub.(j) <- patch_ub ub
+  t.ub.(j) <- patch_ub ub;
+  (* Reduced costs are bound-independent and a basic variable's value does
+     not move when its box does, so the only state a bound change touches
+     is the resting value of a nonbasic variable: record the delta for an
+     ftran replay at the next reoptimize.  Anything outsized (patched
+     bounds, long replay lists) drops back to the cold path. *)
+  if t.warm && t.loc.(j) < 0 then begin
+    let dv = nb_value_loc t j -. old_v in
+    if dv <> 0. then begin
+      if Float.abs dv > warm_max_delta || t.npending >= warm_max_pending then
+        t.warm <- false
+      else begin
+        t.pending_bounds <- (j, dv) :: t.pending_bounds;
+        t.npending <- t.npending + 1
+      end
+    end
+  end
 
 let bounds t j =
   if j < 0 || j >= t.n then invalid_arg "Simplex.bounds: out of range";
@@ -187,6 +285,111 @@ let bounds t j =
 (* ------------------------------------------------------------------ *)
 (* Core linear algebra                                                 *)
 (* ------------------------------------------------------------------ *)
+
+(* Forward pass of the eta file (oldest first): v := E_k ... E_1 v,
+   turning a B0^-1-product into a B^-1-product (ftran). *)
+let apply_etas_fwd t v =
+  for k = 0 to t.neta - 1 do
+    let e = t.etas.(k) in
+    let vr = v.(e.er) /. e.piv in
+    v.(e.er) <- vr;
+    if vr <> 0. then begin
+      let idx = e.idx and va = e.va in
+      for i = 0 to Array.length idx - 1 do
+        v.(idx.(i)) <- v.(idx.(i)) -. (va.(i) *. vr)
+      done
+    end;
+    t.eta_apps <- t.eta_apps + 1
+  done
+
+(* Backward (row) pass, newest first: u := u E_k ... applied right to
+   left gives u B^-1 = ((u E_k) ... E_1) B0^-1 (btran).  Each eta only
+   changes entry [er]. *)
+let apply_etas_rev_row t u =
+  for k = t.neta - 1 downto 0 do
+    let e = t.etas.(k) in
+    let acc = ref u.(e.er) in
+    let idx = e.idx and va = e.va in
+    for i = 0 to Array.length idx - 1 do
+      acc := !acc -. (u.(idx.(i)) *. va.(i))
+    done;
+    u.(e.er) <- !acc /. e.piv;
+    t.eta_apps <- t.eta_apps + 1
+  done
+
+(* Push the eta derived from entering column w (= B^-1 A_q) at pivot row
+   r.  Replaces the dense O(m^2) Gauss-Jordan update of binv. *)
+let push_eta t r w =
+  let cnt = ref 0 in
+  for i = 0 to t.m - 1 do
+    if i <> r && w.(i) <> 0. then incr cnt
+  done;
+  let idx = Array.make !cnt 0 and va = Array.make !cnt 0. in
+  let k = ref 0 in
+  for i = 0 to t.m - 1 do
+    if i <> r && w.(i) <> 0. then begin
+      idx.(!k) <- i;
+      va.(!k) <- w.(i);
+      incr k
+    end
+  done;
+  if t.neta >= Array.length t.etas then begin
+    let grown = Array.make (max 8 (2 * Array.length t.etas)) dummy_eta in
+    Array.blit t.etas 0 grown 0 t.neta;
+    t.etas <- grown
+  end;
+  t.etas.(t.neta) <- { er = r; idx; va; piv = w.(r) };
+  t.neta <- t.neta + 1;
+  if t.neta > t.eta_len_max then t.eta_len_max <- t.neta
+
+(* rho := e_r B^-1 into t.rho, by a sparse btran of e_r: the unit vector
+   stays sparse through the eta file (each eta touches only its own [er]
+   entry), so the final dense pass runs over the touched rows of B0^-1
+   only — O(touched · m) instead of maintaining B^-1 densely. *)
+let compute_rho t r =
+  let u = t.uscratch and mark = t.umark and touched = t.utouched in
+  let ntouch = ref 0 in
+  let touch i =
+    if not mark.(i) then begin
+      mark.(i) <- true;
+      touched.(!ntouch) <- i;
+      incr ntouch
+    end
+  in
+  u.(r) <- 1.;
+  touch r;
+  for k = t.neta - 1 downto 0 do
+    let e = t.etas.(k) in
+    let acc = ref (if mark.(e.er) then u.(e.er) else 0.) in
+    let idx = e.idx and va = e.va in
+    for i = 0 to Array.length idx - 1 do
+      let row = idx.(i) in
+      if mark.(row) then acc := !acc -. (u.(row) *. va.(i))
+    done;
+    let v = !acc /. e.piv in
+    if v <> 0. || mark.(e.er) then begin
+      u.(e.er) <- v;
+      touch e.er
+    end;
+    t.eta_apps <- t.eta_apps + 1
+  done;
+  Array.fill t.rho 0 t.m 0.;
+  for ti = 0 to !ntouch - 1 do
+    let i = touched.(ti) in
+    let ui = u.(i) in
+    if ui <> 0. then begin
+      let row = t.binv.(i) in
+      for c = 0 to t.m - 1 do
+        t.rho.(c) <- t.rho.(c) +. (ui *. row.(c))
+      done
+    end
+  done;
+  (* restore the all-zero / all-false scratch invariant *)
+  for ti = 0 to !ntouch - 1 do
+    let i = touched.(ti) in
+    u.(i) <- 0.;
+    mark.(i) <- false
+  done
 
 (* Value of a nonbasic variable. *)
 let nb_value t j = if t.loc.(j) = -1 then t.lb.(j) else t.ub.(j)
@@ -218,7 +421,8 @@ let compute_xb t =
       acc := !acc +. (row.(k) *. z.(k))
     done;
     t.xb.(i) <- !acc
-  done
+  done;
+  apply_etas_fwd t t.xb
 
 (* w := B^-1 A_j (ftran of column j) into t.wscratch. *)
 let ftran t j =
@@ -240,20 +444,32 @@ let ftran t j =
       t.wscratch.(i) <- t.binv.(i).(r)
     done
   end;
+  apply_etas_fwd t w;
   w
 
-(* Fresh reduced costs: d_j = c_j - y . A_j with y = c_B B^-1. *)
-let recompute_d t =
+(* Fresh duals y = c_B B^-1: btran of c_B through the eta file, then a
+   dense pass over the rows of B0^-1 with a nonzero multiplier. *)
+let compute_duals t =
+  let u = Array.make t.m 0. in
+  for k = 0 to t.m - 1 do
+    u.(k) <- t.cost.(t.basis.(k))
+  done;
+  apply_etas_rev_row t u;
   let y = Array.make t.m 0. in
   for k = 0 to t.m - 1 do
-    let cb = t.cost.(t.basis.(k)) in
-    if cb <> 0. then begin
+    let uk = u.(k) in
+    if uk <> 0. then begin
       let row = t.binv.(k) in
       for i = 0 to t.m - 1 do
-        y.(i) <- y.(i) +. (cb *. row.(i))
+        y.(i) <- y.(i) +. (uk *. row.(i))
       done
     end
   done;
+  y
+
+(* Fresh reduced costs: d_j = c_j - y . A_j with y = c_B B^-1. *)
+let recompute_d t =
+  let y = compute_duals t in
   for j = 0 to t.nn - 1 do
     if t.loc.(j) >= 0 then t.d.(j) <- 0.
     else if j < t.n then begin
@@ -266,20 +482,6 @@ let recompute_d t =
     end
     else t.d.(j) <- -.y.(j - t.n)
   done
-
-(* Fresh duals y = c_B B^-1. *)
-let compute_duals t =
-  let y = Array.make t.m 0. in
-  for k = 0 to t.m - 1 do
-    let cb = t.cost.(t.basis.(k)) in
-    if cb <> 0. then begin
-      let row = t.binv.(k) in
-      for i = 0 to t.m - 1 do
-        y.(i) <- y.(i) +. (cb *. row.(i))
-      done
-    end
-  done;
-  y
 
 let duals t = compute_duals t
 
@@ -299,6 +501,8 @@ let reduced_costs t =
    Returns false if the basis matrix is (numerically) singular. *)
 let refactor t =
   t.total_refactors <- t.total_refactors + 1;
+  (* binv becomes the current B^-1 again: the eta file restarts empty *)
+  t.neta <- 0;
   let m = t.m in
   let a = Array.init m (fun _ -> Array.make m 0.) in
   for k = 0 to m - 1 do
@@ -377,6 +581,33 @@ let update_binv t r w =
     end
   done
 
+(* Cadence refactorization in eta mode: fold the eta file into binv so it
+   becomes the current B^-1 again.  Each stored eta applies exactly the
+   row operations [update_binv] would have performed at pivot time
+   (oldest first), so the result is bit-identical to dense-mode updating
+   -- and since B^-1 itself is unchanged, xb and d stay valid: no
+   recompute follows a fold.  Cost is sum over the file of nnz(w) * m,
+   versus the O(m^3) from-scratch rebuild, which remains reserved for
+   drift and numerical recovery where folding would preserve the very
+   error being repaired. *)
+let fold_etas t =
+  for e = 0 to t.neta - 1 do
+    let { er; idx; va; piv } = t.etas.(e) in
+    let brow = t.binv.(er) in
+    let scale = 1. /. piv in
+    for k = 0 to t.m - 1 do
+      brow.(k) <- brow.(k) *. scale
+    done;
+    for u = 0 to Array.length idx - 1 do
+      let row = t.binv.(idx.(u)) and f = va.(u) in
+      for k = 0 to t.m - 1 do
+        row.(k) <- row.(k) -. (f *. brow.(k))
+      done
+    done
+  done;
+  t.neta <- 0;
+  t.total_refactors <- t.total_refactors + 1
+
 let objective t =
   let acc = ref 0. in
   for j = 0 to t.n - 1 do
@@ -436,8 +667,16 @@ let dual_step t =
     let p = t.basis.(r) in
     let above = t.xb.(r) > t.ub.(p) in
     let s = if above then 1. else -1. in
-    (* Pivot row in nonbasic space: alpha_j = (e_r B^-1) A_j. *)
-    let rho = t.binv.(r) in
+    (* Pivot row in nonbasic space: alpha_j = (e_r B^-1) A_j.  In dense
+       mode binv is B^-1 and its row r can be aliased; in eta mode the
+       row is produced by a sparse btran through the eta file. *)
+    let rho =
+      if t.eta_mode then begin
+        compute_rho t r;
+        t.rho
+      end
+      else t.binv.(r)
+    in
     let movable = ref [] in
     for j = t.nn - 1 downto 0 do
       if t.loc.(j) < 0 && t.ub.(j) -. t.lb.(j) > 1e-12 then begin
@@ -518,7 +757,7 @@ let dual_step t =
         t.loc.(p) <- (if above then -2 else -1);
         t.loc.(q) <- r;
         t.basis.(r) <- q;
-        update_binv t r w;
+        if t.eta_mode then push_eta t r w else update_binv t r w;
         if Float.abs delta <= 1e-9 then t.degen_count <- t.degen_count + 1
         else begin
           t.degen_count <- 0;
@@ -539,9 +778,37 @@ let dual_loop t ~max_iter ~deadline =
        check_deadline deadline !iter;
        incr iter;
        t.total_iters <- t.total_iters + 1;
-       (* periodic resync against drift *)
-       if !iter mod 256 = 0 then compute_xb t;
-       if !iter mod 1024 = 0 then begin
+       (* Periodic resync against drift.  In eta mode the fresh basic
+          values double as a residual check: large disagreement with the
+          incrementally updated ones means the eta product has degraded
+          and triggers an early refactorization. *)
+       if !iter mod 256 = 0 then begin
+         if t.eta_mode then begin
+           Array.blit t.xb 0 t.xb_save 0 t.m;
+           compute_xb t;
+           let drift = ref 0. in
+           for i = 0 to t.m - 1 do
+             let d =
+               Float.abs (t.xb.(i) -. t.xb_save.(i))
+               /. (1. +. Float.abs t.xb.(i))
+             in
+             if d > !drift then drift := d
+           done;
+           if !drift > drift_tol then begin
+             if not (refactor t) then raise (Stop Numerical);
+             compute_xb t;
+             recompute_d t
+           end
+         end
+         else compute_xb t
+       end;
+       (* Refactorization cadence: in eta mode a full file folds into
+          binv (no xb/d recompute needed -- B^-1 is unchanged); dense
+          mode keeps the pre-eta fixed-interval rebuild. *)
+       if t.eta_mode then begin
+         if t.neta >= t.refactor_every then fold_etas t
+       end
+       else if !iter mod 1024 = 0 then begin
          if not (refactor t) then raise (Stop Numerical);
          compute_xb t;
          recompute_d t
@@ -627,7 +894,7 @@ let primal_step t =
       t.loc.(p) <- (if coef > 0. then -2 else -1);
       t.loc.(q) <- r;
       t.basis.(r) <- q;
-      update_binv t r w;
+      if t.eta_mode then push_eta t r w else update_binv t r w;
       if delta <= 1e-9 then t.degen_count <- t.degen_count + 1
       else begin
         t.degen_count <- 0;
@@ -647,6 +914,7 @@ let primal_simplex ?(max_iter = 200_000) ?deadline t =
        check_deadline deadline !iter;
        incr iter;
        t.total_iters <- t.total_iters + 1;
+       if t.eta_mode && t.neta >= t.refactor_every then fold_etas t;
        if !iter mod 256 = 0 then compute_xb t;
        match primal_step t with
        | `Progress -> ()
@@ -675,8 +943,32 @@ let dual_feasible t =
   !ok
 
 let reoptimize ?(max_iter = 200_000) ?deadline t =
-  compute_xb t;
-  recompute_d t;
+  (* Warm entry (eta mode): the previous reoptimize ended verified
+     Optimal, so d is fresh for the unchanged basis and bounds do not
+     enter reduced costs at all -- only the resting values of changed
+     nonbasic variables moved.  Replaying those as ftran updates of xb
+     replaces both dense O(m^2) entry passes with a handful of
+     eta-assisted column solves.  Every [warm_limit] consecutive warm
+     starts the full recompute runs anyway, bounding accumulated drift
+     that short node solves would never hit a periodic resync for. *)
+  if t.eta_mode && t.warm && t.warm_solves < warm_limit then begin
+    t.warm_solves <- t.warm_solves + 1;
+    List.iter
+      (fun (j, dv) ->
+         let w = ftran t j in
+         for i = 0 to t.m - 1 do
+           t.xb.(i) <- t.xb.(i) -. (w.(i) *. dv)
+         done)
+      t.pending_bounds
+  end
+  else begin
+    compute_xb t;
+    recompute_d t;
+    t.warm_solves <- 0
+  end;
+  t.pending_bounds <- [];
+  t.npending <- 0;
+  t.warm <- false;
   t.bland <- false;
   t.degen_count <- 0;
   t.infeas_ray <- None;
@@ -684,8 +976,13 @@ let reoptimize ?(max_iter = 200_000) ?deadline t =
   match status with
   | Optimal ->
     (* Guard against reduced-cost drift: verify with fresh values, finish
-       with primal pivots if needed (the point is primal feasible here). *)
-    if dual_feasible t then Optimal
+       with primal pivots if needed (the point is primal feasible here).
+       A verified exit leaves d fresh and xb current, arming the warm
+       path for the next node. *)
+    if dual_feasible t then begin
+      t.warm <- true;
+      Optimal
+    end
     else primal_simplex ?deadline ~max_iter t
   | s -> s
 
@@ -706,11 +1003,12 @@ type result = {
   iterations : int;
 }
 
-let solve ?(max_iter = 200_000) ?time_limit (std : Lp.std) =
+let solve ?(max_iter = 200_000) ?time_limit ?eta_mode ?refactor_every
+    (std : Lp.std) =
   Obs.with_span "simplex.solve"
     ~attrs:[ ("rows", Obs.Int std.Lp.nrows); ("cols", Obs.Int std.Lp.ncols) ]
     (fun () ->
-       let t = create std in
+       let t = create ?eta_mode ?refactor_every std in
        let deadline =
          match time_limit with
          | Some s -> Some (Obs.Clock.now () +. s)
@@ -724,6 +1022,9 @@ let solve ?(max_iter = 200_000) ?time_limit (std : Lp.std) =
        if Obs.enabled () then begin
          Obs.count "simplex.iterations" (float_of_int t.total_iters);
          Obs.count "simplex.refactorizations" (float_of_int t.total_refactors);
+         if t.eta_apps > 0 then
+           Obs.count "simplex.eta_applications" (float_of_int t.eta_apps);
+         if t.eta_mode then Obs.gauge "simplex.eta_len" (float_of_int t.eta_len_max);
          Obs.point "simplex.done"
            ~attrs:
              [

@@ -1,8 +1,20 @@
 (** Bounded-variable simplex solver over {!Vpart_lp.Lp.std} models.
 
-    The implementation is a revised simplex with an explicit dense basis
-    inverse, supporting both the {e dual} and {e primal} methods on variables
-    with general (boxed) bounds.
+    The implementation is a revised simplex supporting both the {e dual}
+    and {e primal} methods on variables with general (boxed) bounds.
+
+    The basis inverse is kept in {e product form}: a dense inverse [B₀⁻¹]
+    from the last refactorization plus an {e eta file} — one sparse
+    elementary matrix per pivot — applied on every [ftran]/[btran].  A
+    pivot therefore costs O(nnz) instead of the O(rows²) dense
+    Gauss-Jordan update, and the pivot row needed for pricing is produced
+    by a {e sparse} btran of a unit vector through the eta file (the unit
+    vector gains at most one nonzero per eta).  The file is folded back
+    into a fresh dense inverse every [refactor_every] pivots, or earlier
+    when the periodic basic-value resync detects drift beyond tolerance.
+    [create ~eta_mode:false] disables all of this and maintains a dense
+    [B⁻¹] updated per pivot — the pre-eta code path, kept as a measured
+    baseline ([bench perf]) and a numerical cross-check.
 
     The dual method is the workhorse: starting from the all-slack basis, the
     solver first places every nonbasic variable on the bound that makes its
@@ -36,9 +48,16 @@ type result = {
   iterations : int;
 }
 
-val solve : ?max_iter:int -> ?time_limit:float -> Lp.std -> result
+val solve :
+  ?max_iter:int ->
+  ?time_limit:float ->
+  ?eta_mode:bool ->
+  ?refactor_every:int ->
+  Lp.std ->
+  result
 (** Solve the continuous relaxation of [std] (integrality is ignored).
-    [time_limit] is wall-clock seconds. *)
+    [time_limit] is wall-clock seconds.  [eta_mode] (default [true]) and
+    [refactor_every] (default 64) as in {!create}. *)
 
 (** {1 Incremental interface (for branch-and-bound)} *)
 
@@ -47,9 +66,17 @@ type t
     values.  Bounds may be tightened/relaxed between calls to {!reoptimize};
     the basis is reused (warm start). *)
 
-val create : Lp.std -> t
+val create : ?eta_mode:bool -> ?refactor_every:int -> Lp.std -> t
 (** Build an instance positioned at the dual-feasible all-slack basis.
-    Integrality markers in [std] are ignored here. *)
+    Integrality markers in [std] are ignored here.
+
+    [eta_mode] (default [true]) selects the product-form basis updates;
+    [false] maintains a dense [B⁻¹] per pivot (the pre-eta behavior).
+    [refactor_every] (default 64, must be ≥ 1) bounds the eta-file
+    length before the dense inverse is rebuilt; an out-of-tolerance
+    basic-value residual at the periodic resync triggers an earlier
+    rebuild regardless.  Only meaningful in eta mode.
+    @raise Invalid_argument when [refactor_every < 1]. *)
 
 val copy : t -> t
 (** Independent snapshot: same model, same current basis/bounds/values,
@@ -89,8 +116,21 @@ val iterations : t -> int
 (** Total simplex iterations performed by this instance so far. *)
 
 val refactorizations : t -> int
-(** Total basis refactorizations (periodic resyncs and numerical-recovery
-    rebuilds) performed by this instance so far. *)
+(** Total basis refactorizations (cadence, drift-triggered and
+    numerical-recovery rebuilds) performed by this instance so far. *)
+
+val eta_applications : t -> int
+(** Total eta-matrix applications (ftran/btran passes through eta-file
+    entries) performed by this instance so far; 0 in dense mode.
+    Mirrored in the [simplex.eta_applications] observability counter. *)
+
+val eta_length : t -> int
+(** Current eta-file length (pivots since the last refactorization);
+    always 0 in dense mode. *)
+
+val max_eta_length : t -> int
+(** High-water eta-file length over the instance's lifetime — the
+    [simplex.eta_len] observability gauge. *)
 
 (** {1 Dual information}
 

@@ -1,0 +1,66 @@
+(* Fast delta-vs-full agreement smoke, run by `dune build @lint`: a
+   fixed-seed move sequence through Delta_cost must track the
+   from-scratch Cost_model objective to float precision on a bundled
+   instance.  Exits non-zero on the first disagreement, so delta-kernel
+   drift fails the lint gate (ISSUE 5 acceptance). *)
+
+open Vpart
+
+let () =
+  let file = Sys.argv.(1) in
+  let inst = Codec.load_instance file in
+  let stats = Stats.compute inst ~p:8. in
+  let lambda = 0.1 and pl = 1. and num_sites = 3 in
+  let nt = stats.Stats.num_txns and na = stats.Stats.num_attrs in
+  let st = Random.State.make [| 42 |] in
+  let part =
+    Partitioning.create ~num_sites ~num_txns:nt ~num_attrs:na
+  in
+  for t = 0 to nt - 1 do
+    part.Partitioning.txn_site.(t) <- Random.State.int st num_sites
+  done;
+  Partitioning.repair_single_sitedness stats part;
+  let dc = Delta_cost.create ~latency:(inst, pl) stats ~lambda part in
+  let fresh () =
+    Cost_model.objective stats ~lambda part
+    +. (lambda *. Cost_model.latency inst ~pl part)
+  in
+  let worst = ref 0. in
+  let check step =
+    let want = fresh () and got = Delta_cost.objective dc in
+    let diff = Float.abs (got -. want) in
+    if diff > !worst then worst := diff;
+    if diff > 1e-9 *. (1. +. Float.abs want) then begin
+      Printf.eprintf
+        "smoke_delta: step %d: delta %.17g vs fresh %.17g (diff %g)\n" step
+        got want diff;
+      exit 1
+    end
+  in
+  check 0;
+  for step = 1 to 400 do
+    (match Random.State.int st 8 with
+     | 0 | 1 | 2 ->
+       ignore
+         (Delta_cost.apply_move dc
+            (Delta_cost.Flip
+               (Random.State.int st na, Random.State.int st num_sites)))
+     | 3 | 4 | 5 ->
+       ignore
+         (Delta_cost.apply_move dc
+            (Delta_cost.Assign
+               (Random.State.int st nt, Random.State.int st num_sites)))
+     | 6 -> if Delta_cost.mark dc > 0 then Delta_cost.undo_move dc
+     | _ ->
+       let k = 1 + Random.State.int st (min 3 nt) in
+       let t0 = Random.State.int st (nt - k + 1) in
+       ignore
+         (Delta_cost.apply_move dc
+            (Delta_cost.Move_component
+               (Array.init k (fun i -> t0 + i),
+                [| Random.State.int st na |],
+                Random.State.int st num_sites))));
+    check step
+  done;
+  Printf.printf "smoke_delta: %s ok (400 moves, max drift %g)\n"
+    (Filename.basename file) !worst

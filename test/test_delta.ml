@@ -1,0 +1,230 @@
+(* Delta_cost vs Cost_model agreement: the incremental evaluator must
+   track the from-scratch objective to float precision over arbitrary
+   move sequences (ISSUE 5 acceptance: drift is a gate failure). *)
+
+open Vpart
+
+(* The annealed objective the evaluator tracks: objective (6) plus the
+   Appendix-A latency term when enabled, all recomputed from scratch. *)
+let fresh_objective stats ~lambda ?latency part =
+  Cost_model.objective stats ~lambda part
+  +.
+  match latency with
+  | Some (inst, pl) -> lambda *. Cost_model.latency inst ~pl part
+  | None -> 0.
+
+let check_agreement ~what dc stats ~lambda ?latency () =
+  let part = Delta_cost.partitioning dc in
+  let want = fresh_objective stats ~lambda ?latency part in
+  let got = Delta_cost.objective dc in
+  let tol = 1e-9 *. (1. +. Float.abs want) in
+  if Float.abs (got -. want) > tol then
+    Alcotest.failf "%s: delta %.17g vs fresh %.17g (diff %g > tol %g)" what
+      got want (Float.abs (got -. want)) tol
+
+let random_partitioning st stats ~num_sites =
+  let nt = stats.Stats.num_txns and na = stats.Stats.num_attrs in
+  let part = Partitioning.create ~num_sites ~num_txns:nt ~num_attrs:na in
+  for t = 0 to nt - 1 do
+    part.Partitioning.txn_site.(t) <- Random.State.int st num_sites
+  done;
+  Partitioning.repair_single_sitedness stats part;
+  (* Sprinkle extra replicas so drops are exercised from the start. *)
+  for a = 0 to na - 1 do
+    if Random.State.float st 1. < 0.3 then
+      part.Partitioning.placed.(a).(Random.State.int st num_sites) <- true
+  done;
+  part
+
+(* One random action against the evaluator.  Moves need not preserve
+   validity: both evaluators are pure sums over the layout, so agreement
+   is meaningful (and required) on invalid intermediate layouts too. *)
+let random_action st dc stats ~num_sites ~marks =
+  let nt = stats.Stats.num_txns and na = stats.Stats.num_attrs in
+  match Random.State.int st 10 with
+  | 0 | 1 | 2 ->
+    ignore
+      (Delta_cost.apply_move dc
+         (Delta_cost.Flip (Random.State.int st na, Random.State.int st num_sites)))
+  | 3 | 4 | 5 ->
+    ignore
+      (Delta_cost.apply_move dc
+         (Delta_cost.Assign (Random.State.int st nt, Random.State.int st num_sites)))
+  | 6 ->
+    (* Component move: a contiguous slice keeps txns/attrs distinct. *)
+    let k = 1 + Random.State.int st (min 3 nt) in
+    let t0 = Random.State.int st (nt - k + 1) in
+    let j = 1 + Random.State.int st (min 3 na) in
+    let a0 = Random.State.int st (na - j + 1) in
+    ignore
+      (Delta_cost.apply_move dc
+         (Delta_cost.Move_component
+            (Array.init k (fun i -> t0 + i),
+             Array.init j (fun i -> a0 + i),
+             Random.State.int st num_sites)))
+  | 7 ->
+    if Delta_cost.moves_applied dc > 0 && Delta_cost.mark dc > 0 then
+      Delta_cost.undo_move dc
+  | 8 ->
+    (* Exercise mark/undo_to: run a burst, then rewind it entirely. *)
+    (match !marks with
+     | [] -> marks := [ Delta_cost.mark dc ]
+     | m :: rest ->
+       Delta_cost.undo_to dc m;
+       marks := rest)
+  | _ -> Delta_cost.resync dc
+
+let prop_delta_agrees =
+  QCheck2.Test.make ~count:60 ~name:"delta evaluator agrees with Cost_model"
+    QCheck2.Gen.(
+      tup4 (int_range 0 100000) (int_range 2 4) (int_range 2 8)
+        (tup2 bool (int_range 1 4)))
+    (fun (seed, num_sites, tables, (with_latency, txns)) ->
+       let params =
+         { Instance_gen.default_params with
+           Instance_gen.name = Printf.sprintf "delta%d" seed;
+           num_tables = tables;
+           num_transactions = txns;
+           update_percent = 40;
+         }
+       in
+       let inst = Instance_gen.generate ~seed params in
+       let stats = Stats.compute inst ~p:8. in
+       let st = Random.State.make [| seed; 77 |] in
+       let lambda = Random.State.float st 1. in
+       let latency = if with_latency then Some (inst, 0.5) else None in
+       let part = random_partitioning st stats ~num_sites in
+       let dc = Delta_cost.create ?latency stats ~lambda part in
+       let marks = ref [] in
+       check_agreement ~what:"initial" dc stats ~lambda ?latency ();
+       for step = 1 to 80 do
+         random_action st dc stats ~num_sites ~marks;
+         check_agreement
+           ~what:(Printf.sprintf "step %d (seed %d)" step seed)
+           dc stats ~lambda ?latency ()
+       done;
+       true)
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures on the hand-computed tiny instance (cf. test_core.ml)      *)
+(* ------------------------------------------------------------------ *)
+
+let tiny () =
+  let schema =
+    Schema.make [ ("T1", [ ("a0", 4); ("a1", 8) ]); ("T2", [ ("b0", 2) ]) ]
+  in
+  let q_read =
+    { Workload.q_name = "qr"; kind = Workload.Read; freq = 2.;
+      tables = [ (0, 1.) ]; attrs = [ 0 ] }
+  in
+  let q_write =
+    { Workload.q_name = "qw"; kind = Workload.Write; freq = 1.;
+      tables = [ (0, 1.); (1, 1.) ]; attrs = [ 1 ] }
+  in
+  let wl =
+    Workload.make ~queries:[ q_read; q_write ]
+      ~transactions:[ { Workload.t_name = "t"; queries = [ 0; 1 ] } ]
+  in
+  Instance.make ~name:"tiny" schema wl
+
+let base_part stats =
+  let part =
+    Partitioning.create ~num_sites:2 ~num_txns:stats.Stats.num_txns
+      ~num_attrs:stats.Stats.num_attrs
+  in
+  Partitioning.repair_single_sitedness stats part;
+  part
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* The λ weighting of objective (6): at λ = 0 the evaluator must report
+   pure max-site-work; at λ = 1 pure cost; flips must move both sides
+   exactly as Cost_model says. *)
+let test_lambda_term () =
+  let inst = tiny () in
+  let stats = Stats.compute inst ~p:8. in
+  List.iter
+    (fun lambda ->
+       let part = base_part stats in
+       let dc = Delta_cost.create stats ~lambda part in
+       feq "initial objective"
+         (Cost_model.objective stats ~lambda part)
+         (Delta_cost.objective dc);
+       feq "initial cost" (Cost_model.cost stats part) (Delta_cost.cost dc);
+       feq "initial max work"
+         (Cost_model.max_site_work stats part)
+         (Delta_cost.max_site_work dc);
+       (* Replicate a1 on site 1: cost and work both change. *)
+       let before = Delta_cost.objective dc in
+       let d = Delta_cost.apply_move dc (Delta_cost.Flip (1, 1)) in
+       feq "delta is the exact change"
+         (Cost_model.objective stats ~lambda part -. before)
+         d;
+       feq "objective after flip"
+         (Cost_model.objective stats ~lambda part)
+         (Delta_cost.objective dc);
+       Delta_cost.undo_move dc;
+       feq "undo restores" before (Delta_cost.objective dc))
+    [ 0.; 0.1; 0.5; 1. ]
+
+(* Appendix-A latency: replicating the written attribute a1 away from the
+   writer's home site must add exactly λ·pl·f_qw = λ·0.5·1. *)
+let test_latency_term () =
+  let inst = tiny () in
+  let stats = Stats.compute inst ~p:8. in
+  let lambda = 0.4 and pl = 0.5 in
+  let part = base_part stats in
+  let dc = Delta_cost.create ~latency:(inst, pl) stats ~lambda part in
+  feq "no replica, no latency" 0. (Cost_model.latency inst ~pl part);
+  feq "initial annealed objective"
+    (Cost_model.objective stats ~lambda part)
+    (Delta_cost.objective dc);
+  let plain = Delta_cost.objective dc in
+  let d = Delta_cost.apply_move dc (Delta_cost.Flip (1, 1)) in
+  feq "flip charges the psi term"
+    (Cost_model.objective stats ~lambda part +. (lambda *. pl *. 1.) -. plain)
+    d;
+  feq "latency now positive" (pl *. 1.) (Cost_model.latency inst ~pl part);
+  (* A second off-home replica of the same write set must not double
+     charge: psi_q is an indicator, not a count. *)
+  ignore (Delta_cost.apply_move dc (Delta_cost.Assign (0, 1)));
+  feq "psi is an indicator"
+    (Cost_model.objective stats ~lambda part
+     +. (lambda *. Cost_model.latency inst ~pl part))
+    (Delta_cost.objective dc)
+
+(* Portfolio exchange: the SA chains adopt foreign layouts wholesale by
+   rewriting the wrapped partitioning and resyncing. *)
+let test_exchange_resync () =
+  let inst = tiny () in
+  let stats = Stats.compute inst ~p:8. in
+  let lambda = 0.3 in
+  let part = base_part stats in
+  let dc = Delta_cost.create ~latency:(inst, 2.) stats ~lambda part in
+  (* Overwrite the layout behind the evaluator's back, as an exchange
+     point does, then resync. *)
+  part.Partitioning.txn_site.(0) <- 1;
+  part.Partitioning.placed.(0).(0) <- false;
+  part.Partitioning.placed.(0).(1) <- true;
+  part.Partitioning.placed.(1).(1) <- true;
+  part.Partitioning.placed.(2).(1) <- true;
+  Delta_cost.resync dc;
+  feq "resync after exchange"
+    (Cost_model.objective stats ~lambda part
+     +. (lambda *. Cost_model.latency inst ~pl:2. part))
+    (Delta_cost.objective dc);
+  (* And the journal keeps working after the exchange. *)
+  let before = Delta_cost.objective dc in
+  ignore (Delta_cost.apply_move dc (Delta_cost.Flip (1, 0)));
+  Delta_cost.undo_move dc;
+  feq "journal valid after resync" before (Delta_cost.objective dc)
+
+let () =
+  Alcotest.run "delta"
+    [ ("fixtures",
+       [ Alcotest.test_case "lambda term" `Quick test_lambda_term;
+         Alcotest.test_case "latency term" `Quick test_latency_term;
+         Alcotest.test_case "exchange resync" `Quick test_exchange_resync;
+       ]);
+      ("properties", [ QCheck_alcotest.to_alcotest prop_delta_agrees ]);
+    ]
