@@ -1046,6 +1046,137 @@ let bechamel () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* N/S analysis: overhead of the static passes and the measured payoff  *)
+(* of their remediations (--scale, --break-symmetry)                    *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_bench () =
+  let module Numerics_lint = Vpart_analysis.Numerics_lint in
+  let module Structure = Vpart_analysis.Structure in
+  let time f =
+    let t0 = Obs.Clock.now () in
+    let r = f () in
+    (r, Obs.Clock.now () -. t0)
+  in
+  let std_for inst sites =
+    let grouping = Grouping.compute inst in
+    let stats = Stats.compute grouping.Grouping.reduced ~p:cfg.p in
+    let model, _ = Qp_solver.build_model stats (qp_options sites) in
+    Lp.standardize model
+  in
+  let names = [ "SmallBank"; "Voter"; "TATP"; "TPC-C v5" ] in
+
+  section "N/S analysis overhead (model build vs numerics + structure passes)";
+  Printf.printf "%-10s | %9s %9s %8s | %s\n" "instance" "build (s)"
+    "analy (s)" "ovh" "findings";
+  hr ();
+  List.iter
+    (fun name ->
+       let inst = get_instance name in
+       let std, t_build = time (fun () -> std_for inst 2) in
+       let ds, t_analyze =
+         time (fun () -> Numerics_lint.lint std @ Structure.lint std)
+       in
+       let n = List.length ds in
+       Printf.printf "%-10s | %9.4f %9.4f %7.1f%% | %d finding(s)\n%!" name
+         t_build t_analyze
+         (100. *. t_analyze /. Float.max 1e-9 t_build)
+         n;
+       json_results :=
+         ( "analyze-overhead/" ^ name,
+           Json.Obj
+             [
+               ("build_seconds", Json.Float t_build);
+               ("analysis_seconds", Json.Float t_analyze);
+               ("findings", Json.Int n);
+             ] )
+         :: !json_results)
+    names;
+  hr ();
+
+  section "Scaling payoff (root LP dual simplex, unscaled vs --scale)";
+  Printf.printf "%-10s | %8s %8s | %8s %8s | %s\n" "instance" "iter" "iter'"
+    "obj" "obj'" "agree";
+  hr ();
+  List.iter
+    (fun name ->
+       let inst = get_instance name in
+       let std = std_for inst 2 in
+       let sstd = Presolve.scale (Presolve.scaling std) std in
+       let a = Simplex.solve std and b = Simplex.solve sstd in
+       let agree =
+         Float.abs (a.Simplex.obj -. b.Simplex.obj)
+         <= 1e-6 *. (1. +. Float.abs a.Simplex.obj)
+       in
+       Printf.printf "%-10s | %8d %8d | %8.1f %8.1f | %s\n%!" name
+         a.Simplex.iterations b.Simplex.iterations a.Simplex.obj b.Simplex.obj
+         (if agree then "yes" else "NO");
+       json_results :=
+         ( "scale-root-lp/" ^ name,
+           Json.Obj
+             [
+               ("unscaled_iterations", Json.Int a.Simplex.iterations);
+               ("scaled_iterations", Json.Int b.Simplex.iterations);
+               ("unscaled_obj", Json.Float a.Simplex.obj);
+               ("scaled_obj", Json.Float b.Simplex.obj);
+               ("objectives_agree", Json.Bool agree);
+             ] )
+         :: !json_results)
+    names;
+  hr ();
+
+  section "Symmetry-breaking payoff (QP B&B, 3 sites, plain vs --break-symmetry)";
+  Printf.printf "%-10s | %8s %8s | %9s %9s | %8s %8s | %s\n" "instance"
+    "nodes" "nodes'" "time (s)" "time' (s)" "cost" "cost'" "certified";
+  hr ();
+  List.iter
+    (fun name ->
+       let inst = get_instance name in
+       let solve break_symmetry scale =
+         Qp_solver.solve
+           ~options:
+             { (qp_options ~time_limit:60. 3) with
+               Qp_solver.break_symmetry;
+               scale;
+               certify = true;
+             }
+           inst
+       in
+       let plain, t_plain = time (fun () -> solve false false) in
+       let pinned, t_pinned = time (fun () -> solve true true) in
+       let cost r = Option.value r.Qp_solver.cost ~default:Float.nan in
+       let certified r =
+         match r.Qp_solver.certificate with
+         | Some ds ->
+           not
+             (Vpart_analysis.Diagnostic.has_errors ds)
+         | None -> false
+       in
+       let ok = certified plain && certified pinned in
+       Printf.printf
+         "%-10s | %8d %8d | %9.3f %9.3f | %8.1f %8.1f | %s\n%!" name
+         plain.Qp_solver.nodes pinned.Qp_solver.nodes t_plain t_pinned
+         (cost plain) (cost pinned)
+         (if ok then "yes" else "NO");
+       json_results :=
+         ( "break-symmetry/" ^ name,
+           Json.Obj
+             [
+               ("plain_nodes", Json.Int plain.Qp_solver.nodes);
+               ("pinned_nodes", Json.Int pinned.Qp_solver.nodes);
+               ("plain_simplex_iters", Json.Int plain.Qp_solver.simplex_iters);
+               ("pinned_simplex_iters", Json.Int pinned.Qp_solver.simplex_iters);
+               ("plain_seconds", Json.Float t_plain);
+               ("pinned_seconds", Json.Float t_pinned);
+               ("plain_cost", Json.Float (cost plain));
+               ("pinned_cost", Json.Float (cost pinned));
+               ("both_certified", Json.Bool ok);
+             ] )
+         :: !json_results)
+    [ "SmallBank"; "Voter"; "TATP" ];
+  hr ()
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1053,7 +1184,7 @@ let usage () =
   print_endline
     "usage: main.exe [--qp-limit SECONDS] [--lambda L] [--max-rows N] [--seed N]\n\
     \                [--json-out FILE]\n\
-    \                [table1|table2|table3|table4|table5|table6|ablation|suite|certify|obs|par|perf|bechamel|all]...";
+    \                [table1|table2|table3|table4|table5|table6|ablation|suite|certify|obs|par|perf|analyze|bechamel|all]...";
   exit 1
 
 let () =
@@ -1084,6 +1215,7 @@ let () =
     | "obs" -> obs_overhead ()
     | "par" -> par_speedup ()
     | "perf" -> perf ()
+    | "analyze" -> analyze_bench ()
     | "bechamel" -> bechamel ()
     | "all" ->
       Printf.printf
@@ -1091,7 +1223,7 @@ let () =
         cfg.p cfg.lambda cfg.qp_limit;
       table2 (); table1 (); table3 (); table4 (); table5 (); table6 ();
       ablation (); suite (); certify_overhead (); obs_overhead ();
-      par_speedup (); perf (); bechamel ()
+      par_speedup (); perf (); analyze_bench (); bechamel ()
     | j -> Printf.printf "unknown job %S\n" j; usage ()
   in
   (* With --json-out, collect in-process solver metrics across all jobs

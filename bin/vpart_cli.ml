@@ -1,7 +1,8 @@
 (* vpart: command-line front end for the vertical partitioning library.
 
      vpart info     --tpcc | --instance FILE | --random NAME
-     vpart check    FILE... [--strict]       (static analysis / lint)
+     vpart check    FILE... [--strict] [--format json]  (instance lint)
+     vpart analyze  FILE... [--sites N] [--format json] (model N/S analysis)
      vpart solve    [--solver sa|qp] [--sites N] [--lint-model] [--certify]
                     (--tpcc | ...)
      vpart certify  FILE... [--solver qp|sa|iter]  (solve + certificates)
@@ -13,6 +14,44 @@
 open Cmdliner
 open Vpart
 module Diagnostic = Vpart_analysis.Diagnostic
+
+(* Machine-readable diagnostics, shared by `check --format json` and
+   `analyze --format json`: stable code/severity/message fields, identical
+   findings collapsed with a count (mirroring Diagnostic.pp_report). *)
+let findings_to_json ds =
+  Json.List
+    (List.map
+       (fun ((d : Diagnostic.t), n) ->
+          Json.Obj
+            [
+              ("code", Json.String d.Diagnostic.code);
+              ("severity",
+               Json.String (Diagnostic.severity_label d.Diagnostic.severity));
+              ("message", Json.String d.Diagnostic.message);
+              ("count", Json.Int n);
+            ])
+       (Diagnostic.dedup (Diagnostic.sort ds)))
+
+let report_to_json ?(extra = []) ~file ds =
+  Json.Obj
+    (("file", Json.String file)
+     :: extra
+     @ [
+         ("findings", findings_to_json ds);
+         ("errors", Json.Int (Diagnostic.count Diagnostic.Error ds));
+         ("warnings", Json.Int (Diagnostic.count Diagnostic.Warning ds));
+         ("infos", Json.Int (Diagnostic.count Diagnostic.Info ds));
+       ])
+
+let format_term =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format: $(b,text) (human-readable report) or $(b,json) \
+           (machine-readable; one object per file with stable \
+           code/severity/message/count fields).")
 
 (* ------------------------------------------------------------------ *)
 (* Instance sources                                                    *)
@@ -180,7 +219,7 @@ let check_cmd =
       value & flag
       & info [ "strict" ] ~doc:"Promote warnings to errors (non-zero exit).")
   in
-  let run files strict jobs =
+  let run files strict format jobs =
     (* Lint every file independently (possibly across domains), then print
        the reports in command-line order — the output is identical for
        every --jobs value. *)
@@ -196,24 +235,32 @@ let check_cmd =
           [ Diagnostic.error ~code:"I001" "malformed instance: %s" e ]
       in
       let diags = if strict then Diagnostic.promote_warnings diags else diags in
-      let report =
-        Format.asprintf "@[<v>%s:@,%a@]@." file Report.pp_diagnostics diags
-      in
-      (List.length (Diagnostic.errors diags), report)
+      (file, diags)
     in
     let results =
       Par.with_pool ~jobs:(max 1 jobs) @@ fun pool ->
       Par.map_list pool check_one files
     in
+    (match format with
+     | `Text ->
+       List.iter
+         (fun (file, diags) ->
+            Format.printf "@[<v>%s:@,%a@]@." file Report.pp_diagnostics diags)
+         results
+     | `Json ->
+       print_string
+         (Json.to_string
+            (Json.List
+               (List.map (fun (file, ds) -> report_to_json ~file ds) results)));
+       print_newline ());
     let total_errors =
       List.fold_left
-        (fun acc (errs, report) ->
-           print_string report;
-           acc + errs)
+        (fun acc (_, ds) -> acc + List.length (Diagnostic.errors ds))
         0 results
     in
     if total_errors > 0 then begin
-      Format.printf "check failed: %d error(s)@." total_errors;
+      if format = `Text then
+        Format.printf "check failed: %d error(s)@." total_errors;
       exit 1
     end
   in
@@ -224,7 +271,192 @@ let check_cmd =
           integrity, statistics sanity and degenerate-workload findings \
           (see docs/ANALYSIS.md for the code catalog).  Exits non-zero if \
           any Error-level finding is present.")
-    Term.(const run $ files_term $ strict_term $ jobs_term)
+    Term.(const run $ files_term $ strict_term $ format_term $ jobs_term)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Numerics_lint = Vpart_analysis.Numerics_lint
+module Structure = Vpart_analysis.Structure
+
+let analyze_cmd =
+  let files_term =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:"Instance JSON file(s) whose layout model to analyse.")
+  in
+  let strict_term =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Promote warnings to errors (non-zero exit).")
+  in
+  let solve_root_term =
+    Arg.(
+      value & flag
+      & info [ "solve-root" ]
+          ~doc:
+            "Also solve the root LP relaxation and translate the simplex \
+             kernel's counters (iterations, drift/recovery \
+             refactorizations, eta-file high-water) into runtime-feedback \
+             diagnostics ($(b,N101)/$(b,N102)) — closing the loop between \
+             static prediction and observed behaviour.")
+  in
+  let profile_to_json (pr : Structure.profile) =
+    Json.Obj
+      [
+        ("rows", Json.Int pr.Structure.p_nrows);
+        ("cols", Json.Int pr.Structure.p_ncols);
+        ("nnz", Json.Int pr.Structure.p_nnz);
+        ("density", Json.Float pr.Structure.p_density);
+        ("max_row_nnz", Json.Int pr.Structure.p_max_row_nnz);
+        ("bandwidth", Json.Int pr.Structure.p_bandwidth);
+        ("avg_bandwidth", Json.Float pr.Structure.p_avg_bandwidth);
+        ("blocks",
+         Json.List
+           (List.map
+              (fun (b : Structure.block) ->
+                 Json.Obj
+                   [
+                     ("rows", Json.Int b.Structure.b_rows);
+                     ("cols", Json.Int b.Structure.b_cols);
+                     ("nnz", Json.Int b.Structure.b_nnz);
+                   ])
+              pr.Structure.p_blocks));
+        ("fill_in",
+         match pr.Structure.p_fill_in with
+         | Some f -> Json.Int f
+         | None -> Json.Null);
+        ("fill_capped", Json.Bool pr.Structure.p_fill_capped);
+        ("orbits", Json.List (List.map (fun n -> Json.Int n) pr.Structure.p_orbits));
+      ]
+  in
+  (* Root-LP cap: the dual simplex keeps a dense basis inverse, so cap
+     analysis solves the same way Qp_solver.default_options.max_rows does. *)
+  let root_cap = 4000 in
+  let root_feedback std =
+    if std.Lp.nrows > root_cap then
+      [
+        Diagnostic.info ~code:"N101"
+          "root LP not solved: %d rows exceed the %d-row analysis cap"
+          std.Lp.nrows root_cap;
+      ]
+    else begin
+      let sx = Simplex.create std in
+      ignore (Simplex.reoptimize sx);
+      Numerics_lint.runtime_feedback
+        ~iterations:(Simplex.iterations sx)
+        ~refactorizations:(Simplex.refactorizations sx)
+        ~drift_rebuilds:(Simplex.drift_rebuilds sx)
+        ~recovery_rebuilds:(Simplex.recovery_rebuilds sx)
+        ~max_eta_length:(Simplex.max_eta_length sx)
+    end
+  in
+  let run files sites p lambda disjoint no_grouping strict format solve_root
+      jobs =
+    (* Analyse every file independently (possibly across domains), then
+       print the reports in command-line order. *)
+    let analyze_one file =
+      match Codec.load_instance file with
+      | exception Sys_error e ->
+        (file, [ Diagnostic.error ~code:"I001" "cannot read instance: %s" e ],
+         None)
+      | exception Json.Parse_error e ->
+        (file, [ Diagnostic.error ~code:"I001" "JSON parse error: %s" e ],
+         None)
+      | exception Invalid_argument e ->
+        (file, [ Diagnostic.error ~code:"I001" "malformed instance: %s" e ],
+         None)
+      | inst ->
+        let grouping =
+          if no_grouping then Grouping.identity inst else Grouping.compute inst
+        in
+        let stats = Stats.compute grouping.Grouping.reduced ~p in
+        let opts =
+          { Qp_solver.default_options with
+            Qp_solver.num_sites = sites;
+            p;
+            lambda;
+            allow_replication = not disjoint;
+          }
+        in
+        let model, _ = Qp_solver.build_model stats opts in
+        let std = Lp.standardize model in
+        let profile = Structure.profile std in
+        let diags =
+          Vpart_analysis.Model_lint.lint_model model
+          @ Numerics_lint.lint ~var_name:(Lp.var_name model) std
+          @ Structure.lint_profile profile
+          @ (if solve_root then root_feedback std else [])
+        in
+        (file, diags, Some profile)
+    in
+    let results =
+      Par.with_pool ~jobs:(max 1 jobs) @@ fun pool ->
+      Par.map_list pool analyze_one files
+    in
+    let results =
+      List.map
+        (fun (file, ds, pr) ->
+           (file, (if strict then Diagnostic.promote_warnings ds else ds), pr))
+        results
+    in
+    (match format with
+     | `Text ->
+       List.iter
+         (fun (file, ds, pr) ->
+            (match pr with
+             | None -> Format.printf "@[<v>%s:@]@." file
+             | Some pr ->
+               Format.printf
+                 "@[<v>%s: %d rows, %d cols, %d nnz (density %.3g), \
+                  bandwidth %d, %d block(s)@]@."
+                 file pr.Structure.p_nrows pr.Structure.p_ncols
+                 pr.Structure.p_nnz pr.Structure.p_density
+                 pr.Structure.p_bandwidth
+                 (List.length pr.Structure.p_blocks));
+            Format.printf "@[<v>%a@]@." Report.pp_diagnostics ds)
+         results
+     | `Json ->
+       print_string
+         (Json.to_string
+            (Json.List
+               (List.map
+                  (fun (file, ds, pr) ->
+                     let extra =
+                       match pr with
+                       | None -> []
+                       | Some pr -> [ ("profile", profile_to_json pr) ]
+                     in
+                     report_to_json ~extra ~file ds)
+                  results)));
+       print_newline ());
+    let total_errors =
+      List.fold_left
+        (fun acc (_, ds, _) -> acc + List.length (Diagnostic.errors ds))
+        0 results
+    in
+    if total_errors > 0 then begin
+      if format = `Text then
+        Format.printf "analyze failed: %d error(s)@." total_errors;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Build the linearized layout MIP (7) for each instance and run the \
+          numerical/structural static-analysis passes over it: conditioning \
+          and scaling ($(b,N001)-$(b,N008)), sparsity, block structure, \
+          fill-in and symmetry orbits ($(b,S001)-$(b,S005)); see \
+          docs/ANALYSIS.md.  Findings point at remediations ($(b,solve \
+          --scale), $(b,--break-symmetry)).  Exits non-zero if any \
+          Error-level finding is present.")
+    Term.(
+      const run $ files_term $ sites_term $ p_term $ lambda_term
+      $ disjoint_term $ no_grouping_term $ strict_term $ format_term
+      $ solve_root_term $ jobs_term)
 
 (* ------------------------------------------------------------------ *)
 (* solve                                                               *)
@@ -294,6 +526,26 @@ let solve_cmd =
             "Pivots between eta-file folds in the eta simplex kernel \
              (ignored with $(b,--simplex-dense)).")
   in
+  let scale_term =
+    Arg.(
+      value & flag
+      & info [ "scale" ]
+          ~doc:
+            "Geometric-mean scale the layout model inside the QP/iterative \
+             branch-and-bound (power-of-two factors, exactly back-mapped; \
+             certificates unaffected).  Remediation for the \
+             $(b,N001)/$(b,N002)/$(b,N007) findings of $(b,vpart analyze).")
+  in
+  let break_symmetry_term =
+    Arg.(
+      value & flag
+      & info [ "break-symmetry" ]
+          ~doc:
+            "Pin the interchangeable-site symmetry of the layout model \
+             (lexicographic site ordering: x_t,s = 0 for s > t) in the \
+             QP/iterative solvers.  Remediation for the $(b,S005) symmetry \
+             orbits of $(b,vpart analyze).")
+  in
   let trace_term =
     Arg.(
       value
@@ -321,8 +573,8 @@ let solve_cmd =
              counter/gauge/histogram summary afterwards.")
   in
   let run inst solver sites p lambda disjoint no_grouping jobs time_limit seed
-      simplex_dense refactor_every json lint_model certify trace progress
-      metrics_summary output =
+      simplex_dense refactor_every scale break_symmetry json lint_model
+      certify trace progress metrics_summary output =
     let simplex_eta = not simplex_dense in
     let jobs = max 1 jobs in
     if lint_model then begin
@@ -451,6 +703,8 @@ let solve_cmd =
           jobs;
           simplex_eta;
           refactor_every;
+          scale;
+          break_symmetry;
         }
       in
       let r = Qp_solver.solve ~options inst in
@@ -484,6 +738,8 @@ let solve_cmd =
               jobs;
               simplex_eta;
               refactor_every;
+              scale;
+              break_symmetry;
             };
         }
       in
@@ -533,8 +789,9 @@ let solve_cmd =
         (const run $ instance_term $ solver_term $ sites_term $ p_term
          $ lambda_term $ disjoint_term $ no_grouping_term $ jobs_term
          $ time_limit_term $ seed_term $ simplex_dense_term
-         $ refactor_every_term $ json_term $ lint_model_term $ certify_term
-         $ trace_term $ progress_term $ metrics_term $ output_term))
+         $ refactor_every_term $ scale_term $ break_symmetry_term $ json_term
+         $ lint_model_term $ certify_term $ trace_term $ progress_term
+         $ metrics_term $ output_term))
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -820,5 +1077,5 @@ let () =
     (Cmd.eval
        (Cmd.group ~default
           (Cmd.info "vpart" ~version:"1.0.0" ~doc)
-          [ info_cmd; check_cmd; solve_cmd; certify_cmd; eval_cmd; advise_cmd;
-            export_cmd; mps_cmd; trace_cmd ]))
+          [ info_cmd; check_cmd; analyze_cmd; solve_cmd; certify_cmd; eval_cmd;
+            advise_cmd; export_cmd; mps_cmd; trace_cmd ]))

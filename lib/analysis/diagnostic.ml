@@ -43,6 +43,19 @@ let sort ds =
        if c <> 0 then c else compare a.code b.code)
     ds
 
+let dedup ds =
+  let tbl : (t, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun d ->
+       match Hashtbl.find_opt tbl d with
+       | Some n -> incr n
+       | None ->
+         Hashtbl.add tbl d (ref 1);
+         order := d :: !order)
+    ds;
+  List.rev_map (fun d -> (d, !(Hashtbl.find tbl d))) !order
+
 let pp ppf d =
   Format.fprintf ppf "%s[%s] %s" (severity_label d.severity) d.code d.message
 
@@ -53,7 +66,11 @@ let pp_report ppf ds =
   | [] -> Format.fprintf ppf "no findings"
   | ds ->
     Format.fprintf ppf "@[<v>";
-    List.iter (fun d -> Format.fprintf ppf "%a@," pp d) (sort ds);
+    List.iter
+      (fun (d, n) ->
+         if n = 1 then Format.fprintf ppf "%a@," pp d
+         else Format.fprintf ppf "%a (x%d)@," pp d n)
+      (dedup (sort ds));
     Format.fprintf ppf "%d error(s), %d warning(s), %d info(s)@]"
       (count Error ds) (count Warning ds) (count Info ds)
 

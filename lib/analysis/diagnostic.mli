@@ -53,11 +53,19 @@ val promote_warnings : t list -> t list
 val sort : t list -> t list
 (** Stable sort by severity (errors first), then code. *)
 
+val dedup : t list -> (t * int) list
+(** Collapse identical findings (same code, severity {e and} message —
+    the message carries the location) into one entry with an occurrence
+    count.  First-occurrence order is preserved, so [dedup (sort ds)]
+    yields severity-then-code order. *)
+
 val pp : Format.formatter -> t -> unit
 (** One line: [error[M001] message]. *)
 
 val to_string : t -> string
 
 val pp_report : Format.formatter -> t list -> unit
-(** Multi-line report: one line per finding (sorted) followed by a
-    severity-count summary; ["no findings"] when empty. *)
+(** Multi-line report: one line per distinct finding (sorted, identical
+    findings collapsed with an [(xN)] occurrence count) followed by a
+    severity-count summary over {e all} findings; ["no findings"] when
+    empty. *)

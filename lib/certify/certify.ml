@@ -259,8 +259,12 @@ let certify_mip ?(tol = 1e-5) ?(gap = Mip.default_limits.Mip.gap) ?var_name
                let eps = 1e-6 *. (1. +. Float.abs v) in
                let cs_tol = rel tol std.Lp.obj.(j) in
                let bad =
-                 if v > std.Lp.lb.(j) +. eps && v < std.Lp.ub.(j) -. eps then
-                   Float.abs dj > cs_tol
+                 (* A fixed column (lb = ub, e.g. symmetry pinning) is at
+                    both bounds at once: either reduced-cost sign is
+                    complementary. *)
+                 if std.Lp.ub.(j) -. std.Lp.lb.(j) <= 2. *. eps then false
+                 else if v > std.Lp.lb.(j) +. eps && v < std.Lp.ub.(j) -. eps
+                 then Float.abs dj > cs_tol
                  else if v <= std.Lp.lb.(j) +. eps then dj < -.cs_tol
                  else dj > cs_tol
                in

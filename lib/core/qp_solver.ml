@@ -15,6 +15,8 @@ type options = {
   jobs : int;
   simplex_eta : bool;
   refactor_every : int;
+  scale : bool;
+  break_symmetry : bool;
 }
 
 let default_options =
@@ -35,6 +37,8 @@ let default_options =
     jobs = 1;
     simplex_eta = true;
     refactor_every = 32;
+    scale = false;
+    break_symmetry = false;
   }
 
 type outcome = Proved_optimal | Limit_feasible | Limit_no_solution | Too_large
@@ -68,16 +72,33 @@ type layout = {
   psiv : (Lp.var * int * int list) list;
 }
 
+(* Symmetry breaking is sound only while the sites are fully
+   interchangeable: every constraint family of the layout model
+   (assignment, coverage, linearization, load, latency) treats sites
+   identically, so any solution can be relabeled so transaction t's home
+   site has index <= t (order sites by first transaction appearance).
+   Pre-assigned transactions name concrete sites and destroy the
+   invariance, so the pinning is disabled then. *)
+let sites_interchangeable opts = opts.break_symmetry && opts.fixed_txns = []
+
 let build_layout_model ?instance (stats : Stats.t) opts =
   let nt = stats.Stats.num_txns
   and na = stats.Stats.num_attrs
   and ns = opts.num_sites in
   let lambda = opts.lambda in
   let m = Lp.create ~name:"vpart-qp" () in
+  let pin_sym = sites_interchangeable opts in
   let xv =
     Array.init nt (fun t ->
         Array.init ns (fun s ->
-            Lp.binary m ~name:(Printf.sprintf "x_%d_%d" t s) ()))
+            (* Lexicographic site ordering: x_{t,s} = 0 for s > t.  Fixing
+               the variable (rather than adding ordering rows) keeps the
+               row count unchanged and lets presolve drop the columns. *)
+            if pin_sym && s > t then
+              Lp.add_var m
+                ~name:(Printf.sprintf "x_%d_%d" t s)
+                ~lb:0. ~ub:0. ~integer:true ()
+            else Lp.binary m ~name:(Printf.sprintf "x_%d_%d" t s) ()))
   in
   let yv =
     Array.init na (fun a ->
@@ -243,6 +264,39 @@ let partitioning_of_point (stats : Stats.t) opts layout point =
   done;
   part
 
+(* Relabel a partitioning's sites by first-transaction-appearance order so
+   it satisfies the lexicographic pinning; a no-op when the pinning is off.
+   Site permutations leave cost, load and latency invariant, so the
+   relabeled partitioning is the same solution under canonical names. *)
+let canonicalize_sites opts (part : Partitioning.t) =
+  if sites_interchangeable opts then begin
+    let ns = opts.num_sites in
+    let map = Array.make ns (-1) in
+    let next = ref 0 in
+    Array.iter
+      (fun s ->
+         if map.(s) < 0 then begin
+           map.(s) <- !next;
+           incr next
+         end)
+      part.Partitioning.txn_site;
+    for s = 0 to ns - 1 do
+      if map.(s) < 0 then begin
+        map.(s) <- !next;
+        incr next
+      end
+    done;
+    Array.iteri
+      (fun t s -> part.Partitioning.txn_site.(t) <- map.(s))
+      part.Partitioning.txn_site;
+    Array.iter
+      (fun row ->
+         let permuted = Array.make ns false in
+         Array.iteri (fun s v -> if v then permuted.(map.(s)) <- true) row;
+         Array.blit permuted 0 row 0 ns)
+      part.Partitioning.placed
+  end
+
 (* Rounding-repair primal heuristic: derive a feasible partitioning from a
    fractional relaxation point, then encode it back as a full variable
    assignment for the MIP to vet. *)
@@ -278,6 +332,7 @@ let rec rounding_heuristic (stats : Stats.t) opts layout ncols point =
       part.Partitioning.placed.(a).(chosen) <- true
     done
   end;
+  canonicalize_sites opts part;
   Some (encode_assignment stats opts layout ncols part)
 
 (* Encode a (reduced-space) partitioning as a full MIP variable vector. *)
@@ -376,6 +431,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
       max_rows = options.max_rows;
       simplex_eta = options.simplex_eta;
       refactor_every = options.refactor_every;
+      scale = options.scale;
     }
   in
   let incumbent =
@@ -383,6 +439,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
       (fun part ->
          let reduced_part = Grouping.restrict grouping part in
          Partitioning.repair_single_sitedness stats reduced_part;
+         canonicalize_sites options reduced_part;
          encode_assignment stats options layout ncols reduced_part)
       options.seed_solution
   in

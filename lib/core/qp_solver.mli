@@ -57,12 +57,27 @@ type options = {
   refactor_every : int;
       (** Eta-file length at which the node LPs rebuild their dense
           inverse ({!Mip.limits.refactor_every}). *)
+  scale : bool;
+      (** Geometric-mean scaling of the layout model inside
+          branch-and-bound ({!Mip.limits.scale}): remediation for the
+          ill-scaling diagnostics ([N001]/[N002]/[N007]) the load rows'
+          mixed-magnitude coefficients trigger.  Exactly back-mapped, so
+          certificates are unaffected. *)
+  break_symmetry : bool;
+      (** Lexicographic site-ordering pinning [x_{t,s} = 0] for [s > t]:
+          remediation for the site-interchangeability symmetry orbits
+          ([S005]).  Sound because sites are fully interchangeable in the
+          layout model; automatically disabled when [fixed_txns] names
+          concrete sites.  Heuristic and seed partitionings are relabeled
+          to canonical site order so they stay feasible under the
+          pinning. *)
 }
 
 val default_options : options
 (** 2 sites, p = 8, λ = 0.1, replication and grouping on, 60 s, 0.1 % gap,
     4000-row cap, heuristic on, no latency term, one domain, eta updates
-    on with refactorization every 32 pivots. *)
+    on with refactorization every 32 pivots, no scaling, no symmetry
+    breaking. *)
 
 type outcome =
   | Proved_optimal       (** optimal within the MIP gap *)

@@ -5,11 +5,12 @@ type limits = {
   max_rows : int option;
   simplex_eta : bool;
   refactor_every : int;
+  scale : bool;
 }
 
 let default_limits =
   { time_limit = Some 60.; node_limit = None; gap = 1e-3; max_rows = Some 4000;
-    simplex_eta = true; refactor_every = 32 }
+    simplex_eta = true; refactor_every = 32; scale = false }
 
 type solution = { x : float array; obj : float }
 
@@ -603,6 +604,48 @@ let solve ?(limits = default_limits) ?(presolve = false)
   in
   ignore project;
   let presolved = presolve in
+  (* Optional geometric-mean scaling of the (possibly reduced) search
+     model.  The search runs entirely in the scaled space x' = x / c;
+     every exit point back-maps through [restore]/[restore_y], and the
+     power-of-two factors make the back-mapping exact, so certificates on
+     the returned artifacts hold exactly as for an unscaled solve.
+     Integer columns keep factor 1: branching and integrality are
+     untouched, and the objective value is invariant. *)
+  let std, restore, restore_y, unscale_x, unscale_ray, heuristic, incumbent,
+      scaled =
+    if not limits.scale then
+      (std, restore, restore_y, Fun.id, Fun.id, heuristic, incumbent, false)
+    else begin
+      let sc = Presolve.scaling std in
+      if Presolve.is_identity sc then
+        (std, restore, restore_y, Fun.id, Fun.id, heuristic, incumbent, false)
+      else begin
+        let sstd = Presolve.scale sc std in
+        let restore x = restore (Presolve.unscale_point sc x) in
+        let restore_y =
+          Option.map
+            (fun ry y -> ry (Presolve.unscale_duals sc y))
+            restore_y
+        in
+        (* Heuristic candidates and seed incumbents live in the caller's
+           (reduced) space; translate both ways around the callback. *)
+        let heuristic =
+          Option.map
+            (fun h x ->
+               Option.map (Presolve.scale_point sc)
+                 (h (Presolve.unscale_point sc x)))
+            heuristic
+        in
+        let incumbent = Option.map (Presolve.scale_point sc) incumbent in
+        if Obs.enabled () then
+          Obs.point "mip.scaled"
+            ~attrs:
+              [ ("rows", Obs.Int sstd.Lp.nrows); ("cols", Obs.Int sstd.Lp.ncols) ];
+        (sstd, restore, restore_y, Presolve.unscale_point sc,
+         Presolve.unscale_duals sc, heuristic, incumbent, true)
+      end
+    end
+  in
   let start = Obs.Clock.now () in
   let finish outcome ~nodes ~iters ~refacs ~etas ~eta_len ~gap_achieved ~audit
     =
@@ -674,8 +717,13 @@ let solve ?(limits = default_limits) ?(presolve = false)
     (match root_status with
      | Simplex.Infeasible ->
        (* A Farkas multiplier is only meaningful in the original row space;
-          after presolve the proof is the reduction chain itself. *)
-       let farkas = if presolved then None else Simplex.farkas_ray sx in
+          after presolve the proof is the reduction chain itself.  A scaled
+          ray unscales exactly (y = r·y'; positive factors preserve the
+          sign conditions). *)
+       let farkas =
+         if presolved then None
+         else Option.map unscale_ray (Simplex.farkas_ray sx)
+       in
        finish Infeasible ~nodes:1 ~iters:(Simplex.iterations sx)
          ~refacs:(Simplex.refactorizations sx)
          ~etas:(Simplex.eta_applications sx)
@@ -697,7 +745,7 @@ let solve ?(limits = default_limits) ?(presolve = false)
        (* The incremental interface cannot return Unbounded; detect patched
           bounds explicitly via the solution magnitude. *)
        let root_x = Simplex.primal sx in
-       if Array.exists (fun v -> Float.abs v > 1e9) root_x then
+       if Array.exists (fun v -> Float.abs v > 1e9) (unscale_x root_x) then
          finish Unbounded ~nodes:1 ~iters:(Simplex.iterations sx)
            ~refacs:(Simplex.refactorizations sx)
            ~etas:(Simplex.eta_applications sx)
@@ -717,7 +765,10 @@ let solve ?(limits = default_limits) ?(presolve = false)
            | Some restore_y ->
              let y = restore_y (Simplex.duals sx) in
              let reduced =
-               if presolved then reduced_costs_from original_std y
+               (* [y] is back-mapped to the original row space; whenever
+                  the search space differs from the original (presolve or
+                  scaling), re-derive the reduced costs there too. *)
+               if presolved || scaled then reduced_costs_from original_std y
                else Simplex.reduced_costs sx
              in
              Some

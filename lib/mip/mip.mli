@@ -27,11 +27,20 @@ type limits = {
   refactor_every : int;
       (** eta-file length at which the dense inverse is rebuilt; only
           meaningful with [simplex_eta] *)
+  scale : bool;
+      (** geometric-mean scaling ({!Presolve.scaling}) of the search model
+          (after presolve, when both are on).  The branch-and-bound then
+          runs on [r·A·c] with power-of-two factors; solutions, duals and
+          Farkas rays are back-mapped {e exactly}, integer columns keep
+          factor 1, and the objective value is invariant — so outcomes,
+          [audit] artifacts and certificates keep their unscaled meaning.
+          Remediation for the [N001]/[N002]/[N007] diagnostics of
+          [Vpart_analysis.Numerics_lint]. *)
 }
 
 val default_limits : limits
 (** 60 s, unlimited nodes, gap 0.001, 4000 rows, eta updates on with
-    refactorization every 32 pivots. *)
+    refactorization every 32 pivots, no scaling. *)
 
 type solution = {
   x : float array;  (** structural values; integer variables are integral *)

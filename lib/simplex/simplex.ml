@@ -91,6 +91,8 @@ type t = {
   xb_save : float array;          (* m scratch: drift detection *)
   mutable total_iters : int;
   mutable total_refactors : int;
+  mutable drift_rebuilds : int;    (* refactors forced by resync drift *)
+  mutable recovery_rebuilds : int; (* refactors forced by rejected pivots *)
   mutable bland : bool;
   mutable degen_count : int;
   mutable infeas_ray : float array option;
@@ -202,6 +204,8 @@ let create ?(eta_mode = true) ?(refactor_every = 32) (std : Lp.std) =
     xb_save = Array.make m 0.;
     total_iters = 0;
     total_refactors = 0;
+    drift_rebuilds = 0;
+    recovery_rebuilds = 0;
     bland = false;
     degen_count = 0;
     infeas_ray = None;
@@ -245,6 +249,8 @@ let nrows t = t.m
 let ncols t = t.n
 let iterations t = t.total_iters
 let refactorizations t = t.total_refactors
+let drift_rebuilds t = t.drift_rebuilds
+let recovery_rebuilds t = t.recovery_rebuilds
 let eta_applications t = t.eta_apps
 let eta_length t = t.neta
 let max_eta_length t = t.eta_len_max
@@ -795,6 +801,7 @@ let dual_loop t ~max_iter ~deadline =
              if d > !drift then drift := d
            done;
            if !drift > drift_tol then begin
+             t.drift_rebuilds <- t.drift_rebuilds + 1;
              if not (refactor t) then raise (Stop Numerical);
              compute_xb t;
              recompute_d t
@@ -820,6 +827,7 @@ let dual_loop t ~max_iter ~deadline =
        | `Numerical_pivot ->
          incr numerical_retries;
          if !numerical_retries > 3 then raise (Stop Numerical);
+         t.recovery_rebuilds <- t.recovery_rebuilds + 1;
          if not (refactor t) then raise (Stop Numerical);
          compute_xb t;
          recompute_d t
@@ -1022,6 +1030,11 @@ let solve ?(max_iter = 200_000) ?time_limit ?eta_mode ?refactor_every
        if Obs.enabled () then begin
          Obs.count "simplex.iterations" (float_of_int t.total_iters);
          Obs.count "simplex.refactorizations" (float_of_int t.total_refactors);
+         if t.drift_rebuilds > 0 then
+           Obs.count "simplex.drift_rebuilds" (float_of_int t.drift_rebuilds);
+         if t.recovery_rebuilds > 0 then
+           Obs.count "simplex.recovery_rebuilds"
+             (float_of_int t.recovery_rebuilds);
          if t.eta_apps > 0 then
            Obs.count "simplex.eta_applications" (float_of_int t.eta_apps);
          if t.eta_mode then Obs.gauge "simplex.eta_len" (float_of_int t.eta_len_max);

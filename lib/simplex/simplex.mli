@@ -119,6 +119,16 @@ val refactorizations : t -> int
 (** Total basis refactorizations (cadence, drift-triggered and
     numerical-recovery rebuilds) performed by this instance so far. *)
 
+val drift_rebuilds : t -> int
+(** Refactorizations forced by the periodic basic-value resync detecting
+    drift beyond tolerance — runtime evidence of ill-conditioning (the
+    [N102] diagnostic of [Vpart_analysis.Numerics_lint]).  Subset of
+    {!refactorizations}; always 0 in dense mode. *)
+
+val recovery_rebuilds : t -> int
+(** Refactorizations forced by a rejected (below-tolerance) pivot —
+    numerical-recovery rebuilds, the other [N102] evidence source. *)
+
 val eta_applications : t -> int
 (** Total eta-matrix applications (ftran/btran passes through eta-file
     entries) performed by this instance so far; 0 in dense mode.
