@@ -43,6 +43,47 @@ let report_to_json ?(extra = []) ~file ds =
          ("infos", Json.Int (Diagnostic.count Diagnostic.Info ds));
        ])
 
+(* Machine-readable exact-audit report (`certify --exact --format json`):
+   per-check exact/float verdict pairs with the residual as an exact
+   rational string, plus the E-code findings in the shared
+   code/severity/message/count encoding. *)
+let exact_to_json (r : Vpart_certify.Certify.Exact.report) =
+  let module E = Vpart_certify.Certify.Exact in
+  let module Q = Vpart_rational.Rational in
+  let valid, masked, refuted, unchecked = E.counts r in
+  Json.Obj
+    [
+      ("checks",
+       Json.List
+         (List.map
+            (fun (c : E.check) ->
+               Json.Obj
+                 [
+                   ("claim", Json.String c.E.claim);
+                   ("code", Json.String c.E.code);
+                   ("float", Json.String (if c.E.float_ok then "pass" else "fail"));
+                   ("verdict", Json.String (E.verdict_label c.E.verdict));
+                   ("residual", Json.String (Q.to_string c.E.residual));
+                   ("threshold", Json.Float c.E.threshold);
+                 ])
+            r.E.checks));
+      ("findings", findings_to_json r.E.findings);
+      ("valid", Json.Int valid);
+      ("masked", Json.Int masked);
+      ("refuted", Json.Int refuted);
+      ("unchecked", Json.Int unchecked);
+      ("worst_masked",
+       match E.worst_masked r with
+       | None -> Json.Null
+       | Some c ->
+         Json.Obj
+           [
+             ("claim", Json.String c.E.claim);
+             ("residual", Json.String (Q.to_string c.E.residual));
+             ("threshold", Json.Float c.E.threshold);
+           ]);
+    ]
+
 let format_term =
   Arg.(
     value
@@ -572,9 +613,30 @@ let solve_cmd =
             "Collect in-process metrics during the solve and print a \
              counter/gauge/histogram summary afterwards.")
   in
+  let exact_term =
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:
+            "With $(b,--certify): additionally re-verify every certificate \
+             in exact rational arithmetic (zero tolerance; the [E]-code \
+             catalog in docs/ANALYSIS.md), reporting per-check exact/float \
+             verdict pairs and failing on exactly-refuted claims.")
+  in
+  let tol_term =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "tol" ] ~docv:"T"
+          ~doc:
+            "Override the float certification tolerance (default 1e-5 for \
+             MIP-level checks); every float check reports its actual \
+             residual against this threshold, and the exact auditor uses it \
+             as the masked-vs-refuted boundary.")
+  in
   let run inst solver sites p lambda disjoint no_grouping jobs time_limit seed
       simplex_dense refactor_every scale break_symmetry json lint_model
-      certify trace progress metrics_summary output =
+      certify exact tol trace progress metrics_summary output =
     let simplex_eta = not simplex_dense in
     let jobs = max 1 jobs in
     if lint_model then begin
@@ -630,6 +692,27 @@ let solve_cmd =
         | _ -> Ok ()
       end
     in
+    (* Exact-audit verdict: print the per-check exact/float pairs and the
+       findings; fail the command on exactly-refuted (Error) findings. *)
+    let check_exact ex =
+      if not exact then Ok ()
+      else
+        match ex with
+        | None -> Ok ()
+        | Some r ->
+          Format.printf "%a@." Vpart_certify.Certify.Exact.pp_report r;
+          let ds = r.Vpart_certify.Certify.Exact.findings in
+          if ds <> [] then Format.printf "%a@." Report.pp_diagnostics ds;
+          if Diagnostic.has_errors ds then
+            Error
+              (`Msg "exact audit refuted a certificate (see findings above)")
+          else Ok ()
+    in
+    let check_all cert ex =
+      match check_certificate cert with
+      | Error _ as e -> e
+      | Ok () -> check_exact ex
+    in
     (* Baseline solvers have no MIP/dual claims to certify: check the
        decoded partitioning and the claimed cost against the instance. *)
     let domain_certificate part cost =
@@ -637,6 +720,12 @@ let solve_cmd =
         (Diagnostic.sort
            (Solution_certify.certify_partitioning (Stats.compute inst ~p) part
             @ Solution_certify.certify_cost inst ~p part ~claimed:cost))
+    in
+    let domain_exact part cost =
+      if not exact then None
+      else
+        Some
+          (Solution_certify.Exact.cost ?tol inst ~p part ~claimed:cost)
     in
     (* Observability setup: trace / progress sinks and in-process metrics
        live for the duration of the solve, torn down (and the trace file
@@ -678,6 +767,8 @@ let solve_cmd =
           use_grouping = not no_grouping;
           seed;
           certify;
+          certify_exact = exact;
+          certify_tol = tol;
           restarts = jobs;
           jobs;
         }
@@ -689,7 +780,7 @@ let solve_cmd =
       if Array.length r.Sa_solver.chains > 1 then
         Format.printf "%a@." Report.pp_sa_chains r.Sa_solver.chains;
       finish r.Sa_solver.partitioning r.Sa_solver.cost;
-      check_certificate r.Sa_solver.certificate
+      check_all r.Sa_solver.certificate r.Sa_solver.exact
     | `Qp ->
       let options =
         { Qp_solver.default_options with
@@ -700,6 +791,8 @@ let solve_cmd =
           use_grouping = not no_grouping;
           time_limit;
           certify;
+          certify_exact = exact;
+          certify_tol = tol;
           jobs;
           simplex_eta;
           refactor_every;
@@ -721,7 +814,7 @@ let solve_cmd =
       (match (r.Qp_solver.partitioning, r.Qp_solver.cost) with
        | Some part, Some cost ->
          finish part cost;
-         check_certificate r.Qp_solver.certificate
+         check_all r.Qp_solver.certificate r.Qp_solver.exact
        | _ -> Error (`Msg "no solution found (increase --time-limit?)"))
     | `Iter ->
       let options =
@@ -735,6 +828,8 @@ let solve_cmd =
               use_grouping = not no_grouping;
               time_limit;
               certify;
+              certify_exact = exact;
+              certify_tol = tol;
               jobs;
               simplex_eta;
               refactor_every;
@@ -752,7 +847,7 @@ let solve_cmd =
       (match (r.Iterative_solver.partitioning, r.Iterative_solver.cost) with
        | Some part, Some cost ->
          finish part cost;
-         check_certificate r.Iterative_solver.certificate
+         check_all r.Iterative_solver.certificate r.Iterative_solver.exact
        | _ -> Error (`Msg "no solution found (increase --time-limit?)"))
     | `Greedy ->
       let options =
@@ -766,17 +861,23 @@ let solve_cmd =
       let r = Greedy.solve ~options inst in
       Printf.printf "greedy: %d moves, %.2fs\n" r.Greedy.moves r.Greedy.elapsed;
       finish r.Greedy.partitioning r.Greedy.cost;
-      if certify then
-        check_certificate (domain_certificate r.Greedy.partitioning r.Greedy.cost)
+      if certify || exact then
+        check_all
+          (if certify then domain_certificate r.Greedy.partitioning r.Greedy.cost
+           else None)
+          (domain_exact r.Greedy.partitioning r.Greedy.cost)
       else Ok ()
     | `Affinity ->
       let r =
         Affinity.solve ~options:{ Affinity.num_sites = sites; p; lambda } inst
       in
       finish r.Affinity.partitioning r.Affinity.cost;
-      if certify then
-        check_certificate
-          (domain_certificate r.Affinity.partitioning r.Affinity.cost)
+      if certify || exact then
+        check_all
+          (if certify then
+             domain_certificate r.Affinity.partitioning r.Affinity.cost
+           else None)
+          (domain_exact r.Affinity.partitioning r.Affinity.cost)
       else Ok ()
     with Diagnostic.Errors ds ->
       Format.eprintf "%a@." Report.pp_diagnostics ds;
@@ -790,8 +891,8 @@ let solve_cmd =
          $ lambda_term $ disjoint_term $ no_grouping_term $ jobs_term
          $ time_limit_term $ seed_term $ simplex_dense_term
          $ refactor_every_term $ scale_term $ break_symmetry_term $ json_term
-         $ lint_model_term $ certify_term $ trace_term $ progress_term
-         $ metrics_term $ output_term))
+         $ lint_model_term $ certify_term $ exact_term $ tol_term
+         $ trace_term $ progress_term $ metrics_term $ output_term))
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -853,80 +954,149 @@ let certify_cmd =
       & info [ "time-limit" ] ~docv:"S"
           ~doc:"Per-instance solve budget (seconds).")
   in
-  let run files solver sites p lambda time_limit jobs =
+  let exact_term =
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:
+            "Additionally re-verify every certificate in exact rational \
+             arithmetic (zero tolerance): per-check exact/float verdict \
+             pairs, the worst tolerance-masked residual as an exact \
+             rational, and [E]-code findings (docs/ANALYSIS.md).  Exits \
+             non-zero on exactly-refuted claims.")
+  in
+  let tol_term =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "tol" ] ~docv:"T"
+          ~doc:
+            "Override the float certification tolerance (default 1e-5); \
+             float findings report their residual against it and the exact \
+             auditor uses it as the masked-vs-refuted boundary.")
+  in
+  let run files solver sites p lambda time_limit jobs exact tol fmt =
     (* Solve + certify every file independently (possibly across domains;
        the per-file solvers stay sequential so the fan-out owns the only
        pool), then print the verdicts in command-line order. *)
     let certify_one file =
-         let cert =
+         let cert, exact_report =
            match Codec.load_instance file with
            | exception Sys_error e ->
-             Some [ Diagnostic.error ~code:"I001" "cannot read instance: %s" e ]
+             (Some [ Diagnostic.error ~code:"I001" "cannot read instance: %s" e ],
+              None)
            | exception Json.Parse_error e ->
-             Some [ Diagnostic.error ~code:"I001" "JSON parse error: %s" e ]
+             (Some [ Diagnostic.error ~code:"I001" "JSON parse error: %s" e ],
+              None)
            | exception Invalid_argument e ->
-             Some [ Diagnostic.error ~code:"I001" "malformed instance: %s" e ]
+             (Some [ Diagnostic.error ~code:"I001" "malformed instance: %s" e ],
+              None)
            | inst -> (
              try
                match solver with
                | `Qp ->
-                 (Qp_solver.solve
-                    ~options:
-                      { Qp_solver.default_options with
-                        Qp_solver.num_sites = sites;
-                        p;
-                        lambda;
-                        time_limit;
-                        certify = true;
-                      }
-                    inst)
-                   .Qp_solver.certificate
+                 let r =
+                   Qp_solver.solve
+                     ~options:
+                       { Qp_solver.default_options with
+                         Qp_solver.num_sites = sites;
+                         p;
+                         lambda;
+                         time_limit;
+                         certify = true;
+                         certify_exact = exact;
+                         certify_tol = tol;
+                       }
+                     inst
+                 in
+                 (r.Qp_solver.certificate, r.Qp_solver.exact)
                | `Sa ->
-                 (Sa_solver.solve
-                    ~options:
-                      { Sa_solver.default_options with
-                        Sa_solver.num_sites = sites;
-                        p;
-                        lambda;
-                        time_limit = Some time_limit;
-                        certify = true;
-                      }
-                    inst)
-                   .Sa_solver.certificate
+                 let r =
+                   Sa_solver.solve
+                     ~options:
+                       { Sa_solver.default_options with
+                         Sa_solver.num_sites = sites;
+                         p;
+                         lambda;
+                         time_limit = Some time_limit;
+                         certify = true;
+                         certify_exact = exact;
+                         certify_tol = tol;
+                       }
+                     inst
+                 in
+                 (r.Sa_solver.certificate, r.Sa_solver.exact)
                | `Iter ->
-                 (Iterative_solver.solve
-                    ~options:
-                      { Iterative_solver.default_options with
-                        Iterative_solver.qp =
-                          { Qp_solver.default_options with
-                            Qp_solver.num_sites = sites;
-                            p;
-                            lambda;
-                            time_limit;
-                            certify = true;
-                          };
-                      }
-                    inst)
-                   .Iterative_solver.certificate
-             with Diagnostic.Errors ds -> Some ds)
+                 let r =
+                   Iterative_solver.solve
+                     ~options:
+                       { Iterative_solver.default_options with
+                         Iterative_solver.qp =
+                           { Qp_solver.default_options with
+                             Qp_solver.num_sites = sites;
+                             p;
+                             lambda;
+                             time_limit;
+                             certify = true;
+                             certify_exact = exact;
+                             certify_tol = tol;
+                           };
+                       }
+                     inst
+                 in
+                 (r.Iterative_solver.certificate, r.Iterative_solver.exact)
+             with Diagnostic.Errors ds -> (Some ds, None))
          in
-         (file, cert)
+         (file, cert, exact_report)
     in
     let results =
       Par.with_pool ~jobs:(max 1 jobs) @@ fun pool ->
       Par.map_list pool certify_one files
     in
+    let module E = Vpart_certify.Certify.Exact in
     let total_errors =
-      List.fold_left
-        (fun acc (file, cert) ->
-           let ds = Option.value cert ~default:[] in
-           Format.printf "@[<v>%s: %a@]@." file Report.pp_certificate cert;
-           if ds <> [] then Format.printf "%a@." Report.pp_diagnostics ds;
-           acc + List.length (Diagnostic.errors ds))
-        0 results
+      match fmt with
+      | `Json ->
+        let n = ref 0 in
+        print_string
+          (Json.to_string
+             (Json.List
+                (List.map
+                   (fun (file, cert, ex) ->
+                      let ds = Option.value cert ~default:[] in
+                      n := !n + List.length (Diagnostic.errors ds);
+                      let extra =
+                        match ex with
+                        | None -> []
+                        | Some r ->
+                          n :=
+                            !n
+                            + List.length (Diagnostic.errors r.E.findings);
+                          [ ("exact", exact_to_json r) ]
+                      in
+                      report_to_json ~extra ~file ds)
+                   results)));
+        print_newline ();
+        !n
+      | `Text ->
+        List.fold_left
+          (fun acc (file, cert, ex) ->
+             let ds = Option.value cert ~default:[] in
+             Format.printf "@[<v>%s: %a@]@." file Report.pp_certificate cert;
+             if ds <> [] then Format.printf "%a@." Report.pp_diagnostics ds;
+             let acc = acc + List.length (Diagnostic.errors ds) in
+             match ex with
+             | None -> acc
+             | Some r ->
+               Format.printf "@[<v>%s: %a@]@." file E.pp_report r;
+               if r.E.findings <> [] then
+                 Format.printf "%a@." Report.pp_diagnostics r.E.findings;
+               acc + List.length (Diagnostic.errors r.E.findings))
+          0 results
     in
     if total_errors > 0 then begin
-      Format.printf "certification failed: %d error(s)@." total_errors;
+      if fmt = `Text then
+        Format.printf "certification failed: %d error(s)@." total_errors;
       exit 1
     end
   in
@@ -941,7 +1111,7 @@ let certify_cmd =
           Error-level findings.")
     Term.(
       const run $ files_term $ solver_term $ sites_term $ p_term $ lambda_term
-      $ time_limit_term $ jobs_term)
+      $ time_limit_term $ jobs_term $ exact_term $ tol_term $ format_term)
 
 (* ------------------------------------------------------------------ *)
 (* gen / export                                                        *)

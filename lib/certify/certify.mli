@@ -34,6 +34,24 @@
 
 module Diagnostic = Vpart_analysis.Diagnostic
 
+type options = {
+  tol : float;
+      (** primal/dual residual tolerance for the float-layer checks
+          (default [1e-5], matching the solver's own incumbent vetting);
+          relative thresholds are [tol·(1+|reference|)]. *)
+  cone_tol : float;
+      (** dual-cone projection tolerance (default [1e-7]): out-of-cone
+          components beyond it are reported, smaller ones are zeroed
+          silently. *)
+}
+(** Tolerances of the {e float} certification layer, exposed so callers
+    (and the CLI's [certify --tol]) can tighten or relax them.  Every
+    finding reports the actual residual alongside the threshold that
+    judged it, so the {!Exact} auditor's masked-violation reports are
+    actionable. *)
+
+val default_options : options
+
 val certify_point :
   ?tol:float ->
   ?var_name:(Lp.var -> string) ->
@@ -75,7 +93,7 @@ val farkas_proves_infeasible : ?tol:float -> Lp.std -> float array -> bool
     of the solver's patched boxes fails here — by design. *)
 
 val certify_mip :
-  ?tol:float ->
+  ?options:options ->
   ?gap:float ->
   ?var_name:(Lp.var -> string) ->
   Lp.model ->
@@ -106,3 +124,113 @@ val certify_mip :
 
     Findings are sorted most-severe-first; an empty list means every
     claim was independently certified. *)
+
+(** Tolerance-free re-verification of every certificate in exact rational
+    arithmetic ({!Vpart_rational.Rational}).
+
+    The float certifiers above establish each claim within a tolerance; a
+    certificate can therefore {e pass} while being genuinely violated
+    (the violation hiding below the epsilon, or cancelling catastrophically
+    in double precision).  This pure analysis pass embeds every solver
+    artifact losslessly into rationals and re-derives the same claims with
+    {e zero} tolerance, classifying each one as exactly valid,
+    tolerance-masked (exactly violated, but within the float threshold) or
+    exactly refuted (violated beyond the float threshold — the float layer
+    should have caught it, and when it didn't, the pass says so).
+
+    Findings use the [E]-code family (catalogued in [docs/ANALYSIS.md]).
+    On healthy solver output, masked-violation warnings/infos are {e
+    normal} — they are honest float roundoff — while exactly-refuted
+    errors mean a certificate is wrong.  The [@certify-exact] gate fails
+    on errors only. *)
+module Exact : sig
+  type verdict =
+    | Exactly_valid  (** the exact residual is [<= 0]: the claim holds. *)
+    | Masked_violation
+        (** exactly violated, but by no more than the float threshold —
+            invisible to the float layer. *)
+    | Exactly_refuted
+        (** violated beyond the float threshold: the certificate is
+            wrong. *)
+    | Unchecked
+        (** the artifact needed for the exact re-derivation is missing or
+            malformed. *)
+
+  type check = {
+    claim : string;  (** what was audited, e.g. ["weak duality"]. *)
+    code : string;   (** the E-code that judged (or would judge) it. *)
+    float_ok : bool;
+        (** the float layer's verdict on the same claim, for the
+            exact/float verdict pairs. *)
+    verdict : verdict;
+    residual : Vpart_rational.Rational.t;
+        (** the exact violation amount ([0] when valid/unchecked). *)
+    threshold : float;
+        (** the float tolerance the residual was classified against. *)
+  }
+
+  type report = {
+    checks : check list;
+    findings : Diagnostic.t list;  (** sorted most-severe-first. *)
+  }
+
+  val empty : report
+  val merge : report -> report -> report
+
+  val classify :
+    threshold:float -> Vpart_rational.Rational.t -> verdict
+  (** [classify ~threshold r]: valid when [r <= 0], masked when
+      [0 < r <= threshold] (compared exactly), refuted beyond. *)
+
+  val make_check :
+    claim:string ->
+    code:string ->
+    float_ok:bool ->
+    threshold:float ->
+    Vpart_rational.Rational.t ->
+    check
+  (** Classify a residual and package it — the constructor used by the
+      domain-level exact audits in [Vpart.Solution_certify]. *)
+
+  val counts : report -> int * int * int * int
+  (** [(valid, masked, refuted, unchecked)]. *)
+
+  val worst_masked : report -> check option
+  (** The masked-violation check with the largest exact residual. *)
+
+  val verdict_label : verdict -> string
+  (** ["VALID"], ["MASKED"], ["REFUTED"] or ["unchecked"]. *)
+
+  val pp_check : Format.formatter -> check -> unit
+  val pp_report : Format.formatter -> report -> unit
+
+  val certify_point :
+    ?options:options ->
+    ?var_name:(Lp.var -> string) ->
+    Lp.std ->
+    float array ->
+    report
+  (** Exact primal feasibility: every bound, row and integrality marker
+      re-checked in rationals.  Exactly-refuted violations are [E001]
+      errors (noting when float certification passes anyway);
+      tolerance-masked ones aggregate into a single [E002] warning. *)
+
+  val audit :
+    ?options:options ->
+    ?gap:float ->
+    ?var_name:(Lp.var -> string) ->
+    Lp.model ->
+    Mip.outcome ->
+    Mip.stats ->
+    report
+  (** Exact counterpart of {!certify_mip}: audits the incumbent
+      ([E001]/[E002]), the claimed objective ([E003]/[E004]), the dual
+      bound — weak duality, bound bookkeeping and the reported gap
+      ([E005]/[E006]) — the root-LP-objective agreement ([E007]/[E008],
+      one-sided under presolve), the float layer's reduced-cost noise
+      guard ([E009]), Farkas infeasibility ([E010] refuted / [E011]
+      fragile margin), complementary slackness ([E012]/[E013]), bound
+      provenance ([E014]) and the optimality-gap claim ([E015]).
+      Emits the [certify.exact] Obs span and the [certify.exact_checks] /
+      [certify.masked_violations] counters. *)
+end

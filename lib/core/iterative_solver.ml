@@ -23,6 +23,7 @@ type result = {
   rounds : round_info list;
   diagnostics : Vpart_analysis.Diagnostic.t list;
   certificate : Vpart_analysis.Diagnostic.t list option;
+  exact : Vpart_certify.Certify.Exact.report option;
 }
 
 let transaction_weights (inst : Instance.t) =
@@ -203,9 +204,10 @@ let solve ?(options = default_options) (inst : Instance.t) =
        place, so it already carries the polished layout; the reported
        numbers are re-derived from the unchanged Cost_model, never from
        the delta caches. *)
-    let cost, objective6, polish_certs =
+    let dtol = Option.value options.qp.Qp_solver.certify_tol ~default:1e-5 in
+    let cost, objective6, polish_certs, polish_exact =
       match polished with
-      | None -> (r.Qp_solver.cost, r.Qp_solver.objective6, [])
+      | None -> (r.Qp_solver.cost, r.Qp_solver.objective6, [], None)
       | Some (stats, dc) ->
         let part = Delta_cost.partitioning dc in
         let cost = Cost_model.cost stats part in
@@ -216,14 +218,29 @@ let solve ?(options = default_options) (inst : Instance.t) =
           if not options.qp.Qp_solver.certify then []
           else
             Solution_certify.certify_partitioning stats part
-            @ Solution_certify.certify_cost ~tol:1e-5 inst
+            @ Solution_certify.certify_cost ~tol:dtol inst
                 ~p:options.qp.Qp_solver.p part ~claimed:cost
-            @ Solution_certify.certify_objective6 ~tol:1e-5 inst
+            @ Solution_certify.certify_objective6 ~tol:dtol inst
                 ~p:options.qp.Qp_solver.p ~lambda:options.qp.Qp_solver.lambda
                 ?latency:options.qp.Qp_solver.latency part
                 ~claimed:(Delta_cost.objective dc)
         in
-        (Some cost, Some obj6, certs)
+        let exact =
+          if not options.qp.Qp_solver.certify_exact then None
+          else
+            (* The local-search polish re-claims the cost/objective; audit
+               the polished layout, not just the QP round's. *)
+            Some
+              (Vpart_certify.Certify.Exact.merge
+                 (Solution_certify.Exact.cost ~tol:dtol inst
+                    ~p:options.qp.Qp_solver.p part ~claimed:cost)
+                 (Solution_certify.Exact.objective6 ~tol:dtol inst
+                    ~p:options.qp.Qp_solver.p
+                    ~lambda:options.qp.Qp_solver.lambda
+                    ?latency:options.qp.Qp_solver.latency part
+                    ~claimed:(Delta_cost.objective dc)))
+        in
+        (Some cost, Some obj6, certs, exact)
     in
     let certificate =
       if not options.qp.Qp_solver.certify then None
@@ -232,6 +249,18 @@ let solve ?(options = default_options) (inst : Instance.t) =
           (Vpart_analysis.Diagnostic.sort
              (!pin_findings @ polish_certs
               @ Option.value r.Qp_solver.certificate ~default:[]))
+    in
+    let exact =
+      if not options.qp.Qp_solver.certify_exact then None
+      else
+        let base =
+          Option.value r.Qp_solver.exact
+            ~default:Vpart_certify.Certify.Exact.empty
+        in
+        Some
+          (match polish_exact with
+           | None -> base
+           | Some e -> Vpart_certify.Certify.Exact.merge base e)
     in
     {
       outcome = r.Qp_solver.outcome;
@@ -242,6 +271,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
       rounds = List.rev !rounds_info;
       diagnostics = r.Qp_solver.diagnostics;
       certificate;
+      exact;
     }
   | _ ->
     {
@@ -256,4 +286,5 @@ let solve ?(options = default_options) (inst : Instance.t) =
         (if options.qp.Qp_solver.certify then
            Some (Vpart_analysis.Diagnostic.sort !pin_findings)
          else None);
+      exact = None;
     }

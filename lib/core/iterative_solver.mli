@@ -65,6 +65,10 @@ type result = {
       (** [Some findings] when [qp.certify] was set: every round's [C204]
           pin-contract findings plus the final round's full
           {!Qp_solver} certificate; [None] otherwise *)
+  exact : Vpart_certify.Certify.Exact.report option;
+      (** [Some report] when [qp.certify_exact] was set: the final round's
+          exact audit merged with the exact re-audit of the polished
+          layout's cost/objective claims. *)
 }
 
 val transaction_weights : Instance.t -> float array

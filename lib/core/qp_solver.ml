@@ -12,6 +12,8 @@ type options = {
   fixed_txns : (int * int) list;
   seed_solution : Partitioning.t option;
   certify : bool;
+  certify_exact : bool;
+  certify_tol : float option;
   jobs : int;
   simplex_eta : bool;
   refactor_every : int;
@@ -34,6 +36,8 @@ let default_options =
     fixed_txns = [];
     seed_solution = None;
     certify = false;
+    certify_exact = false;
+    certify_tol = None;
     jobs = 1;
     simplex_eta = true;
     refactor_every = 32;
@@ -58,6 +62,7 @@ type result = {
   model_cols : int;
   diagnostics : Vpart_analysis.Diagnostic.t list;
   certificate : Vpart_analysis.Diagnostic.t list option;
+  exact : Vpart_certify.Certify.Exact.report option;
 }
 
 (* Layout bookkeeping shared by the builder, the rounding heuristic and the
@@ -454,6 +459,18 @@ let solve ?(options = default_options) (inst : Instance.t) =
     let objective6 =
       Option.map (Cost_model.objective full_stats ~lambda:options.lambda) partitioning
     in
+    let copts =
+      let base = Vpart_certify.Certify.default_options in
+      match options.certify_tol with
+      | None -> base
+      | Some t -> { base with Vpart_certify.Certify.tol = t }
+    in
+    let dtol = copts.Vpart_certify.Certify.tol in
+    let claimed_obj6 =
+      match mip_outcome with
+      | Mip.Optimal sol | Mip.Feasible (sol, _) -> Some sol.Mip.obj
+      | _ -> None
+    in
     let certificate =
       if not options.certify then None
       else Obs.with_span "qp.certify" @@ fun () -> begin
@@ -464,13 +481,8 @@ let solve ?(options = default_options) (inst : Instance.t) =
            (Cost_model.breakdown), bypassing the Stats coefficients the
            model was built from. *)
         let mip_certs =
-          Vpart_certify.Certify.certify_mip ~gap:options.gap
+          Vpart_certify.Certify.certify_mip ~options:copts ~gap:options.gap
             ~var_name:(Lp.var_name model) model mip_outcome mip_stats
-        in
-        let claimed_obj6 =
-          match mip_outcome with
-          | Mip.Optimal sol | Mip.Feasible (sol, _) -> Some sol.Mip.obj
-          | _ -> None
         in
         let domain_certs =
           match partitioning with
@@ -479,19 +491,53 @@ let solve ?(options = default_options) (inst : Instance.t) =
             Solution_certify.certify_partitioning full_stats part
             @ (match claimed_obj6 with
                | Some obj6 ->
-                 Solution_certify.certify_objective6 ~tol:1e-5 inst
+                 Solution_certify.certify_objective6 ~tol:dtol inst
                    ~p:options.p ~lambda:options.lambda
                    ?latency:options.latency part ~claimed:obj6
                | None -> [])
             @ (match cost with
                | Some c ->
-                 Solution_certify.certify_cost ~tol:1e-5 inst ~p:options.p
+                 Solution_certify.certify_cost ~tol:dtol inst ~p:options.p
                    part ~claimed:c
                | None -> [])
             @ Solution_certify.certify_pins ~fixed:options.fixed_txns part
         in
         Some (Vpart_analysis.Diagnostic.sort (mip_certs @ domain_certs))
       end
+    in
+    let exact =
+      if not options.certify_exact then None
+      else
+        (* Tolerance-free re-verification of the same claims in rational
+           arithmetic (E-codes); [copts] still matters — it is the float
+           layer whose verdicts the exact ones are paired with. *)
+        let module Exact = Vpart_certify.Certify.Exact in
+        let mip_exact =
+          Exact.audit ~options:copts ~gap:options.gap
+            ~var_name:(Lp.var_name model) model mip_outcome mip_stats
+        in
+        let domain_exact =
+          match partitioning with
+          | None -> Exact.empty
+          | Some part ->
+            let o6 =
+              match claimed_obj6 with
+              | Some obj6 ->
+                Solution_certify.Exact.objective6 ~tol:dtol inst
+                  ~p:options.p ~lambda:options.lambda
+                  ?latency:options.latency part ~claimed:obj6
+              | None -> Exact.empty
+            in
+            let c4 =
+              match cost with
+              | Some c ->
+                Solution_certify.Exact.cost ~tol:dtol inst ~p:options.p part
+                  ~claimed:c
+              | None -> Exact.empty
+            in
+            Exact.merge o6 c4
+        in
+        Some (Exact.merge mip_exact domain_exact)
     in
     {
       outcome;
@@ -508,6 +554,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
       model_cols = ncols;
       diagnostics;
       certificate;
+      exact;
     }
   in
   match mip_outcome with

@@ -47,6 +47,18 @@ type options = {
           {!Vpart_certify.Certify} and {!Solution_certify}, and return the
           findings in [certificate].  Off by default (it re-standardizes
           the model and re-evaluates the instance). *)
+  certify_exact : bool;
+      (** Exact audit: additionally re-verify every certificate in
+          rational arithmetic with zero tolerance
+          ({!Vpart_certify.Certify.Exact} + {!Solution_certify.Exact})
+          and return the report in [exact].  Independent of [certify] —
+          the exact pass re-derives the float verdicts it pairs with. *)
+  certify_tol : float option;
+      (** Override the float certification tolerance
+          ({!Vpart_certify.Certify.options}[.tol], default [1e-5]); also
+          used as the relative tolerance of the domain-level [C201]/[C202]
+          checks and as the masked-vs-refuted threshold of the exact
+          audit. *)
   jobs : int;
       (** Domains the branch-and-bound may use ({!Mip.solve}'s [jobs]);
           1 (default) keeps the sequential search bit for bit. *)
@@ -106,6 +118,10 @@ type result = {
       (** [Some findings] when [options.certify] was set: the sorted
           [C]-code findings of the independent certification pass (empty
           list = every claim certified clean); [None] otherwise *)
+  exact : Vpart_certify.Certify.Exact.report option;
+      (** [Some report] when [options.certify_exact] was set: the
+          tolerance-free rational re-verification ([E]-codes) of the same
+          claims, with per-check exact/float verdict pairs. *)
 }
 
 val solve : ?options:options -> Instance.t -> result

@@ -14,6 +14,8 @@ type options = {
   time_limit : float option;
   latency : float option;
   certify : bool;
+  certify_exact : bool;
+  certify_tol : float option;
   restarts : int;
   jobs : int;
   full_eval : bool;
@@ -36,6 +38,8 @@ let default_options =
     time_limit = None;
     latency = None;
     certify = false;
+    certify_exact = false;
+    certify_tol = None;
     restarts = 1;
     jobs = 1;
     full_eval = false;
@@ -61,6 +65,7 @@ type result = {
   search : search_stats;
   chains : search_stats array;
   certificate : Vpart_analysis.Diagnostic.t list option;
+  exact : Vpart_certify.Certify.Exact.report option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -1102,6 +1107,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
   let objective6 =
     Cost_model.objective full_stats ~lambda:options.lambda partitioning
   in
+  let dtol = Option.value options.certify_tol ~default:1e-6 in
   let certificate =
     if not options.certify then None
     else
@@ -1124,10 +1130,24 @@ let solve ?(options = default_options) (inst : Instance.t) =
         (Vpart_analysis.Diagnostic.sort
            (internal
             @ Solution_certify.certify_partitioning full_stats partitioning
-            @ Solution_certify.certify_cost ~code:"C203" inst ~p:options.p
-                partitioning ~claimed:cost
-            @ Solution_certify.certify_objective6 inst ~p:options.p
+            @ Solution_certify.certify_cost ~tol:dtol ~code:"C203" inst
+                ~p:options.p partitioning ~claimed:cost
+            @ Solution_certify.certify_objective6 ~tol:dtol inst ~p:options.p
                 ~lambda:options.lambda partitioning ~claimed:objective6))
+  in
+  let exact =
+    if not options.certify_exact then None
+    else
+      (* The annealer emits no MIP-level artifacts; the exact audit covers
+         the domain-level claims (cost and objective-(6) agreement) in
+         rational arithmetic. *)
+      let module Exact = Vpart_certify.Certify.Exact in
+      Some
+        (Exact.merge
+           (Solution_certify.Exact.cost ~tol:dtol inst ~p:options.p
+              partitioning ~claimed:cost)
+           (Solution_certify.Exact.objective6 ~tol:dtol inst ~p:options.p
+              ~lambda:options.lambda partitioning ~claimed:objective6))
   in
   {
     partitioning;
@@ -1140,4 +1160,5 @@ let solve ?(options = default_options) (inst : Instance.t) =
     search;
     chains;
     certificate;
+    exact;
   }

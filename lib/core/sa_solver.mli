@@ -47,6 +47,15 @@ type options = {
           {!Cost_model.breakdown} and a from-scratch evaluation of the
           annealer's tracked best, returning the findings in
           [certificate].  Off by default. *)
+  certify_exact : bool;
+      (** Exact audit: re-derive the reported cost and objective-(6)
+          claims in rational arithmetic ({!Solution_certify.Exact}),
+          returning the report in [exact].  The annealer emits no
+          MIP-level artifacts, so there is no dual/Farkas side here. *)
+  certify_tol : float option;
+      (** Override the float certification tolerance (default [1e-6] for
+          the domain-level checks); also the masked-vs-refuted threshold
+          of the exact audit. *)
   restarts : int;
       (** Portfolio width: number of independent annealing chains.  With
           [restarts = 1] (default) the solver runs the single sequential
@@ -117,6 +126,10 @@ type result = {
   certificate : Vpart_analysis.Diagnostic.t list option;
       (** [Some findings] when [options.certify] was set ([C203]/[C201]/
           [C205] checks; empty = certified clean); [None] otherwise *)
+  exact : Vpart_certify.Certify.Exact.report option;
+      (** [Some report] when [options.certify_exact] was set: the
+          tolerance-free rational re-verification ([E101]-[E104]) of the
+          reported cost and objective. *)
 }
 
 val solve : ?options:options -> Instance.t -> result

@@ -48,6 +48,39 @@ val certify_objective6 :
     (default ["C201"]).  This is the check that catches a drift between
     the MIP/SA objective arithmetic and the paper's cost model. *)
 
+(** Exact (rational) counterparts of the domain certificates, part of the
+    {!Vpart_certify.Certify.Exact} auditor: the breakdown and latency are
+    re-derived in {!Vpart_rational.Rational} arithmetic with every
+    per-attribute weight computed as the exact product of its embedded
+    raw factors (attribute width, query frequency, row fraction), so the
+    comparison against the claimed value carries no float roundoff at
+    all.  Codes: [E101] (error) / [E102] (info) for objective (6),
+    [E103] (error) / [E104] (info) for the cost claim. *)
+module Exact : sig
+  val cost :
+    ?tol:float ->
+    Instance.t ->
+    p:float ->
+    Partitioning.t ->
+    claimed:float ->
+    Vpart_certify.Certify.Exact.report
+  (** Exact re-derivation of objective (4); [tol] (default [1e-6]) is the
+      {e float} layer's relative tolerance used to classify the exact
+      residual as masked vs refuted. *)
+
+  val objective6 :
+    ?tol:float ->
+    Instance.t ->
+    p:float ->
+    lambda:float ->
+    ?latency:float ->
+    Partitioning.t ->
+    claimed:float ->
+    Vpart_certify.Certify.Exact.report
+  (** Exact re-derivation of objective (6), latency term included when
+      [latency] is set (the [pl] penalty). *)
+end
+
 val certify_pins :
   fixed:(int * int) list -> Partitioning.t -> Diagnostic.t list
 (** [C204] for every [(txn, site)] pin the partitioning does not honour
