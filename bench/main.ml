@@ -1319,6 +1319,11 @@ let () =
     let j =
       Json.Obj
         [
+          (* Versioned + provenance-stamped so BENCH_N.json files can be
+             compared honestly across commits and hosts (vpart bench-check;
+             see Bench_compare). *)
+          ("schema_version", Json.Int Bench_compare.schema_version);
+          ("provenance", Bench_compare.provenance_json ());
           ( "config",
             Json.Obj
               [

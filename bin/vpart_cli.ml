@@ -899,6 +899,7 @@ let solve_cmd =
 (* ------------------------------------------------------------------ *)
 
 let trace_cmd =
+  let ( let* ) = Result.bind in
   let file_term =
     Arg.(
       required
@@ -906,15 +907,26 @@ let trace_cmd =
       & info [] ~docv:"FILE.jsonl"
           ~doc:"Trace file written by $(b,vpart solve --trace).")
   in
-  let summarize_run file =
+  (* Shared loader: every trace subcommand validates the schema and the
+     span nesting before interpreting anything, so a corrupt trace is a
+     per-line diagnostic and a non-zero exit, never a bogus report. *)
+  let read_trace file =
     match Obs.Reader.read_file file with
     | Error e -> Error (`Msg ("invalid trace: " ^ e))
-    | Ok events ->
-      (match Obs.Reader.check_nesting events with
-       | Error e -> Error (`Msg ("malformed span nesting: " ^ e))
-       | Ok () ->
-         Format.printf "%a@." Obs.Summary.pp (Obs.Summary.of_events events);
-         Ok ())
+    | Ok events -> (
+      match Obs.Reader.check_nesting events with
+      | Error e -> Error (`Msg ("malformed span nesting: " ^ e))
+      | Ok () -> Ok events)
+  in
+  let summarize_run fmt file =
+    let* events = read_trace file in
+    (match fmt with
+     | `Text ->
+       Format.printf "%a@." Obs.Summary.pp (Obs.Summary.of_events events)
+     | `Json ->
+       print_endline
+         (Json.to_string (Obs.Summary.to_json (Obs.Summary.of_events events))));
+    Ok ()
   in
   let summarize_cmd =
     Cmd.v
@@ -925,11 +937,240 @@ let trace_cmd =
             per-phase durations, counters, time-to-first-incumbent and the \
             gap-vs-time trajectory.  Exits non-zero on schema or span-nesting \
             violations.")
-      Term.(term_result (const summarize_run $ file_term))
+      Term.(term_result (const summarize_run $ format_term $ file_term))
+  in
+  let flame_cmd =
+    let fmt_term =
+      Arg.(
+        value
+        & opt
+            (enum
+               [
+                 ("folded", `Folded); ("speedscope", `Speedscope); ("text", `Text);
+               ])
+            `Folded
+        & info [ "format" ] ~docv:"FMT"
+            ~doc:
+              "Output format: $(b,folded) (flamegraph.pl / inferno folded \
+               stacks, one $(i,path;to;span microseconds) line per span \
+               path), $(b,speedscope) (speedscope.app JSON, exact per-domain \
+               timeline) or $(b,text) (indented aggregate tree).")
+    in
+    let run fmt output file =
+      let* events = read_trace file in
+      let content =
+        match fmt with
+        | `Folded -> Profile.to_folded (Profile.of_events events)
+        | `Speedscope ->
+          Json.to_string (Profile.speedscope ~name:(Filename.basename file) events)
+          ^ "\n"
+        | `Text -> Format.asprintf "%a" Profile.pp (Profile.of_events events)
+      in
+      write_output output content;
+      Ok ()
+    in
+    Cmd.v
+      (Cmd.info "flame"
+         ~doc:
+           "Fold a validated trace into an aggregated span-path profile \
+            (self/total time, call counts, counter attribution) and export \
+            it as folded flamegraph stacks or speedscope JSON.")
+      Term.(term_result (const run $ fmt_term $ output_term $ file_term))
+  in
+  let diff_cmd =
+    let baseline_term =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"BASELINE.jsonl" ~doc:"Baseline trace.")
+    in
+    let current_term =
+      Arg.(
+        required
+        & pos 1 (some file) None
+        & info [] ~docv:"CURRENT.jsonl" ~doc:"Trace to compare against it.")
+    in
+    let threshold_term =
+      Arg.(
+        value
+        & opt float Trace_diff.default_options.Trace_diff.threshold_pct
+        & info [ "threshold" ] ~docv:"PCT"
+            ~doc:
+              "Relative noise band: rows moving less than $(docv) percent \
+               (or less than the absolute floors) are neutral.")
+    in
+    let gate_term =
+      Arg.(
+        value & flag
+        & info [ "gate" ]
+            ~doc:
+              "Exit non-zero when any row regresses (for CI use; the \
+               default is informational exit 0).")
+    in
+    let run fmt threshold gate baseline current =
+      let* base = read_trace baseline in
+      let* cur = read_trace current in
+      let options =
+        { Trace_diff.default_options with Trace_diff.threshold_pct = threshold }
+      in
+      let report = Trace_diff.diff ~options base cur in
+      (match fmt with
+       | `Text -> Format.printf "%a" Trace_diff.pp report
+       | `Json -> print_endline (Json.to_string (Trace_diff.to_json report)));
+      if gate && report.Trace_diff.regressions > 0 then
+        Error
+          (`Msg
+             (Printf.sprintf "%d regressed row(s) beyond the noise threshold"
+                report.Trace_diff.regressions))
+      else Ok ()
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Align two traces by span path and counter name and report \
+            per-phase time/count deltas with a \
+            regression/improvement/neutral verdict per row (relative noise \
+            threshold plus absolute floors).")
+      Term.(
+        term_result
+          (const run $ format_term $ threshold_term $ gate_term $ baseline_term
+           $ current_term))
+  in
+  let tree_cmd =
+    let fmt_term =
+      Arg.(
+        value
+        & opt (enum [ ("dot", `Dot); ("json", `Json); ("text", `Text) ]) `Dot
+        & info [ "format" ] ~docv:"FMT"
+            ~doc:
+              "Output format: $(b,dot) (Graphviz digraph, nodes coloured by \
+               prune reason), $(b,json) (round-trips through the reader) or \
+               $(b,text) (one line per node).")
+    in
+    let run fmt output file =
+      let* events = read_trace file in
+      let tree = Trace_tree.of_events events in
+      let content =
+        match fmt with
+        | `Dot -> Trace_tree.to_dot tree
+        | `Json -> Json.to_string (Trace_tree.to_json tree) ^ "\n"
+        | `Text -> Format.asprintf "%a" Trace_tree.pp tree
+      in
+      write_output output content;
+      Ok ()
+    in
+    Cmd.v
+      (Cmd.info "tree"
+         ~doc:
+           "Re-derive the branch-and-bound tree from the trace's \
+            mip.node/incumbent/bound/prune events (node depth, bound, prune \
+            reason) and export it as Graphviz DOT or JSON.")
+      Term.(term_result (const run $ fmt_term $ output_term $ file_term))
+  in
+  let trajectory_cmd =
+    let curve_term =
+      Arg.(
+        value
+        & opt (enum [ ("gap", `Gap); ("sa", `Sa) ]) `Gap
+        & info [ "curve" ] ~docv:"CURVE"
+            ~doc:
+              "Which curve to export: $(b,gap) (B&B incumbent/bound/gap vs \
+               time) or $(b,sa) (simulated-annealing \
+               temperature/acceptance/objective per epoch).")
+    in
+    let run curve output file =
+      let* events = read_trace file in
+      let content =
+        match curve with
+        | `Gap -> Trajectory.gap_csv events
+        | `Sa -> Trajectory.sa_csv events
+      in
+      write_output output content;
+      Ok ()
+    in
+    Cmd.v
+      (Cmd.info "trajectory"
+         ~doc:
+           "Export the search trajectory as plot-ready CSV: the gap-vs-time \
+            curve from mip.incumbent/mip.bound events, or the SA \
+            temperature/acceptance schedule from sa.epoch events.")
+      Term.(term_result (const run $ curve_term $ output_term $ file_term))
   in
   Cmd.group
     (Cmd.info "trace" ~doc:"Inspect structured solve traces.")
-    [ summarize_cmd ]
+    [ summarize_cmd; flame_cmd; diff_cmd; tree_cmd; trajectory_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* bench-check                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bench_check_cmd =
+  let json_file docv doc =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ String.lowercase_ascii docv ] ~docv ~doc)
+  in
+  let baseline_term =
+    json_file "BASELINE" "Committed bench JSON to compare against."
+  in
+  let current_term = json_file "CURRENT" "Freshly generated bench JSON." in
+  let tolerance_term =
+    Arg.(
+      value
+      & opt float Bench_compare.default_options.Bench_compare.tolerance_pct
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:
+            "Relative tolerance band for timing-class metrics (percent).  \
+             The default is deliberately wide: the gate catches cliffs, not \
+             noise.")
+  in
+  let floor_term =
+    Arg.(
+      value
+      & opt float Bench_compare.default_options.Bench_compare.abs_floor
+      & info [ "abs-floor" ] ~docv:"S"
+          ~doc:
+            "Absolute floor: timing moves smaller than $(docv) seconds never \
+             gate, whatever the relative change.")
+  in
+  let run fmt tolerance abs_floor baseline current =
+    let load what path =
+      match Json.of_string (In_channel.with_open_bin path In_channel.input_all) with
+      | json -> Ok json
+      | exception Sys_error e -> Error (`Msg e)
+      | exception Json.Parse_error e ->
+        Error (`Msg (Printf.sprintf "%s: JSON parse error: %s" what e))
+    in
+    let ( let* ) = Result.bind in
+    let* base = load "baseline" baseline in
+    let* cur = load "current" current in
+    let options = { Bench_compare.tolerance_pct = tolerance; abs_floor } in
+    let report = Bench_compare.compare ~options ~baseline:base ~current:cur () in
+    (match fmt with
+     | `Text -> Format.printf "%a" Bench_compare.pp report
+     | `Json -> print_endline (Json.to_string (Bench_compare.to_json report)));
+    if Bench_compare.passed report then Ok ()
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "bench regression gate failed: %d regression(s), %d missing metric(s)"
+              report.Bench_compare.regressions report.Bench_compare.missing))
+  in
+  Cmd.v
+    (Cmd.info "bench-check"
+       ~doc:
+         "Compare two versioned bench JSON files (bench --json-out) metric \
+          by metric against per-metric tolerance bands and exit non-zero on \
+          regression or on a metric that silently disappeared.  \
+          Lower-is-better (seconds/overhead/latency) and higher-is-better \
+          (per-second/speedup) metrics gate; counts are informational.  \
+          Provenance mismatches (host core count, OCaml version, schema \
+          version) are reported as warnings.")
+    Term.(
+      term_result
+        (const run $ format_term $ tolerance_term $ floor_term $ baseline_term
+         $ current_term))
 
 (* ------------------------------------------------------------------ *)
 (* certify                                                             *)
@@ -1248,4 +1489,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "vpart" ~version:"1.0.0" ~doc)
           [ info_cmd; check_cmd; analyze_cmd; solve_cmd; certify_cmd; eval_cmd;
-            advise_cmd; export_cmd; mps_cmd; trace_cmd ]))
+            advise_cmd; export_cmd; mps_cmd; trace_cmd; bench_check_cmd ]))

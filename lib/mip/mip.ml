@@ -208,23 +208,23 @@ let rec branch s depth =
     Obs.point "mip.node"
       ~attrs:[ ("node", Obs.Int s.nodes); ("depth", Obs.Int depth) ];
   match Simplex.reoptimize ?deadline:s.deadline s.sx with
-  | Simplex.Infeasible -> Obs.count "mip.prune.infeasible" 1.
+  | Simplex.Infeasible -> Obs.count "mip.prune.infeasible" ~attrs:[ ("node", Obs.Int s.nodes) ] 1.
   | Simplex.Time_limit -> raise Hit_limit
   | Simplex.Iter_limit | Simplex.Numerical ->
     (* Cannot trust this subtree's relaxation; abandoning it loses the
        optimality proof, which the caller reports via the gap. *)
     s.numerical_prunes <- s.numerical_prunes + 1;
-    Obs.count "mip.prune.numerical" 1.
+    Obs.count "mip.prune.numerical" ~attrs:[ ("node", Obs.Int s.nodes) ] 1.
   | Simplex.Unbounded -> ()  (* cannot happen from reoptimize *)
   | Simplex.Optimal ->
     let bound = Simplex.objective s.sx +. s.std.Lp.obj_const in
     if bound >= s.incumbent_obj -. 1e-9 *. Float.max 1. (Float.abs s.incumbent_obj)
-    then Obs.count "mip.prune.bound" 1.
+    then Obs.count "mip.prune.bound" ~attrs:[ ("node", Obs.Int s.nodes) ] 1.
     else begin
       let x = Simplex.primal s.sx in
       match most_fractional s x with
       | None ->
-        Obs.count "mip.integral_leaf" 1.;
+        Obs.count "mip.integral_leaf" ~attrs:[ ("node", Obs.Int s.nodes) ] 1.;
         if not (offer s x) then
           (* Rounding failed the vet (tolerance artifact): accept the raw
              relaxation point, which is integral within int_tol. *)
@@ -375,13 +375,13 @@ let parallel_search s ~root_bound ~jobs =
             node.changes
         in
         (match Simplex.reoptimize ?deadline:s.deadline s.sx with
-         | Simplex.Infeasible -> Obs.count "mip.prune.infeasible" 1.
+         | Simplex.Infeasible -> Obs.count "mip.prune.infeasible" ~attrs:[ ("node", Obs.Int s.nodes) ] 1.
          | Simplex.Time_limit ->
            stopped := true;
            contribs := node.sub_bound :: !contribs
          | Simplex.Iter_limit | Simplex.Numerical ->
            s.numerical_prunes <- s.numerical_prunes + 1;
-           Obs.count "mip.prune.numerical" 1.;
+           Obs.count "mip.prune.numerical" ~attrs:[ ("node", Obs.Int s.nodes) ] 1.;
            contribs := node.sub_bound :: !contribs
          | Simplex.Unbounded -> ()  (* cannot happen from reoptimize *)
          | Simplex.Optimal ->
@@ -390,12 +390,12 @@ let parallel_search s ~root_bound ~jobs =
              bound
              >= s.incumbent_obj
                 -. (1e-9 *. Float.max 1. (Float.abs s.incumbent_obj))
-           then Obs.count "mip.prune.bound" 1.
+           then Obs.count "mip.prune.bound" ~attrs:[ ("node", Obs.Int s.nodes) ] 1.
            else begin
              let x = Simplex.primal s.sx in
              match most_fractional s x with
              | None ->
-               Obs.count "mip.integral_leaf" 1.;
+               Obs.count "mip.integral_leaf" ~attrs:[ ("node", Obs.Int s.nodes) ] 1.;
                if not (offer s x) then
                  if bound < s.incumbent_obj -. 1e-9 then begin
                    s.incumbent <- Some (round_integers s.std x);

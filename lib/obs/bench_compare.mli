@@ -1,0 +1,94 @@
+(** Bench-result provenance and the regression gate behind
+    [vpart_cli bench-check].
+
+    {2 Schema}
+
+    [bench --json-out] documents are versioned from schema version 1 on:
+    top-level [schema_version] (int) and [provenance] (object: [git_rev],
+    [generated_utc], [ocaml_version], [domains] =
+    [Domain.recommended_domain_count ()]) ride alongside the existing
+    [config] / [results] / [metrics] members.  Additions of new members
+    are backwards-compatible; changes to existing members bump the
+    version, and {!compare} warns on any version it does not know.
+
+    {2 Comparison policy}
+
+    Both documents are flattened to ["results/…/leaf"] /
+    ["metrics/…/leaf"] paths over their numeric and boolean leaves and
+    aligned by path.  Each metric is classified by name:
+
+    - {e lower-is-better} (wall-clock language: [seconds], [time],
+      [duration], [overhead], [latency], [span.] histograms) and
+      {e higher-is-better} ([per_second], [speedup], [throughput])
+      metrics gate: a move beyond {e both} the relative tolerance band
+      and the absolute floor in the bad direction is a [Regression], in
+      the good direction an [Improvement];
+    - booleans gate with zero tolerance ([true -> false] is a
+      [Regression]);
+    - everything else (node counts, iteration totals, configuration
+      echoes) is informational: reported as [Changed]/[Unchanged], never
+      a regression — counts legitimately move across commits and are
+      judged by the trace-diff / test layers, not by this gate.
+
+    A metric present in the baseline but absent from the current run is
+    [Missing] and fails the gate (silently dropping a metric is how
+    regressions hide); a metric only in the current run is [New] and
+    informational.  The default band (50% relative, 0.005 absolute
+    floor for timings) is deliberately wide: this gate exists to catch
+    order-of-magnitude cliffs on shared CI hosts, not 5% noise —
+    tighten with [--tolerance] on quiet hardware. *)
+
+val schema_version : int
+
+type provenance = {
+  git_rev : string;       (** [VPART_GIT_REV] env override, else git *)
+  generated_utc : string; (** ISO-8601 UTC, e.g. 2026-08-08T12:00:00Z *)
+  ocaml_version : string;
+  domains : int;          (** [Domain.recommended_domain_count ()] *)
+}
+
+val provenance : unit -> provenance
+val provenance_json : unit -> Json.t
+val provenance_of_json : Json.t -> provenance option
+
+type direction = Lower_better | Higher_better | Boolean | Informational
+
+type value = Num of float | Flag of bool
+
+type verdict = Regression | Improvement | Unchanged | Changed | Missing | New
+
+type row = {
+  metric : string;  (** flattened path, e.g. [results/perf/sa_speedup] *)
+  direction : direction;
+  base : value option;
+  cur : value option;
+  delta : float option;  (** cur - base when both numeric *)
+  verdict : verdict;
+}
+
+type options = {
+  tolerance_pct : float;  (** relative band for timings, default 50. *)
+  abs_floor : float;      (** absolute floor (seconds), default 5e-3 *)
+}
+
+val default_options : options
+
+type report = {
+  rows : row list;  (** gating verdicts first, then by path *)
+  regressions : int;
+  improvements : int;
+  missing : int;
+  fresh : int;     (** [New] rows *)
+  warnings : string list;
+      (** schema-version / provenance / config mismatches — context for
+          reading the verdicts, never failures themselves *)
+}
+
+val compare :
+  ?options:options -> baseline:Json.t -> current:Json.t -> unit -> report
+
+val passed : report -> bool
+(** [regressions = 0 && missing = 0] — the gate's exit criterion. *)
+
+val pp : Format.formatter -> report -> unit
+val to_json : report -> Json.t

@@ -81,9 +81,25 @@ module Metrics = struct
     mutable h_sum : float;
     mutable h_min : float;
     mutable h_max : float;
+    h_buckets : (int, int ref) Hashtbl.t;
+        (* log-scale sample counts for percentile estimation, see
+           [bucket_of] *)
   }
 
   let hists : (string, mutable_hist) Hashtbl.t = Hashtbl.create 16
+
+  (* Percentiles must be deterministic and bounded-memory (histograms can
+     take millions of samples under bench), so samples land in log-scale
+     buckets with ratio 2^(1/8) — worst-case quantile error ~4.4%, a few
+     hundred live buckets across the full double range.  Non-positive
+     samples (possible for caller-supplied [observe] values, not for
+     durations) share one underflow bucket. *)
+  let bucket_of v =
+    if v > 0. then int_of_float (Float.floor (8. *. Float.log2 v)) else min_int
+
+  let bucket_rep idx =
+    if idx = min_int then neg_infinity
+    else Float.pow 2. ((float_of_int idx +. 0.5) /. 8.)
 
   let enable () =
     Atomic.set on true;
@@ -113,6 +129,12 @@ module Metrics = struct
     | Some r -> r := v
     | None -> Hashtbl.replace gauges name (ref v)
 
+  let bucket_incr h v =
+    let idx = bucket_of v in
+    match Hashtbl.find_opt h.h_buckets idx with
+    | Some r -> incr r
+    | None -> Hashtbl.replace h.h_buckets idx (ref 1)
+
   let observe name v =
     locked @@ fun () ->
     match Hashtbl.find_opt hists name with
@@ -120,12 +142,50 @@ module Metrics = struct
       h.h_count <- h.h_count + 1;
       h.h_sum <- h.h_sum +. v;
       if v < h.h_min then h.h_min <- v;
-      if v > h.h_max then h.h_max <- v
+      if v > h.h_max then h.h_max <- v;
+      bucket_incr h v
     | None ->
-      Hashtbl.replace hists name
-        { h_count = 1; h_sum = v; h_min = v; h_max = v }
+      let h =
+        {
+          h_count = 1;
+          h_sum = v;
+          h_min = v;
+          h_max = v;
+          h_buckets = Hashtbl.create 8;
+        }
+      in
+      bucket_incr h v;
+      Hashtbl.replace hists name h
 
-  type hist = { count : int; sum : float; min : float; max : float }
+  (* Nearest-rank percentile over the log-scale buckets: find the bucket
+     holding the ceil(q*count)-th sample, report its geometric midpoint
+     clamped into the exact [min,max] envelope (so single-sample and
+     extreme quantiles are exact). *)
+  let percentile h q =
+    let buckets =
+      Hashtbl.fold (fun idx r acc -> (idx, !r) :: acc) h.h_buckets []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_count)))
+    in
+    let rec find cum = function
+      | [] -> h.h_max
+      | (idx, n) :: rest ->
+        let cum = cum + n in
+        if cum >= rank then bucket_rep idx else find cum rest
+    in
+    Float.min h.h_max (Float.max h.h_min (find 0 buckets))
+
+  type hist = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    p50 : float;
+    p90 : float;
+    p99 : float;
+  }
 
   type snapshot = {
     counters : (string * float) list;
@@ -145,7 +205,15 @@ module Metrics = struct
       gauges = sorted_bindings gauges (fun r -> !r);
       hists =
         sorted_bindings hists (fun h ->
-            { count = h.h_count; sum = h.h_sum; min = h.h_min; max = h.h_max });
+            {
+              count = h.h_count;
+              sum = h.h_sum;
+              min = h.h_min;
+              max = h.h_max;
+              p50 = percentile h 0.50;
+              p90 = percentile h 0.90;
+              p99 = percentile h 0.99;
+            });
     }
 
   let counter_value name =
@@ -167,6 +235,9 @@ module Metrics = struct
                    ("sum", Json.Float h.sum);
                    ("min", Json.Float h.min);
                    ("max", Json.Float h.max);
+                   ("p50", Json.Float h.p50);
+                   ("p90", Json.Float h.p90);
+                   ("p99", Json.Float h.p99);
                  ])
             s.hists );
       ]
@@ -186,8 +257,9 @@ module Metrics = struct
       List.iter
         (fun (name, (h : hist)) ->
            Format.fprintf ppf
-             "@,  %-36s n=%d sum=%.6g min=%.6g max=%.6g" name h.count h.sum
-             h.min h.max)
+             "@,  %-36s n=%d sum=%.6g min=%.6g p50=%.6g p90=%.6g p99=%.6g \
+              max=%.6g"
+             name h.count h.sum h.min h.p50 h.p90 h.p99 h.max)
         s.hists
     end;
     Format.fprintf ppf "@]"
@@ -751,6 +823,41 @@ module Summary = struct
       bounds = List.rev !bounds;
       time_to_first_incumbent = ttfi;
     }
+
+  let to_json t =
+    let obj_of f xs = Json.Obj (List.map (fun (k, v) -> (k, f v)) xs) in
+    let opt_float = function Some f -> Json.Float f | None -> Json.Null in
+    let ts_pairs xs =
+      Json.List
+        (List.map
+           (fun (ts, v) ->
+              Json.Obj [ ("ts", Json.Float ts); ("value", Json.Float v) ])
+           xs)
+    in
+    Json.Obj
+      [
+        ("schema_version", Json.Int schema_version);
+        ("events", Json.Int t.events);
+        ("duration_seconds", Json.Float t.duration);
+        ( "phases",
+          Json.Obj
+            (List.map
+               (fun (name, p) ->
+                  ( name,
+                    Json.Obj
+                      [
+                        ("calls", Json.Int p.calls);
+                        ("total_seconds", Json.Float p.total);
+                      ] ))
+               t.phases) );
+        ("counters", obj_of (fun v -> Json.Float v) t.counters);
+        ("gauges", obj_of (fun v -> Json.Float v) t.gauges);
+        ("points", obj_of (fun n -> Json.Int n) t.points);
+        ("solve_start", opt_float t.solve_start);
+        ("incumbents", ts_pairs t.incumbents);
+        ("bounds", ts_pairs t.bounds);
+        ("time_to_first_incumbent", opt_float t.time_to_first_incumbent);
+      ]
 
   let pp ppf t =
     Format.fprintf ppf "@[<v>trace summary (schema v%d): %d events, %.3fs"

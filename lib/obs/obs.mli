@@ -140,7 +140,20 @@ module Metrics : sig
   val reset : unit -> unit
   (** Drop all accumulated values (collection state is unchanged). *)
 
-  type hist = { count : int; sum : float; min : float; max : float }
+  type hist = {
+    count : int;
+    sum : float;
+    min : float;  (** exact *)
+    max : float;  (** exact *)
+    p50 : float;
+    p90 : float;
+    p99 : float;
+        (** deterministic bounded-memory estimates: samples land in
+            log-scale buckets of ratio 2^(1/8), percentiles report the
+            nearest-rank bucket's geometric midpoint clamped to
+            [[min,max]] (worst-case relative error ~4.4%, exact for
+            single-sample histograms) *)
+  }
 
   type snapshot = {
     counters : (string * float) list;  (** sorted by name *)
@@ -155,7 +168,7 @@ module Metrics : sig
 
   val to_json : snapshot -> Json.t
   (** [{"counters":{..},"gauges":{..},"hists":{name:{"count":..,"sum":..,
-      "min":..,"max":..}}}] *)
+      "min":..,"max":..,"p50":..,"p90":..,"p99":..}}}] *)
 
   val pp : Format.formatter -> snapshot -> unit
 end
@@ -198,6 +211,14 @@ module Summary : sig
   }
 
   val of_events : (float * event) list -> t
+
+  val to_json : t -> Json.t
+  (** Machine-readable summary ([trace summarize --format json]):
+      [{"schema_version":..,"events":..,"duration_seconds":..,
+      "phases":{name:{"calls":..,"total_seconds":..}},"counters":{..},
+      "gauges":{..},"points":{..},"solve_start":..,
+      "incumbents":[{"ts":..,"value":..}],"bounds":[..],
+      "time_to_first_incumbent":..}] with [null] for absent optionals. *)
 
   val pp : Format.formatter -> t -> unit
   (** The timeline report: per-phase breakdown, counters, incumbent /

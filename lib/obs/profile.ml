@@ -1,0 +1,282 @@
+(* Aggregated span-path profiles over validated JSONL traces: the span
+   tree behind [vpart_cli trace flame] plus the two export formats
+   (folded stacks for flamegraph.pl/inferno, speedscope JSON). *)
+
+type node = {
+  name : string;
+  path : string list;
+  calls : int;
+  total : float;
+  self : float;
+  counters : (string * float) list;
+  children : node list;
+}
+
+type t = {
+  roots : node list;
+  counters : (string * float) list;
+  total : float;
+  duration : float;
+}
+
+(* Mutable builder node: one per distinct span path. *)
+type bnode = {
+  b_name : string;
+  mutable b_calls : int;
+  mutable b_total : float;
+  b_counters : (string, float ref) Hashtbl.t;
+  b_children : (string, bnode) Hashtbl.t;
+}
+
+let new_bnode name =
+  {
+    b_name = name;
+    b_calls = 0;
+    b_total = 0.;
+    b_counters = Hashtbl.create 4;
+    b_children = Hashtbl.create 4;
+  }
+
+let child_of tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some n -> n
+  | None ->
+      let n = new_bnode name in
+      Hashtbl.add tbl name n;
+      n
+
+let bump tbl name v =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r := !r +. v
+  | None -> Hashtbl.add tbl name (ref v)
+
+let domain_of attrs =
+  match List.assoc_opt "domain" attrs with Some (Obs.Int d) -> d | _ -> 0
+
+let of_events events =
+  let roots : (string, bnode) Hashtbl.t = Hashtbl.create 8 in
+  let top_counters : (string, float ref) Hashtbl.t = Hashtbl.create 8 in
+  (* Per-domain stack of open builder nodes (innermost first). *)
+  let stacks : (int, bnode list ref) Hashtbl.t = Hashtbl.create 4 in
+  let stack_of dom =
+    match Hashtbl.find_opt stacks dom with
+    | Some s -> s
+    | None ->
+        let s = ref [] in
+        Hashtbl.add stacks dom s;
+        s
+  in
+  (* Open span id -> (domain, builder node). *)
+  let open_spans : (int, int * bnode) Hashtbl.t = Hashtbl.create 16 in
+  (* Counter events carry no domain tag; attribute them to the innermost
+     open span of the domain that most recently emitted a span event
+     (exact for sequential traces, best-effort under --jobs). *)
+  let current_domain = ref 0 in
+  let duration = ref 0. in
+  List.iter
+    (fun (ts, ev) ->
+      if ts > !duration then duration := ts;
+      match ev with
+      | Obs.Span_open { id; name; attrs; _ } ->
+          let dom = domain_of attrs in
+          current_domain := dom;
+          let stack = stack_of dom in
+          let node =
+            match !stack with
+            | [] -> child_of roots name
+            | top :: _ -> child_of top.b_children name
+          in
+          Hashtbl.replace open_spans id (dom, node);
+          stack := node :: !stack
+      | Obs.Span_close { id; dur; _ } -> (
+          match Hashtbl.find_opt open_spans id with
+          | None -> ()
+          | Some (dom, node) ->
+              Hashtbl.remove open_spans id;
+              current_domain := dom;
+              node.b_calls <- node.b_calls + 1;
+              node.b_total <- node.b_total +. dur;
+              let stack = stack_of dom in
+              (* Validated traces close the innermost span; drop down to
+                 the matching node regardless so a sloppy trace cannot
+                 corrupt the stack. *)
+              let rec drop = function
+                | [] -> []
+                | top :: rest -> if top == node then rest else drop rest
+              in
+              stack := drop !stack)
+      | Obs.Counter { name; add; _ } -> (
+          match !(stack_of !current_domain) with
+          | top :: _ -> bump top.b_counters name add
+          | [] -> bump top_counters name add)
+      | Obs.Gauge _ | Obs.Point _ -> ())
+    events;
+  let sorted_counters tbl =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let rec freeze rev_path b : node =
+    let path = List.rev (b.b_name :: rev_path) in
+    let children =
+      Hashtbl.fold (fun _ c acc -> c :: acc) b.b_children []
+      |> List.sort (fun a b -> compare a.b_name b.b_name)
+      |> List.map (freeze (b.b_name :: rev_path))
+    in
+    let child_total =
+      List.fold_left (fun s (c : node) -> s +. c.total) 0. children
+    in
+    {
+      name = b.b_name;
+      path;
+      calls = b.b_calls;
+      total = b.b_total;
+      self = Float.max 0. (b.b_total -. child_total);
+      counters = sorted_counters b.b_counters;
+      children;
+    }
+  in
+  let root_nodes =
+    Hashtbl.fold (fun _ b acc -> b :: acc) roots []
+    |> List.sort (fun a b -> compare a.b_name b.b_name)
+    |> List.map (freeze [])
+  in
+  {
+    roots = root_nodes;
+    counters = sorted_counters top_counters;
+    total = List.fold_left (fun s (n : node) -> s +. n.total) 0. root_nodes;
+    duration = !duration;
+  }
+
+let path_key path = String.concat ";" path
+
+let flatten t =
+  let rec walk acc n =
+    let acc = (path_key n.path, n) :: acc in
+    List.fold_left walk acc n.children
+  in
+  List.rev (List.fold_left walk [] t.roots)
+
+let to_folded t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (key, n) ->
+      let micros = int_of_float (Float.round (n.self *. 1e6)) in
+      Buffer.add_string buf key;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (max 0 micros));
+      Buffer.add_char buf '\n')
+    (flatten t);
+  Buffer.contents buf
+
+let speedscope ?(name = "vpart trace") events =
+  (* Frames deduplicated by span name, in first-appearance order. *)
+  let frame_idx : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let frames_rev = ref [] in
+  let nframes = ref 0 in
+  let frame_of name =
+    match Hashtbl.find_opt frame_idx name with
+    | Some i -> i
+    | None ->
+        let i = !nframes in
+        Hashtbl.add frame_idx name i;
+        frames_rev := name :: !frames_rev;
+        incr nframes;
+        i
+  in
+  (* Per-domain evented timelines.  [at] must be non-decreasing and
+     opens/closes balanced; validated traces already guarantee both per
+     domain. *)
+  let timelines : (int, (float * bool * int) list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let open_domain : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let timeline dom =
+    match Hashtbl.find_opt timelines dom with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.add timelines dom l;
+        l
+  in
+  let end_ts = ref 0. in
+  List.iter
+    (fun (ts, ev) ->
+      if ts > !end_ts then end_ts := ts;
+      match ev with
+      | Obs.Span_open { id; name; attrs; _ } ->
+          let dom = domain_of attrs in
+          Hashtbl.replace open_domain id dom;
+          let l = timeline dom in
+          l := (ts, true, frame_of name) :: !l
+      | Obs.Span_close { id; name; _ } -> (
+          match Hashtbl.find_opt open_domain id with
+          | None -> ()
+          | Some dom ->
+              Hashtbl.remove open_domain id;
+              let l = timeline dom in
+              l := (ts, false, frame_of name) :: !l)
+      | _ -> ())
+    events;
+  let profile_of_domain (dom, l) =
+    let events_json =
+      List.rev_map
+        (fun (at, is_open, frame) ->
+          Json.Obj
+            [
+              ("type", Json.String (if is_open then "O" else "C"));
+              ("frame", Json.Int frame);
+              ("at", Json.Float at);
+            ])
+        !l
+    in
+    let pname = if dom = 0 then "main" else Printf.sprintf "domain %d" dom in
+    Json.Obj
+      [
+        ("type", Json.String "evented");
+        ("name", Json.String pname);
+        ("unit", Json.String "seconds");
+        ("startValue", Json.Float 0.);
+        ("endValue", Json.Float !end_ts);
+        ("events", Json.List events_json);
+      ]
+  in
+  let domains =
+    Hashtbl.fold (fun d l acc -> (d, l) :: acc) timelines []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let frames =
+    List.rev_map (fun n -> Json.Obj [ ("name", Json.String n) ]) !frames_rev
+  in
+  Json.Obj
+    [
+      ( "$schema",
+        Json.String "https://www.speedscope.app/file-format-schema.json" );
+      ("name", Json.String name);
+      ("exporter", Json.String "vpart_cli trace flame");
+      ("activeProfileIndex", Json.Int 0);
+      ("shared", Json.Obj [ ("frames", Json.List frames) ]);
+      ("profiles", Json.List (List.map profile_of_domain domains));
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "profile: %d root span(s), %.6fs traced, %.6fs span time@."
+    (List.length t.roots) t.duration t.total;
+  let rec pp_node depth n =
+    Format.fprintf ppf "%s%s  calls=%d total=%.6fs self=%.6fs@."
+      (String.make (2 * depth) ' ')
+      n.name n.calls n.total n.self;
+    List.iter
+      (fun (c, v) ->
+        Format.fprintf ppf "%s· %s += %g@."
+          (String.make ((2 * depth) + 2) ' ')
+          c v)
+      n.counters;
+    List.iter (pp_node (depth + 1)) n.children
+  in
+  List.iter (pp_node 0) t.roots;
+  if t.counters <> [] then begin
+    Format.fprintf ppf "outside any span:@.";
+    List.iter
+      (fun (c, v) -> Format.fprintf ppf "  · %s += %g@." c v)
+      t.counters
+  end

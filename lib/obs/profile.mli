@@ -1,0 +1,61 @@
+(** Aggregated span-path profiles over validated JSONL traces — the
+    folding half of [vpart_cli trace flame].
+
+    {!of_events} folds a trace (as returned by {!Obs.Reader.read_file},
+    ideally after {!Obs.Reader.check_nesting}) into a tree keyed by span
+    {e path} (the chain of span names from the outermost open span down):
+    per path it aggregates call counts, total (inclusive) time, self
+    (exclusive) time, and the counters incremented while that path was
+    innermost.  Two export formats are supported:
+
+    - {!to_folded}: the folded-stack format consumed by flamegraph.pl /
+      inferno ("a;b;c 1234" — one line per path, weight in microseconds
+      of self time);
+    - {!speedscope}: the speedscope JSON file format
+      (https://www.speedscope.app/file-format-schema.json), an exact
+      evented timeline (one profile per emitting domain) rather than an
+      aggregate, so narrow spans keep their position in time.
+
+    Counter attribution uses the innermost open span of the domain that
+    most recently emitted a span event; for sequential traces this is
+    exact, for [--jobs N] traces it is best-effort (counter events carry
+    no domain tag — see docs/OBSERVABILITY.md). *)
+
+type node = {
+  name : string;
+  path : string list;  (** root-first span names; last element is [name] *)
+  calls : int;
+  total : float;       (** summed span durations, seconds *)
+  self : float;        (** [total] minus time in child spans, >= 0 *)
+  counters : (string * float) list;  (** sorted by name *)
+  children : node list;              (** sorted by name *)
+}
+
+type t = {
+  roots : node list;                  (** sorted by name *)
+  counters : (string * float) list;
+      (** counters emitted outside any span, sorted by name *)
+  total : float;     (** sum of root totals *)
+  duration : float;  (** largest timestamp in the trace *)
+}
+
+val of_events : (float * Obs.event) list -> t
+
+val flatten : t -> (string * node) list
+(** Every node of the tree, depth-first, keyed by its ";"-joined path
+    (the folded-stack key).  Deterministic for a given trace. *)
+
+val to_folded : t -> string
+(** flamegraph.pl / inferno compatible folded stacks: one
+    ["path;to;span N"] line per node with [N] the node's self time in
+    microseconds (rounded).  Lines appear in depth-first path order. *)
+
+val speedscope : ?name:string -> (float * Obs.event) list -> Json.t
+(** The speedscope file-format rendering of the {e raw} trace: an
+    "evented" profile per emitting domain with exactly the trace's
+    open/close events, frames deduplicated by span name.  Output loads
+    directly in https://www.speedscope.app. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable indented tree (calls, total, self, per-span
+    counters), deterministic for a given trace. *)

@@ -1,0 +1,183 @@
+(* Aligned trace comparison with noise-thresholded verdicts; see the
+   interface for alignment and verdict semantics. *)
+
+type verdict = Regression | Improvement | Neutral
+
+type row = {
+  kind : [ `Span | `Counter ];
+  key : string;
+  base_calls : float;
+  base_value : float;
+  cur_calls : float;
+  cur_value : float;
+  delta : float;
+  pct : float option;
+  verdict : verdict;
+}
+
+type options = {
+  threshold_pct : float;
+  min_span_seconds : float;
+  min_counter_delta : float;
+}
+
+let default_options =
+  { threshold_pct = 10.; min_span_seconds = 1e-3; min_counter_delta = 0.5 }
+
+type report = {
+  rows : row list;
+  regressions : int;
+  improvements : int;
+  neutral : int;
+}
+
+(* Sum counter totals (and event counts) over a whole trace. *)
+let counter_totals events =
+  let tbl : (string, float * float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (_, ev) ->
+      match ev with
+      | Obs.Counter { name; add; _ } ->
+          let n, v =
+            Option.value ~default:(0., 0.) (Hashtbl.find_opt tbl name)
+          in
+          Hashtbl.replace tbl name (n +. 1., v +. add)
+      | _ -> ())
+    events;
+  tbl
+
+let verdict_of ~opts ~abs_floor base_value delta =
+  let exceeds_rel =
+    if base_value <> 0. then
+      Float.abs delta /. Float.abs base_value *. 100. > opts.threshold_pct
+    else true (* appeared from / vanished to nothing: only the floor gates *)
+  in
+  if Float.abs delta <= abs_floor || not exceeds_rel then Neutral
+  else if delta > 0. then Regression
+  else Improvement
+
+let make_row ~opts ~abs_floor kind key (base_calls, base_value)
+    (cur_calls, cur_value) =
+  let delta = cur_value -. base_value in
+  let pct =
+    if base_value <> 0. then Some (delta /. Float.abs base_value *. 100.)
+    else None
+  in
+  {
+    kind;
+    key;
+    base_calls;
+    base_value;
+    cur_calls;
+    cur_value;
+    delta;
+    pct;
+    verdict = verdict_of ~opts ~abs_floor base_value delta;
+  }
+
+(* Union of keys from two assoc tables, missing side = (0,0). *)
+let aligned_rows ~opts ~abs_floor kind base_tbl cur_tbl =
+  let keys : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) base_tbl;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace keys k ()) cur_tbl;
+  Hashtbl.fold
+    (fun key () acc ->
+      let get tbl =
+        Option.value ~default:(0., 0.) (Hashtbl.find_opt tbl key)
+      in
+      make_row ~opts ~abs_floor kind key (get base_tbl) (get cur_tbl) :: acc)
+    keys []
+  |> List.sort (fun a b ->
+         match compare (Float.abs b.delta) (Float.abs a.delta) with
+         | 0 -> compare a.key b.key
+         | c -> c)
+
+let span_table events =
+  let tbl : (string, float * float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (key, n) ->
+      Hashtbl.replace tbl key (float_of_int n.Profile.calls, n.Profile.total))
+    (Profile.flatten (Profile.of_events events));
+  tbl
+
+let diff ?(options = default_options) base cur =
+  let opts = options in
+  let span_rows =
+    aligned_rows ~opts ~abs_floor:opts.min_span_seconds `Span (span_table base)
+      (span_table cur)
+  in
+  let counter_rows =
+    aligned_rows ~opts ~abs_floor:opts.min_counter_delta `Counter
+      (counter_totals base) (counter_totals cur)
+  in
+  let rows = span_rows @ counter_rows in
+  let tally v = List.length (List.filter (fun r -> r.verdict = v) rows) in
+  {
+    rows;
+    regressions = tally Regression;
+    improvements = tally Improvement;
+    neutral = tally Neutral;
+  }
+
+let verdict_str = function
+  | Regression -> "REGRESSION"
+  | Improvement -> "IMPROVEMENT"
+  | Neutral -> "neutral"
+
+let pp ppf r =
+  Format.fprintf ppf
+    "trace diff: %d row(s) — %d regression(s), %d improvement(s), %d neutral@."
+    (List.length r.rows) r.regressions r.improvements r.neutral;
+  let pp_row row =
+    let unit, fmt_v =
+      match row.kind with
+      | `Span -> ("s", fun v -> Printf.sprintf "%.6f" v)
+      | `Counter -> ("", fun v -> Printf.sprintf "%g" v)
+    in
+    Format.fprintf ppf "  [%-11s] %-7s %s: %s%s -> %s%s (%+.6g%s"
+      (verdict_str row.verdict)
+      (match row.kind with `Span -> "span" | `Counter -> "counter")
+      row.key (fmt_v row.base_value) unit (fmt_v row.cur_value) unit row.delta
+      unit;
+    (match row.pct with
+    | Some p -> Format.fprintf ppf ", %+.1f%%" p
+    | None -> ());
+    (match row.kind with
+    | `Span ->
+        Format.fprintf ppf "; calls %g -> %g" row.base_calls row.cur_calls
+    | `Counter ->
+        Format.fprintf ppf "; events %g -> %g" row.base_calls row.cur_calls);
+    Format.fprintf ppf ")@."
+  in
+  List.iter pp_row r.rows
+
+let row_to_json row =
+  Json.Obj
+    [
+      ( "kind",
+        Json.String (match row.kind with `Span -> "span" | `Counter -> "counter")
+      );
+      ("key", Json.String row.key);
+      ("base_calls", Json.Float row.base_calls);
+      ("base_value", Json.Float row.base_value);
+      ("cur_calls", Json.Float row.cur_calls);
+      ("cur_value", Json.Float row.cur_value);
+      ("delta", Json.Float row.delta);
+      ( "pct",
+        match row.pct with Some p -> Json.Float p | None -> Json.Null );
+      ( "verdict",
+        Json.String
+          (match row.verdict with
+          | Regression -> "regression"
+          | Improvement -> "improvement"
+          | Neutral -> "neutral") );
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("rows", Json.List (List.map row_to_json r.rows));
+      ("regressions", Json.Int r.regressions);
+      ("improvements", Json.Int r.improvements);
+      ("neutral", Json.Int r.neutral);
+    ]

@@ -1,0 +1,71 @@
+(* CSV exports of the B&B gap-vs-time and SA schedule curves; see the
+   interface for column contracts. *)
+
+let float_attr attrs key =
+  match List.assoc_opt key attrs with
+  | Some (Obs.Float f) -> Some f
+  | Some (Obs.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let int_attr attrs key =
+  match List.assoc_opt key attrs with
+  | Some (Obs.Int i) -> Some i
+  | Some (Obs.Float f) -> Some (int_of_float f)
+  | _ -> None
+
+let cell = function Some f -> Printf.sprintf "%.9g" f | None -> ""
+
+let gap_csv events =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "ts,event,incumbent,bound,gap_pct\n";
+  let incumbent = ref None and bound = ref None in
+  List.iter
+    (fun (ts, ev) ->
+      let row kind =
+        (* Same guarded denominator as the solver's gap test. *)
+        let gap =
+          match (!incumbent, !bound) with
+          | Some inc, Some b ->
+              Some (100. *. Float.abs (inc -. b) /. Float.max 1. (Float.abs inc))
+          | _ -> None
+        in
+        Printf.bprintf buf "%.9g,%s,%s,%s,%s\n" ts kind (cell !incumbent)
+          (cell !bound) (cell gap)
+      in
+      match ev with
+      | Obs.Point { name = "mip.incumbent"; attrs } -> (
+          match float_attr attrs "obj" with
+          | Some obj ->
+              incumbent := Some obj;
+              row "incumbent"
+          | None -> ())
+      | Obs.Point { name = "mip.bound"; attrs } -> (
+          match float_attr attrs "bound" with
+          | Some b ->
+              bound := Some b;
+              row "bound"
+          | None -> ())
+      | _ -> ())
+    events;
+  Buffer.contents buf
+
+let sa_csv events =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "ts,epoch,temperature,accept_rate,best_obj,current_obj\n";
+  List.iter
+    (fun (ts, ev) ->
+      match ev with
+      | Obs.Point { name = "sa.epoch"; attrs } ->
+          let epoch =
+            match int_attr attrs "epoch" with
+            | Some e -> string_of_int e
+            | None -> ""
+          in
+          Printf.bprintf buf "%.9g,%s,%s,%s,%s,%s\n" ts epoch
+            (cell (float_attr attrs "temperature"))
+            (cell (float_attr attrs "accept_rate"))
+            (cell (float_attr attrs "best_obj"))
+            (cell (float_attr attrs "current_obj"))
+      | _ -> ())
+    events;
+  Buffer.contents buf

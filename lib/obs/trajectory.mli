@@ -1,0 +1,23 @@
+(** Search-trajectory curves as CSV — [vpart_cli trace trajectory].
+
+    Plot-ready exports of the two convergence stories a trace tells:
+
+    - {!gap_csv}: the B&B gap-vs-time curve.  One row per
+      [mip.incumbent] / [mip.bound] point, carrying the other side
+      forward, with [gap_pct = 100 * |incumbent - bound| /
+      max(1, |incumbent|)] once both are known (the same guarded
+      denominator the solver's gap test uses).
+    - {!sa_csv}: the simulated-annealing schedule.  One row per
+      [sa.epoch] point (epoch, temperature, acceptance rate, best /
+      current objective).
+
+    Both return the empty-but-headed CSV when the trace contains no
+    matching events, so downstream plotting scripts never special-case
+    absence. *)
+
+val gap_csv : (float * Obs.event) list -> string
+(** Header: [ts,event,incumbent,bound,gap_pct].  [event] is
+    ["incumbent"] or ["bound"]; unknown-yet fields are empty. *)
+
+val sa_csv : (float * Obs.event) list -> string
+(** Header: [ts,epoch,temperature,accept_rate,best_obj,current_obj]. *)

@@ -506,6 +506,9 @@ let reduced_costs t =
 (* Rebuild binv from the basis by Gauss-Jordan with partial pivoting.
    Returns false if the basis matrix is (numerically) singular. *)
 let refactor t =
+  Obs.with_span "simplex.refactor"
+    ~attrs:[ ("kind", Obs.Str "rebuild"); ("m", Obs.Int t.m) ]
+  @@ fun () ->
   t.total_refactors <- t.total_refactors + 1;
   (* binv becomes the current B^-1 again: the eta file restarts empty *)
   t.neta <- 0;
@@ -597,6 +600,9 @@ let update_binv t r w =
    drift and numerical recovery where folding would preserve the very
    error being repaired. *)
 let fold_etas t =
+  Obs.with_span "simplex.refactor"
+    ~attrs:[ ("kind", Obs.Str "fold"); ("etas", Obs.Int t.neta) ]
+  @@ fun () ->
   for e = 0 to t.neta - 1 do
     let { er; idx; va; piv } = t.etas.(e) in
     let brow = t.binv.(er) in
