@@ -933,30 +933,31 @@ let perf () =
            :: !json_results
        | _ -> assert false)
     insts;
-  (* Simplex: warm-started node LPs of the same branch-and-bound, eta
-     (product-form) basis updates vs the dense per-pivot inverse. *)
+  (* Simplex: warm-started node LPs of the same branch-and-bound — dense
+     per-pivot inverse vs eta (product-form) updates vs the sparse LU
+     kernel. *)
   Printf.printf "\n%-14s %-6s | %8s %6s %9s %10s %8s %7s %9s\n" "instance"
     "basis" "seconds" "nodes" "iters" "iters/s" "ms/node" "refacs" "eta_apps";
   hr ();
   List.iter
     (fun (name, inst) ->
-       let run simplex_eta =
+       let run kernel =
          let options =
            { (qp_options ~time_limit:30. 2) with
              Qp_solver.gap = 0.01;
-             simplex_eta;
+             kernel;
            }
          in
          let t0 = Obs.Clock.now () in
          let r = Qp_solver.solve ~options inst in
          (Obs.Clock.now () -. t0, r)
        in
-       ignore (run true);
+       ignore (run Simplex.Eta);
        (* warm-up *)
        let cells =
          List.map
-           (fun (tag, simplex_eta) ->
-              let seconds, r = run simplex_eta in
+           (fun (tag, kernel) ->
+              let seconds, r = run kernel in
               let nodes = r.Qp_solver.nodes
               and iters = r.Qp_solver.simplex_iters in
               let iters_s = float_of_int iters /. Float.max 1e-9 seconds in
@@ -981,37 +982,50 @@ let perf () =
                     ] )
                 :: !json_results;
               (tag, ms_node))
-           [ ("dense", false); ("eta", true) ]
+           [
+             ("dense", Simplex.Dense);
+             ("eta", Simplex.Eta);
+             ("sparse", Simplex.Sparse);
+           ]
        in
        match cells with
-       | [ (_, dense_ms); (_, eta_ms) ] ->
+       | [ (_, dense_ms); (_, eta_ms); (_, sparse_ms) ] ->
          let reduction = dense_ms /. Float.max 1e-9 eta_ms in
          Printf.printf "%-14s node-LP wall-clock: %.2fx dense/eta ms/node\n%!"
            name reduction;
          json_results :=
            ( Printf.sprintf "perf/simplex/%s/node_ms_dense_over_eta" name,
              Json.Float reduction )
+           :: !json_results;
+         let reduction = dense_ms /. Float.max 1e-9 sparse_ms in
+         Printf.printf
+           "%-14s node-LP wall-clock: %.2fx dense/sparse ms/node\n%!" name
+           reduction;
+         json_results :=
+           ( Printf.sprintf "perf/simplex/%s/node_ms_dense_over_sparse" name,
+             Json.Float reduction )
            :: !json_results
        | _ -> assert false)
     insts;
-  (* Large node LP: the pre-PR dense kernel rebuilds B^-1 from scratch
-     (O(m^3)) every 1024 pivots, a cliff any node LP crossing that count
-     pays; the eta kernel folds its file into the inverse at cadence for
-     sum nnz(w) * m instead.  TPC-C at 4 sites is the smallest bundled
+  (* Large node LP: the dense kernel rebuilds B^-1 from scratch (O(m^3))
+     every 1024 pivots, a cliff any node LP crossing that count pays; the
+     eta kernel folds its file into the inverse at cadence for
+     sum nnz(w) * m; the sparse kernel refactorizes a Markowitz LU in
+     O(nnz) fill work.  TPC-C at 4 sites is the smallest bundled
      configuration whose root LP crosses the cliff. *)
   Printf.printf "\n%-14s %-6s | %8s %9s %7s  root node LP, 4 sites\n"
     "instance" "basis" "seconds" "iters" "refacs";
   hr ();
   let root_cells =
     List.map
-      (fun (tag, eta_mode) ->
+      (fun (tag, kernel) ->
          let inst = get_instance "TPC-C v5" in
          let options = qp_options 4 in
          let stats = Stats.compute inst ~p:options.Qp_solver.p in
          let model, _ = Qp_solver.build_model stats options in
          let std = Lp.standardize model in
          let t0 = Obs.Clock.now () in
-         let sx = Simplex.create ~eta_mode std in
+         let sx = Simplex.create ~kernel std in
          let status = Simplex.reoptimize sx in
          let seconds = Obs.Clock.now () -. t0 in
          Printf.printf "%-14s %-6s | %8.3f %9d %7d  (%s, %d rows)\n%!"
@@ -1030,10 +1044,14 @@ let perf () =
                ] )
            :: !json_results;
          seconds)
-      [ ("dense", false); ("eta", true) ]
+      [
+        ("dense", Simplex.Dense);
+        ("eta", Simplex.Eta);
+        ("sparse", Simplex.Sparse);
+      ]
   in
   (match root_cells with
-   | [ dense_s; eta_s ] ->
+   | [ dense_s; eta_s; sparse_s ] ->
      let reduction = dense_s /. Float.max 1e-9 eta_s in
      Printf.printf
        "%-14s root node-LP wall-clock: %.2fx dense/eta (eta avoids the \
@@ -1041,8 +1059,89 @@ let perf () =
        "TPC-C v5" reduction;
      json_results :=
        ("perf/simplex/root4/wallclock_dense_over_eta", Json.Float reduction)
+       :: !json_results;
+     let reduction = dense_s /. Float.max 1e-9 sparse_s in
+     Printf.printf
+       "%-14s root node-LP wall-clock: %.2fx dense/sparse (LU ftran/btran \
+        never touch the dense inverse)\n%!"
+       "TPC-C v5" reduction;
+     json_results :=
+       ("perf/simplex/root4/wallclock_dense_over_sparse", Json.Float reduction)
        :: !json_results
    | _ -> assert false);
+  hr ()
+
+(* ------------------------------------------------------------------ *)
+(* Root-LP kernel sweep over growing basis sizes                        *)
+(* ------------------------------------------------------------------ *)
+
+(* How each basis kernel scales with m: the root LP of the layout model
+   for random instances of doubling table count, cold-solved under every
+   kernel.  The dense kernel's O(m^2)/pivot + O(m^3)/rebuild wall shows
+   as collapsing iters/s; the sparse LU kernel's refactorization seconds
+   stay near zero because fill-in is bounded by Markowitz pivoting. *)
+let simplex_kernel_sweep () =
+  (* The dense kernel allocates and inverts an m x m matrix; past this
+     row count one Gauss-Jordan inverse dominates the whole sweep, so
+     dense cells are reported as skipped rather than stalling the job. *)
+  let dense_row_cap = 5000 in
+  Printf.printf "\n%-14s %-6s | %6s %8s %8s %10s %9s %7s %9s\n" "instance"
+    "basis" "rows" "seconds" "iters" "iters/s" "refac_s" "refacs" "lu_nnz";
+  hr ();
+  List.iter
+    (fun (name, sites) ->
+       let inst = Instance_gen.generate ~seed:42 (Instance_gen.find name) in
+       let options = qp_options sites in
+       let stats = Stats.compute inst ~p:options.Qp_solver.p in
+       let model, _ = Qp_solver.build_model stats options in
+       List.iter
+         (fun (tag, kernel) ->
+            let std = Lp.standardize model in
+            if kernel = Simplex.Dense && std.Lp.nrows > dense_row_cap then
+              Printf.printf "%-14s %-6s | %6d  (skipped: dense inverse above \
+                             %d rows)\n%!"
+                name tag std.Lp.nrows dense_row_cap
+            else begin
+              let t0 = Obs.Clock.now () in
+              let sx = Simplex.create ~kernel std in
+              let status = Simplex.reoptimize sx in
+              let seconds = Obs.Clock.now () -. t0 in
+              let iters = Simplex.iterations sx in
+              let iters_s = float_of_int iters /. Float.max 1e-9 seconds in
+              Printf.printf
+                "%-14s %-6s | %6d %8.3f %8d %10.0f %9.3f %7d %9d  (%s)\n%!"
+                name tag std.Lp.nrows seconds iters iters_s
+                (Simplex.refactor_seconds sx)
+                (Simplex.refactorizations sx)
+                (Simplex.lu_nnz sx)
+                (Simplex.string_of_status status);
+              json_results :=
+                ( Printf.sprintf "perf/simplex/sweep/%s/%s" name tag,
+                  Json.Obj
+                    [
+                      ("rows", Json.Int std.Lp.nrows);
+                      ("seconds", Json.Float seconds);
+                      ("simplex_iterations", Json.Int iters);
+                      ("iterations_per_second", Json.Float iters_s);
+                      ("refactor_seconds",
+                       Json.Float (Simplex.refactor_seconds sx));
+                      ("refactorizations",
+                       Json.Int (Simplex.refactorizations sx));
+                      ("lu_nnz", Json.Int (Simplex.lu_nnz sx));
+                    ] )
+                :: !json_results
+            end)
+         [
+           ("dense", Simplex.Dense);
+           ("eta", Simplex.Eta);
+           ("sparse", Simplex.Sparse);
+         ])
+    [
+      ("rndBt8x100", 2);
+      ("rndBt16x100", 2);
+      ("rndBt32x100", 2);
+      ("rndBt64x100", 2);
+    ];
   hr ()
 
 (* ------------------------------------------------------------------ *)
@@ -1262,7 +1361,7 @@ let usage () =
   print_endline
     "usage: main.exe [--qp-limit SECONDS] [--lambda L] [--max-rows N] [--seed N]\n\
     \                [--json-out FILE]\n\
-    \                [table1|table2|table3|table4|table5|table6|ablation|suite|certify|certify-exact|obs|par|perf|analyze|bechamel|all]...";
+    \                [table1|table2|table3|table4|table5|table6|ablation|suite|certify|certify-exact|obs|par|perf|simplex-kernel|analyze|bechamel|all]...";
   exit 1
 
 let () =
@@ -1294,6 +1393,7 @@ let () =
     | "obs" -> obs_overhead ()
     | "par" -> par_speedup ()
     | "perf" -> perf ()
+    | "simplex-kernel" -> simplex_kernel_sweep ()
     | "analyze" -> analyze_bench ()
     | "bechamel" -> bechamel ()
     | "all" ->
@@ -1303,7 +1403,8 @@ let () =
       table2 (); table1 (); table3 (); table4 (); table5 (); table6 ();
       ablation (); suite (); certify_overhead (); certify_exact_overhead ();
       obs_overhead ();
-      par_speedup (); perf (); analyze_bench (); bechamel ()
+      par_speedup (); perf (); simplex_kernel_sweep (); analyze_bench ();
+      bechamel ()
     | j -> Printf.printf "unknown job %S\n" j; usage ()
   in
   (* With --json-out, collect in-process solver metrics across all jobs

@@ -373,9 +373,9 @@ let analyze_cmd =
         ("orbits", Json.List (List.map (fun n -> Json.Int n) pr.Structure.p_orbits));
       ]
   in
-  (* Root-LP cap: the dual simplex keeps a dense basis inverse, so cap
+  (* Root-LP cap: the sparse LU kernel sustains paper-scale bases, so cap
      analysis solves the same way Qp_solver.default_options.max_rows does. *)
-  let root_cap = 4000 in
+  let root_cap = 32000 in
   let root_feedback std =
     if std.Lp.nrows > root_cap then
       [
@@ -553,10 +553,51 @@ let solve_cmd =
       value & flag
       & info [ "simplex-dense" ]
           ~doc:
-            "Use the dense explicit-inverse simplex kernel for node LPs \
-             instead of the default product-form (eta) updates.  Same \
-             certified answers, different wall-clock profile; see \
-             docs/PERFORMANCE.md.")
+            "Shorthand for $(b,--simplex-kernel dense): the dense \
+             explicit-inverse simplex kernel for node LPs.  Same certified \
+             answers, different wall-clock profile; see docs/PERFORMANCE.md.")
+  in
+  let simplex_kernel_term =
+    let kernel_conv =
+      Arg.conv
+        ( (fun s ->
+            match Simplex.kernel_of_string s with
+            | Some k -> Ok k
+            | None ->
+              Error (`Msg (Printf.sprintf "unknown simplex kernel %S" s))),
+          fun ppf k ->
+            Format.pp_print_string ppf (Simplex.string_of_kernel k) )
+    in
+    Arg.(
+      value
+      & opt (some kernel_conv) None
+      & info [ "simplex-kernel" ] ~docv:"KERNEL"
+          ~doc:
+            "Basis kernel for the node LPs: $(b,sparse) (default; Markowitz \
+             LU factorization with sparse ftran/btran), $(b,eta) (dense \
+             inverse + product-form eta file), or $(b,dense) (per-pivot \
+             dense inverse update, the bit-exact baseline).  Same certified \
+             answers on all three; see docs/PERFORMANCE.md.")
+  in
+  let pricing_term =
+    let pricing_conv =
+      Arg.conv
+        ( (fun s ->
+            match Simplex.pricing_of_string s with
+            | Some pr -> Ok pr
+            | None ->
+              Error (`Msg (Printf.sprintf "unknown pricing rule %S" s))),
+          fun ppf pr ->
+            Format.pp_print_string ppf (Simplex.string_of_pricing pr) )
+    in
+    Arg.(
+      value
+      & opt (some pricing_conv) None
+      & info [ "pricing" ] ~docv:"RULE"
+          ~doc:
+            "Dual-simplex pricing rule: $(b,devex) (reference weights; the \
+             sparse kernel's default) or $(b,dantzig) (most-violated; the \
+             dense/eta default).  Unset takes the kernel's default.")
   in
   let refactor_every_term =
     Arg.(
@@ -564,8 +605,8 @@ let solve_cmd =
       & opt int Qp_solver.default_options.Qp_solver.refactor_every
       & info [ "refactor-every" ] ~docv:"N"
           ~doc:
-            "Pivots between eta-file folds in the eta simplex kernel \
-             (ignored with $(b,--simplex-dense)).")
+            "Pivots between basis refactorizations (sparse kernel) or \
+             eta-file folds (eta kernel); ignored by the dense kernel.")
   in
   let scale_term =
     Arg.(
@@ -635,9 +676,15 @@ let solve_cmd =
              as the masked-vs-refuted boundary.")
   in
   let run inst solver sites p lambda disjoint no_grouping jobs time_limit seed
-      simplex_dense refactor_every scale break_symmetry json lint_model
-      certify exact tol trace progress metrics_summary output =
-    let simplex_eta = not simplex_dense in
+      simplex_dense simplex_kernel pricing refactor_every scale break_symmetry
+      json lint_model certify exact tol trace progress metrics_summary output =
+    let kernel =
+      match simplex_kernel with
+      | Some k -> k
+      | None ->
+        if simplex_dense then Simplex.Dense
+        else Qp_solver.default_options.Qp_solver.kernel
+    in
     let jobs = max 1 jobs in
     if lint_model then begin
       let grouping =
@@ -794,7 +841,8 @@ let solve_cmd =
           certify_exact = exact;
           certify_tol = tol;
           jobs;
-          simplex_eta;
+          kernel;
+          pricing;
           refactor_every;
           scale;
           break_symmetry;
@@ -806,7 +854,12 @@ let solve_cmd =
          | Qp_solver.Proved_optimal -> "optimal (within MIP gap)"
          | Qp_solver.Limit_feasible -> "feasible (limit hit)"
          | Qp_solver.Limit_no_solution -> "no solution within limit"
-         | Qp_solver.Too_large -> "model too large")
+         | Qp_solver.Too_large ->
+           (match r.Qp_solver.row_limit with
+            | Some limit ->
+              Printf.sprintf "model too large (%d rows over the %d-row limit)"
+                r.Qp_solver.model_rows limit
+            | None -> "model too large"))
         r.Qp_solver.nodes r.Qp_solver.model_rows r.Qp_solver.elapsed;
       Format.printf "%a@." Report.pp_mip_kernel r;
       if r.Qp_solver.diagnostics <> [] then
@@ -831,7 +884,8 @@ let solve_cmd =
               certify_exact = exact;
               certify_tol = tol;
               jobs;
-              simplex_eta;
+              kernel;
+              pricing;
               refactor_every;
               scale;
               break_symmetry;
@@ -890,6 +944,7 @@ let solve_cmd =
         (const run $ instance_term $ solver_term $ sites_term $ p_term
          $ lambda_term $ disjoint_term $ no_grouping_term $ jobs_term
          $ time_limit_term $ seed_term $ simplex_dense_term
+         $ simplex_kernel_term $ pricing_term
          $ refactor_every_term $ scale_term $ break_symmetry_term $ json_term
          $ lint_model_term $ certify_term $ exact_term $ tol_term
          $ trace_term $ progress_term $ metrics_term $ output_term))
@@ -1007,11 +1062,27 @@ let trace_cmd =
               "Exit non-zero when any row regresses (for CI use; the \
                default is informational exit 0).")
     in
-    let run fmt threshold gate baseline current =
+    let min_span_term =
+      Arg.(
+        value
+        & opt float Trace_diff.default_options.Trace_diff.min_span_seconds
+        & info [ "min-span" ] ~docv:"SECONDS"
+            ~doc:
+              "Absolute span floor: span rows whose time delta is below \
+               $(docv) are neutral regardless of the relative threshold.  \
+               Raise it when diffing runs with disjoint instrumentation \
+               (e.g. different simplex kernels open different span names, \
+               which would otherwise always read as appeared-from-nothing \
+               regressions).")
+    in
+    let run fmt threshold min_span gate baseline current =
       let* base = read_trace baseline in
       let* cur = read_trace current in
       let options =
-        { Trace_diff.default_options with Trace_diff.threshold_pct = threshold }
+        { Trace_diff.default_options with
+          Trace_diff.threshold_pct = threshold;
+          min_span_seconds = min_span;
+        }
       in
       let report = Trace_diff.diff ~options base cur in
       (match fmt with
@@ -1033,8 +1104,8 @@ let trace_cmd =
             threshold plus absolute floors).")
       Term.(
         term_result
-          (const run $ format_term $ threshold_term $ gate_term $ baseline_term
-           $ current_term))
+          (const run $ format_term $ threshold_term $ min_span_term $ gate_term
+           $ baseline_term $ current_term))
   in
   let tree_cmd =
     let fmt_term =

@@ -16,7 +16,7 @@ type profile = {
   p_orbits : int list;
 }
 
-let fill_in_caps = (4000, 200_000)
+let fill_in_caps = (20_000, 1_000_000)
 let dense_density_limit = 0.25
 let fill_ratio_limit = 10.0
 

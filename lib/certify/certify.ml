@@ -443,11 +443,17 @@ let certify_mip ?(options = default_options) ?(gap = Mip.default_limits.Mip.gap)
      add
        (Diagnostic.info ~code:"C111"
           "unboundedness claims are not independently certified")
-   | Mip.Too_large n ->
-     if n <> std.Lp.nrows then
+   | Mip.Too_large { rows; limit } ->
+     if rows <> std.Lp.nrows then
        add
          (Diagnostic.error ~code:"C105"
-            "refusal claims %d rows but the model has %d" n std.Lp.nrows));
+            "refusal claims %d rows but the model has %d" rows std.Lp.nrows);
+     if rows <= limit then
+       add
+         (Diagnostic.error ~code:"C105"
+            "refusal claims %d rows against a limit of %d, which does not \
+             exceed it"
+            rows limit));
 
   Diagnostic.sort (List.rev !diags)
 
@@ -1261,17 +1267,17 @@ module Exact = struct
                ~float_ok:true))
      | Mip.Unbounded ->
        addc (unchecked ~claim:"unboundedness" ~code:"E010" ~float_ok:true)
-     | Mip.Too_large n ->
-       let residual = Q.abs (Q.of_int (n - std.Lp.nrows)) in
+     | Mip.Too_large { rows; limit = _ } ->
+       let residual = Q.abs (Q.of_int (rows - std.Lp.nrows)) in
        addc
          (make_check ~claim:"size refusal" ~code:"E005"
-            ~float_ok:(n = std.Lp.nrows) ~threshold:0. residual);
-       if n <> std.Lp.nrows then
+            ~float_ok:(rows = std.Lp.nrows) ~threshold:0. residual);
+       if rows <> std.Lp.nrows then
          addf
            (Diagnostic.error ~code:"E005"
               "exactly refuted size refusal: claims %d rows but the model \
                has %d"
-              n std.Lp.nrows));
+              rows std.Lp.nrows));
 
     let report =
       {

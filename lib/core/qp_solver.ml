@@ -15,7 +15,8 @@ type options = {
   certify_exact : bool;
   certify_tol : float option;
   jobs : int;
-  simplex_eta : bool;
+  kernel : Simplex.kernel;
+  pricing : Simplex.pricing option;
   refactor_every : int;
   scale : bool;
   break_symmetry : bool;
@@ -30,7 +31,7 @@ let default_options =
     use_grouping = true;
     time_limit = 60.;
     gap = 1e-3;
-    max_rows = Some 4000;
+    max_rows = Some 32000;
     use_heuristic = true;
     latency = None;
     fixed_txns = [];
@@ -39,7 +40,8 @@ let default_options =
     certify_exact = false;
     certify_tol = None;
     jobs = 1;
-    simplex_eta = true;
+    kernel = Simplex.Sparse;
+    pricing = None;
     refactor_every = 32;
     scale = false;
     break_symmetry = false;
@@ -60,6 +62,8 @@ type result = {
   eta_applications : int;
   model_rows : int;
   model_cols : int;
+  row_limit : int option;
+  kernel : Simplex.kernel;
   diagnostics : Vpart_analysis.Diagnostic.t list;
   certificate : Vpart_analysis.Diagnostic.t list option;
   exact : Vpart_certify.Certify.Exact.report option;
@@ -434,7 +438,8 @@ let solve ?(options = default_options) (inst : Instance.t) =
       node_limit = None;
       gap = options.gap;
       max_rows = options.max_rows;
-      simplex_eta = options.simplex_eta;
+      kernel = options.kernel;
+      pricing = options.pricing;
       refactor_every = options.refactor_every;
       scale = options.scale;
     }
@@ -552,6 +557,8 @@ let solve ?(options = default_options) (inst : Instance.t) =
       eta_applications = mip_stats.Mip.eta_applications;
       model_rows = Lp.num_constrs model;
       model_cols = ncols;
+      row_limit = options.max_rows;
+      kernel = options.kernel;
       diagnostics;
       certificate;
       exact;

@@ -3,14 +3,16 @@ type limits = {
   node_limit : int option;
   gap : float;
   max_rows : int option;
-  simplex_eta : bool;
+  kernel : Simplex.kernel;
+  pricing : Simplex.pricing option;
   refactor_every : int;
   scale : bool;
 }
 
 let default_limits =
-  { time_limit = Some 60.; node_limit = None; gap = 1e-3; max_rows = Some 4000;
-    simplex_eta = true; refactor_every = 32; scale = false }
+  { time_limit = Some 60.; node_limit = None; gap = 1e-3;
+    max_rows = Some 32000; kernel = Simplex.Sparse; pricing = None;
+    refactor_every = 32; scale = false }
 
 type solution = { x : float array; obj : float }
 
@@ -20,7 +22,7 @@ type outcome =
   | No_incumbent of float option
   | Infeasible
   | Unbounded
-  | Too_large of int
+  | Too_large of { rows : int; limit : int }
 
 type lp_certificate = {
   lp_x : float array;
@@ -525,7 +527,8 @@ let pp_outcome ppf = function
   | No_incumbent None -> Format.fprintf ppf "no incumbent"
   | Infeasible -> Format.fprintf ppf "infeasible"
   | Unbounded -> Format.fprintf ppf "unbounded"
-  | Too_large n -> Format.fprintf ppf "too large (%d rows)" n
+  | Too_large { rows; limit } ->
+    Format.fprintf ppf "too large (%d rows, limit %d)" rows limit
 
 (* Reduced costs d = c - yᵀA of [std] from a row-dual vector, computed
    against the original (sparse row) matrix — used to re-derive reduced
@@ -686,11 +689,11 @@ let solve ?(limits = default_limits) ?(presolve = false)
     if Obs.enabled () then
       Obs.point "mip.too_large"
         ~attrs:[ ("rows", Obs.Int std.Lp.nrows); ("max_rows", Obs.Int r) ];
-    finish (Too_large std.Lp.nrows) ~nodes:0 ~iters:0 ~refacs:0 ~etas:0
-      ~eta_len:0 ~gap_achieved:infinity ~audit:no_audit
+    finish (Too_large { rows = std.Lp.nrows; limit = r }) ~nodes:0 ~iters:0
+      ~refacs:0 ~etas:0 ~eta_len:0 ~gap_achieved:infinity ~audit:no_audit
   | _ ->
     let sx =
-      Simplex.create ~eta_mode:limits.simplex_eta
+      Simplex.create ~kernel:limits.kernel ?pricing:limits.pricing
         ~refactor_every:limits.refactor_every std
     in
     let deadline = Option.map (fun tl -> start +. tl) limits.time_limit in

@@ -19,14 +19,20 @@ type limits = {
   time_limit : float option;  (** wall-clock seconds for the whole solve *)
   node_limit : int option;
   gap : float;                (** relative MIP gap at which to stop, e.g. 0.001 *)
-  max_rows : int option;      (** refuse models with more rows (dense basis inverse) *)
-  simplex_eta : bool;
-      (** product-form (eta-file) basis updates in the node LPs; [false]
-          falls back to the dense per-pivot inverse update
-          (see {!Vpart_simplex.Simplex.create}) *)
+  max_rows : int option;
+      (** refuse models with more rows — a guard against runaway basis
+          work, sized to what the configured {!Vpart_simplex.Simplex}
+          kernel sustains (the sparse LU kernel raised it far beyond the
+          old dense-inverse ceiling) *)
+  kernel : Simplex.kernel;
+      (** basis kernel for the node LPs (see
+          {!Vpart_simplex.Simplex.create}); [Sparse] by default *)
+  pricing : Simplex.pricing option;
+      (** pricing rule override; [None] takes the kernel's default
+          (devex for the sparse kernel, Dantzig otherwise) *)
   refactor_every : int;
-      (** eta-file length at which the dense inverse is rebuilt; only
-          meaningful with [simplex_eta] *)
+      (** eta-file length at which the basis is refactorized (sparse
+          kernel) or folded (eta kernel); ignored by the dense kernel *)
   scale : bool;
       (** geometric-mean scaling ({!Presolve.scaling}) of the search model
           (after presolve, when both are on).  The branch-and-bound then
@@ -39,8 +45,9 @@ type limits = {
 }
 
 val default_limits : limits
-(** 60 s, unlimited nodes, gap 0.001, 4000 rows, eta updates on with
-    refactorization every 32 pivots, no scaling. *)
+(** 60 s, unlimited nodes, gap 0.001, 32000 rows, sparse LU kernel with
+    its default (devex) pricing and refactorization every 32 pivots, no
+    scaling. *)
 
 type solution = {
   x : float array;  (** structural values; integer variables are integral *)
@@ -56,7 +63,10 @@ type outcome =
       (** a limit was hit before any integer solution was found *)
   | Infeasible
   | Unbounded
-  | Too_large of int           (** the model has this many rows, above [max_rows] *)
+  | Too_large of { rows : int; limit : int }
+      (** the model has [rows] rows, above the configured [max_rows]
+          value [limit] (both are reported so refusals are
+          self-explaining in traces and reports) *)
 
 type lp_certificate = {
   lp_x : float array;
@@ -111,11 +121,11 @@ type stats = {
   simplex_iterations : int;
   refactorizations : int;
       (** basis refactorizations across the root instance and all worker
-          copies; with [simplex_eta] off this counts only the dense-mode
+          copies; with the [Dense] kernel this counts only the
           cadence/recovery rebuilds *)
   eta_applications : int;
-      (** eta-matrix applications summed likewise; 0 with [simplex_eta]
-          off.  Emitted as the [simplex.eta_applications] counter (and
+      (** eta-matrix applications summed likewise; 0 with the [Dense]
+          kernel.  Emitted as the [simplex.eta_applications] counter (and
           the root's high-water eta-file length as the [simplex.eta_len]
           gauge) next to [mip.nodes]/[mip.simplex_iterations]. *)
   elapsed : float;          (** seconds *)

@@ -1,4 +1,4 @@
-(* Bounded-variable revised simplex with an explicit dense basis inverse.
+(* Bounded-variable revised simplex over a pluggable basis kernel.
 
    Variable indexing: 0..n-1 are the structural variables of the Lp.std
    model, n..n+m-1 are slacks (one per row, turning every row into an
@@ -6,6 +6,20 @@
    Eq).  Infinite bounds are patched to +-big so that every variable is
    boxed; a structural variable resting on a patched bound at optimality is
    reported as Unbounded.
+
+   Basis kernels:
+   - [Dense]: an explicit dense m x m inverse updated per pivot by
+     Gauss-Jordan — the original kernel, kept bit-identical as the
+     reference and recovery mode.
+   - [Eta]: a dense inverse at the last refactorization plus a
+     product-form eta file folded back at the [refactor_every] cadence.
+   - [Sparse]: a sparse LU factorization of the basis (Markowitz
+     pivoting, {!Sparse_lu}) with sparse-eta updates layered on top; no
+     dense inverse exists at all, so memory and ftran/btran cost scale
+     with the factor nonzeros instead of m².  Refactorization replaces
+     the eta fold.  If a basis defeats the sparse factorization the
+     kernel falls back to a dense rebuild when m is small enough to
+     afford one, else reports Numerical.
 
    Invariant maintained by the dual method: the current basis is dual
    feasible (every nonbasic at lower has reduced cost >= -tol, at upper
@@ -23,6 +37,28 @@ let string_of_status = function
   | Time_limit -> "time limit"
   | Numerical -> "numerical failure"
 
+type kernel = Dense | Eta | Sparse
+
+let string_of_kernel = function
+  | Dense -> "dense"
+  | Eta -> "eta"
+  | Sparse -> "sparse"
+
+let kernel_of_string = function
+  | "dense" -> Some Dense
+  | "eta" -> Some Eta
+  | "sparse" -> Some Sparse
+  | _ -> None
+
+type pricing = Dantzig | Devex
+
+let string_of_pricing = function Dantzig -> "dantzig" | Devex -> "devex"
+
+let pricing_of_string = function
+  | "dantzig" -> Some Dantzig
+  | "devex" -> Some Devex
+  | _ -> None
+
 let big = 1e10
 let unbounded_threshold = 1e9
 let pivot_tol = 1e-8
@@ -31,11 +67,16 @@ let dual_tol = 1e-7
 let degen_limit = 60
 let drift_tol = 1e-7
 
+(* Sparse-kernel dense fallback ceiling: above this a dense m x m inverse
+   is the very memory wall the sparse kernel exists to avoid, so a failed
+   factorization reports Numerical instead of allocating one. *)
+let dense_fallback_rows = 2000
+
 (* Warm-reoptimize guards: fall back to a full compute_xb/recompute_d when
-   too many bounds changed (the ftran replay would cost more than the dense
-   passes), when a patched infinite bound is involved (cancellation on the
-   1e10 box), or after this many consecutive warm starts (bounds the xb
-   drift a short node solve never resyncs). *)
+   too many bounds changed (the ftran replay would cost more than the
+   full passes), when a patched infinite bound is involved (cancellation
+   on the 1e10 box), or after this many consecutive warm starts (bounds
+   the xb drift a short node solve never resyncs). *)
 let warm_max_pending = 8
 let warm_max_delta = 1e7
 let warm_limit = 64
@@ -43,8 +84,9 @@ let warm_limit = 64
 (* One product-form elementary matrix E = I with column [er] replaced by
    the eta column derived from the entering column w = B^-1 A_q at pivot
    row [er]: E_{er,er} = 1/piv, E_{i,er} = -w_i/piv.  B^-1 after k pivots
-   is E_k ... E_1 B0^-1 with B0^-1 the dense inverse of the last
-   refactorization.  Records are immutable, so [copy] can share them. *)
+   is E_k ... E_1 B0^-1 with B0^-1 the basis inverse operator of the last
+   refactorization (dense matrix or sparse LU).  Records are immutable,
+   so [copy] can share them. *)
 type eta = {
   er : int;            (* pivot basis position *)
   idx : int array;     (* rows i <> er with w_i <> 0 *)
@@ -65,20 +107,33 @@ type t = {
   ub_patched : bool array;
   col_idx : int array array;      (* structural columns only *)
   col_val : float array array;
+  row_idx : int array array;      (* row-major mirror, for scatter pricing *)
+  row_val : float array array;
   b : float array;
   basis : int array;              (* m: variable basic at each position *)
   loc : int array;                (* nn: -1 at lower, -2 at upper, pos >= 0 basic *)
-  binv : float array array;
+  kernel : kernel;
+  pricing : pricing;
+  mutable binv : float array array;
       (* m x m rows of B0^-1: the dense inverse at the last
-         refactorization.  In eta mode the current B^-1 is the product
-         of the eta file over this matrix; in dense mode ([eta_mode =
-         false]) the eta file stays empty and binv is B^-1 itself,
-         updated in place per pivot. *)
+         refactorization.  In the Eta kernel the current B^-1 is the
+         product of the eta file over this matrix; in the Dense kernel
+         the eta file stays empty and binv is B^-1 itself, updated in
+         place per pivot.  In the Sparse kernel this is [||] (the LU
+         factors replace it) unless a singular-basis fallback forced a
+         dense rebuild. *)
+  mutable lu : Sparse_lu.t option;
+      (* Sparse kernel: the B0 factorization.  None means the dense binv
+         is live instead (Dense/Eta kernels, or sparse fallback). *)
+  lu_work : float array;          (* m scratch for Sparse_lu solves *)
   xb : float array;               (* m basic values *)
   d : float array;                (* nn reduced costs (valid for nonbasic) *)
   alpha : float array;            (* nn scratch: pivot row in nonbasic space *)
+  amark : bool array;             (* nn scratch: alpha scatter membership *)
+  atouch : int array;             (* nn scratch: scattered positions *)
+  mutable natouch : int;
+  dw : float array;               (* m devex reference weights (rows) *)
   wscratch : float array;         (* m scratch: ftran result *)
-  eta_mode : bool;
   refactor_every : int;           (* eta-file length triggering refactor *)
   mutable etas : eta array;       (* stack; first neta entries valid *)
   mutable neta : int;
@@ -93,6 +148,7 @@ type t = {
   mutable total_refactors : int;
   mutable drift_rebuilds : int;    (* refactors forced by resync drift *)
   mutable recovery_rebuilds : int; (* refactors forced by rejected pivots *)
+  mutable refactor_seconds : float;
   mutable bland : bool;
   mutable degen_count : int;
   mutable infeas_ray : float array option;
@@ -101,14 +157,18 @@ type t = {
   mutable warm : bool;
       (* xb and d are current for the basis and bounds: the last
          reoptimize ended verified Optimal and only set_bounds calls
-         happened since.  Lets the next reoptimize skip the dense
-         compute_xb/recompute_d entry passes (eta mode only). *)
+         happened since.  Lets the next reoptimize skip the full
+         compute_xb/recompute_d entry passes (eta-file kernels only). *)
   mutable pending_bounds : (int * float) list;
       (* (j, new resting value - old) for nonbasic variables whose
          bound changed while [warm]; replayed as ftran updates of xb *)
   mutable npending : int;
   mutable warm_solves : int;      (* consecutive warm starts since full resync *)
 }
+
+(* The Dense kernel updates its inverse per pivot and never touches the
+   eta file; both eta-file kernels push per-pivot etas over B0^-1. *)
+let uses_etas t = t.kernel <> Dense
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -138,9 +198,17 @@ let col_major (std : Lp.std) =
   done;
   (idx, value)
 
-let create ?(eta_mode = true) ?(refactor_every = 32) (std : Lp.std) =
+let create ?(kernel = Sparse) ?pricing ?(refactor_every = 32) (std : Lp.std) =
   if refactor_every < 1 then
     invalid_arg "Simplex.create: refactor_every must be >= 1";
+  (* Devex pays off where iterations are the bottleneck; the Dense and
+     Eta kernels keep Dantzig so their per-pivot behavior (and the
+     dense-mode bit-identity guarantee) is unchanged. *)
+  let pricing =
+    match pricing with
+    | Some p -> p
+    | None -> ( match kernel with Sparse -> Devex | Dense | Eta -> Dantzig)
+  in
   let n = std.Lp.ncols and m = std.Lp.nrows in
   let nn = n + m in
   let cost = Array.make nn 0. in
@@ -173,11 +241,16 @@ let create ?(eta_mode = true) ?(refactor_every = 32) (std : Lp.std) =
   for i = 0 to m - 1 do
     loc.(n + i) <- i
   done;
-  let binv = Array.init m (fun i ->
-      let row = Array.make m 0. in
-      row.(i) <- 1.;
-      row)
+  (* The all-slack start basis is the identity under either kernel. *)
+  let binv =
+    if kernel = Sparse then [||]
+    else
+      Array.init m (fun i ->
+          let row = Array.make m 0. in
+          row.(i) <- 1.;
+          row)
   in
+  let lu = if kernel = Sparse then Some (Sparse_lu.identity m) else None in
   let d = Array.make nn 0. in
   Array.blit cost 0 d 0 nn;
   let col_idx, col_val = col_major std in
@@ -185,13 +258,23 @@ let create ?(eta_mode = true) ?(refactor_every = 32) (std : Lp.std) =
     n; m; nn; cost; lb; ub; lb_patched; ub_patched;
     col_idx;
     col_val;
+    row_idx = std.Lp.row_idx;
+    row_val = std.Lp.row_val;
     b = Array.copy std.Lp.rhs;
-    basis; loc; binv;
+    basis; loc;
+    kernel;
+    pricing;
+    binv;
+    lu;
+    lu_work = Array.make m 0.;
     xb = Array.make m 0.;
     d;
     alpha = Array.make nn 0.;
+    amark = Array.make nn false;
+    atouch = Array.make nn 0;
+    natouch = 0;
+    dw = Array.make m 1.;
     wscratch = Array.make m 0.;
-    eta_mode;
     refactor_every;
     etas = [||];
     neta = 0;
@@ -206,6 +289,7 @@ let create ?(eta_mode = true) ?(refactor_every = 32) (std : Lp.std) =
     total_refactors = 0;
     drift_rebuilds = 0;
     recovery_rebuilds = 0;
+    refactor_seconds = 0.;
     bland = false;
     degen_count = 0;
     infeas_ray = None;
@@ -215,10 +299,12 @@ let create ?(eta_mode = true) ?(refactor_every = 32) (std : Lp.std) =
     warm_solves = 0;
   }
 
-(* Independent snapshot for a worker domain.  [cost], [b], [col_idx] and
-   [col_val] are write-once after [create] (verified: no mutation site in
-   this module), so the copy shares them; everything the solve mutates --
-   bounds, basis, B^-1, values, reduced costs, scratch, counters -- is
+(* Independent snapshot for a worker domain.  [cost], [b], [col_idx],
+   [col_val], [row_idx] and [row_val] are write-once after [create]
+   (verified: no mutation site in this module), so the copy shares them;
+   LU factors and eta records are immutable after construction, so they
+   are shared too.  Everything the solve mutates -- bounds, basis, the
+   dense inverse, values, reduced costs, scratch, counters -- is
    deep-copied so the copy can reoptimize concurrently with (or instead
    of) the original. *)
 let copy t =
@@ -231,9 +317,13 @@ let copy t =
     basis = Array.copy t.basis;
     loc = Array.copy t.loc;
     binv = Array.map Array.copy t.binv;
+    lu_work = Array.copy t.lu_work;
     xb = Array.copy t.xb;
     d = Array.copy t.d;
     alpha = Array.copy t.alpha;
+    amark = Array.copy t.amark;
+    atouch = Array.copy t.atouch;
+    dw = Array.copy t.dw;
     wscratch = Array.copy t.wscratch;
     (* eta records are immutable; sharing them with the copy is safe *)
     etas = Array.copy t.etas;
@@ -251,9 +341,11 @@ let iterations t = t.total_iters
 let refactorizations t = t.total_refactors
 let drift_rebuilds t = t.drift_rebuilds
 let recovery_rebuilds t = t.recovery_rebuilds
+let refactor_seconds t = t.refactor_seconds
 let eta_applications t = t.eta_apps
 let eta_length t = t.neta
 let max_eta_length t = t.eta_len_max
+let lu_nnz t = match t.lu with Some lu -> Sparse_lu.nnz lu | None -> 0
 
 (* Value of a nonbasic variable (forward declaration of the one below;
    needed here so set_bounds can record resting-value deltas). *)
@@ -350,8 +442,8 @@ let push_eta t r w =
 
 (* rho := e_r B^-1 into t.rho, by a sparse btran of e_r: the unit vector
    stays sparse through the eta file (each eta touches only its own [er]
-   entry), so the final dense pass runs over the touched rows of B0^-1
-   only — O(touched · m) instead of maintaining B^-1 densely. *)
+   entry), so the B0^-1 half runs over the touched positions only — a
+   dense pass over the touched rows of binv, or a sparse-RHS LU btran. *)
 let compute_rho t r =
   let u = t.uscratch and mark = t.umark and touched = t.utouched in
   let ntouch = ref 0 in
@@ -379,17 +471,26 @@ let compute_rho t r =
     end;
     t.eta_apps <- t.eta_apps + 1
   done;
-  Array.fill t.rho 0 t.m 0.;
-  for ti = 0 to !ntouch - 1 do
-    let i = touched.(ti) in
-    let ui = u.(i) in
-    if ui <> 0. then begin
-      let row = t.binv.(i) in
-      for c = 0 to t.m - 1 do
-        t.rho.(c) <- t.rho.(c) +. (ui *. row.(c))
-      done
-    end
-  done;
+  (match t.lu with
+   | Some lu ->
+     Array.fill t.rho 0 t.m 0.;
+     for ti = 0 to !ntouch - 1 do
+       let i = touched.(ti) in
+       t.rho.(i) <- u.(i)
+     done;
+     Sparse_lu.btran lu ~work:t.lu_work t.rho
+   | None ->
+     Array.fill t.rho 0 t.m 0.;
+     for ti = 0 to !ntouch - 1 do
+       let i = touched.(ti) in
+       let ui = u.(i) in
+       if ui <> 0. then begin
+         let row = t.binv.(i) in
+         for c = 0 to t.m - 1 do
+           t.rho.(c) <- t.rho.(c) +. (ui *. row.(c))
+         done
+       end
+     done);
   (* restore the all-zero / all-false scratch invariant *)
   for ti = 0 to !ntouch - 1 do
     let i = touched.(ti) in
@@ -420,58 +521,80 @@ let compute_xb t =
         else z.(j - t.n) <- z.(j - t.n) -. v
     end
   done;
-  for i = 0 to t.m - 1 do
-    let row = t.binv.(i) in
-    let acc = ref 0. in
-    for k = 0 to t.m - 1 do
-      acc := !acc +. (row.(k) *. z.(k))
-    done;
-    t.xb.(i) <- !acc
-  done;
+  (match t.lu with
+   | Some lu ->
+     Sparse_lu.ftran lu ~work:t.lu_work z;
+     Array.blit z 0 t.xb 0 t.m
+   | None ->
+     for i = 0 to t.m - 1 do
+       let row = t.binv.(i) in
+       let acc = ref 0. in
+       for k = 0 to t.m - 1 do
+         acc := !acc +. (row.(k) *. z.(k))
+       done;
+       t.xb.(i) <- !acc
+     done);
   apply_etas_fwd t t.xb
 
 (* w := B^-1 A_j (ftran of column j) into t.wscratch. *)
 let ftran t j =
   let w = t.wscratch in
-  if j < t.n then begin
-    let ci = t.col_idx.(j) and cv = t.col_val.(j) in
-    for i = 0 to t.m - 1 do
-      let row = t.binv.(i) in
-      let acc = ref 0. in
-      for k = 0 to Array.length ci - 1 do
-        acc := !acc +. (row.(ci.(k)) *. cv.(k))
-      done;
-      w.(i) <- !acc
-    done
-  end
-  else begin
-    let r = j - t.n in
-    for i = 0 to t.m - 1 do
-      t.wscratch.(i) <- t.binv.(i).(r)
-    done
-  end;
+  (match t.lu with
+   | Some lu ->
+     Array.fill w 0 t.m 0.;
+     if j < t.n then begin
+       let ci = t.col_idx.(j) and cv = t.col_val.(j) in
+       for k = 0 to Array.length ci - 1 do
+         w.(ci.(k)) <- w.(ci.(k)) +. cv.(k)
+       done
+     end
+     else w.(j - t.n) <- 1.;
+     Sparse_lu.ftran lu ~work:t.lu_work w
+   | None ->
+     if j < t.n then begin
+       let ci = t.col_idx.(j) and cv = t.col_val.(j) in
+       for i = 0 to t.m - 1 do
+         let row = t.binv.(i) in
+         let acc = ref 0. in
+         for k = 0 to Array.length ci - 1 do
+           acc := !acc +. (row.(ci.(k)) *. cv.(k))
+         done;
+         w.(i) <- !acc
+       done
+     end
+     else begin
+       let r = j - t.n in
+       for i = 0 to t.m - 1 do
+         t.wscratch.(i) <- t.binv.(i).(r)
+       done
+     end);
   apply_etas_fwd t w;
   w
 
-(* Fresh duals y = c_B B^-1: btran of c_B through the eta file, then a
-   dense pass over the rows of B0^-1 with a nonzero multiplier. *)
+(* Fresh duals y = c_B B^-1: btran of c_B through the eta file, then
+   through B0^-1 (dense rows or LU). *)
 let compute_duals t =
   let u = Array.make t.m 0. in
   for k = 0 to t.m - 1 do
     u.(k) <- t.cost.(t.basis.(k))
   done;
   apply_etas_rev_row t u;
-  let y = Array.make t.m 0. in
-  for k = 0 to t.m - 1 do
-    let uk = u.(k) in
-    if uk <> 0. then begin
-      let row = t.binv.(k) in
-      for i = 0 to t.m - 1 do
-        y.(i) <- y.(i) +. (uk *. row.(i))
-      done
-    end
-  done;
-  y
+  match t.lu with
+  | Some lu ->
+    Sparse_lu.btran lu ~work:t.lu_work u;
+    u
+  | None ->
+    let y = Array.make t.m 0. in
+    for k = 0 to t.m - 1 do
+      let uk = u.(k) in
+      if uk <> 0. then begin
+        let row = t.binv.(k) in
+        for i = 0 to t.m - 1 do
+          y.(i) <- y.(i) +. (uk *. row.(i))
+        done
+      end
+    done;
+    y
 
 (* Fresh reduced costs: d_j = c_j - y . A_j with y = c_B B^-1. *)
 let recompute_d t =
@@ -505,10 +628,11 @@ let reduced_costs t =
 
 (* Rebuild binv from the basis by Gauss-Jordan with partial pivoting.
    Returns false if the basis matrix is (numerically) singular. *)
-let refactor t =
+let dense_refactor t =
   Obs.with_span "simplex.refactor"
     ~attrs:[ ("kind", Obs.Str "rebuild"); ("m", Obs.Int t.m) ]
   @@ fun () ->
+  let t0 = Obs.Clock.now () in
   t.total_refactors <- t.total_refactors + 1;
   (* binv becomes the current B^-1 again: the eta file restarts empty *)
   t.neta <- 0;
@@ -568,7 +692,62 @@ let refactor t =
     for i = 0 to m - 1 do
       Array.blit inv.(i) 0 t.binv.(i) 0 m
     done;
+  t.refactor_seconds <- t.refactor_seconds +. (Obs.Clock.now () -. t0);
   !ok
+
+(* Sparse-kernel refactorization: factor the current basis columns with
+   {!Sparse_lu.factor}.  On success the LU replaces both the previous
+   factors and the eta file; on a singular basis the kernel falls back to
+   a dense Gauss-Jordan rebuild when a dense inverse is affordable. *)
+let sparse_refactor t =
+  Obs.with_span "simplex.lu_refactor"
+    ~attrs:[ ("m", Obs.Int t.m); ("etas", Obs.Int t.neta) ]
+  @@ fun () ->
+  let t0 = Obs.Clock.now () in
+  let m = t.m in
+  let idx = Array.make m [||] and va = Array.make m [||] in
+  let bnnz = ref 0 in
+  for k = 0 to m - 1 do
+    let j = t.basis.(k) in
+    if j < t.n then begin
+      idx.(k) <- t.col_idx.(j);
+      va.(k) <- t.col_val.(j);
+      bnnz := !bnnz + Array.length t.col_idx.(j)
+    end
+    else begin
+      idx.(k) <- [| j - t.n |];
+      va.(k) <- [| 1. |];
+      incr bnnz
+    end
+  done;
+  match Sparse_lu.factor idx va with
+  | Some lu ->
+    t.lu <- Some lu;
+    t.neta <- 0;
+    t.total_refactors <- t.total_refactors + 1;
+    t.refactor_seconds <- t.refactor_seconds +. (Obs.Clock.now () -. t0);
+    if Obs.enabled () then begin
+      Obs.gauge "simplex.lu_nnz" (float_of_int (Sparse_lu.nnz lu));
+      Obs.gauge "simplex.lu_fill"
+        (float_of_int (max 0 (Sparse_lu.nnz lu - !bnnz)))
+    end;
+    true
+  | None ->
+    t.refactor_seconds <- t.refactor_seconds +. (Obs.Clock.now () -. t0);
+    if t.m > dense_fallback_rows then false
+    else begin
+      (* a dense inverse is affordable at this size; allocate it lazily
+         and let the dense rebuild arbitrate singularity *)
+      if Array.length t.binv = 0 then
+        t.binv <- Array.init m (fun _ -> Array.make m 0.);
+      t.lu <- None;
+      dense_refactor t
+    end
+
+let refactor t =
+  match t.kernel with
+  | Sparse -> sparse_refactor t
+  | Dense | Eta -> dense_refactor t
 
 (* Gauss-Jordan update of binv for entering column w at basis position r. *)
 let update_binv t r w =
@@ -590,9 +769,9 @@ let update_binv t r w =
     end
   done
 
-(* Cadence refactorization in eta mode: fold the eta file into binv so it
-   becomes the current B^-1 again.  Each stored eta applies exactly the
-   row operations [update_binv] would have performed at pivot time
+(* Cadence refactorization in the Eta kernel: fold the eta file into binv
+   so it becomes the current B^-1 again.  Each stored eta applies exactly
+   the row operations [update_binv] would have performed at pivot time
    (oldest first), so the result is bit-identical to dense-mode updating
    -- and since B^-1 itself is unchanged, xb and d stay valid: no
    recompute follows a fold.  Cost is sum over the file of nnz(w) * m,
@@ -645,30 +824,134 @@ let check_deadline deadline iters =
     raise (Stop Time_limit)
   | _ -> ()
 
-(* Select the leaving row: most-violated basic variable (or the smallest
-   variable index under Bland's rule).  Returns None when primal feasible. *)
+(* Select the leaving row.  Dantzig: most-violated basic variable (or the
+   smallest variable index under Bland's rule).  Devex: largest
+   violation^2 / reference weight, steering toward rows whose pivots have
+   historically moved the iterate most per unit violation.  Returns None
+   when primal feasible. *)
 let select_leaving t =
-  let best = ref (-1) and best_viol = ref feas_tol and best_var = ref max_int in
+  if t.pricing = Devex && not t.bland then begin
+    let best = ref (-1) and best_score = ref 0. in
+    for i = 0 to t.m - 1 do
+      let p = t.basis.(i) in
+      let v = t.xb.(i) in
+      let tol_lo = feas_tol *. (1. +. Float.abs t.lb.(p))
+      and tol_hi = feas_tol *. (1. +. Float.abs t.ub.(p)) in
+      let viol =
+        if v < t.lb.(p) -. tol_lo then t.lb.(p) -. v
+        else if v > t.ub.(p) +. tol_hi then v -. t.ub.(p)
+        else 0.
+      in
+      if viol > 0. then begin
+        let score = viol *. viol /. t.dw.(i) in
+        if score > !best_score then begin
+          best := i;
+          best_score := score
+        end
+      end
+    done;
+    if !best < 0 then None else Some !best
+  end
+  else begin
+    let best = ref (-1) and best_viol = ref feas_tol and best_var = ref max_int in
+    for i = 0 to t.m - 1 do
+      let p = t.basis.(i) in
+      let v = t.xb.(i) in
+      let tol_lo = feas_tol *. (1. +. Float.abs t.lb.(p))
+      and tol_hi = feas_tol *. (1. +. Float.abs t.ub.(p)) in
+      let viol =
+        if v < t.lb.(p) -. tol_lo then t.lb.(p) -. v
+        else if v > t.ub.(p) +. tol_hi then v -. t.ub.(p)
+        else 0.
+      in
+      if viol > 0. then
+        if t.bland then begin
+          if p < !best_var then begin best := i; best_var := p; best_viol := viol end
+        end
+        else if viol > !best_viol then begin
+          best := i;
+          best_viol := viol
+        end
+    done;
+    if !best < 0 then None else Some !best
+  end
+
+(* Devex weight update after a pivot on row r with entering column w:
+   every row moved by the pivot inherits at least the reference weight it
+   would get if the entering variable defined the reference framework;
+   the pivot row's own weight is rescaled by the pivot element.  When the
+   weights blow past 1e12 the reference framework has degraded — restart
+   it flat (the classic devex reset). *)
+let devex_update t r w =
+  let wr = w.(r) in
+  let gr = t.dw.(r) in
+  let mx = ref 1. in
   for i = 0 to t.m - 1 do
-    let p = t.basis.(i) in
-    let v = t.xb.(i) in
-    let tol_lo = feas_tol *. (1. +. Float.abs t.lb.(p))
-    and tol_hi = feas_tol *. (1. +. Float.abs t.ub.(p)) in
-    let viol =
-      if v < t.lb.(p) -. tol_lo then t.lb.(p) -. v
-      else if v > t.ub.(p) +. tol_hi then v -. t.ub.(p)
-      else 0.
-    in
-    if viol > 0. then
-      if t.bland then begin
-        if p < !best_var then begin best := i; best_var := p; best_viol := viol end
-      end
-      else if viol > !best_viol then begin
-        best := i;
-        best_viol := viol
-      end
+    if i <> r then begin
+      let wi = w.(i) in
+      if wi <> 0. then begin
+        let q = wi /. wr in
+        let cand = q *. q *. gr in
+        if cand > t.dw.(i) then t.dw.(i) <- cand
+      end;
+      if t.dw.(i) > !mx then mx := t.dw.(i)
+    end
   done;
-  if !best < 0 then None else Some !best
+  t.dw.(r) <- Float.max (gr /. (wr *. wr)) 1.;
+  if Float.max !mx t.dw.(r) > 1e12 then Array.fill t.dw 0 t.m 1.
+
+(* Pivot-row pricing, sparse kernel: alpha_j = rho . A_j for every
+   column, computed by scattering the nonzero entries of rho through the
+   row-major matrix — O(nnz of the touched rows) instead of a gather
+   over all nn columns.  Scatter order is ascending row index, matching
+   the dense gather's per-column accumulation order, and the movable
+   list is sorted so the ratio test scans candidates in ascending
+   variable order (determinism).  Touched positions are recorded for
+   [clear_alpha]. *)
+let scatter_price t rho =
+  let ntouch = ref 0 in
+  for i = 0 to t.m - 1 do
+    let ri = rho.(i) in
+    if ri <> 0. then begin
+      let rowi = t.row_idx.(i) and rowv = t.row_val.(i) in
+      for k = 0 to Array.length rowi - 1 do
+        let j = rowi.(k) in
+        if not t.amark.(j) then begin
+          t.amark.(j) <- true;
+          t.alpha.(j) <- 0.;
+          t.atouch.(!ntouch) <- j;
+          incr ntouch
+        end;
+        t.alpha.(j) <- t.alpha.(j) +. (ri *. rowv.(k))
+      done;
+      let sj = t.n + i in
+      t.amark.(sj) <- true;
+      t.alpha.(sj) <- ri;
+      t.atouch.(!ntouch) <- sj;
+      incr ntouch
+    end
+  done;
+  t.natouch <- !ntouch;
+  let touched = Array.sub t.atouch 0 !ntouch in
+  Array.sort (fun (a : int) b -> compare a b) touched;
+  let movable = ref [] in
+  for k = !ntouch - 1 downto 0 do
+    let j = touched.(k) in
+    if
+      t.loc.(j) < 0
+      && t.ub.(j) -. t.lb.(j) > 1e-12
+      && Float.abs t.alpha.(j) > pivot_tol
+    then movable := j :: !movable
+  done;
+  !movable
+
+let clear_alpha t =
+  for k = 0 to t.natouch - 1 do
+    let j = t.atouch.(k) in
+    t.alpha.(j) <- 0.;
+    t.amark.(j) <- false
+  done;
+  t.natouch <- 0
 
 (* One dual pivot.  Returns `Progress, `Feasible (primal feasible reached)
    or `Infeasible. *)
@@ -679,34 +962,40 @@ let dual_step t =
     let p = t.basis.(r) in
     let above = t.xb.(r) > t.ub.(p) in
     let s = if above then 1. else -1. in
-    (* Pivot row in nonbasic space: alpha_j = (e_r B^-1) A_j.  In dense
-       mode binv is B^-1 and its row r can be aliased; in eta mode the
-       row is produced by a sparse btran through the eta file. *)
+    (* Pivot row in nonbasic space: alpha_j = (e_r B^-1) A_j.  In the
+       Dense kernel binv is B^-1 and its row r can be aliased; the eta
+       kernels produce the row by a sparse btran through the eta file. *)
     let rho =
-      if t.eta_mode then begin
+      if uses_etas t then begin
         compute_rho t r;
         t.rho
       end
       else t.binv.(r)
     in
-    let movable = ref [] in
-    for j = t.nn - 1 downto 0 do
-      if t.loc.(j) < 0 && t.ub.(j) -. t.lb.(j) > 1e-12 then begin
-        let a =
-          if j < t.n then begin
-            let ci = t.col_idx.(j) and cv = t.col_val.(j) in
-            let acc = ref 0. in
-            for k = 0 to Array.length ci - 1 do
-              acc := !acc +. (rho.(ci.(k)) *. cv.(k))
-            done;
-            !acc
+    let movable =
+      if t.kernel = Sparse then ref (scatter_price t rho)
+      else begin
+        let movable = ref [] in
+        for j = t.nn - 1 downto 0 do
+          if t.loc.(j) < 0 && t.ub.(j) -. t.lb.(j) > 1e-12 then begin
+            let a =
+              if j < t.n then begin
+                let ci = t.col_idx.(j) and cv = t.col_val.(j) in
+                let acc = ref 0. in
+                for k = 0 to Array.length ci - 1 do
+                  acc := !acc +. (rho.(ci.(k)) *. cv.(k))
+                done;
+                !acc
+              end
+              else rho.(j - t.n)
+            in
+            t.alpha.(j) <- a;
+            if Float.abs a > pivot_tol then movable := j :: !movable
           end
-          else rho.(j - t.n)
-        in
-        t.alpha.(j) <- a;
-        if Float.abs a > pivot_tol then movable := j :: !movable
+        done;
+        movable
       end
-    done;
+    in
     (* Dual ratio test: keep reduced costs sign-feasible. *)
     let q = ref (-1) and best_ratio = ref infinity and best_mag = ref 0. in
     List.iter
@@ -743,12 +1032,16 @@ let dual_step t =
          re-derives the contradiction from it against the true, unpatched
          variable boxes). *)
       t.infeas_ray <- Some (Array.copy rho);
+      if t.kernel = Sparse then clear_alpha t;
       `Infeasible
     end
     else begin
       let q = !q in
       let w = ftran t q in
-      if Float.abs w.(r) < pivot_tol then `Numerical_pivot
+      if Float.abs w.(r) < pivot_tol then begin
+        if t.kernel = Sparse then clear_alpha t;
+        `Numerical_pivot
+      end
       else begin
         let target = if above then t.ub.(p) else t.lb.(p) in
         let delta = (t.xb.(r) -. target) /. w.(r) in
@@ -769,7 +1062,9 @@ let dual_step t =
         t.loc.(p) <- (if above then -2 else -1);
         t.loc.(q) <- r;
         t.basis.(r) <- q;
-        if t.eta_mode then push_eta t r w else update_binv t r w;
+        if t.pricing = Devex then devex_update t r w;
+        if uses_etas t then push_eta t r w else update_binv t r w;
+        if t.kernel = Sparse then clear_alpha t;
         if Float.abs delta <= 1e-9 then t.degen_count <- t.degen_count + 1
         else begin
           t.degen_count <- 0;
@@ -790,12 +1085,12 @@ let dual_loop t ~max_iter ~deadline =
        check_deadline deadline !iter;
        incr iter;
        t.total_iters <- t.total_iters + 1;
-       (* Periodic resync against drift.  In eta mode the fresh basic
-          values double as a residual check: large disagreement with the
-          incrementally updated ones means the eta product has degraded
-          and triggers an early refactorization. *)
+       (* Periodic resync against drift.  With an eta file the fresh
+          basic values double as a residual check: large disagreement
+          with the incrementally updated ones means the eta product has
+          degraded and triggers an early refactorization. *)
        if !iter mod 256 = 0 then begin
-         if t.eta_mode then begin
+         if uses_etas t then begin
            Array.blit t.xb 0 t.xb_save 0 t.m;
            compute_xb t;
            let drift = ref 0. in
@@ -815,17 +1110,26 @@ let dual_loop t ~max_iter ~deadline =
          end
          else compute_xb t
        end;
-       (* Refactorization cadence: in eta mode a full file folds into
-          binv (no xb/d recompute needed -- B^-1 is unchanged); dense
-          mode keeps the pre-eta fixed-interval rebuild. *)
-       if t.eta_mode then begin
-         if t.neta >= t.refactor_every then fold_etas t
-       end
-       else if !iter mod 1024 = 0 then begin
-         if not (refactor t) then raise (Stop Numerical);
-         compute_xb t;
-         recompute_d t
-       end;
+       (* Refactorization cadence: the Eta kernel folds a full file into
+          binv (no xb/d recompute needed -- B^-1 is unchanged); the
+          Sparse kernel re-factors the basis (cheap at O(fill) and
+          followed by an O(nnz) resync of xb and d, which the fresh
+          factors make affordable); the Dense kernel keeps the pre-eta
+          fixed-interval rebuild. *)
+       (match t.kernel with
+        | Eta -> if t.neta >= t.refactor_every then fold_etas t
+        | Sparse ->
+          if t.neta >= t.refactor_every then begin
+            if not (refactor t) then raise (Stop Numerical);
+            compute_xb t;
+            recompute_d t
+          end
+        | Dense ->
+          if !iter mod 1024 = 0 then begin
+            if not (refactor t) then raise (Stop Numerical);
+            compute_xb t;
+            recompute_d t
+          end);
        match dual_step t with
        | `Progress -> ()
        | `Feasible -> result := Some Optimal
@@ -908,7 +1212,8 @@ let primal_step t =
       t.loc.(p) <- (if coef > 0. then -2 else -1);
       t.loc.(q) <- r;
       t.basis.(r) <- q;
-      if t.eta_mode then push_eta t r w else update_binv t r w;
+      if t.pricing = Devex then devex_update t r w;
+      if uses_etas t then push_eta t r w else update_binv t r w;
       if delta <= 1e-9 then t.degen_count <- t.degen_count + 1
       else begin
         t.degen_count <- 0;
@@ -928,7 +1233,13 @@ let primal_simplex ?(max_iter = 200_000) ?deadline t =
        check_deadline deadline !iter;
        incr iter;
        t.total_iters <- t.total_iters + 1;
-       if t.eta_mode && t.neta >= t.refactor_every then fold_etas t;
+       if uses_etas t && t.neta >= t.refactor_every then begin
+         match t.kernel with
+         | Sparse ->
+           if not (refactor t) then raise (Stop Numerical);
+           compute_xb t
+         | Dense | Eta -> fold_etas t
+       end;
        if !iter mod 256 = 0 then compute_xb t;
        match primal_step t with
        | `Progress -> ()
@@ -957,15 +1268,15 @@ let dual_feasible t =
   !ok
 
 let reoptimize ?(max_iter = 200_000) ?deadline t =
-  (* Warm entry (eta mode): the previous reoptimize ended verified
-     Optimal, so d is fresh for the unchanged basis and bounds do not
-     enter reduced costs at all -- only the resting values of changed
-     nonbasic variables moved.  Replaying those as ftran updates of xb
-     replaces both dense O(m^2) entry passes with a handful of
-     eta-assisted column solves.  Every [warm_limit] consecutive warm
-     starts the full recompute runs anyway, bounding accumulated drift
-     that short node solves would never hit a periodic resync for. *)
-  if t.eta_mode && t.warm && t.warm_solves < warm_limit then begin
+  (* Warm entry (eta-file kernels): the previous reoptimize ended
+     verified Optimal, so d is fresh for the unchanged basis and bounds
+     do not enter reduced costs at all -- only the resting values of
+     changed nonbasic variables moved.  Replaying those as ftran updates
+     of xb replaces both full entry passes with a handful of column
+     solves.  Every [warm_limit] consecutive warm starts the full
+     recompute runs anyway, bounding accumulated drift that short node
+     solves would never hit a periodic resync for. *)
+  if uses_etas t && t.warm && t.warm_solves < warm_limit then begin
     t.warm_solves <- t.warm_solves + 1;
     List.iter
       (fun (j, dv) ->
@@ -985,6 +1296,7 @@ let reoptimize ?(max_iter = 200_000) ?deadline t =
   t.warm <- false;
   t.bland <- false;
   t.degen_count <- 0;
+  if t.pricing = Devex then Array.fill t.dw 0 t.m 1.;
   t.infeas_ray <- None;
   let status = dual_loop t ~max_iter ~deadline in
   match status with
@@ -1017,12 +1329,12 @@ type result = {
   iterations : int;
 }
 
-let solve ?(max_iter = 200_000) ?time_limit ?eta_mode ?refactor_every
+let solve ?(max_iter = 200_000) ?time_limit ?kernel ?pricing ?refactor_every
     (std : Lp.std) =
   Obs.with_span "simplex.solve"
     ~attrs:[ ("rows", Obs.Int std.Lp.nrows); ("cols", Obs.Int std.Lp.ncols) ]
     (fun () ->
-       let t = create ?eta_mode ?refactor_every std in
+       let t = create ?kernel ?pricing ?refactor_every std in
        let deadline =
          match time_limit with
          | Some s -> Some (Obs.Clock.now () +. s)
@@ -1043,7 +1355,12 @@ let solve ?(max_iter = 200_000) ?time_limit ?eta_mode ?refactor_every
              (float_of_int t.recovery_rebuilds);
          if t.eta_apps > 0 then
            Obs.count "simplex.eta_applications" (float_of_int t.eta_apps);
-         if t.eta_mode then Obs.gauge "simplex.eta_len" (float_of_int t.eta_len_max);
+         if uses_etas t then
+           Obs.gauge "simplex.eta_len" (float_of_int t.eta_len_max);
+         (match t.lu with
+          | Some lu ->
+            Obs.gauge "simplex.lu_nnz" (float_of_int (Sparse_lu.nnz lu))
+          | None -> ());
          Obs.point "simplex.done"
            ~attrs:
              [

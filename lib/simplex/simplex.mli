@@ -1,20 +1,24 @@
 (** Bounded-variable simplex solver over {!Vpart_lp.Lp.std} models.
 
     The implementation is a revised simplex supporting both the {e dual}
-    and {e primal} methods on variables with general (boxed) bounds.
+    and {e primal} methods on variables with general (boxed) bounds, over
+    a pluggable {e basis kernel} ({!kernel}):
 
-    The basis inverse is kept in {e product form}: a dense inverse [B₀⁻¹]
-    from the last refactorization plus an {e eta file} — one sparse
-    elementary matrix per pivot — applied on every [ftran]/[btran].  A
-    pivot therefore costs O(nnz) instead of the O(rows²) dense
-    Gauss-Jordan update, and the pivot row needed for pricing is produced
-    by a {e sparse} btran of a unit vector through the eta file (the unit
-    vector gains at most one nonzero per eta).  The file is folded back
-    into a fresh dense inverse every [refactor_every] pivots, or earlier
-    when the periodic basic-value resync detects drift beyond tolerance.
-    [create ~eta_mode:false] disables all of this and maintains a dense
-    [B⁻¹] updated per pivot — the pre-eta code path, kept as a measured
-    baseline ([bench perf]) and a numerical cross-check.
+    - [Sparse] (default): the basis is held as a sparse LU factorization
+      with Markowitz pivoting ({!Sparse_lu}), refreshed every
+      [refactor_every] pivots; between refactorizations pivots are
+      layered on top as product-form {e eta} updates.  ftran/btran cost
+      O(nnz(L)+nnz(U)) instead of O(rows²), no dense inverse is ever
+      allocated, and pricing scatters the pivot row through the row-major
+      matrix so a pivot costs O(nonzeros touched) rather than O(cols).
+      Pricing defaults to devex reference weights.
+    - [Eta]: a dense inverse [B₀⁻¹] from the last refactorization plus an
+      eta file applied on every ftran/btran, folded back into the dense
+      inverse at the cadence.  The PR-5 kernel, kept as a measured
+      baseline.
+    - [Dense]: a dense [B⁻¹] updated per pivot by Gauss-Jordan — the
+      original kernel, bit-identical to the pre-eta code path; the
+      reference for numerical cross-checks.
 
     The dual method is the workhorse: starting from the all-slack basis, the
     solver first places every nonbasic variable on the bound that makes its
@@ -27,9 +31,10 @@
 
     Anti-cycling: Bland's rule is engaged after a run of degenerate pivots.
     Numerical safety: candidate pivots below a pivot tolerance are rejected,
-    the basis inverse is refactorized (Gauss-Jordan with partial pivoting)
-    on demand, and basic values / reduced costs are recomputed from scratch
-    periodically. *)
+    the basis is refactorized on demand, and basic values / reduced costs
+    are recomputed from scratch periodically.  A sparse factorization that
+    fails on a (near-)singular basis falls back to a dense rebuild when the
+    model is small enough to afford one. *)
 
 type status =
   | Optimal        (** primal and dual feasible within tolerances *)
@@ -41,6 +46,25 @@ type status =
 
 val string_of_status : status -> string
 
+type kernel =
+  | Dense   (** dense B⁻¹, Gauss-Jordan update per pivot (pre-eta baseline) *)
+  | Eta     (** dense B₀⁻¹ + product-form eta file, folded at the cadence *)
+  | Sparse  (** Markowitz sparse LU + eta updates; no dense inverse *)
+
+val string_of_kernel : kernel -> string
+
+val kernel_of_string : string -> kernel option
+(** Parses ["dense"], ["eta"], ["sparse"]; [None] otherwise. *)
+
+type pricing =
+  | Dantzig  (** most-violated row (dual) / most-improving column (primal) *)
+  | Devex    (** dual devex: violation² over reference weights *)
+
+val string_of_pricing : pricing -> string
+
+val pricing_of_string : string -> pricing option
+(** Parses ["dantzig"], ["devex"]; [None] otherwise. *)
+
 type result = {
   status : status;
   x : float array;     (** structural variable values (length [ncols]) *)
@@ -51,13 +75,14 @@ type result = {
 val solve :
   ?max_iter:int ->
   ?time_limit:float ->
-  ?eta_mode:bool ->
+  ?kernel:kernel ->
+  ?pricing:pricing ->
   ?refactor_every:int ->
   Lp.std ->
   result
 (** Solve the continuous relaxation of [std] (integrality is ignored).
-    [time_limit] is wall-clock seconds.  [eta_mode] (default [true]) and
-    [refactor_every] (default 64) as in {!create}. *)
+    [time_limit] is wall-clock seconds.  [kernel], [pricing] and
+    [refactor_every] as in {!create}. *)
 
 (** {1 Incremental interface (for branch-and-bound)} *)
 
@@ -66,27 +91,31 @@ type t
     values.  Bounds may be tightened/relaxed between calls to {!reoptimize};
     the basis is reused (warm start). *)
 
-val create : ?eta_mode:bool -> ?refactor_every:int -> Lp.std -> t
+val create : ?kernel:kernel -> ?pricing:pricing -> ?refactor_every:int ->
+  Lp.std -> t
 (** Build an instance positioned at the dual-feasible all-slack basis.
     Integrality markers in [std] are ignored here.
 
-    [eta_mode] (default [true]) selects the product-form basis updates;
-    [false] maintains a dense [B⁻¹] per pivot (the pre-eta behavior).
-    [refactor_every] (default 64, must be ≥ 1) bounds the eta-file
-    length before the dense inverse is rebuilt; an out-of-tolerance
-    basic-value residual at the periodic resync triggers an earlier
-    rebuild regardless.  Only meaningful in eta mode.
+    [kernel] (default [Sparse]) selects the basis representation; see the
+    module documentation.  [pricing] defaults to [Devex] for the sparse
+    kernel and [Dantzig] otherwise (so the dense kernel reproduces the
+    pre-eta pivot sequence bit-identically).  [refactor_every] (default
+    32, must be ≥ 1) bounds the eta-file length before the basis is
+    refactorized (sparse) or the file is folded (eta); an
+    out-of-tolerance basic-value residual at the periodic resync triggers
+    an earlier rebuild regardless.  Ignored by the dense kernel.
     @raise Invalid_argument when [refactor_every < 1]. *)
 
 val copy : t -> t
 (** Independent snapshot: same model, same current basis/bounds/values,
     but no mutable state shared with the original — the copy and the
     original can be reoptimized concurrently (e.g. on different domains).
-    Immutable model data (costs, matrix columns, right-hand side) is
-    shared, so a copy is O(rows² + cols), dominated by the basis
-    inverse.  A copy of a root-optimal instance is a valid warm start
-    for any subtree of a branch-and-bound search: the basis stays dual
-    feasible under the subtree's bound changes. *)
+    Immutable model data (costs, matrix, right-hand side), eta records
+    and LU factors are shared, so a sparse-kernel copy is O(rows + cols);
+    with a dense kernel the inverse copy dominates at O(rows²).  A copy
+    of a root-optimal instance is a valid warm start for any subtree of a
+    branch-and-bound search: the basis stays dual feasible under the
+    subtree's bound changes. *)
 
 val nrows : t -> int
 val ncols : t -> int
@@ -123,29 +152,39 @@ val drift_rebuilds : t -> int
 (** Refactorizations forced by the periodic basic-value resync detecting
     drift beyond tolerance — runtime evidence of ill-conditioning (the
     [N102] diagnostic of [Vpart_analysis.Numerics_lint]).  Subset of
-    {!refactorizations}; always 0 in dense mode. *)
+    {!refactorizations}; always 0 in the dense kernel. *)
 
 val recovery_rebuilds : t -> int
 (** Refactorizations forced by a rejected (below-tolerance) pivot —
     numerical-recovery rebuilds, the other [N102] evidence source. *)
 
+val refactor_seconds : t -> float
+(** Wall-clock seconds spent inside basis refactorizations (sparse LU
+    factor and dense Gauss-Jordan rebuilds; eta folds excluded) — the
+    refactorization-time column of the [simplex-kernel] bench job. *)
+
 val eta_applications : t -> int
 (** Total eta-matrix applications (ftran/btran passes through eta-file
-    entries) performed by this instance so far; 0 in dense mode.
+    entries) performed by this instance so far; 0 in the dense kernel.
     Mirrored in the [simplex.eta_applications] observability counter. *)
 
 val eta_length : t -> int
 (** Current eta-file length (pivots since the last refactorization);
-    always 0 in dense mode. *)
+    always 0 in the dense kernel. *)
 
 val max_eta_length : t -> int
 (** High-water eta-file length over the instance's lifetime — the
     [simplex.eta_len] observability gauge. *)
 
+val lu_nnz : t -> int
+(** Stored nonzeros of the current sparse LU factors (the
+    [simplex.lu_nnz] observability gauge); 0 when no LU is live (dense
+    and eta kernels, or after a sparse singular-basis fallback). *)
+
 (** {1 Dual information}
 
     Available after a successful {!reoptimize}; both are freshly computed
-    (O(rows²)). *)
+    (one btran plus a column sweep). *)
 
 val duals : t -> float array
 (** Dual values [y = c_B·B⁻¹], one per row: the shadow price of each

@@ -1,0 +1,48 @@
+(** Sparse LU factorization of a simplex basis with Markowitz pivoting.
+
+    [factor] computes [P B Q = L U] for the m×m basis matrix [B] given by
+    its sparse columns: at every elimination step the pivot is chosen to
+    minimize the Markowitz count [(r-1)(c-1)] among entries passing a
+    relative threshold test (threshold partial pivoting, τ = 0.1), which
+    bounds fill-in while keeping the factors stable.  [L] is unit lower
+    triangular stored column-wise, [U] upper triangular stored row-wise,
+    both in pivot-order index space, so the four triangular solves run in
+    O(nnz(L) + nnz(U) + m):
+
+    - {!ftran} solves [B w = b] (forward scatter through L with zero
+      skipping — the Gilbert–Peierls sparse right-hand-side benefit —
+      then a backward gather through U);
+    - {!btran} solves [Bᵀ v = u] (forward scatter through Uᵀ with zero
+      skipping, then a backward gather through Lᵀ).
+
+    Factors are immutable after construction: {!Simplex.copy} shares them
+    across branch-and-bound worker domains, and pivot updates are layered
+    on top as product-form etas rather than by mutating L/U. *)
+
+type t
+
+val factor : int array array -> float array array -> t option
+(** [factor cols_idx cols_val] factors the square matrix whose [j]-th
+    column has row indices [cols_idx.(j)] and values [cols_val.(j)]
+    (one entry per row, unordered).  Returns [None] when the matrix is
+    structurally or numerically singular (no remaining entry passes the
+    absolute pivot tolerance 1e-12). *)
+
+val identity : int -> t
+(** Trivial factors of the m×m identity — the all-slack start basis. *)
+
+val size : t -> int
+(** Dimension m. *)
+
+val nnz : t -> int
+(** Total stored nonzeros of L and U (including the m unit/pivot
+    diagonals) — the [simplex.lu_nnz] observability gauge. *)
+
+val ftran : t -> work:float array -> float array -> unit
+(** [ftran lu ~work b] overwrites [b] (length m, constraint-row space)
+    with [B⁻¹ b] (basis-position space).  [work] is caller-provided
+    scratch of length m; its contents are clobbered. *)
+
+val btran : t -> work:float array -> float array -> unit
+(** [btran lu ~work u] overwrites [u] (length m, basis-position space)
+    with [B⁻ᵀ u] (constraint-row space).  [work] as in {!ftran}. *)

@@ -345,7 +345,10 @@ let test_diff_dense_vs_eta_attributes_refactor () =
     (* A short fold cadence guarantees the eta run opens instrumented
        simplex.refactor spans even on this small model. *)
     let limits =
-      { Mip.default_limits with Mip.simplex_eta = eta_mode; refactor_every = 4 }
+      { Mip.default_limits with
+        Mip.kernel = (if eta_mode then Simplex.Eta else Simplex.Dense);
+        refactor_every = 4;
+      }
     in
     let _ = Obs.with_sink sink (fun () -> Mip.solve ~limits m) in
     parse "simplex trace" (Buffer.contents buf)

@@ -91,7 +91,7 @@ let test_too_large () =
   let limits = { exact_limits with Mip.max_rows = Some 5 } in
   let out, _ = Mip.solve ~limits m in
   (match out with
-   | Mip.Too_large 10 -> ()
+   | Mip.Too_large { rows = 10; limit = 5 } -> ()
    | out -> Alcotest.failf "expected too large, got %a" Mip.pp_outcome out)
 
 let test_incumbent_seed () =

@@ -334,6 +334,154 @@ let prop_complementary_slackness =
          Array.length (Simplex.duals t) = std.Lp.nrows && !ok
        | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Sparse LU kernel vs dense reference                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Dense Gaussian elimination with partial pivoting; None on singular. *)
+let dense_solve a b =
+  let m = Array.length a in
+  let a = Array.map Array.copy a and x = Array.copy b in
+  let ok = ref true in
+  for k = 0 to m - 1 do
+    let piv = ref k in
+    for i = k + 1 to m - 1 do
+      if Float.abs a.(i).(k) > Float.abs a.(!piv).(k) then piv := i
+    done;
+    if Float.abs a.(!piv).(k) < 1e-9 then ok := false
+    else begin
+      let tmp = a.(k) in
+      a.(k) <- a.(!piv);
+      a.(!piv) <- tmp;
+      let tb = x.(k) in
+      x.(k) <- x.(!piv);
+      x.(!piv) <- tb;
+      for i = k + 1 to m - 1 do
+        let f = a.(i).(k) /. a.(k).(k) in
+        if f <> 0. then begin
+          for j = k to m - 1 do
+            a.(i).(j) <- a.(i).(j) -. (f *. a.(k).(j))
+          done;
+          x.(i) <- x.(i) -. (f *. x.(k))
+        end
+      done
+    end
+  done;
+  if not !ok then None
+  else begin
+    for k = m - 1 downto 0 do
+      let acc = ref x.(k) in
+      for j = k + 1 to m - 1 do
+        acc := !acc -. (a.(k).(j) *. x.(j))
+      done;
+      x.(k) <- !acc /. a.(k).(k)
+    done;
+    Some x
+  end
+
+let transpose a =
+  let m = Array.length a in
+  Array.init m (fun i -> Array.init m (fun j -> a.(j).(i)))
+
+let sparse_cols_of_dense a =
+  let m = Array.length a in
+  let idx = Array.make m [||] and va = Array.make m [||] in
+  for j = 0 to m - 1 do
+    let rows = ref [] in
+    for i = m - 1 downto 0 do
+      if a.(i).(j) <> 0. then rows := (i, a.(i).(j)) :: !rows
+    done;
+    idx.(j) <- Array.of_list (List.map fst !rows);
+    va.(j) <- Array.of_list (List.map snd !rows)
+  done;
+  (idx, va)
+
+(* Random sparse square matrix: dominant diagonal most of the time, with
+   a sprinkle of off-diagonal entries; occasionally drop the diagonal so
+   singular and near-singular cases are exercised too. *)
+let gen_sparse_matrix =
+  let open QCheck2.Gen in
+  let* m = int_range 1 12 in
+  let* diag = list_size (return m) (float_range (-4.) 4.) in
+  let* keep_diag = list_size (return m) (int_range 0 9) in
+  let* off =
+    list_size
+      (int_range 0 (3 * m))
+      (triple (int_range 0 (m - 1)) (int_range 0 (m - 1))
+         (float_range (-2.) 2.))
+  in
+  let a = Array.make_matrix m m 0. in
+  List.iteri
+    (fun i (d, k) -> if k > 0 then a.(i).(i) <- (if Float.abs d < 0.2 then 1. else d))
+    (List.combine diag keep_diag);
+  List.iter (fun (i, j, v) -> if i <> j then a.(i).(j) <- v) off;
+  return a
+
+let prop_sparse_lu_matches_dense =
+  QCheck2.Test.make ~count:500
+    ~name:"sparse LU: ftran/btran agree with dense elimination to 1e-9"
+    gen_sparse_matrix
+    (fun a ->
+       let m = Array.length a in
+       let idx, va = sparse_cols_of_dense a in
+       let b = Array.init m (fun i -> Float.of_int ((i mod 5) - 2) +. 0.25) in
+       match (Sparse_lu.factor idx va, dense_solve a b) with
+       | None, None -> true
+       | None, Some _ ->
+         (* the sparse kernel may reject near-singular bases the dense
+            reference tolerates; never the other way around *)
+         true
+       | Some _, None -> false
+       | Some lu, Some xd ->
+         let work = Array.make m 0. in
+         let xf = Array.copy b in
+         Sparse_lu.ftran lu ~work xf;
+         let ok_f = ref true in
+         Array.iteri
+           (fun i v ->
+              if Float.abs (v -. xd.(i)) > 1e-9 *. (1. +. Float.abs xd.(i))
+              then ok_f := false)
+           xf;
+         let ok_b = ref true in
+         (match dense_solve (transpose a) b with
+          | None -> ()
+          | Some xt ->
+            let xb = Array.copy b in
+            Sparse_lu.btran lu ~work xb;
+            Array.iteri
+              (fun i v ->
+                 if
+                   Float.abs (v -. xt.(i)) > 1e-9 *. (1. +. Float.abs xt.(i))
+                 then ok_b := false)
+              xb);
+         Sparse_lu.nnz lu >= m && !ok_f && !ok_b)
+
+let test_sparse_lu_singular () =
+  (* structurally singular: a duplicated column *)
+  let idx = [| [| 0; 1 |]; [| 0; 1 |]; [| 2 |] |] in
+  let va = [| [| 1.; 2. |]; [| 1.; 2. |]; [| 3. |] |] in
+  (match Sparse_lu.factor idx va with
+   | None -> ()
+   | Some _ -> Alcotest.fail "factor accepted a rank-deficient matrix");
+  (* numerically singular: entries below the absolute pivot tolerance *)
+  let idx = [| [| 0 |]; [| 1 |] |] in
+  let va = [| [| 1e-14 |]; [| 1. |] |] in
+  match Sparse_lu.factor idx va with
+  | None -> ()
+  | Some _ -> Alcotest.fail "factor accepted a numerically singular matrix"
+
+let test_sparse_lu_identity () =
+  let lu = Sparse_lu.identity 4 in
+  let work = Array.make 4 0. in
+  let b = [| 1.; -2.; 3.; 0.5 |] in
+  let x = Array.copy b in
+  Sparse_lu.ftran lu ~work x;
+  Alcotest.(check (array (float 0.))) "ftran id" b x;
+  Sparse_lu.btran lu ~work x;
+  Alcotest.(check (array (float 0.))) "btran id" b x;
+  Alcotest.(check int) "nnz" 4 (Sparse_lu.nnz lu);
+  Alcotest.(check int) "size" 4 (Sparse_lu.size lu)
+
 let prop_zero_objective =
   QCheck2.Test.make ~count:100 ~name:"simplex: zero cost yields zero objective"
     gen_rand_lp
@@ -342,6 +490,141 @@ let prop_zero_objective =
        Lp.set_objective m Lp.Minimize [];
        let res = Simplex.solve (Lp.standardize m) in
        res.Simplex.status = Simplex.Optimal && Float.abs res.Simplex.obj < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Kernel cross-agreement                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Every kernel (and both pricing rules on the sparse one) must land on
+   the same LP optimum.  The dense kernel is the reference; eta and
+   sparse runs may pivot differently (devex picks other leaving rows)
+   but the optimal value is unique. *)
+let prop_kernels_agree =
+  QCheck2.Test.make ~count:200
+    ~name:"simplex: dense/eta/sparse kernels agree at the optimum"
+    gen_rand_lp
+    (fun r ->
+       let solve kernel pricing =
+         let m = build_rand_lp r in
+         Simplex.solve ~kernel ?pricing (Lp.standardize m)
+       in
+       let dense = solve Simplex.Dense None in
+       let runs =
+         [ solve Simplex.Eta None;
+           solve Simplex.Sparse None;                      (* devex default *)
+           solve Simplex.Sparse (Some Simplex.Dantzig);
+         ]
+       in
+       List.for_all
+         (fun (res : Simplex.result) ->
+            res.Simplex.status = dense.Simplex.status
+            && (dense.Simplex.status <> Simplex.Optimal
+                || Float.abs (res.Simplex.obj -. dense.Simplex.obj)
+                   <= 1e-9 *. (1. +. Float.abs dense.Simplex.obj)))
+         runs)
+
+(* A deterministic ill-scaled fixture run with the refactorization
+   cadence disabled: the only way the solver can hold the basis together
+   is the drift resync / rejected-pivot recovery machinery.  The run must
+   (a) still reach the dense optimum and (b) actually exercise a forced
+   rebuild, so the recovery path stays covered. *)
+let build_drift_lp () =
+  let m = Lp.create () in
+  let n = 250 in
+  let vars =
+    Array.init n (fun j ->
+        Lp.add_var m ~ub:(10. ** float_of_int ((j mod 9) - 4)) ())
+  in
+  for i = 0 to (3 * n) - 1 do
+    let terms = ref [] in
+    for j = 0 to n - 1 do
+      if (i + (3 * j)) mod 4 <> 0 then
+        terms :=
+          (10. ** float_of_int ((((i * 5) + (j * 11)) mod 11) - 5), vars.(j))
+          :: !terms
+    done;
+    Lp.add_constr m !terms Lp.Le (1. +. (10. ** float_of_int ((i mod 7) - 3)))
+  done;
+  Lp.set_objective m Lp.Minimize
+    (Array.to_list
+       (Array.mapi
+          (fun j v -> (-.(10. ** float_of_int (((j * 13) mod 9) - 4)), v))
+          vars));
+  m
+
+let test_drift_recovery kernel () =
+  let reference = Simplex.solve (Lp.standardize (build_drift_lp ())) in
+  check_status "reference" Simplex.Optimal reference;
+  let std = Lp.standardize (build_drift_lp ()) in
+  (* max_int cadence: no scheduled refactorization ever fires, so every
+     rebuild the run records was forced by drift or a rejected pivot.
+     Dantzig pricing pinned: devex converges in fewer pivots than the
+     drift-checkpoint interval on this fixture. *)
+  let t =
+    Simplex.create ~kernel ~pricing:Simplex.Dantzig ~refactor_every:max_int std
+  in
+  let st = Simplex.reoptimize t in
+  Alcotest.(check string) "status" "optimal" (Simplex.string_of_status st);
+  let rel =
+    Float.abs (reference.Simplex.obj -. Simplex.objective t)
+    /. (1. +. Float.abs reference.Simplex.obj)
+  in
+  if rel > 1e-5 then
+    Alcotest.failf "objective lost to drift: %.17g vs reference %.17g"
+      (Simplex.objective t) reference.Simplex.obj;
+  let forced = Simplex.drift_rebuilds t + Simplex.recovery_rebuilds t in
+  if forced = 0 then
+    Alcotest.failf
+      "fixture no longer forces a recovery rebuild (%d iterations)"
+      (Simplex.iterations t)
+
+(* Bit-identity guard: the dense and eta code paths predate the sparse
+   kernel and must keep reproducing their historical results exactly —
+   same pivot count, objective bits and primal point — so `--simplex-kernel
+   dense` stays a true pre-sparse-LU fallback.  The expected constants
+   were captured by running this very model against the tree as of commit
+   0c1f591 (before the kernel refactor). *)
+let build_bit_identity_lp () =
+  let m = Lp.create () in
+  let n = 60 in
+  let vars =
+    Array.init n (fun j ->
+        Lp.add_var m ~ub:(1. +. float_of_int ((j * 7) mod 13)) ())
+  in
+  for i = 0 to (2 * n) - 1 do
+    let terms = ref [] in
+    for j = 0 to n - 1 do
+      if (i + (2 * j)) mod 3 <> 0 then
+        terms :=
+          (float_of_int ((((i * 5) + (j * 11)) mod 17) + 1), vars.(j))
+          :: !terms
+    done;
+    Lp.add_constr m !terms Lp.Le (50. +. float_of_int ((i * 29) mod 97))
+  done;
+  Lp.set_objective m Lp.Minimize
+    (Array.to_list
+       (Array.mapi
+          (fun j v -> (-.float_of_int (((j * 13) mod 19) + 1), v))
+          vars));
+  m
+
+let test_bit_identity kernel ~iters ~obj_hex ~xhash () =
+  let std = Lp.standardize (build_bit_identity_lp ()) in
+  let t = Simplex.create ~kernel std in
+  let st = Simplex.reoptimize t in
+  Alcotest.(check string) "status" "optimal" (Simplex.string_of_status st);
+  Alcotest.(check int) "pivot count" iters (Simplex.iterations t);
+  let obj = Simplex.objective t in
+  if Int64.bits_of_float obj <> Int64.bits_of_float (float_of_string obj_hex)
+  then
+    Alcotest.failf "objective bits changed: got %h, pre-refactor value %s" obj
+      obj_hex;
+  let h =
+    Hashtbl.hash
+      (Array.to_list
+         (Array.map (fun v -> Int64.bits_of_float v) (Simplex.primal t)))
+  in
+  Alcotest.(check int) "primal point bits" xhash h
 
 let () =
   Alcotest.run "simplex"
@@ -374,5 +657,23 @@ let () =
        [ QCheck_alcotest.to_alcotest prop_feasible_and_dominates;
          QCheck_alcotest.to_alcotest prop_complementary_slackness;
          QCheck_alcotest.to_alcotest prop_zero_objective;
+       ]);
+      ("kernels",
+       [ QCheck_alcotest.to_alcotest prop_kernels_agree;
+         Alcotest.test_case "drift recovery (eta)" `Quick
+           (test_drift_recovery Simplex.Eta);
+         Alcotest.test_case "drift recovery (sparse)" `Quick
+           (test_drift_recovery Simplex.Sparse);
+         Alcotest.test_case "dense kernel bit-identity" `Quick
+           (test_bit_identity Simplex.Dense ~iters:163
+              ~obj_hex:"-0x1.3ffd8807e9075p+7" ~xhash:776161708);
+         Alcotest.test_case "eta kernel bit-identity" `Quick
+           (test_bit_identity Simplex.Eta ~iters:163
+              ~obj_hex:"-0x1.3ffd8807e90f5p+7" ~xhash:776161708);
+       ]);
+      ("sparse-lu",
+       [ Alcotest.test_case "identity factors" `Quick test_sparse_lu_identity;
+         Alcotest.test_case "singular rejection" `Quick test_sparse_lu_singular;
+         QCheck_alcotest.to_alcotest prop_sparse_lu_matches_dense;
        ]);
     ]
