@@ -33,8 +33,12 @@ type config = {
 }
 
 let cfg =
-  { qp_limit = 30.; lambda = 0.9; p = 8.; max_rows = 4000; sa_seed = 1;
-    unit_ = 1000.; json_out = None }
+  (* max_rows follows the solver's actual default cap (Mip.default_limits)
+     instead of a hard-coded stamp, so BENCH_N.json config provenance
+     cannot go stale when the solver raises its ceiling. *)
+  { qp_limit = 30.; lambda = 0.9; p = 8.;
+    max_rows = Option.value Mip.default_limits.Mip.max_rows ~default:max_int;
+    sa_seed = 1; unit_ = 1000.; json_out = None }
 
 (* Per-job machine-readable results, written to [cfg.json_out] at exit
    together with the in-process metrics summary. *)
@@ -751,6 +755,58 @@ let par_speedup () =
   hr ()
 
 (* ------------------------------------------------------------------ *)
+(* Sustained-throughput batch service                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* 10k+ generated instances streamed through the batch service: the
+   instances are produced lazily (Instance_gen.stream) and consumed in
+   bounded windows, and every pool domain reuses its simplex/delta
+   workspaces, so steady-state memory must stay flat — top_heap_words
+   and max_rss are recorded as the evidence, solves/s and p50/p99
+   latency as the throughput numbers. *)
+let batch_throughput () =
+  section "Batch service throughput (streamed instances, pooled workspaces)";
+  let sweep name ~action ~count ~jobs params =
+    let options =
+      { (qp_options ~time_limit:10. 2) with Qp_solver.gap = 0.01 }
+    in
+    let summary =
+      Batch.run ~jobs ~options ~action
+        ~emit:(fun r ->
+            if r.Batch.outcome = "error" then
+              Printf.printf "  %s: ERROR %s\n%!" r.Batch.name
+                (Option.value r.Batch.error ~default:"?"))
+        (Instance_gen.stream ~seed:cfg.sa_seed ~count params)
+    in
+    Printf.printf
+      "%-14s %6d reqs %2d jobs | %8.1f req/s  p50 %6.2f ms  p99 %6.2f ms | \
+       heap %5.1f MW  rss %s  failures %d\n%!"
+      name summary.Batch.requests jobs summary.Batch.throughput
+      (summary.Batch.p50_seconds *. 1e3) (summary.Batch.p99_seconds *. 1e3)
+      (float_of_int summary.Batch.top_heap_words /. 1e6)
+      (match summary.Batch.max_rss_kb with
+       | Some kb -> Printf.sprintf "%d kB" kb
+       | None -> "n/a")
+      summary.Batch.failures;
+    json_results :=
+      (Printf.sprintf "batch/%s" name, Batch.summary_to_json summary)
+      :: !json_results
+  in
+  let tiny =
+    { Instance_gen.default_params with
+      Instance_gen.name = "batch-tiny";
+      num_tables = 3;
+      num_transactions = 4;
+    }
+  in
+  (* The headline: >= 10k full QP solves, streamed. *)
+  sweep "solve-10k" ~action:Batch.Solve ~count:10_000 ~jobs:4 tiny;
+  (* Check sweep: allocation-dominated, exercises the delta workspaces. *)
+  sweep "check-10k" ~action:Batch.Check ~count:10_000 ~jobs:4
+    { Instance_gen.default_params with Instance_gen.name = "batch-check" };
+  hr ()
+
+(* ------------------------------------------------------------------ *)
 (* Hot-path kernel throughput: delta SA + eta simplex vs baselines      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1361,7 +1417,7 @@ let usage () =
   print_endline
     "usage: main.exe [--qp-limit SECONDS] [--lambda L] [--max-rows N] [--seed N]\n\
     \                [--json-out FILE]\n\
-    \                [table1|table2|table3|table4|table5|table6|ablation|suite|certify|certify-exact|obs|par|perf|simplex-kernel|analyze|bechamel|all]...";
+    \                [table1|table2|table3|table4|table5|table6|ablation|suite|certify|certify-exact|obs|par|batch|perf|simplex-kernel|analyze|bechamel|all]...";
   exit 1
 
 let () =
@@ -1392,6 +1448,7 @@ let () =
     | "certify-exact" -> certify_exact_overhead ()
     | "obs" -> obs_overhead ()
     | "par" -> par_speedup ()
+    | "batch" -> batch_throughput ()
     | "perf" -> perf ()
     | "simplex-kernel" -> simplex_kernel_sweep ()
     | "analyze" -> analyze_bench ()
@@ -1403,8 +1460,8 @@ let () =
       table2 (); table1 (); table3 (); table4 (); table5 (); table6 ();
       ablation (); suite (); certify_overhead (); certify_exact_overhead ();
       obs_overhead ();
-      par_speedup (); perf (); simplex_kernel_sweep (); analyze_bench ();
-      bechamel ()
+      par_speedup (); batch_throughput (); perf (); simplex_kernel_sweep ();
+      analyze_bench (); bechamel ()
     | j -> Printf.printf "unknown job %S\n" j; usage ()
   in
   (* With --json-out, collect in-process solver metrics across all jobs

@@ -654,6 +654,16 @@ let solve_cmd =
             "Collect in-process metrics during the solve and print a \
              counter/gauge/histogram summary afterwards.")
   in
+  let gc_stats_term =
+    Arg.(
+      value & flag
+      & info [ "gc-stats" ]
+          ~doc:
+            "Sample GC counters (minor/major words, heap size, \
+             compactions) at every span boundary, as $(b,gc.*) gauges in \
+             the trace and metrics summary.  Off by default: existing \
+             traces are unchanged.")
+  in
   let exact_term =
     Arg.(
       value & flag
@@ -677,7 +687,8 @@ let solve_cmd =
   in
   let run inst solver sites p lambda disjoint no_grouping jobs time_limit seed
       simplex_dense simplex_kernel pricing refactor_every scale break_symmetry
-      json lint_model certify exact tol trace progress metrics_summary output =
+      json lint_model certify exact tol trace progress metrics_summary gc_stats
+      output =
     let kernel =
       match simplex_kernel with
       | Some k -> k
@@ -789,8 +800,10 @@ let solve_cmd =
       Obs.Metrics.reset ();
       Obs.Metrics.enable ()
     end;
+    if gc_stats then Obs.set_gc_sampling true;
     (match sinks with [] -> () | ss -> Obs.set_sink (Some (Obs.tee ss)));
     let teardown_obs () =
+      Obs.set_gc_sampling false;
       Obs.set_sink None;
       (match trace_oc with Some oc -> close_out oc | None -> ());
       (match trace with
@@ -947,7 +960,8 @@ let solve_cmd =
          $ simplex_kernel_term $ pricing_term
          $ refactor_every_term $ scale_term $ break_symmetry_term $ json_term
          $ lint_model_term $ certify_term $ exact_term $ tol_term
-         $ trace_term $ progress_term $ metrics_term $ output_term))
+         $ trace_term $ progress_term $ metrics_term $ gc_stats_term
+         $ output_term))
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -1549,6 +1563,183 @@ let advise_cmd =
     Term.(term_result (const run $ instance_term $ part_term $ p_term $ limit_term))
 
 (* ------------------------------------------------------------------ *)
+(* batch                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let batch_cmd =
+  let random_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "random" ] ~docv:"NAME"
+          ~doc:
+            "Catalog instance class to stream (a Table 2 name, e.g. \
+             rndAt8x15); defaults to the Table 1 default class.")
+  in
+  let count_term =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N"
+          ~doc:
+            "Number of instances to stream.  Generation is lazy: the sweep \
+             never materializes more than one window.")
+  in
+  let seed_term =
+    Arg.(
+      value & opt int 42
+      & info [ "gen-seed" ] ~docv:"N"
+          ~doc:"Base seed; streamed instance $(i,i) is generated with seed \
+                N+i.")
+  in
+  let action_term =
+    Arg.(
+      value & opt string "solve"
+      & info [ "action" ] ~docv:"ACTION"
+          ~doc:
+            "What to do with each instance: $(b,check) (lint + single-site \
+             baseline objective), $(b,solve) (QP solver) or $(b,certify) \
+             (solve with self-certification of every claim).")
+  in
+  let window_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "In-flight request bound (default 8 × jobs): instances and \
+             responses live at most one window at a time.")
+  in
+  let tables_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tables" ] ~docv:"N"
+          ~doc:"Override the instance class's table count (small values \
+                make per-request latency sub-second for smoke sweeps).")
+  in
+  let txns_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "txns" ] ~docv:"N"
+          ~doc:"Override the instance class's transaction count.")
+  in
+  let time_limit_term =
+    Arg.(
+      value & opt float 5.
+      & info [ "time-limit" ] ~docv:"SEC"
+          ~doc:"Per-request solver time limit (default 5 s).")
+  in
+  let metrics_term =
+    Arg.(
+      value & flag
+      & info [ "metrics-summary" ]
+          ~doc:
+            "Collect in-process metrics during the sweep and print the \
+             counter/gauge/histogram summary to stderr afterwards.")
+  in
+  let gc_stats_term =
+    Arg.(
+      value & flag
+      & info [ "gc-stats" ]
+          ~doc:
+            "Sample GC counters at span boundaries as $(b,gc.*) gauges \
+             (requires --metrics-summary or a sink to be visible).")
+  in
+  let run random count seed action jobs window tables txns sites p lambda
+      disjoint time_limit metrics_summary gc_stats output =
+    match Batch.action_of_string action with
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown action %S (check|solve|certify)" action))
+    | Some action -> (
+      match
+        match random with
+        | None -> Ok Instance_gen.default_params
+        | Some name -> (
+          try Ok (Instance_gen.find name)
+          with Not_found ->
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown instance class %S; known: %s" name
+                    (String.concat ", "
+                       (List.map
+                          (fun p -> p.Instance_gen.name)
+                          Instance_gen.catalog)))))
+      with
+      | Error _ as e -> e
+      | Ok params ->
+        let params =
+          { params with
+            Instance_gen.num_tables =
+              Option.value tables ~default:params.Instance_gen.num_tables;
+            num_transactions =
+              Option.value txns ~default:params.Instance_gen.num_transactions;
+          }
+        in
+        if count < 0 then Error (`Msg "--count must be >= 0")
+        else begin
+          let jobs = max 1 jobs in
+          let options =
+            { Qp_solver.default_options with
+              Qp_solver.num_sites = sites;
+              p;
+              lambda;
+              allow_replication = not disjoint;
+              time_limit;
+            }
+          in
+          if metrics_summary then begin
+            Obs.Metrics.reset ();
+            Obs.Metrics.enable ()
+          end;
+          if gc_stats then Obs.set_gc_sampling true;
+          let oc = Option.map open_out output in
+          let write line =
+            match oc with
+            | Some oc -> output_string oc line
+            | None -> print_string line
+          in
+          let teardown () =
+            Obs.set_gc_sampling false;
+            (match oc with Some oc -> close_out oc | None -> ());
+            if metrics_summary then begin
+              Format.eprintf "%a@." Obs.Metrics.pp (Obs.Metrics.snapshot ());
+              Obs.Metrics.disable ()
+            end
+          in
+          let summary =
+            Fun.protect ~finally:teardown @@ fun () ->
+            Batch.run ~jobs ?window ~options ~action
+              ~emit:(fun r ->
+                  write
+                    (Json.to_string ~minify:true (Batch.response_to_json r)
+                     ^ "\n"))
+              (Instance_gen.stream ~seed ~count params)
+          in
+          Format.eprintf "%s@."
+            (Json.to_string ~minify:true (Batch.summary_to_json summary));
+          if summary.Batch.failures > 0 then
+            Error
+              (`Msg
+                 (Printf.sprintf "%d of %d requests failed"
+                    summary.Batch.failures summary.Batch.requests))
+          else Ok ()
+        end)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Stream generated instances through the solver at sustained \
+          throughput, one JSONL response per line; pooled solver \
+          workspaces keep steady-state allocation flat.")
+    Term.(
+      term_result
+        (const run $ random_term $ count_term $ seed_term $ action_term
+         $ jobs_term $ window_term $ tables_term $ txns_term $ sites_term
+         $ p_term $ lambda_term $ disjoint_term $ time_limit_term
+         $ metrics_term $ gc_stats_term $ output_term))
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1560,4 +1751,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "vpart" ~version:"1.0.0" ~doc)
           [ info_cmd; check_cmd; analyze_cmd; solve_cmd; certify_cmd; eval_cmd;
-            advise_cmd; export_cmd; mps_cmd; trace_cmd; bench_check_cmd ]))
+            advise_cmd; export_cmd; mps_cmd; trace_cmd; bench_check_cmd;
+            batch_cmd ]))

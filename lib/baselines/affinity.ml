@@ -139,7 +139,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
   let part = Partitioning.create ~num_sites:ns ~num_txns:nt ~num_attrs:na in
   let weights =
     Array.init nt (fun t ->
-        Array.fold_left ( +. ) 0. stats.Stats.c3.(t))
+        Vec.sum (Vec.row stats.Stats.c3 t))
   in
   let by_weight =
     List.sort
@@ -160,7 +160,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
               c := !c +. stats.Stats.c2.(a);
               for t = 0 to nt - 1 do
                 if part.Partitioning.txn_site.(t) = s then
-                  c := !c +. stats.Stats.c1.(t).(a)
+                  c := !c +. stats.Stats.c1.{t, a}
               done)
            frag;
          if !c < !best_c then begin

@@ -41,7 +41,7 @@ let make_state (stats : Stats.t) ns =
   let forced = Array.init na (fun _ -> Array.make ns 0) in
   for t = 0 to nt - 1 do
     for a = 0 to na - 1 do
-      colsum.(a).(0) <- colsum.(a).(0) +. stats.Stats.c1.(t).(a);
+      colsum.(a).(0) <- colsum.(a).(0) +. stats.Stats.c1.{t, a};
       if stats.Stats.phi.(t).(a) then forced.(a).(0) <- forced.(a).(0) + 1
     done
   done;
@@ -59,7 +59,7 @@ let move_delta st t s' =
   else begin
     let acc = ref 0. in
     for a = 0 to st.stats.Stats.num_attrs - 1 do
-      let c1 = st.stats.Stats.c1.(t).(a) in
+      let c1 = st.stats.Stats.c1.{t, a} in
       let newly_forced = st.stats.Stats.phi.(t).(a) && not (placed st a s') in
       if newly_forced then acc := !acc +. replica_delta st a s';
       let y_after_s' = placed st a s' || newly_forced in
@@ -72,7 +72,7 @@ let move_delta st t s' =
 let apply_move st t s' =
   let s = st.part.Partitioning.txn_site.(t) in
   for a = 0 to st.stats.Stats.num_attrs - 1 do
-    let c1 = st.stats.Stats.c1.(t).(a) in
+    let c1 = st.stats.Stats.c1.{t, a} in
     st.colsum.(a).(s) <- st.colsum.(a).(s) -. c1;
     st.colsum.(a).(s') <- st.colsum.(a).(s') +. c1;
     if st.stats.Stats.phi.(t).(a) then begin

@@ -33,7 +33,7 @@ let analyze (inst : Instance.t) ~p (part : Partitioning.t) =
   for t = 0 to nt - 1 do
     let home = part.Partitioning.txn_site.(t) in
     for a = 0 to na - 1 do
-      colsum.(a).(home) <- colsum.(a).(home) +. stats.Stats.c1.(t).(a);
+      colsum.(a).(home) <- colsum.(a).(home) +. stats.Stats.c1.{t, a};
       if stats.Stats.phi.(t).(a) then forced.(a).(home) <- forced.(a).(home) + 1
     done
   done;
@@ -46,7 +46,7 @@ let analyze (inst : Instance.t) ~p (part : Partitioning.t) =
       if s' <> s then begin
         let delta = ref 0. and new_replicas = ref [] in
         for a = 0 to na - 1 do
-          let c1 = stats.Stats.c1.(t).(a) in
+          let c1 = stats.Stats.c1.{t, a} in
           let newly_forced =
             stats.Stats.phi.(t).(a) && not part.Partitioning.placed.(a).(s')
           in

@@ -10,9 +10,9 @@ let cost (stats : Stats.t) (part : Partitioning.t) =
   (* quadratic part: for each transaction only its home site matters *)
   for tx = 0 to stats.Stats.num_txns - 1 do
     let home = part.Partitioning.txn_site.(tx) in
-    let c1t = stats.Stats.c1.(tx) in
+    let c1 = stats.Stats.c1 in
     for a = 0 to stats.Stats.num_attrs - 1 do
-      if part.Partitioning.placed.(a).(home) then acc := !acc +. c1t.(a)
+      if part.Partitioning.placed.(a).(home) then acc := !acc +. c1.{tx, a}
     done
   done;
   (* linear part *)
@@ -31,10 +31,10 @@ let site_work (stats : Stats.t) (part : Partitioning.t) =
   let work = Array.make part.Partitioning.num_sites 0. in
   for tx = 0 to stats.Stats.num_txns - 1 do
     let home = part.Partitioning.txn_site.(tx) in
-    let c3t = stats.Stats.c3.(tx) in
+    let c3 = stats.Stats.c3 in
     for a = 0 to stats.Stats.num_attrs - 1 do
       if part.Partitioning.placed.(a).(home) then
-        work.(home) <- work.(home) +. c3t.(a)
+        work.(home) <- work.(home) +. c3.{tx, a}
     done
   done;
   for a = 0 to stats.Stats.num_attrs - 1 do

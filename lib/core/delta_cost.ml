@@ -40,9 +40,9 @@ type t = {
   stats : Stats.t;
   lambda : float;
   part : Partitioning.t;
-  quad : float array;
-  workq : float array;
-  work : float array;
+  quad : Vec.t;
+  workq : Vec.t;
+  work : Vec.t;
   mutable cost_quad : float;
   mutable cost_lin : float;
   repl : int array;
@@ -62,9 +62,13 @@ let cost t = t.cost_quad +. t.cost_lin
 
 let max_site_work t =
   (* same fold as Cost_model.max_site_work: max over sites, floor 0 *)
-  Array.fold_left Float.max 0. t.work
+  let m = ref 0. in
+  for s = 0 to Vec.length t.work - 1 do
+    m := Float.max !m t.work.{s}
+  done;
+  !m
 
-let site_work t = Array.copy t.work
+let site_work t = Vec.to_array t.work
 
 let objective t =
   let base =
@@ -136,24 +140,24 @@ let rebuild t =
   let nt = stats.Stats.num_txns
   and na = stats.Stats.num_attrs
   and ns = part.Partitioning.num_sites in
-  Array.fill t.work 0 ns 0.;
+  Vec.fill t.work 0.;
   Array.fill t.site_len 0 ns 0;
   t.cost_quad <- 0.;
   t.cost_lin <- 0.;
   for tx = 0 to nt - 1 do
     let home = part.Partitioning.txn_site.(tx) in
-    let c1t = stats.Stats.c1.(tx) and c3t = stats.Stats.c3.(tx) in
+    let c1t = Vec.row stats.Stats.c1 tx and c3t = Vec.row stats.Stats.c3 tx in
     let q = ref 0. and w = ref 0. in
     for a = 0 to na - 1 do
       if part.Partitioning.placed.(a).(home) then begin
-        q := !q +. c1t.(a);
-        w := !w +. c3t.(a)
+        q := !q +. c1t.{a};
+        w := !w +. c3t.{a}
       end
     done;
-    t.quad.(tx) <- !q;
-    t.workq.(tx) <- !w;
+    t.quad.{tx} <- !q;
+    t.workq.{tx} <- !w;
     t.cost_quad <- t.cost_quad +. !q;
-    t.work.(home) <- t.work.(home) +. !w;
+    t.work.{home} <- t.work.{home} +. !w;
     t.pos.(tx) <- t.site_len.(home);
     t.site_txns.(home).(t.site_len.(home)) <- tx;
     t.site_len.(home) <- t.site_len.(home) + 1
@@ -164,7 +168,7 @@ let rebuild t =
     for s = 0 to ns - 1 do
       if row.(s) then begin
         incr r;
-        t.work.(s) <- t.work.(s) +. stats.Stats.c4.(a)
+        t.work.{s} <- t.work.{s} +. stats.Stats.c4.(a)
       end
     done;
     t.repl.(a) <- !r;
@@ -182,24 +186,76 @@ let rebuild t =
 
 let resync t = rebuild t
 
-let create ?latency (stats : Stats.t) ~lambda (part : Partitioning.t) =
+(* Pooled buffers for repeated [create] calls over same-shaped problems
+   (the batch service): {!rebuild} overwrites every cache entry it will
+   later read, so reusing buffers verbatim cannot change any value a
+   fresh evaluator would compute — bit-identity is structural, not
+   numerical luck. *)
+module Workspace = struct
+  type buffers = {
+    nt : int;
+    na : int;
+    ns : int;
+    quad : Vec.t;
+    workq : Vec.t;
+    work : Vec.t;
+    repl : int array;
+    site_txns : int array array;
+    site_len : int array;
+    pos : int array;
+  }
+
+  type t = { mutable cached : buffers option }
+
+  let create () = { cached = None }
+
+  let buffers ws ~nt ~na ~ns =
+    match ws.cached with
+    | Some b when b.nt = nt && b.na = na && b.ns = ns -> b
+    | _ ->
+      let b =
+        {
+          nt;
+          na;
+          ns;
+          quad = Vec.create nt;
+          workq = Vec.create nt;
+          work = Vec.create ns;
+          repl = Array.make na 0;
+          site_txns = Array.init ns (fun _ -> Array.make nt 0);
+          site_len = Array.make ns 0;
+          pos = Array.make nt 0;
+        }
+      in
+      ws.cached <- Some b;
+      b
+end
+
+let create ?workspace ?latency (stats : Stats.t) ~lambda
+    (part : Partitioning.t) =
   let nt = stats.Stats.num_txns
   and na = stats.Stats.num_attrs
   and ns = part.Partitioning.num_sites in
+  let b =
+    let ws =
+      match workspace with Some ws -> ws | None -> Workspace.create ()
+    in
+    Workspace.buffers ws ~nt ~na ~ns
+  in
   let t =
     {
       stats;
       lambda;
       part;
-      quad = Array.make nt 0.;
-      workq = Array.make nt 0.;
-      work = Array.make ns 0.;
+      quad = b.Workspace.quad;
+      workq = b.Workspace.workq;
+      work = b.Workspace.work;
       cost_quad = 0.;
       cost_lin = 0.;
-      repl = Array.make na 0;
-      site_txns = Array.init ns (fun _ -> Array.make nt 0);
-      site_len = Array.make ns 0;
-      pos = Array.make nt 0;
+      repl = b.Workspace.repl;
+      site_txns = b.Workspace.site_txns;
+      site_len = b.Workspace.site_len;
+      pos = b.Workspace.pos;
       lat = Option.map (fun (inst, pl) -> make_lat inst pl) latency;
       journal = [];
       jlen = 0;
@@ -228,16 +284,16 @@ let prim_flip t a s =
   row.(s) <- adding;
   t.repl.(a) <- t.repl.(a) + (if adding then 1 else -1);
   t.cost_lin <- t.cost_lin +. (sign *. stats.Stats.c2.(a));
-  t.work.(s) <- t.work.(s) +. (sign *. stats.Stats.c4.(a));
+  t.work.{s} <- t.work.{s} +. (sign *. stats.Stats.c4.(a));
   let lst = t.site_txns.(s) in
   for i = 0 to t.site_len.(s) - 1 do
     let tx = lst.(i) in
-    let dq = sign *. stats.Stats.c1.(tx).(a) in
-    let dw = sign *. stats.Stats.c3.(tx).(a) in
-    t.quad.(tx) <- t.quad.(tx) +. dq;
+    let dq = sign *. stats.Stats.c1.{tx, a} in
+    let dw = sign *. stats.Stats.c3.{tx, a} in
+    t.quad.{tx} <- t.quad.{tx} +. dq;
     t.cost_quad <- t.cost_quad +. dq;
-    t.workq.(tx) <- t.workq.(tx) +. dw;
-    t.work.(s) <- t.work.(s) +. dw
+    t.workq.{tx} <- t.workq.{tx} +. dw;
+    t.work.{s} <- t.work.{s} +. dw
   done;
   match t.lat with
   | None -> ()
@@ -271,21 +327,21 @@ let prim_assign t tx s =
     lst'.(t.site_len.(s)) <- tx;
     t.site_len.(s) <- t.site_len.(s) + 1;
     part.Partitioning.txn_site.(tx) <- s;
-    t.cost_quad <- t.cost_quad -. t.quad.(tx);
-    t.work.(s_old) <- t.work.(s_old) -. t.workq.(tx);
+    t.cost_quad <- t.cost_quad -. t.quad.{tx};
+    t.work.{s_old} <- t.work.{s_old} -. t.workq.{tx};
     (* fresh row widths against the new home (exact, not incremental) *)
-    let c1t = stats.Stats.c1.(tx) and c3t = stats.Stats.c3.(tx) in
+    let c1t = Vec.row stats.Stats.c1 tx and c3t = Vec.row stats.Stats.c3 tx in
     let q = ref 0. and w = ref 0. in
     for a = 0 to stats.Stats.num_attrs - 1 do
       if part.Partitioning.placed.(a).(s) then begin
-        q := !q +. c1t.(a);
-        w := !w +. c3t.(a)
+        q := !q +. c1t.{a};
+        w := !w +. c3t.{a}
       end
     done;
-    t.quad.(tx) <- !q;
-    t.workq.(tx) <- !w;
+    t.quad.{tx} <- !q;
+    t.workq.{tx} <- !w;
     t.cost_quad <- t.cost_quad +. !q;
-    t.work.(s) <- t.work.(s) +. !w;
+    t.work.{s} <- t.work.{s} +. !w;
     (match t.lat with
      | None -> ()
      | Some l ->

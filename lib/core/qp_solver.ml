@@ -20,6 +20,7 @@ type options = {
   refactor_every : int;
   scale : bool;
   break_symmetry : bool;
+  simplex_workspace : Simplex.Workspace.t option;
 }
 
 let default_options =
@@ -45,6 +46,7 @@ let default_options =
     refactor_every = 32;
     scale = false;
     break_symmetry = false;
+    simplex_workspace = None;
   }
 
 type outcome = Proved_optimal | Limit_feasible | Limit_no_solution | Too_large
@@ -140,7 +142,7 @@ let build_layout_model ?instance (stats : Stats.t) opts =
   (* Single-sitedness and the quadratic terms. *)
   for t = 0 to nt - 1 do
     for a = 0 to na - 1 do
-      let c1 = stats.Stats.c1.(t).(a) and c3 = stats.Stats.c3.(t).(a) in
+      let c1 = stats.Stats.c1.{t, a} and c3 = stats.Stats.c3.{t, a} in
       if stats.Stats.phi.(t).(a) then begin
         (* y >= x at every site; x·y == x, summed over sites == 1. *)
         for s = 0 to ns - 1 do
@@ -193,9 +195,7 @@ let build_layout_model ?instance (stats : Stats.t) opts =
   let mv =
     if balancing then begin
       let work_ub =
-        Array.fold_left
-          (fun acc row -> acc +. Array.fold_left ( +. ) 0. row)
-          0. stats.Stats.c3
+        Vec.mat_sum stats.Stats.c3
         +. Array.fold_left ( +. ) 0. stats.Stats.c4
       in
       let v = Lp.add_var m ~name:"maxload" ~lb:0. ~ub:(Float.max 1. work_ub) () in
@@ -455,7 +455,8 @@ let solve ?(options = default_options) (inst : Instance.t) =
   in
   let mip_outcome, mip_stats =
     Mip.solve ~limits ~priority ?heuristic ?incumbent
-      ~jobs:(max 1 options.jobs) model
+      ~jobs:(max 1 options.jobs)
+      ?simplex_workspace:options.simplex_workspace model
   in
   let elapsed = Obs.Clock.now () -. start in
   let finish outcome partitioning_reduced bound =

@@ -87,6 +87,11 @@ type options = {
           concrete sites.  Heuristic and seed partitionings are relabeled
           to canonical site order so they stay feasible under the
           pinning. *)
+  simplex_workspace : Simplex.Workspace.t option;
+      (** Float arena pooling the branch-and-bound root simplex storage
+          across repeated solves ({!Mip.solve}'s [simplex_workspace]) —
+          the batch service's steady state.  Must not be shared across
+          concurrent solves; [None] (default) allocates fresh. *)
 }
 
 val default_options : options

@@ -82,9 +82,9 @@ let optimize_y_given_x (stats : Stats.t) opts (part : Partitioning.t) =
   let forced = Array.init na (fun _ -> Array.make ns false) in
   for t = 0 to nt - 1 do
     let home = part.Partitioning.txn_site.(t) in
-    let c1t = stats.Stats.c1.(t) and phi_t = stats.Stats.phi.(t) in
+    let c1t = Vec.row stats.Stats.c1 t and phi_t = stats.Stats.phi.(t) in
     for a = 0 to na - 1 do
-      coef.(a).(home) <- coef.(a).(home) +. c1t.(a);
+      coef.(a).(home) <- coef.(a).(home) +. c1t.{a};
       if phi_t.(a) then forced.(a).(home) <- true
     done
   done;
@@ -116,7 +116,7 @@ let optimize_x_given_y (stats : Stats.t) opts (part : Partitioning.t) =
   and na = stats.Stats.num_attrs
   and ns = opts.num_sites in
   for t = 0 to nt - 1 do
-    let c1t = stats.Stats.c1.(t) and phi_t = stats.Stats.phi.(t) in
+    let c1t = Vec.row stats.Stats.c1 t and phi_t = stats.Stats.phi.(t) in
     let best = ref (-1) and best_c = ref infinity in
     for s = 0 to ns - 1 do
       let feasible = ref true in
@@ -126,7 +126,7 @@ let optimize_x_given_y (stats : Stats.t) opts (part : Partitioning.t) =
       if !feasible then begin
         let c = ref 0. in
         for a = 0 to na - 1 do
-          if part.Partitioning.placed.(a).(s) then c := !c +. c1t.(a)
+          if part.Partitioning.placed.(a).(s) then c := !c +. c1t.{a}
         done;
         if !c < !best_c then begin
           best := s;
@@ -363,21 +363,21 @@ let delta_replicated_engine ctx rng part =
     done;
     for t = 0 to nt - 1 do
       let home = part.Partitioning.txn_site.(t) in
-      let c1t = stats.Stats.c1.(t) in
+      let c1t = Vec.row stats.Stats.c1 t in
       for a = 0 to na - 1 do
-        coef.(a).(home) <- coef.(a).(home) +. c1t.(a)
+        coef.(a).(home) <- coef.(a).(home) +. c1t.{a}
       done;
       Array.iter
         (fun a -> forced.(a).(home) <- forced.(a).(home) + 1)
         ctx.phi_attrs.(t)
     done;
     for t = 0 to nt - 1 do
-      let c1t = stats.Stats.c1.(t) in
+      let c1t = Vec.row stats.Stats.c1 t in
       let nphi = Array.length ctx.phi_attrs.(t) in
       for s = 0 to ns - 1 do
         let sc = ref 0. in
         for a = 0 to na - 1 do
-          if part.Partitioning.placed.(a).(s) then sc := !sc +. c1t.(a)
+          if part.Partitioning.placed.(a).(s) then sc := !sc +. c1t.{a}
         done;
         score.(t).(s) <- !sc;
         let m = ref nphi in
@@ -395,7 +395,7 @@ let delta_replicated_engine ctx rng part =
     ignore (Delta_cost.apply_move dc (Delta_cost.Flip (a, s)));
     let sign = if added then 1. else -1. in
     for t = 0 to nt - 1 do
-      score.(t).(s) <- score.(t).(s) +. (sign *. stats.Stats.c1.(t).(a))
+      score.(t).(s) <- score.(t).(s) +. (sign *. stats.Stats.c1.{t, a})
     done;
     let d = if added then -1 else 1 in
     Array.iter (fun t -> miss.(t).(s) <- miss.(t).(s) + d) ctx.phi_txns.(a);
@@ -405,10 +405,10 @@ let delta_replicated_engine ctx rng part =
     let s_old = part.Partitioning.txn_site.(t) in
     if s_old <> s then begin
       ignore (Delta_cost.apply_move dc (Delta_cost.Assign (t, s)));
-      let c1t = stats.Stats.c1.(t) in
+      let c1t = Vec.row stats.Stats.c1 t in
       for a = 0 to na - 1 do
-        coef.(a).(s_old) <- coef.(a).(s_old) -. c1t.(a);
-        coef.(a).(s) <- coef.(a).(s) +. c1t.(a)
+        coef.(a).(s_old) <- coef.(a).(s_old) -. c1t.{a};
+        coef.(a).(s) <- coef.(a).(s) +. c1t.{a}
       done;
       Array.iter
         (fun a ->
@@ -428,7 +428,7 @@ let delta_replicated_engine ctx rng part =
           Delta_cost.undo_move dc;
           let sign = if added then -1. else 1. in
           for t = 0 to nt - 1 do
-            score.(t).(s) <- score.(t).(s) +. (sign *. stats.Stats.c1.(t).(a))
+            score.(t).(s) <- score.(t).(s) +. (sign *. stats.Stats.c1.{t, a})
           done;
           let d = if added then 1 else -1 in
           Array.iter
@@ -436,10 +436,10 @@ let delta_replicated_engine ctx rng part =
             ctx.phi_txns.(a)
         | EAssign (t, s_old, s_new) ->
           Delta_cost.undo_move dc;
-          let c1t = stats.Stats.c1.(t) in
+          let c1t = Vec.row stats.Stats.c1 t in
           for a = 0 to na - 1 do
-            coef.(a).(s_new) <- coef.(a).(s_new) -. c1t.(a);
-            coef.(a).(s_old) <- coef.(a).(s_old) +. c1t.(a)
+            coef.(a).(s_new) <- coef.(a).(s_new) -. c1t.{a};
+            coef.(a).(s_old) <- coef.(a).(s_old) +. c1t.{a}
           done;
           Array.iter
             (fun a ->
@@ -651,9 +651,9 @@ let disjoint_apply (stats : Stats.t) opts comp_of comp_site
   let coef = Array.init na (fun a -> Array.make opts.num_sites stats.Stats.c2.(a)) in
   for t = 0 to nt - 1 do
     let home = part.Partitioning.txn_site.(t) in
-    let c1t = stats.Stats.c1.(t) in
+    let c1t = Vec.row stats.Stats.c1 t in
     for a = 0 to na - 1 do
-      coef.(a).(home) <- coef.(a).(home) +. c1t.(a)
+      coef.(a).(home) <- coef.(a).(home) +. c1t.{a}
     done
   done;
   for a = 0 to na - 1 do
@@ -740,9 +740,9 @@ let delta_disjoint_engine ctx (dctx : disjoint_ctx) rng =
     done;
     for t = 0 to nt - 1 do
       let home = part.Partitioning.txn_site.(t) in
-      let c1t = stats.Stats.c1.(t) in
+      let c1t = Vec.row stats.Stats.c1 t in
       for a = 0 to na - 1 do
-        coef.(a).(home) <- coef.(a).(home) +. c1t.(a)
+        coef.(a).(home) <- coef.(a).(home) +. c1t.{a}
       done
     done
   in
@@ -751,10 +751,10 @@ let delta_disjoint_engine ctx (dctx : disjoint_ctx) rng =
   let shift_coef txns from_s to_s =
     Array.iter
       (fun t ->
-         let c1t = stats.Stats.c1.(t) in
+         let c1t = Vec.row stats.Stats.c1 t in
          for a = 0 to na - 1 do
-           coef.(a).(from_s) <- coef.(a).(from_s) -. c1t.(a);
-           coef.(a).(to_s) <- coef.(a).(to_s) +. c1t.(a)
+           coef.(a).(from_s) <- coef.(a).(from_s) -. c1t.{a};
+           coef.(a).(to_s) <- coef.(a).(to_s) +. c1t.{a}
          done)
       txns
   in

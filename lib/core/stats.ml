@@ -3,9 +3,9 @@ type t = {
   num_attrs : int;
   num_txns : int;
   num_queries : int;
-  c1 : float array array;
+  c1 : Vec.mat;
   c2 : float array;
-  c3 : float array array;
+  c3 : Vec.mat;
   c4 : float array;
   phi : bool array array;
   total_weight : float;
@@ -24,9 +24,9 @@ let compute (inst : Instance.t) ~p =
   let na = Schema.num_attrs schema in
   let nt = Workload.num_transactions wl in
   let nq = Workload.num_queries wl in
-  let c1 = Array.init nt (fun _ -> Array.make na 0.) in
+  let c1 = Vec.mat_create nt na in
   let c2 = Array.make na 0. in
-  let c3 = Array.init nt (fun _ -> Array.make na 0.) in
+  let c3 = Vec.mat_create nt na in
   let c4 = Array.make na 0. in
   let phi = Array.init nt (fun _ -> Array.make na false) in
   let total_weight = ref 0. in
@@ -52,11 +52,11 @@ let compute (inst : Instance.t) ~p =
                      c2.(a) <- c2.(a) +. (wa *. (1. +. (if alpha.(a) then p else 0.)));
                      c4.(a) <- c4.(a) +. wa;
                      if alpha.(a) then
-                       c1.(tid).(a) <- c1.(tid).(a) -. (p *. wa)
+                       c1.{tid, a} <- c1.{tid, a} -. (p *. wa)
                    end
                    else begin
-                     c1.(tid).(a) <- c1.(tid).(a) +. wa;
-                     c3.(tid).(a) <- c3.(tid).(a) +. wa;
+                     c1.{tid, a} <- c1.{tid, a} +. wa;
+                     c3.{tid, a} <- c3.{tid, a} +. wa;
                      if alpha.(a) then phi.(tid).(a) <- true
                    end)
                 (Schema.attrs_of_table schema table))

@@ -24,9 +24,9 @@ type t = private {
   num_attrs : int;
   num_txns : int;
   num_queries : int;
-  c1 : float array array;   (** indexed [t].(a) *)
+  c1 : Vec.mat;              (** indexed [{t, a}] *)
   c2 : float array;          (** indexed [a] *)
-  c3 : float array array;   (** indexed [t].(a); always >= 0 *)
+  c3 : Vec.mat;              (** indexed [{t, a}]; always >= 0 *)
   c4 : float array;          (** indexed [a]; always >= 0 *)
   phi : bool array array;    (** indexed [t].(a) *)
   total_weight : float;      (** Σ_{a,q} W_{a,q}·β_{a,q}: scale of the instance *)

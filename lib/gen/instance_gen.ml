@@ -78,6 +78,17 @@ let generate ?(seed = 42) p =
   let workload = Workload.make ~queries:(List.rev !queries) ~transactions in
   Instance.make ~name:p.name schema workload
 
+let stream ?(seed = 42) ~count p =
+  if count < 0 then invalid_arg "Instance_gen.stream: negative count";
+  (* Element [i] is [generate ~seed:(seed + i)]: each instance draws from
+     its own freshly seeded generator, so the sequence is pure — forcing
+     it twice (or from several domains at once) yields identical
+     instances, and no element depends on how many predecessors were
+     forced.  Nothing is materialized: memory stays O(1) in [count]. *)
+  Seq.init count (fun i ->
+      let name = Printf.sprintf "%s#%d" p.name i in
+      (name, generate ~seed:(seed + i) { p with name }))
+
 (* Table 2: the rndA... instances have many attributes per table and few
    attribute references per query (high cost-reduction potential); the
    rndB... instances are the opposite. *)

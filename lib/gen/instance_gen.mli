@@ -38,6 +38,17 @@ val default_params : params
 val generate : ?seed:int -> params -> Vpart.Instance.t
 (** Deterministic for a given [(seed, params)] pair (default seed 42). *)
 
+val stream : ?seed:int -> count:int -> params -> (string * Vpart.Instance.t) Seq.t
+(** [stream ?seed ~count p] is the lazy sequence of [count] instances
+    whose element [i] is [generate ~seed:(seed + i)] under the name
+    ["<p.name>#<i>"] (default seed 42, as in {!generate}).  The sequence
+    is {e pure}: re-traversal regenerates identical instances, so a 10k
+    sweep never holds more than the element being consumed — the batch
+    service and the throughput bench iterate it without materializing.
+    Equal to the materialized list element-for-element (enforced by a
+    [test/test_gen.ml] property).
+    @raise Invalid_argument when [count < 0]. *)
+
 val catalog : params list
 (** The named rndA/rndB instances of Table 2 (extended with t64). *)
 

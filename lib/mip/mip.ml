@@ -563,7 +563,8 @@ let outcome_tag = function
   | Too_large _ -> "too_large"
 
 let solve ?(limits = default_limits) ?(presolve = false)
-    ?(priority = fun _ -> 0) ?heuristic ?incumbent ?(jobs = 1) model =
+    ?(priority = fun _ -> 0) ?heuristic ?incumbent ?(jobs = 1)
+    ?simplex_workspace model =
   let original_std = Lp.standardize model in
   Obs.with_span "mip.solve"
     ~attrs:
@@ -693,8 +694,8 @@ let solve ?(limits = default_limits) ?(presolve = false)
       ~refacs:0 ~etas:0 ~eta_len:0 ~gap_achieved:infinity ~audit:no_audit
   | _ ->
     let sx =
-      Simplex.create ~kernel:limits.kernel ?pricing:limits.pricing
-        ~refactor_every:limits.refactor_every std
+      Simplex.create ?workspace:simplex_workspace ~kernel:limits.kernel
+        ?pricing:limits.pricing ~refactor_every:limits.refactor_every std
     in
     let deadline = Option.map (fun tl -> start +. tl) limits.time_limit in
     let int_vars =

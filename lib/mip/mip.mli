@@ -143,6 +143,7 @@ val solve :
   ?heuristic:(float array -> float array option) ->
   ?incumbent:float array ->
   ?jobs:int ->
+  ?simplex_workspace:Simplex.Workspace.t ->
   Lp.model ->
   outcome * stats
 (** Solve the model.  [priority v] orders branching candidates (higher
@@ -170,6 +171,14 @@ val solve :
     exact tie-breaking — may differ from the sequential search, but the
     certified objective agrees within [limits.gap].  [priority] and
     [heuristic] callbacks must be thread-safe (pure functions of their
-    arguments); the ones built by [Qp_solver] are. *)
+    arguments); the ones built by [Qp_solver] are.
+
+    [simplex_workspace] pools the root simplex instance's dense float
+    storage across repeated solves (see
+    {!Vpart_simplex.Simplex.Workspace}): a batch loop that solves many
+    models through one workspace stops paying per-solve major-heap
+    allocations for the simplex vectors.  The workspace must not be
+    shared across concurrent [solve] calls; worker copies made under
+    [jobs > 1] always allocate fresh storage. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -331,6 +331,10 @@ let domain_attrs attrs =
   if Domain.is_main_domain () then attrs
   else attrs @ [ ("domain", Int (Domain.self () :> int)) ]
 
+(* Set below, once [gauge] exists: samples GC counters at span close
+   when {!set_gc_sampling} is on. *)
+let gc_sample_hook : (unit -> unit) ref = ref (fun () -> ())
+
 let with_span ?(attrs = []) name f =
   refresh_active ();
   if not st.active then f ()
@@ -356,7 +360,8 @@ let with_span ?(attrs = []) name f =
              | _ -> ()  (* sink swapped mid-span; drop silently *));
             emit (Span_close { id; name; dur })
           end;
-          if Metrics.enabled () then Metrics.observe ("span." ^ name) dur)
+          if Metrics.enabled () then Metrics.observe ("span." ^ name) dur;
+          !gc_sample_hook ())
       f
   end
 
@@ -377,6 +382,29 @@ let point ?(attrs = []) name =
     if Metrics.enabled () then Metrics.add_counter name 1.;
     if sink_on () then emit (Point { name; attrs = domain_attrs attrs })
   end
+
+(* --- GC sampling -------------------------------------------------- *)
+
+let gc_sampling_flag = ref false
+
+let set_gc_sampling b = gc_sampling_flag := b
+
+let gc_sampling () = !gc_sampling_flag
+
+let sample_gc () =
+  if !gc_sampling_flag && st.active then begin
+    (* [quick_stat] reads counters without forcing a heap walk, so the
+       sample is cheap enough for span boundaries.  Words are reported
+       as floats (minor_words already is one; a heap beyond 2^53 words
+       is not a concern). *)
+    let s = Gc.quick_stat () in
+    gauge "gc.minor_words" s.Gc.minor_words;
+    gauge "gc.major_words" s.Gc.major_words;
+    gauge "gc.heap_words" (float_of_int s.Gc.heap_words);
+    gauge "gc.compactions" (float_of_int s.Gc.compactions)
+  end
+
+let () = gc_sample_hook := sample_gc
 
 let observe name v = if Metrics.enabled () then Metrics.observe name v
 

@@ -118,6 +118,22 @@ val point : ?attrs:attrs -> string -> unit
 (** An instantaneous progress event (incumbent found, epoch finished).
     Sink-only; {!Metrics} counts occurrences under the event name. *)
 
+val set_gc_sampling : bool -> unit
+(** Enable/disable GC sampling at span boundaries (off by default, so
+    existing traces stay byte-identical).  When on and a sink or
+    {!Metrics} is active, every span close additionally emits the gauges
+    [gc.minor_words], [gc.major_words] (cumulative allocation, words),
+    [gc.heap_words] (current major heap) and [gc.compactions] — the
+    memory-flatness evidence of the batch throughput bench.  New gauge
+    names only: schema version is unchanged per the policy above. *)
+
+val gc_sampling : unit -> bool
+
+val sample_gc : unit -> unit
+(** Emit one GC sample immediately (same gauges as above); a no-op when
+    sampling is off or nothing is listening.  For request-loop callers
+    that want samples between spans. *)
+
 val observe : string -> float -> unit
 (** Record a value into a {!Metrics} histogram.  Metrics-only: histogram
     samples are aggregates, not trace events. *)

@@ -100,21 +100,21 @@ type t = {
   n : int;                        (* structural variables *)
   m : int;                        (* rows = basis size *)
   nn : int;                       (* n + m *)
-  cost : float array;             (* nn; slacks cost 0 *)
-  lb : float array;               (* nn, patched *)
-  ub : float array;
+  cost : Vec.t;                   (* nn; slacks cost 0 *)
+  lb : Vec.t;                     (* nn, patched *)
+  ub : Vec.t;
   lb_patched : bool array;
   ub_patched : bool array;
   col_idx : int array array;      (* structural columns only *)
   col_val : float array array;
   row_idx : int array array;      (* row-major mirror, for scatter pricing *)
   row_val : float array array;
-  b : float array;
+  b : Vec.t;
   basis : int array;              (* m: variable basic at each position *)
   loc : int array;                (* nn: -1 at lower, -2 at upper, pos >= 0 basic *)
   kernel : kernel;
   pricing : pricing;
-  mutable binv : float array array;
+  mutable binv : Vec.mat;
       (* m x m rows of B0^-1: the dense inverse at the last
          refactorization.  In the Eta kernel the current B^-1 is the
          product of the eta file over this matrix; in the Dense kernel
@@ -125,25 +125,28 @@ type t = {
   mutable lu : Sparse_lu.t option;
       (* Sparse kernel: the B0 factorization.  None means the dense binv
          is live instead (Dense/Eta kernels, or sparse fallback). *)
-  lu_work : float array;          (* m scratch for Sparse_lu solves *)
-  xb : float array;               (* m basic values *)
-  d : float array;                (* nn reduced costs (valid for nonbasic) *)
-  alpha : float array;            (* nn scratch: pivot row in nonbasic space *)
+  lu_work : Vec.t;                (* m scratch for Sparse_lu solves *)
+  xb : Vec.t;                     (* m basic values *)
+  d : Vec.t;                      (* nn reduced costs (valid for nonbasic) *)
+  alpha : Vec.t;                  (* nn scratch: pivot row in nonbasic space *)
   amark : bool array;             (* nn scratch: alpha scatter membership *)
   atouch : int array;             (* nn scratch: scattered positions *)
   mutable natouch : int;
-  dw : float array;               (* m devex reference weights (rows) *)
-  wscratch : float array;         (* m scratch: ftran result *)
+  dw : Vec.t;                     (* m devex reference weights (rows) *)
+  wscratch : Vec.t;               (* m scratch: ftran result *)
+  zscratch : Vec.t;               (* m scratch: compute_xb right-hand side *)
+  duscratch : Vec.t;              (* m scratch: compute_duals btran input *)
+  dyscratch : Vec.t;              (* m scratch: compute_duals dense output *)
   refactor_every : int;           (* eta-file length triggering refactor *)
   mutable etas : eta array;       (* stack; first neta entries valid *)
   mutable neta : int;
   mutable eta_apps : int;         (* eta applications performed *)
   mutable eta_len_max : int;      (* high-water eta-file length *)
-  rho : float array;              (* m scratch: pivot row e_r B^-1 *)
-  uscratch : float array;         (* m scratch: sparse btran (zero outside) *)
+  rho : Vec.t;                    (* m scratch: pivot row e_r B^-1 *)
+  uscratch : Vec.t;               (* m scratch: sparse btran (zero outside) *)
   utouched : int array;           (* m scratch: nonzero rows of uscratch *)
   umark : bool array;             (* m scratch: membership (false outside) *)
-  xb_save : float array;          (* m scratch: drift detection *)
+  xb_save : Vec.t;                (* m scratch: drift detection *)
   mutable total_iters : int;
   mutable total_refactors : int;
   mutable drift_rebuilds : int;    (* refactors forced by resync drift *)
@@ -198,7 +201,29 @@ let col_major (std : Lp.std) =
   done;
   (idx, value)
 
-let create ?(kernel = Sparse) ?pricing ?(refactor_every = 32) (std : Lp.std) =
+(* Domain-local arena for the float payload of a solver instance.  Batch
+   solving creates one Simplex.t per request; with a workspace the
+   per-create float vectors (5·nn + 11·m doubles — the dominant
+   allocation) are carved as views out of a single retained buffer that
+   is zeroed and re-carved on every [create], so steady-state solving
+   allocates O(1) float payload per request.  The buffer only grows (to
+   the largest model seen), and because every carved view starts
+   zero-filled exactly like a fresh [Vec.create], a pooled instance is
+   bit-identical to a fresh one.  A workspace must back at most one live
+   instance: the next [create] from the same workspace re-carves the
+   buffer under the previous instance.  [copy] never draws from a
+   workspace — copies always allocate fresh. *)
+module Workspace = struct
+  type t = { mutable buf : Vec.t }
+
+  let create () = { buf = Vec.create 0 }
+
+  (* Total float demand of [Simplex.create] for an n×m model. *)
+  let demand ~nn ~m = (5 * nn) + (11 * m)
+end
+
+let create ?workspace ?(kernel = Sparse) ?pricing ?(refactor_every = 32)
+    (std : Lp.std) =
   if refactor_every < 1 then
     invalid_arg "Simplex.create: refactor_every must be >= 1";
   (* Devex pays off where iterations are the bottleneck; the Dense and
@@ -211,28 +236,44 @@ let create ?(kernel = Sparse) ?pricing ?(refactor_every = 32) (std : Lp.std) =
   in
   let n = std.Lp.ncols and m = std.Lp.nrows in
   let nn = n + m in
-  let cost = Array.make nn 0. in
-  Array.blit std.Lp.obj 0 cost 0 n;
-  let lb = Array.make nn 0. and ub = Array.make nn 0. in
+  let alloc =
+    match workspace with
+    | None -> Vec.create
+    | Some ws ->
+      let total = Workspace.demand ~nn ~m in
+      if Vec.length ws.Workspace.buf < total then
+        ws.Workspace.buf <- Vec.create total
+      else Vec.fill (Vec.sub ws.Workspace.buf 0 total) 0.;
+      let off = ref 0 in
+      fun len ->
+        let v = Vec.sub ws.Workspace.buf !off len in
+        off := !off + len;
+        v
+  in
+  let cost = alloc nn in
+  for j = 0 to n - 1 do
+    cost.{j} <- std.Lp.obj.(j)
+  done;
+  let lb = alloc nn and ub = alloc nn in
   let lb_patched = Array.make nn false and ub_patched = Array.make nn false in
   for j = 0 to n - 1 do
     lb_patched.(j) <- std.Lp.lb.(j) = neg_infinity;
     ub_patched.(j) <- std.Lp.ub.(j) = infinity;
-    lb.(j) <- patch_lb std.Lp.lb.(j);
-    ub.(j) <- patch_ub std.Lp.ub.(j)
+    lb.{j} <- patch_lb std.Lp.lb.(j);
+    ub.{j} <- patch_ub std.Lp.ub.(j)
   done;
   for i = 0 to m - 1 do
     let j = n + i in
     (match std.Lp.row_cmp.(i) with
-     | Lp.Le -> lb.(j) <- 0.; ub.(j) <- big; ub_patched.(j) <- true
-     | Lp.Ge -> lb.(j) <- -.big; ub.(j) <- 0.; lb_patched.(j) <- true
-     | Lp.Eq -> lb.(j) <- 0.; ub.(j) <- 0.)
+     | Lp.Le -> lb.{j} <- 0.; ub.{j} <- big; ub_patched.(j) <- true
+     | Lp.Ge -> lb.{j} <- -.big; ub.{j} <- 0.; lb_patched.(j) <- true
+     | Lp.Eq -> lb.{j} <- 0.; ub.{j} <- 0.)
   done;
   (* Dual-feasible nonbasic placement for structurals. *)
   let loc = Array.make nn (-1) in
   for j = 0 to n - 1 do
-    if cost.(j) > 0. then loc.(j) <- -1
-    else if cost.(j) < 0. then loc.(j) <- -2
+    if cost.{j} > 0. then loc.(j) <- -1
+    else if cost.{j} < 0. then loc.(j) <- -2
     else if not lb_patched.(j) then loc.(j) <- -1
     else if not ub_patched.(j) then loc.(j) <- -2
     else loc.(j) <- -1
@@ -243,16 +284,24 @@ let create ?(kernel = Sparse) ?pricing ?(refactor_every = 32) (std : Lp.std) =
   done;
   (* The all-slack start basis is the identity under either kernel. *)
   let binv =
-    if kernel = Sparse then [||]
-    else
-      Array.init m (fun i ->
-          let row = Array.make m 0. in
-          row.(i) <- 1.;
-          row)
+    if kernel = Sparse then Vec.mat_empty
+    else begin
+      let bm = Vec.mat_create m m in
+      for i = 0 to m - 1 do
+        bm.{i, i} <- 1.
+      done;
+      bm
+    end
   in
   let lu = if kernel = Sparse then Some (Sparse_lu.identity m) else None in
-  let d = Array.make nn 0. in
-  Array.blit cost 0 d 0 nn;
+  let d = alloc nn in
+  Vec.blit cost d;
+  let b = alloc m in
+  for i = 0 to m - 1 do
+    b.{i} <- std.Lp.rhs.(i)
+  done;
+  let dw = alloc m in
+  Vec.fill dw 1.;
   let col_idx, col_val = col_major std in
   {
     n; m; nn; cost; lb; ub; lb_patched; ub_patched;
@@ -260,31 +309,34 @@ let create ?(kernel = Sparse) ?pricing ?(refactor_every = 32) (std : Lp.std) =
     col_val;
     row_idx = std.Lp.row_idx;
     row_val = std.Lp.row_val;
-    b = Array.copy std.Lp.rhs;
+    b;
     basis; loc;
     kernel;
     pricing;
     binv;
     lu;
-    lu_work = Array.make m 0.;
-    xb = Array.make m 0.;
+    lu_work = alloc m;
+    xb = alloc m;
     d;
-    alpha = Array.make nn 0.;
+    alpha = alloc nn;
     amark = Array.make nn false;
     atouch = Array.make nn 0;
     natouch = 0;
-    dw = Array.make m 1.;
-    wscratch = Array.make m 0.;
+    dw;
+    wscratch = alloc m;
+    zscratch = alloc m;
+    duscratch = alloc m;
+    dyscratch = alloc m;
     refactor_every;
     etas = [||];
     neta = 0;
     eta_apps = 0;
     eta_len_max = 0;
-    rho = Array.make m 0.;
-    uscratch = Array.make m 0.;
+    rho = alloc m;
+    uscratch = alloc m;
     utouched = Array.make m 0;
     umark = Array.make m false;
-    xb_save = Array.make m 0.;
+    xb_save = alloc m;
     total_iters = 0;
     total_refactors = 0;
     drift_rebuilds = 0;
@@ -310,28 +362,31 @@ let create ?(kernel = Sparse) ?pricing ?(refactor_every = 32) (std : Lp.std) =
 let copy t =
   {
     t with
-    lb = Array.copy t.lb;
-    ub = Array.copy t.ub;
+    lb = Vec.copy t.lb;
+    ub = Vec.copy t.ub;
     lb_patched = Array.copy t.lb_patched;
     ub_patched = Array.copy t.ub_patched;
     basis = Array.copy t.basis;
     loc = Array.copy t.loc;
-    binv = Array.map Array.copy t.binv;
-    lu_work = Array.copy t.lu_work;
-    xb = Array.copy t.xb;
-    d = Array.copy t.d;
-    alpha = Array.copy t.alpha;
+    binv = Vec.mat_copy t.binv;
+    lu_work = Vec.copy t.lu_work;
+    xb = Vec.copy t.xb;
+    d = Vec.copy t.d;
+    alpha = Vec.copy t.alpha;
     amark = Array.copy t.amark;
     atouch = Array.copy t.atouch;
-    dw = Array.copy t.dw;
-    wscratch = Array.copy t.wscratch;
+    dw = Vec.copy t.dw;
+    wscratch = Vec.copy t.wscratch;
+    zscratch = Vec.copy t.zscratch;
+    duscratch = Vec.copy t.duscratch;
+    dyscratch = Vec.copy t.dyscratch;
     (* eta records are immutable; sharing them with the copy is safe *)
     etas = Array.copy t.etas;
-    rho = Array.copy t.rho;
-    uscratch = Array.copy t.uscratch;
+    rho = Vec.copy t.rho;
+    uscratch = Vec.copy t.uscratch;
     utouched = Array.copy t.utouched;
     umark = Array.copy t.umark;
-    xb_save = Array.copy t.xb_save;
+    xb_save = Vec.copy t.xb_save;
     infeas_ray = Option.map Array.copy t.infeas_ray;
   }
 
@@ -349,7 +404,7 @@ let lu_nnz t = match t.lu with Some lu -> Sparse_lu.nnz lu | None -> 0
 
 (* Value of a nonbasic variable (forward declaration of the one below;
    needed here so set_bounds can record resting-value deltas). *)
-let nb_value_loc t j = if t.loc.(j) = -1 then t.lb.(j) else t.ub.(j)
+let nb_value_loc t j = if t.loc.(j) = -1 then t.lb.{j} else t.ub.{j}
 
 let set_bounds t j ~lb ~ub =
   if j < 0 || j >= t.n then invalid_arg "Simplex.set_bounds: out of range";
@@ -357,8 +412,8 @@ let set_bounds t j ~lb ~ub =
   let old_v = if t.warm && t.loc.(j) < 0 then nb_value_loc t j else 0. in
   t.lb_patched.(j) <- lb = neg_infinity;
   t.ub_patched.(j) <- ub = infinity;
-  t.lb.(j) <- patch_lb lb;
-  t.ub.(j) <- patch_ub ub;
+  t.lb.{j} <- patch_lb lb;
+  t.ub.{j} <- patch_ub ub;
   (* Reduced costs are bound-independent and a basic variable's value does
      not move when its box does, so the only state a bound change touches
      is the resting value of a nonbasic variable: record the delta for an
@@ -378,7 +433,7 @@ let set_bounds t j ~lb ~ub =
 
 let bounds t j =
   if j < 0 || j >= t.n then invalid_arg "Simplex.bounds: out of range";
-  (t.lb.(j), t.ub.(j))
+  (t.lb.{j}, t.ub.{j})
 
 (* ------------------------------------------------------------------ *)
 (* Core linear algebra                                                 *)
@@ -386,15 +441,15 @@ let bounds t j =
 
 (* Forward pass of the eta file (oldest first): v := E_k ... E_1 v,
    turning a B0^-1-product into a B^-1-product (ftran). *)
-let apply_etas_fwd t v =
+let apply_etas_fwd t (v : Vec.t) =
   for k = 0 to t.neta - 1 do
     let e = t.etas.(k) in
-    let vr = v.(e.er) /. e.piv in
-    v.(e.er) <- vr;
+    let vr = v.{e.er} /. e.piv in
+    v.{e.er} <- vr;
     if vr <> 0. then begin
       let idx = e.idx and va = e.va in
       for i = 0 to Array.length idx - 1 do
-        v.(idx.(i)) <- v.(idx.(i)) -. (va.(i) *. vr)
+        v.{idx.(i)} <- v.{idx.(i)} -. (va.(i) *. vr)
       done
     end;
     t.eta_apps <- t.eta_apps + 1
@@ -403,31 +458,31 @@ let apply_etas_fwd t v =
 (* Backward (row) pass, newest first: u := u E_k ... applied right to
    left gives u B^-1 = ((u E_k) ... E_1) B0^-1 (btran).  Each eta only
    changes entry [er]. *)
-let apply_etas_rev_row t u =
+let apply_etas_rev_row t (u : Vec.t) =
   for k = t.neta - 1 downto 0 do
     let e = t.etas.(k) in
-    let acc = ref u.(e.er) in
+    let acc = ref u.{e.er} in
     let idx = e.idx and va = e.va in
     for i = 0 to Array.length idx - 1 do
-      acc := !acc -. (u.(idx.(i)) *. va.(i))
+      acc := !acc -. (u.{idx.(i)} *. va.(i))
     done;
-    u.(e.er) <- !acc /. e.piv;
+    u.{e.er} <- !acc /. e.piv;
     t.eta_apps <- t.eta_apps + 1
   done
 
 (* Push the eta derived from entering column w (= B^-1 A_q) at pivot row
    r.  Replaces the dense O(m^2) Gauss-Jordan update of binv. *)
-let push_eta t r w =
+let push_eta t r (w : Vec.t) =
   let cnt = ref 0 in
   for i = 0 to t.m - 1 do
-    if i <> r && w.(i) <> 0. then incr cnt
+    if i <> r && w.{i} <> 0. then incr cnt
   done;
   let idx = Array.make !cnt 0 and va = Array.make !cnt 0. in
   let k = ref 0 in
   for i = 0 to t.m - 1 do
-    if i <> r && w.(i) <> 0. then begin
+    if i <> r && w.{i} <> 0. then begin
       idx.(!k) <- i;
-      va.(!k) <- w.(i);
+      va.(!k) <- w.{i};
       incr k
     end
   done;
@@ -436,7 +491,7 @@ let push_eta t r w =
     Array.blit t.etas 0 grown 0 t.neta;
     t.etas <- grown
   end;
-  t.etas.(t.neta) <- { er = r; idx; va; piv = w.(r) };
+  t.etas.(t.neta) <- { er = r; idx; va; piv = w.{r} };
   t.neta <- t.neta + 1;
   if t.neta > t.eta_len_max then t.eta_len_max <- t.neta
 
@@ -454,60 +509,61 @@ let compute_rho t r =
       incr ntouch
     end
   in
-  u.(r) <- 1.;
+  u.{r} <- 1.;
   touch r;
   for k = t.neta - 1 downto 0 do
     let e = t.etas.(k) in
-    let acc = ref (if mark.(e.er) then u.(e.er) else 0.) in
+    let acc = ref (if mark.(e.er) then u.{e.er} else 0.) in
     let idx = e.idx and va = e.va in
     for i = 0 to Array.length idx - 1 do
       let row = idx.(i) in
-      if mark.(row) then acc := !acc -. (u.(row) *. va.(i))
+      if mark.(row) then acc := !acc -. (u.{row} *. va.(i))
     done;
     let v = !acc /. e.piv in
     if v <> 0. || mark.(e.er) then begin
-      u.(e.er) <- v;
+      u.{e.er} <- v;
       touch e.er
     end;
     t.eta_apps <- t.eta_apps + 1
   done;
   (match t.lu with
    | Some lu ->
-     Array.fill t.rho 0 t.m 0.;
+     Vec.fill t.rho 0.;
      for ti = 0 to !ntouch - 1 do
        let i = touched.(ti) in
-       t.rho.(i) <- u.(i)
+       t.rho.{i} <- u.{i}
      done;
      Sparse_lu.btran lu ~work:t.lu_work t.rho
    | None ->
-     Array.fill t.rho 0 t.m 0.;
+     Vec.fill t.rho 0.;
      for ti = 0 to !ntouch - 1 do
        let i = touched.(ti) in
-       let ui = u.(i) in
+       let ui = u.{i} in
        if ui <> 0. then begin
-         let row = t.binv.(i) in
+         let binv = t.binv in
          for c = 0 to t.m - 1 do
-           t.rho.(c) <- t.rho.(c) +. (ui *. row.(c))
+           t.rho.{c} <- t.rho.{c} +. (ui *. binv.{i, c})
          done
        end
      done);
   (* restore the all-zero / all-false scratch invariant *)
   for ti = 0 to !ntouch - 1 do
     let i = touched.(ti) in
-    u.(i) <- 0.;
+    u.{i} <- 0.;
     mark.(i) <- false
   done
 
 (* Value of a nonbasic variable. *)
-let nb_value t j = if t.loc.(j) = -1 then t.lb.(j) else t.ub.(j)
+let nb_value t j = if t.loc.(j) = -1 then t.lb.{j} else t.ub.{j}
 
 let var_value t j =
   let k = t.loc.(j) in
-  if k >= 0 then t.xb.(k) else nb_value t j
+  if k >= 0 then t.xb.{k} else nb_value t j
 
 (* xb := B^-1 (b - N x_N). *)
 let compute_xb t =
-  let z = Array.copy t.b in
+  let z = t.zscratch in
+  Vec.blit t.b z;
   for j = 0 to t.nn - 1 do
     if t.loc.(j) < 0 then begin
       let v = nb_value t j in
@@ -515,24 +571,24 @@ let compute_xb t =
         if j < t.n then begin
           let ci = t.col_idx.(j) and cv = t.col_val.(j) in
           for k = 0 to Array.length ci - 1 do
-            z.(ci.(k)) <- z.(ci.(k)) -. (cv.(k) *. v)
+            z.{ci.(k)} <- z.{ci.(k)} -. (cv.(k) *. v)
           done
         end
-        else z.(j - t.n) <- z.(j - t.n) -. v
+        else z.{j - t.n} <- z.{j - t.n} -. v
     end
   done;
   (match t.lu with
    | Some lu ->
      Sparse_lu.ftran lu ~work:t.lu_work z;
-     Array.blit z 0 t.xb 0 t.m
+     Vec.blit z t.xb
    | None ->
+     let binv = t.binv in
      for i = 0 to t.m - 1 do
-       let row = t.binv.(i) in
        let acc = ref 0. in
        for k = 0 to t.m - 1 do
-         acc := !acc +. (row.(k) *. z.(k))
+         acc := !acc +. (binv.{i, k} *. z.{k})
        done;
-       t.xb.(i) <- !acc
+       t.xb.{i} <- !acc
      done);
   apply_etas_fwd t t.xb
 
@@ -541,42 +597,43 @@ let ftran t j =
   let w = t.wscratch in
   (match t.lu with
    | Some lu ->
-     Array.fill w 0 t.m 0.;
+     Vec.fill w 0.;
      if j < t.n then begin
        let ci = t.col_idx.(j) and cv = t.col_val.(j) in
        for k = 0 to Array.length ci - 1 do
-         w.(ci.(k)) <- w.(ci.(k)) +. cv.(k)
+         w.{ci.(k)} <- w.{ci.(k)} +. cv.(k)
        done
      end
-     else w.(j - t.n) <- 1.;
+     else w.{j - t.n} <- 1.;
      Sparse_lu.ftran lu ~work:t.lu_work w
    | None ->
+     let binv = t.binv in
      if j < t.n then begin
        let ci = t.col_idx.(j) and cv = t.col_val.(j) in
        for i = 0 to t.m - 1 do
-         let row = t.binv.(i) in
          let acc = ref 0. in
          for k = 0 to Array.length ci - 1 do
-           acc := !acc +. (row.(ci.(k)) *. cv.(k))
+           acc := !acc +. (binv.{i, ci.(k)} *. cv.(k))
          done;
-         w.(i) <- !acc
+         w.{i} <- !acc
        done
      end
      else begin
        let r = j - t.n in
        for i = 0 to t.m - 1 do
-         t.wscratch.(i) <- t.binv.(i).(r)
+         w.{i} <- binv.{i, r}
        done
      end);
   apply_etas_fwd t w;
   w
 
 (* Fresh duals y = c_B B^-1: btran of c_B through the eta file, then
-   through B0^-1 (dense rows or LU). *)
+   through B0^-1 (dense rows or LU).  The returned vector is scratch
+   owned by [t] (clobbered by the next call) — public accessors copy. *)
 let compute_duals t =
-  let u = Array.make t.m 0. in
+  let u = t.duscratch in
   for k = 0 to t.m - 1 do
-    u.(k) <- t.cost.(t.basis.(k))
+    u.{k} <- t.cost.{t.basis.(k)}
   done;
   apply_etas_rev_row t u;
   match t.lu with
@@ -584,15 +641,15 @@ let compute_duals t =
     Sparse_lu.btran lu ~work:t.lu_work u;
     u
   | None ->
-    let y = Array.make t.m 0. in
+    let y = t.dyscratch in
+    Vec.fill y 0.;
+    let binv = t.binv in
     for k = 0 to t.m - 1 do
-      let uk = u.(k) in
-      if uk <> 0. then begin
-        let row = t.binv.(k) in
+      let uk = u.{k} in
+      if uk <> 0. then
         for i = 0 to t.m - 1 do
-          y.(i) <- y.(i) +. (uk *. row.(i))
+          y.{i} <- y.{i} +. (uk *. binv.{k, i})
         done
-      end
     done;
     y
 
@@ -600,19 +657,19 @@ let compute_duals t =
 let recompute_d t =
   let y = compute_duals t in
   for j = 0 to t.nn - 1 do
-    if t.loc.(j) >= 0 then t.d.(j) <- 0.
+    if t.loc.(j) >= 0 then t.d.{j} <- 0.
     else if j < t.n then begin
       let ci = t.col_idx.(j) and cv = t.col_val.(j) in
-      let acc = ref t.cost.(j) in
+      let acc = ref t.cost.{j} in
       for k = 0 to Array.length ci - 1 do
-        acc := !acc -. (y.(ci.(k)) *. cv.(k))
+        acc := !acc -. (y.{ci.(k)} *. cv.(k))
       done;
-      t.d.(j) <- !acc
+      t.d.{j} <- !acc
     end
-    else t.d.(j) <- -.y.(j - t.n)
+    else t.d.{j} <- -.y.{j - t.n}
   done
 
-let duals t = compute_duals t
+let duals t = Vec.to_array (compute_duals t)
 
 let farkas_ray t = t.infeas_ray
 
@@ -620,9 +677,9 @@ let reduced_costs t =
   let y = compute_duals t in
   Array.init t.n (fun j ->
       let ci = t.col_idx.(j) and cv = t.col_val.(j) in
-      let acc = ref t.cost.(j) in
+      let acc = ref t.cost.{j} in
       for k = 0 to Array.length ci - 1 do
-        acc := !acc -. (y.(ci.(k)) *. cv.(k))
+        acc := !acc -. (y.{ci.(k)} *. cv.(k))
       done;
       !acc)
 
@@ -690,7 +747,10 @@ let dense_refactor t =
    with Exit -> ());
   if !ok then
     for i = 0 to m - 1 do
-      Array.blit inv.(i) 0 t.binv.(i) 0 m
+      let ii = inv.(i) in
+      for k = 0 to m - 1 do
+        t.binv.{i, k} <- ii.(k)
+      done
     done;
   t.refactor_seconds <- t.refactor_seconds +. (Obs.Clock.now () -. t0);
   !ok
@@ -738,8 +798,7 @@ let sparse_refactor t =
     else begin
       (* a dense inverse is affordable at this size; allocate it lazily
          and let the dense rebuild arbitrate singularity *)
-      if Array.length t.binv = 0 then
-        t.binv <- Array.init m (fun _ -> Array.make m 0.);
+      if Vec.dim1 t.binv = 0 then t.binv <- Vec.mat_create m m;
       t.lu <- None;
       dense_refactor t
     end
@@ -750,22 +809,21 @@ let refactor t =
   | Dense | Eta -> dense_refactor t
 
 (* Gauss-Jordan update of binv for entering column w at basis position r. *)
-let update_binv t r w =
-  let piv = w.(r) in
-  let brow = t.binv.(r) in
+let update_binv t r (w : Vec.t) =
+  let piv = w.{r} in
+  let binv = t.binv in
+  let brow = Vec.row binv r in
   let scale = 1. /. piv in
   for k = 0 to t.m - 1 do
-    brow.(k) <- brow.(k) *. scale
+    brow.{k} <- brow.{k} *. scale
   done;
   for i = 0 to t.m - 1 do
     if i <> r then begin
-      let f = w.(i) in
-      if f <> 0. then begin
-        let row = t.binv.(i) in
+      let f = w.{i} in
+      if f <> 0. then
         for k = 0 to t.m - 1 do
-          row.(k) <- row.(k) -. (f *. brow.(k))
+          binv.{i, k} <- binv.{i, k} -. (f *. brow.{k})
         done
-      end
     end
   done
 
@@ -784,15 +842,16 @@ let fold_etas t =
   @@ fun () ->
   for e = 0 to t.neta - 1 do
     let { er; idx; va; piv } = t.etas.(e) in
-    let brow = t.binv.(er) in
+    let binv = t.binv in
+    let brow = Vec.row binv er in
     let scale = 1. /. piv in
     for k = 0 to t.m - 1 do
-      brow.(k) <- brow.(k) *. scale
+      brow.{k} <- brow.{k} *. scale
     done;
     for u = 0 to Array.length idx - 1 do
-      let row = t.binv.(idx.(u)) and f = va.(u) in
+      let i = idx.(u) and f = va.(u) in
       for k = 0 to t.m - 1 do
-        row.(k) <- row.(k) -. (f *. brow.(k))
+        binv.{i, k} <- binv.{i, k} -. (f *. brow.{k})
       done
     done
   done;
@@ -802,7 +861,7 @@ let fold_etas t =
 let objective t =
   let acc = ref 0. in
   for j = 0 to t.n - 1 do
-    if t.cost.(j) <> 0. then acc := !acc +. (t.cost.(j) *. var_value t j)
+    if t.cost.{j} <> 0. then acc := !acc +. (t.cost.{j} *. var_value t j)
   done;
   !acc
 
@@ -834,16 +893,16 @@ let select_leaving t =
     let best = ref (-1) and best_score = ref 0. in
     for i = 0 to t.m - 1 do
       let p = t.basis.(i) in
-      let v = t.xb.(i) in
-      let tol_lo = feas_tol *. (1. +. Float.abs t.lb.(p))
-      and tol_hi = feas_tol *. (1. +. Float.abs t.ub.(p)) in
+      let v = t.xb.{i} in
+      let tol_lo = feas_tol *. (1. +. Float.abs t.lb.{p})
+      and tol_hi = feas_tol *. (1. +. Float.abs t.ub.{p}) in
       let viol =
-        if v < t.lb.(p) -. tol_lo then t.lb.(p) -. v
-        else if v > t.ub.(p) +. tol_hi then v -. t.ub.(p)
+        if v < t.lb.{p} -. tol_lo then t.lb.{p} -. v
+        else if v > t.ub.{p} +. tol_hi then v -. t.ub.{p}
         else 0.
       in
       if viol > 0. then begin
-        let score = viol *. viol /. t.dw.(i) in
+        let score = viol *. viol /. t.dw.{i} in
         if score > !best_score then begin
           best := i;
           best_score := score
@@ -856,12 +915,12 @@ let select_leaving t =
     let best = ref (-1) and best_viol = ref feas_tol and best_var = ref max_int in
     for i = 0 to t.m - 1 do
       let p = t.basis.(i) in
-      let v = t.xb.(i) in
-      let tol_lo = feas_tol *. (1. +. Float.abs t.lb.(p))
-      and tol_hi = feas_tol *. (1. +. Float.abs t.ub.(p)) in
+      let v = t.xb.{i} in
+      let tol_lo = feas_tol *. (1. +. Float.abs t.lb.{p})
+      and tol_hi = feas_tol *. (1. +. Float.abs t.ub.{p}) in
       let viol =
-        if v < t.lb.(p) -. tol_lo then t.lb.(p) -. v
-        else if v > t.ub.(p) +. tol_hi then v -. t.ub.(p)
+        if v < t.lb.{p} -. tol_lo then t.lb.{p} -. v
+        else if v > t.ub.{p} +. tol_hi then v -. t.ub.{p}
         else 0.
       in
       if viol > 0. then
@@ -882,23 +941,23 @@ let select_leaving t =
    the pivot row's own weight is rescaled by the pivot element.  When the
    weights blow past 1e12 the reference framework has degraded — restart
    it flat (the classic devex reset). *)
-let devex_update t r w =
-  let wr = w.(r) in
-  let gr = t.dw.(r) in
+let devex_update t r (w : Vec.t) =
+  let wr = w.{r} in
+  let gr = t.dw.{r} in
   let mx = ref 1. in
   for i = 0 to t.m - 1 do
     if i <> r then begin
-      let wi = w.(i) in
+      let wi = w.{i} in
       if wi <> 0. then begin
         let q = wi /. wr in
         let cand = q *. q *. gr in
-        if cand > t.dw.(i) then t.dw.(i) <- cand
+        if cand > t.dw.{i} then t.dw.{i} <- cand
       end;
-      if t.dw.(i) > !mx then mx := t.dw.(i)
+      if t.dw.{i} > !mx then mx := t.dw.{i}
     end
   done;
-  t.dw.(r) <- Float.max (gr /. (wr *. wr)) 1.;
-  if Float.max !mx t.dw.(r) > 1e12 then Array.fill t.dw 0 t.m 1.
+  t.dw.{r} <- Float.max (gr /. (wr *. wr)) 1.;
+  if Float.max !mx t.dw.{r} > 1e12 then Vec.fill t.dw 1.
 
 (* Pivot-row pricing, sparse kernel: alpha_j = rho . A_j for every
    column, computed by scattering the nonzero entries of rho through the
@@ -908,25 +967,25 @@ let devex_update t r w =
    list is sorted so the ratio test scans candidates in ascending
    variable order (determinism).  Touched positions are recorded for
    [clear_alpha]. *)
-let scatter_price t rho =
+let scatter_price t (rho : Vec.t) =
   let ntouch = ref 0 in
   for i = 0 to t.m - 1 do
-    let ri = rho.(i) in
+    let ri = rho.{i} in
     if ri <> 0. then begin
       let rowi = t.row_idx.(i) and rowv = t.row_val.(i) in
       for k = 0 to Array.length rowi - 1 do
         let j = rowi.(k) in
         if not t.amark.(j) then begin
           t.amark.(j) <- true;
-          t.alpha.(j) <- 0.;
+          t.alpha.{j} <- 0.;
           t.atouch.(!ntouch) <- j;
           incr ntouch
         end;
-        t.alpha.(j) <- t.alpha.(j) +. (ri *. rowv.(k))
+        t.alpha.{j} <- t.alpha.{j} +. (ri *. rowv.(k))
       done;
       let sj = t.n + i in
       t.amark.(sj) <- true;
-      t.alpha.(sj) <- ri;
+      t.alpha.{sj} <- ri;
       t.atouch.(!ntouch) <- sj;
       incr ntouch
     end
@@ -939,8 +998,8 @@ let scatter_price t rho =
     let j = touched.(k) in
     if
       t.loc.(j) < 0
-      && t.ub.(j) -. t.lb.(j) > 1e-12
-      && Float.abs t.alpha.(j) > pivot_tol
+      && t.ub.{j} -. t.lb.{j} > 1e-12
+      && Float.abs t.alpha.{j} > pivot_tol
     then movable := j :: !movable
   done;
   !movable
@@ -948,7 +1007,7 @@ let scatter_price t rho =
 let clear_alpha t =
   for k = 0 to t.natouch - 1 do
     let j = t.atouch.(k) in
-    t.alpha.(j) <- 0.;
+    t.alpha.{j} <- 0.;
     t.amark.(j) <- false
   done;
   t.natouch <- 0
@@ -960,36 +1019,37 @@ let dual_step t =
   | None -> `Feasible
   | Some r ->
     let p = t.basis.(r) in
-    let above = t.xb.(r) > t.ub.(p) in
+    let above = t.xb.{r} > t.ub.{p} in
     let s = if above then 1. else -1. in
     (* Pivot row in nonbasic space: alpha_j = (e_r B^-1) A_j.  In the
-       Dense kernel binv is B^-1 and its row r can be aliased; the eta
-       kernels produce the row by a sparse btran through the eta file. *)
+       Dense kernel binv is B^-1 and its row r can be aliased (a
+       zero-copy bigarray slice); the eta kernels produce the row by a
+       sparse btran through the eta file. *)
     let rho =
       if uses_etas t then begin
         compute_rho t r;
         t.rho
       end
-      else t.binv.(r)
+      else Vec.row t.binv r
     in
     let movable =
       if t.kernel = Sparse then ref (scatter_price t rho)
       else begin
         let movable = ref [] in
         for j = t.nn - 1 downto 0 do
-          if t.loc.(j) < 0 && t.ub.(j) -. t.lb.(j) > 1e-12 then begin
+          if t.loc.(j) < 0 && t.ub.{j} -. t.lb.{j} > 1e-12 then begin
             let a =
               if j < t.n then begin
                 let ci = t.col_idx.(j) and cv = t.col_val.(j) in
                 let acc = ref 0. in
                 for k = 0 to Array.length ci - 1 do
-                  acc := !acc +. (rho.(ci.(k)) *. cv.(k))
+                  acc := !acc +. (rho.{ci.(k)} *. cv.(k))
                 done;
                 !acc
               end
-              else rho.(j - t.n)
+              else rho.{j - t.n}
             in
-            t.alpha.(j) <- a;
+            t.alpha.{j} <- a;
             if Float.abs a > pivot_tol then movable := j :: !movable
           end
         done;
@@ -1000,16 +1060,16 @@ let dual_step t =
     let q = ref (-1) and best_ratio = ref infinity and best_mag = ref 0. in
     List.iter
       (fun j ->
-         let a = s *. t.alpha.(j) in
+         let a = s *. t.alpha.{j} in
          let eligible =
            (t.loc.(j) = -1 && a > pivot_tol) || (t.loc.(j) = -2 && a < -.pivot_tol)
          in
          if eligible then begin
            let dj =
-             if t.loc.(j) = -1 then Float.max t.d.(j) 0. else Float.min t.d.(j) 0.
+             if t.loc.(j) = -1 then Float.max t.d.{j} 0. else Float.min t.d.{j} 0.
            in
            let ratio = dj /. a in
-           let mag = Float.abs t.alpha.(j) in
+           let mag = Float.abs t.alpha.{j} in
            let better =
              if t.bland then
                ratio < !best_ratio -. 1e-9
@@ -1031,33 +1091,33 @@ let dual_step t =
          infeasibility multiplier over the constraint rows (the certifier
          re-derives the contradiction from it against the true, unpatched
          variable boxes). *)
-      t.infeas_ray <- Some (Array.copy rho);
+      t.infeas_ray <- Some (Vec.to_array rho);
       if t.kernel = Sparse then clear_alpha t;
       `Infeasible
     end
     else begin
       let q = !q in
       let w = ftran t q in
-      if Float.abs w.(r) < pivot_tol then begin
+      if Float.abs w.{r} < pivot_tol then begin
         if t.kernel = Sparse then clear_alpha t;
         `Numerical_pivot
       end
       else begin
-        let target = if above then t.ub.(p) else t.lb.(p) in
-        let delta = (t.xb.(r) -. target) /. w.(r) in
+        let target = if above then t.ub.{p} else t.lb.{p} in
+        let delta = (t.xb.{r} -. target) /. w.{r} in
         let new_q_value = nb_value t q +. delta in
         (* Reduced-cost update (before the basis mutates). *)
-        let theta = t.d.(q) /. w.(r) in
+        let theta = t.d.{q} /. w.{r} in
         List.iter
-          (fun j -> if j <> q then t.d.(j) <- t.d.(j) -. (theta *. t.alpha.(j)))
+          (fun j -> if j <> q then t.d.{j} <- t.d.{j} -. (theta *. t.alpha.{j}))
           !movable;
-        t.d.(p) <- -.theta;
-        t.d.(q) <- 0.;
+        t.d.{p} <- -.theta;
+        t.d.{q} <- 0.;
         (* Basic value update. *)
         for i = 0 to t.m - 1 do
-          if i <> r then t.xb.(i) <- t.xb.(i) -. (w.(i) *. delta)
+          if i <> r then t.xb.{i} <- t.xb.{i} -. (w.{i} *. delta)
         done;
-        t.xb.(r) <- new_q_value;
+        t.xb.{r} <- new_q_value;
         (* Swap. *)
         t.loc.(p) <- (if above then -2 else -1);
         t.loc.(q) <- r;
@@ -1091,13 +1151,13 @@ let dual_loop t ~max_iter ~deadline =
           degraded and triggers an early refactorization. *)
        if !iter mod 256 = 0 then begin
          if uses_etas t then begin
-           Array.blit t.xb 0 t.xb_save 0 t.m;
+           Vec.blit t.xb t.xb_save;
            compute_xb t;
            let drift = ref 0. in
            for i = 0 to t.m - 1 do
              let d =
-               Float.abs (t.xb.(i) -. t.xb_save.(i))
-               /. (1. +. Float.abs t.xb.(i))
+               Float.abs (t.xb.{i} -. t.xb_save.{i})
+               /. (1. +. Float.abs t.xb.{i})
              in
              if d > !drift then drift := d
            done;
@@ -1154,10 +1214,10 @@ let primal_step t =
   (* Entering: most improving reduced cost (Bland: smallest index). *)
   let q = ref (-1) and best = ref 0. in
   for j = 0 to t.nn - 1 do
-    if t.loc.(j) < 0 && t.ub.(j) -. t.lb.(j) > 1e-12 then begin
-      let tol = dual_tol *. (1. +. Float.abs t.cost.(j)) in
+    if t.loc.(j) < 0 && t.ub.{j} -. t.lb.{j} > 1e-12 then begin
+      let tol = dual_tol *. (1. +. Float.abs t.cost.{j}) in
       let improve =
-        if t.loc.(j) = -1 then -.t.d.(j) else t.d.(j)
+        if t.loc.(j) = -1 then -.t.d.{j} else t.d.{j}
       in
       if improve > tol then
         if t.bland then begin
@@ -1174,17 +1234,17 @@ let primal_step t =
     let q = !q in
     let dir = if t.loc.(q) = -1 then 1. else -1. in
     let w = ftran t q in
-    let limit = ref (t.ub.(q) -. t.lb.(q)) and leaving = ref (-1) in
+    let limit = ref (t.ub.{q} -. t.lb.{q}) and leaving = ref (-1) in
     for i = 0 to t.m - 1 do
-      let coef = -.dir *. w.(i) in
+      let coef = -.dir *. w.{i} in
       let p = t.basis.(i) in
       if coef > pivot_tol then begin
-        let room = Float.max 0. (t.ub.(p) -. t.xb.(i)) in
+        let room = Float.max 0. (t.ub.{p} -. t.xb.{i}) in
         let step = room /. coef in
         if step < !limit -. 1e-12 then begin limit := step; leaving := i end
       end
       else if coef < -.pivot_tol then begin
-        let room = Float.max 0. (t.xb.(i) -. t.lb.(p)) in
+        let room = Float.max 0. (t.xb.{i} -. t.lb.{p}) in
         let step = room /. -.coef in
         if step < !limit -. 1e-12 then begin limit := step; leaving := i end
       end
@@ -1194,7 +1254,7 @@ let primal_step t =
       (* bound flip: q runs to its opposite bound *)
       let delta = !limit in
       for i = 0 to t.m - 1 do
-        t.xb.(i) <- t.xb.(i) -. (dir *. w.(i) *. delta)
+        t.xb.{i} <- t.xb.{i} -. (dir *. w.{i} *. delta)
       done;
       t.loc.(q) <- (if t.loc.(q) = -1 then -2 else -1);
       `Progress
@@ -1202,13 +1262,13 @@ let primal_step t =
     else begin
       let r = !leaving in
       let p = t.basis.(r) in
-      let coef = -.dir *. w.(r) in
+      let coef = -.dir *. w.{r} in
       let delta = !limit in
       let new_q_value = nb_value t q +. (dir *. delta) in
       for i = 0 to t.m - 1 do
-        if i <> r then t.xb.(i) <- t.xb.(i) -. (dir *. w.(i) *. delta)
+        if i <> r then t.xb.{i} <- t.xb.{i} -. (dir *. w.{i} *. delta)
       done;
-      t.xb.(r) <- new_q_value;
+      t.xb.{r} <- new_q_value;
       t.loc.(p) <- (if coef > 0. then -2 else -1);
       t.loc.(q) <- r;
       t.basis.(r) <- q;
@@ -1259,10 +1319,10 @@ let dual_feasible t =
   recompute_d t;
   let ok = ref true in
   for j = 0 to t.nn - 1 do
-    if t.loc.(j) < 0 && t.ub.(j) -. t.lb.(j) > 1e-12 then begin
-      let tol = 1e-5 *. (1. +. Float.abs t.cost.(j)) in
-      if t.loc.(j) = -1 && t.d.(j) < -.tol then ok := false;
-      if t.loc.(j) = -2 && t.d.(j) > tol then ok := false
+    if t.loc.(j) < 0 && t.ub.{j} -. t.lb.{j} > 1e-12 then begin
+      let tol = 1e-5 *. (1. +. Float.abs t.cost.{j}) in
+      if t.loc.(j) = -1 && t.d.{j} < -.tol then ok := false;
+      if t.loc.(j) = -2 && t.d.{j} > tol then ok := false
     end
   done;
   !ok
@@ -1282,7 +1342,7 @@ let reoptimize ?(max_iter = 200_000) ?deadline t =
       (fun (j, dv) ->
          let w = ftran t j in
          for i = 0 to t.m - 1 do
-           t.xb.(i) <- t.xb.(i) -. (w.(i) *. dv)
+           t.xb.{i} <- t.xb.{i} -. (w.{i} *. dv)
          done)
       t.pending_bounds
   end
@@ -1296,7 +1356,7 @@ let reoptimize ?(max_iter = 200_000) ?deadline t =
   t.warm <- false;
   t.bland <- false;
   t.degen_count <- 0;
-  if t.pricing = Devex then Array.fill t.dw 0 t.m 1.;
+  if t.pricing = Devex then Vec.fill t.dw 1.;
   t.infeas_ray <- None;
   let status = dual_loop t ~max_iter ~deadline in
   match status with

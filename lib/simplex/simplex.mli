@@ -91,19 +91,43 @@ type t
     values.  Bounds may be tightened/relaxed between calls to {!reoptimize};
     the basis is reused (warm start). *)
 
-val create : ?kernel:kernel -> ?pricing:pricing -> ?refactor_every:int ->
-  Lp.std -> t
+(** Reusable float arena for repeated {!create} calls (the batch
+    service's steady state).  A workspace owns one growable Float64
+    buffer; {!create} carves its dense vectors (costs, bounds, basic
+    values, reduced costs, scratch) out of it as zero-filled views
+    instead of allocating, so a steady-state solve loop stops paying
+    per-solve major-heap allocations for the float payload.  Because
+    the carved views are zero-filled exactly like fresh allocations,
+    a pooled instance is bit-identical to a fresh one (enforced by
+    [test/test_simplex.ml]).
+
+    A workspace must back at most one live instance at a time: each
+    {!create} re-carves the buffer, invalidating the previous instance
+    drawn from the same workspace {e and any} {!copy} made of it (a
+    copy shares the original's immutable cost/rhs views).  {!copy}
+    itself always allocates fresh storage and never draws from a
+    workspace. *)
+module Workspace : sig
+  type t
+
+  val create : unit -> t
+end
+
+val create : ?workspace:Workspace.t -> ?kernel:kernel -> ?pricing:pricing ->
+  ?refactor_every:int -> Lp.std -> t
 (** Build an instance positioned at the dual-feasible all-slack basis.
     Integrality markers in [std] are ignored here.
 
-    [kernel] (default [Sparse]) selects the basis representation; see the
-    module documentation.  [pricing] defaults to [Devex] for the sparse
-    kernel and [Dantzig] otherwise (so the dense kernel reproduces the
-    pre-eta pivot sequence bit-identically).  [refactor_every] (default
-    32, must be ≥ 1) bounds the eta-file length before the basis is
-    refactorized (sparse) or the file is folded (eta); an
-    out-of-tolerance basic-value residual at the periodic resync triggers
-    an earlier rebuild regardless.  Ignored by the dense kernel.
+    [workspace] pools the instance's dense float storage across calls;
+    see {!Workspace}.  [kernel] (default [Sparse]) selects the basis
+    representation; see the module documentation.  [pricing] defaults
+    to [Devex] for the sparse kernel and [Dantzig] otherwise (so the
+    dense kernel reproduces the pre-eta pivot sequence bit-identically).
+    [refactor_every] (default 32, must be ≥ 1) bounds the eta-file
+    length before the basis is refactorized (sparse) or the file is
+    folded (eta); an out-of-tolerance basic-value residual at the
+    periodic resync triggers an earlier rebuild regardless.  Ignored by
+    the dense kernel.
     @raise Invalid_argument when [refactor_every < 1]. *)
 
 val copy : t -> t

@@ -329,60 +329,60 @@ let factor (cols_idx : int array array) (cols_val : float array array) =
 (* Solve B w = b:  P B Q = L U, so L U (Qᵀw) = P b.  Forward scatter
    through L skips zero positions — a sparse right-hand side touches only
    its reach, Gilbert–Peierls style — then a backward gather through U. *)
-let ftran t ~work b =
+let ftran t ~work (b : Vec.t) =
   let m = t.m in
-  let y = work in
+  let y : Vec.t = work in
   for k = 0 to m - 1 do
-    y.(k) <- b.(t.rowperm.(k))
+    y.{k} <- b.{t.rowperm.(k)}
   done;
   for k = 0 to m - 1 do
-    let yk = y.(k) in
+    let yk = y.{k} in
     if yk <> 0. then begin
       let li = t.lcol_idx.(k) and lv = t.lcol_val.(k) in
       for e = 0 to Array.length li - 1 do
-        y.(li.(e)) <- y.(li.(e)) -. (lv.(e) *. yk)
+        y.{li.(e)} <- y.{li.(e)} -. (lv.(e) *. yk)
       done
     end
   done;
   for k = m - 1 downto 0 do
     let ui = t.urow_idx.(k) and uv = t.urow_val.(k) in
-    let acc = ref y.(k) in
+    let acc = ref y.{k} in
     for e = 0 to Array.length ui - 1 do
-      acc := !acc -. (uv.(e) *. y.(ui.(e)))
+      acc := !acc -. (uv.(e) *. y.{ui.(e)})
     done;
-    y.(k) <- !acc /. t.upiv.(k)
+    y.{k} <- !acc /. t.upiv.(k)
   done;
   for k = 0 to m - 1 do
-    b.(t.colperm.(k)) <- y.(k)
+    b.{t.colperm.(k)} <- y.{k}
   done
 
 (* Solve Bᵀ v = u:  Uᵀ Lᵀ (P v) = Qᵀ u.  Forward scatter through Uᵀ
    (zero-skipping, so a near-unit right-hand side stays sparse), backward
    gather through Lᵀ. *)
-let btran t ~work u =
+let btran t ~work (u : Vec.t) =
   let m = t.m in
-  let y = work in
+  let y : Vec.t = work in
   for k = 0 to m - 1 do
-    y.(k) <- u.(t.colperm.(k))
+    y.{k} <- u.{t.colperm.(k)}
   done;
   for k = 0 to m - 1 do
-    let yk = y.(k) /. t.upiv.(k) in
-    y.(k) <- yk;
+    let yk = y.{k} /. t.upiv.(k) in
+    y.{k} <- yk;
     if yk <> 0. then begin
       let ui = t.urow_idx.(k) and uv = t.urow_val.(k) in
       for e = 0 to Array.length ui - 1 do
-        y.(ui.(e)) <- y.(ui.(e)) -. (uv.(e) *. yk)
+        y.{ui.(e)} <- y.{ui.(e)} -. (uv.(e) *. yk)
       done
     end
   done;
   for k = m - 1 downto 0 do
     let li = t.lcol_idx.(k) and lv = t.lcol_val.(k) in
-    let acc = ref y.(k) in
+    let acc = ref y.{k} in
     for e = 0 to Array.length li - 1 do
-      acc := !acc -. (lv.(e) *. y.(li.(e)))
+      acc := !acc -. (lv.(e) *. y.{li.(e)})
     done;
-    y.(k) <- !acc
+    y.{k} <- !acc
   done;
   for k = 0 to m - 1 do
-    u.(t.rowperm.(k)) <- y.(k)
+    u.{t.rowperm.(k)} <- y.{k}
   done

@@ -38,11 +38,11 @@ val nnz : t -> int
 (** Total stored nonzeros of L and U (including the m unit/pivot
     diagonals) — the [simplex.lu_nnz] observability gauge. *)
 
-val ftran : t -> work:float array -> float array -> unit
+val ftran : t -> work:Vec.t -> Vec.t -> unit
 (** [ftran lu ~work b] overwrites [b] (length m, constraint-row space)
     with [B⁻¹ b] (basis-position space).  [work] is caller-provided
     scratch of length m; its contents are clobbered. *)
 
-val btran : t -> work:float array -> float array -> unit
+val btran : t -> work:Vec.t -> Vec.t -> unit
 (** [btran lu ~work u] overwrites [u] (length m, basis-position space)
     with [B⁻ᵀ u] (constraint-row space).  [work] as in {!ftran}. *)

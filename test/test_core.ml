@@ -149,15 +149,15 @@ let test_stats_hand_computed () =
   feq "W(a1,qr)" 16. (Stats.w inst ~a:1 ~q:0);
   feq "W(b0,qr)" 0. (Stats.w inst ~a:2 ~q:0);
   feq "W(b0,qw)" 2. (Stats.w inst ~a:2 ~q:1);
-  feq "c1(t,a0)" 8. st.Stats.c1.(0).(0);
-  feq "c1(t,a1)" (-48.) st.Stats.c1.(0).(1);
-  feq "c1(t,b0)" 0. st.Stats.c1.(0).(2);
+  feq "c1(t,a0)" 8. st.Stats.c1.{0, 0};
+  feq "c1(t,a1)" (-48.) st.Stats.c1.{0, 1};
+  feq "c1(t,b0)" 0. st.Stats.c1.{0, 2};
   feq "c2(a0)" 4. st.Stats.c2.(0);
   feq "c2(a1)" 72. st.Stats.c2.(1);
   feq "c2(b0)" 2. st.Stats.c2.(2);
-  feq "c3(t,a0)" 8. st.Stats.c3.(0).(0);
-  feq "c3(t,a1)" 16. st.Stats.c3.(0).(1);
-  feq "c3(t,b0)" 0. st.Stats.c3.(0).(2);
+  feq "c3(t,a0)" 8. st.Stats.c3.{0, 0};
+  feq "c3(t,a1)" 16. st.Stats.c3.{0, 1};
+  feq "c3(t,b0)" 0. st.Stats.c3.{0, 2};
   feq "c4(a0)" 4. st.Stats.c4.(0);
   feq "c4(a1)" 8. st.Stats.c4.(1);
   feq "c4(b0)" 2. st.Stats.c4.(2);
@@ -328,7 +328,7 @@ let test_codec_roundtrip () =
   (* semantic equality: same stats *)
   let st = Stats.compute inst ~p:8. and st' = Stats.compute inst' ~p:8. in
   feq "same c2" st.Stats.c2.(1) st'.Stats.c2.(1);
-  feq "same c1" st.Stats.c1.(0).(1) st'.Stats.c1.(0).(1);
+  feq "same c1" st.Stats.c1.{0, 1} st'.Stats.c1.{0, 1};
   (* file roundtrip *)
   let path = Filename.temp_file "vpart" ".json" in
   Codec.save_instance path inst;

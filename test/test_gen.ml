@@ -94,6 +94,31 @@ let test_update_share_extremes () =
   let w100, n100 = mk 100 in
   Alcotest.(check int) "100%% updates -> all" n100 w100
 
+(* Property: the streaming generator is a lazy view of the materialized
+   per-seed list — element i of [stream ~seed ~count p] equals
+   [generate ~seed:(seed+i)] with the "#i"-suffixed name — and the Seq is
+   pure: traversing it twice yields identical instances. *)
+let prop_stream_matches_materialized =
+  QCheck2.Test.make ~count:50 ~name:"stream = materialized list"
+    QCheck2.Gen.(tup3 (int_range 0 100000) (int_range 0 12) (int_range 1 6))
+    (fun (seed, count, tables) ->
+       let p =
+         { Instance_gen.default_params with
+           Instance_gen.name = Printf.sprintf "s%d" seed;
+           num_tables = tables;
+           num_transactions = 4;
+         }
+       in
+       let streamed = List.of_seq (Instance_gen.stream ~seed ~count p) in
+       let materialized =
+         List.init count (fun i ->
+             let name = Printf.sprintf "%s#%d" p.Instance_gen.name i in
+             (name, Instance_gen.generate ~seed:(seed + i)
+                      { p with Instance_gen.name }))
+       in
+       let seq = Instance_gen.stream ~seed ~count p in
+       streamed = materialized && List.of_seq seq = List.of_seq seq)
+
 (* Property: every generated instance validates and class statistics look
    sane (attribute count within [tables, tables*C]). *)
 let prop_generated_instances_validate =
@@ -128,5 +153,6 @@ let () =
          Alcotest.test_case "update share extremes" `Quick test_update_share_extremes;
        ]);
       ("properties",
-       [ QCheck_alcotest.to_alcotest prop_generated_instances_validate ]);
+       [ QCheck_alcotest.to_alcotest prop_generated_instances_validate;
+         QCheck_alcotest.to_alcotest prop_stream_matches_materialized ]);
     ]

@@ -433,27 +433,25 @@ let prop_sparse_lu_matches_dense =
          true
        | Some _, None -> false
        | Some lu, Some xd ->
-         let work = Array.make m 0. in
-         let xf = Array.copy b in
+         let work = Vec.create m in
+         let xf = Vec.of_array b in
          Sparse_lu.ftran lu ~work xf;
          let ok_f = ref true in
-         Array.iteri
-           (fun i v ->
-              if Float.abs (v -. xd.(i)) > 1e-9 *. (1. +. Float.abs xd.(i))
-              then ok_f := false)
-           xf;
+         for i = 0 to m - 1 do
+           if Float.abs (xf.{i} -. xd.(i)) > 1e-9 *. (1. +. Float.abs xd.(i))
+           then ok_f := false
+         done;
          let ok_b = ref true in
          (match dense_solve (transpose a) b with
           | None -> ()
           | Some xt ->
-            let xb = Array.copy b in
+            let xb = Vec.of_array b in
             Sparse_lu.btran lu ~work xb;
-            Array.iteri
-              (fun i v ->
-                 if
-                   Float.abs (v -. xt.(i)) > 1e-9 *. (1. +. Float.abs xt.(i))
-                 then ok_b := false)
-              xb);
+            for i = 0 to m - 1 do
+              if
+                Float.abs (xb.{i} -. xt.(i)) > 1e-9 *. (1. +. Float.abs xt.(i))
+              then ok_b := false
+            done);
          Sparse_lu.nnz lu >= m && !ok_f && !ok_b)
 
 let test_sparse_lu_singular () =
@@ -472,13 +470,13 @@ let test_sparse_lu_singular () =
 
 let test_sparse_lu_identity () =
   let lu = Sparse_lu.identity 4 in
-  let work = Array.make 4 0. in
+  let work = Vec.create 4 in
   let b = [| 1.; -2.; 3.; 0.5 |] in
-  let x = Array.copy b in
+  let x = Vec.of_array b in
   Sparse_lu.ftran lu ~work x;
-  Alcotest.(check (array (float 0.))) "ftran id" b x;
+  Alcotest.(check (array (float 0.))) "ftran id" b (Vec.to_array x);
   Sparse_lu.btran lu ~work x;
-  Alcotest.(check (array (float 0.))) "btran id" b x;
+  Alcotest.(check (array (float 0.))) "btran id" b (Vec.to_array x);
   Alcotest.(check int) "nnz" 4 (Sparse_lu.nnz lu);
   Alcotest.(check int) "size" 4 (Sparse_lu.size lu)
 
@@ -522,6 +520,36 @@ let prop_kernels_agree =
                 || Float.abs (res.Simplex.obj -. dense.Simplex.obj)
                    <= 1e-9 *. (1. +. Float.abs dense.Simplex.obj)))
          runs)
+
+(* Pooled-vs-fresh bit-identity: a solve whose float storage is carved
+   from a reused {!Simplex.Workspace} must reproduce the fresh-allocation
+   solve exactly — same status, pivot count, objective bits and primal
+   point bits — even when the arena is dirty from a previous, differently
+   shaped solve.  This is the guard that lets the batch service pool
+   solver state without changing any result. *)
+let prop_pooled_equals_fresh =
+  QCheck2.Test.make ~count:150
+    ~name:"simplex: workspace-pooled solve is bit-identical to fresh"
+    QCheck2.Gen.(pair gen_rand_lp gen_rand_lp)
+    (fun (r_dirty, r) ->
+       let ws = Simplex.Workspace.create () in
+       (* Dirty the arena with an unrelated solve so the pooled run below
+          starts from stale garbage that create must re-zero. *)
+       let t0 =
+         Simplex.create ~workspace:ws (Lp.standardize (build_rand_lp r_dirty))
+       in
+       ignore (Simplex.reoptimize t0);
+       let run workspace =
+         let t = Simplex.create ?workspace (Lp.standardize (build_rand_lp r)) in
+         let st = Simplex.reoptimize t in
+         ( st,
+           Simplex.iterations t,
+           Int64.bits_of_float (Simplex.objective t),
+           Array.map Int64.bits_of_float (Simplex.primal t) )
+       in
+       let pooled = run (Some ws) in
+       let fresh = run None in
+       pooled = fresh)
 
 (* A deterministic ill-scaled fixture run with the refactorization
    cadence disabled: the only way the solver can hold the basis together
@@ -657,6 +685,7 @@ let () =
        [ QCheck_alcotest.to_alcotest prop_feasible_and_dominates;
          QCheck_alcotest.to_alcotest prop_complementary_slackness;
          QCheck_alcotest.to_alcotest prop_zero_objective;
+         QCheck_alcotest.to_alcotest prop_pooled_equals_fresh;
        ]);
       ("kernels",
        [ QCheck_alcotest.to_alcotest prop_kernels_agree;
